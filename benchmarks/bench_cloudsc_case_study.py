@@ -1,0 +1,107 @@
+"""Sec. 6.4: the CLOUDSC case study on the synthetic cloud-microphysics scheme.
+
+Tests the three custom transformations the ECMWF engineers used, with their
+injected bugs, over every applicable instance and reports the number of
+faulty instances per transformation.  At ``REPRO_PAPER_SCALE=1`` the scheme
+is generated with the paper's instance counts (62 GPU-extraction instances of
+which 48 faulty, 19 loops of which 1 faulty, 136 write eliminations of which
+1 faulty); the default scale is smaller but keeps the same ratios' structure.
+"""
+
+from collections import Counter
+
+from conftest import paper_scale
+
+from repro.core import FuzzyFlowVerifier, Verdict
+from repro.transforms import GPUKernelExtraction, LoopUnrolling, RedundantWriteElimination
+from repro.workloads import CloudscConfig, build_cloudsc
+
+
+def _config() -> CloudscConfig:
+    if paper_scale():
+        return CloudscConfig.paper_scale()
+    return CloudscConfig(
+        num_kernels=13,
+        partial_write_fraction=10 / 13,
+        num_substep_loops=5,
+        descending_loop_index=1,
+        num_adjustment_chains=16,
+        live_chain_indices=(6,),
+    )
+
+
+def _census(xform, cfg, num_trials=6):
+    sdfg = build_cloudsc(cfg)
+    verifier = FuzzyFlowVerifier(
+        num_trials=num_trials, seed=0, vary_sizes=False, minimize_inputs=False,
+    )
+    reports = verifier.verify_all_instances(
+        sdfg, xform, symbol_values=cfg.symbols, fixed_symbols=cfg.symbols,
+    )
+    tested = [r for r in reports if r.verdict != Verdict.UNTESTED]
+    failing = [r for r in tested if r.verdict.is_failure]
+    return len(tested), len(failing), Counter(r.verdict.value for r in tested)
+
+
+def test_cloudsc_gpu_kernel_extraction(benchmark, report_lines):
+    cfg = _config()
+    tested, failing, verdicts = benchmark.pedantic(
+        lambda: _census(GPUKernelExtraction(inject_bug=True), cfg), rounds=1, iterations=1
+    )
+    expected_faulty = cfg.num_partial_kernels()
+    report_lines.append(
+        f"GPU kernel extraction: {tested} instances, {failing} alter semantics "
+        f"(expected {expected_faulty}; paper: 62 instances, 48 faulty)"
+    )
+    report_lines.append(f"verdicts: {dict(verdicts)}")
+    assert tested == cfg.num_kernels
+    assert failing == expected_faulty
+
+
+def test_cloudsc_loop_unrolling(benchmark, report_lines):
+    cfg = _config()
+    tested, failing, verdicts = benchmark.pedantic(
+        lambda: _census(LoopUnrolling(inject_bug=True), cfg), rounds=1, iterations=1,
+    )
+    report_lines.append(
+        f"Loop unrolling: {tested} instances, {failing} alter semantics "
+        f"(expected 1; paper: 19 instances, 1 faulty)"
+    )
+    report_lines.append(f"verdicts: {dict(verdicts)}")
+    assert tested == cfg.num_substep_loops
+    assert failing == 1
+
+
+def test_cloudsc_write_elimination(benchmark, report_lines):
+    cfg = _config()
+    tested, failing, verdicts = benchmark.pedantic(
+        lambda: _census(RedundantWriteElimination(inject_bug=True), cfg), rounds=1, iterations=1,
+    )
+    report_lines.append(
+        f"Write elimination: {tested} instances, {failing} alter semantics "
+        f"(expected {len(cfg.live_chain_indices)}; paper: 136 instances, 1 faulty)"
+    )
+    report_lines.append(f"verdicts: {dict(verdicts)}")
+    assert tested == cfg.num_adjustment_chains
+    assert failing == len(cfg.live_chain_indices)
+
+
+def test_cloudsc_correct_variants_pass(benchmark, report_lines):
+    """The faithful variants of all three transformations pass everywhere."""
+    cfg = CloudscConfig(
+        num_kernels=6, partial_write_fraction=0.5, num_substep_loops=3,
+        descending_loop_index=1, num_adjustment_chains=6, live_chain_indices=(2,),
+    )
+    def census_all():
+        rows = []
+        for xform in (GPUKernelExtraction(), LoopUnrolling(), RedundantWriteElimination()):
+            tested, failing, _ = _census(xform, cfg, num_trials=4)
+            rows.append((xform.name, tested, failing))
+        return rows
+
+    rows = benchmark.pedantic(census_all, rounds=1, iterations=1)
+    total_failing = 0
+    for name, tested, failing in rows:
+        report_lines.append(f"{name}: {tested} instances, {failing} failing")
+        total_failing += failing
+    assert total_failing == 0

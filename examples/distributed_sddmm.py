@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Sec. 6.2 / Fig. 6: testing a distributed SDDMM optimization on one node.
+
+Runs the (simulated) distributed Vanilla-Attention SDDMM across four ranks,
+then extracts a cutout around an optimization of the per-rank compute kernel
+and fuzzes it on a single "node".  The cutout contains no communication: the
+row block received through the scatter and the broadcast matrix simply appear
+as input containers.
+
+Run with::
+
+    python examples/distributed_sddmm.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+import numpy as np
+
+from repro.core import FuzzyFlowVerifier
+from repro.distributed import DistributedSDDMM, run_distributed_sddmm
+from repro.transforms import MapTiling
+
+
+def main() -> None:
+    # 1. The distributed application itself.
+    result = run_distributed_sddmm(num_ranks=4, rows=16, cols=8, inner=4, seed=0)
+    err = float(np.max(np.abs(result["distributed"] - result["reference"])))
+    print("Distributed Vanilla-Attention SDDMM (4 simulated ranks)")
+    print(f"  result matches the NumPy reference within {err:.2e}")
+    print(f"  collectives per forward pass: {int(result['num_collectives'][0])}\n")
+
+    # 2. Optimize the local kernel and test it on a single node.
+    plan = DistributedSDDMM.create(num_ranks=4)
+    kernel = plan.local_kernel
+    tiling = MapTiling(tile_size=4)
+    match = next(
+        m for m in tiling.find_matches(kernel)
+        if m.nodes["map_entry"].map.label == "sample"
+    )
+    syms = {"NR": 8, "NC": 8, "NK": 4}
+    verifier = FuzzyFlowVerifier(num_trials=15, seed=0, vary_sizes=False)
+    report = verifier.verify(
+        kernel, tiling, match=match, symbol_values=syms, fixed_symbols=syms
+    )
+    print("Single-node testing of the kernel optimization:")
+    print(report.summary())
+    print("\nNote: the cutout's input configuration "
+          f"({sorted(report.input_configuration)}) contains the data that the "
+          "distributed application receives through collectives -- no "
+          "communication needs to run to test the optimization.")
+
+
+if __name__ == "__main__":
+    main()

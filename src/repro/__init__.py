@@ -1,0 +1,61 @@
+"""repro -- a reproduction of FuzzyFlow (SC 2023).
+
+FuzzyFlow leverages parametric dataflow program representations to extract
+minimal, fully reproducible test cases ("cutouts") around program
+optimizations, and checks the optimizations for semantics preservation with
+gray-box differential fuzzing.
+
+Top-level convenience re-exports::
+
+    from repro import SDFG, Memlet, verify_transformation
+
+See ``README.md`` for a quickstart and ``DESIGN.md`` for the system
+inventory and the per-experiment index.
+"""
+
+from repro.sdfg import (
+    SDFG,
+    AccessNode,
+    Array,
+    InterstateEdge,
+    MapEntry,
+    MapExit,
+    Memlet,
+    Scalar,
+    SDFGState,
+    Tasklet,
+    float32,
+    float64,
+    int32,
+    int64,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SDFG",
+    "SDFGState",
+    "InterstateEdge",
+    "Memlet",
+    "AccessNode",
+    "Tasklet",
+    "MapEntry",
+    "MapExit",
+    "Array",
+    "Scalar",
+    "float32",
+    "float64",
+    "int32",
+    "int64",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazily re-export the high-level verification API to avoid import cycles
+    # at package import time.
+    if name in ("verify_transformation", "FuzzyFlowVerifier", "extract_cutout"):
+        from repro import core
+
+        return getattr(core, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,196 @@
+"""Differential (gray-box) fuzzing of cutouts (Sec. 5).
+
+Each trial samples an input configuration, runs it through the original
+cutout ``c`` and the transformed cutout ``T(c)``, and compares their system
+states.  A trial fails -- labelling the transformation as semantics-changing
+-- if the transformed program crashes or hangs while the original does not,
+or if any system-state container differs by more than the configured
+threshold (``1e-5`` by default, bit-wise equality when the threshold is 0,
+matching the paper's footnote 1).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.reporting import FuzzingReport, TrialResult, TrialStatus
+from repro.core.sampling import InputSample, InputSampler
+from repro.interpreter import HangError, SDFGExecutor
+from repro.interpreter.errors import ExecutionError
+from repro.sdfg.sdfg import SDFG
+
+__all__ = ["DifferentialFuzzer", "compare_system_states"]
+
+
+def compare_system_states(
+    reference: Mapping[str, np.ndarray],
+    candidate: Mapping[str, np.ndarray],
+    system_state: Sequence[str],
+    tolerance: float = 1e-5,
+) -> Tuple[List[str], float]:
+    """Compare two sets of program outputs on the system-state containers.
+
+    Returns the list of mismatching container names and the maximum absolute
+    error observed.  With ``tolerance == 0`` the comparison is bit-wise.
+    """
+    mismatched: List[str] = []
+    max_err = 0.0
+    for name in system_state:
+        ref = reference.get(name)
+        cand = candidate.get(name)
+        if ref is None and cand is None:
+            continue
+        if ref is None or cand is None:
+            mismatched.append(name)
+            max_err = float("inf")
+            continue
+        ref = np.asarray(ref)
+        cand = np.asarray(cand)
+        if ref.shape != cand.shape:
+            mismatched.append(name)
+            max_err = float("inf")
+            continue
+        if tolerance == 0:
+            equal = np.array_equal(ref, cand)
+            if not equal:
+                mismatched.append(name)
+                max_err = float("inf")
+            continue
+        if np.issubdtype(ref.dtype, np.floating):
+            finite_mismatch = not np.array_equal(np.isnan(ref), np.isnan(cand)) or not np.array_equal(
+                np.isinf(ref), np.isinf(cand)
+            )
+            diff = np.abs(np.nan_to_num(ref) - np.nan_to_num(cand))
+            err = float(diff.max()) if diff.size else 0.0
+            if finite_mismatch or err > tolerance:
+                mismatched.append(name)
+                max_err = max(max_err, err if not finite_mismatch else float("inf"))
+            else:
+                max_err = max(max_err, err)
+        else:
+            if not np.array_equal(ref, cand):
+                mismatched.append(name)
+                max_err = float("inf")
+    return mismatched, max_err
+
+
+class DifferentialFuzzer:
+    """Runs differential trials of an original vs. a transformed program."""
+
+    def __init__(
+        self,
+        original: SDFG,
+        transformed: SDFG,
+        system_state: Sequence[str],
+        sampler: InputSampler,
+        tolerance: float = 1e-5,
+        max_transitions: int = 100_000,
+        collect_coverage: bool = False,
+    ) -> None:
+        self.original = original
+        self.transformed = transformed
+        self.system_state = list(system_state)
+        self.sampler = sampler
+        self.tolerance = tolerance
+        self.collect_coverage = collect_coverage
+        self._orig_exec = SDFGExecutor(original, max_transitions=max_transitions)
+        self._trans_exec = SDFGExecutor(transformed, max_transitions=max_transitions)
+
+    # ------------------------------------------------------------------ #
+    def run_trial(self, sample: InputSample, index: int = 0) -> TrialResult:
+        """Run one differential trial on the given input sample."""
+        orig_error: Optional[Exception] = None
+        trans_error: Optional[Exception] = None
+        orig_result = None
+        trans_result = None
+        try:
+            orig_result = self._orig_exec.run(
+                sample.copy_arguments(), sample.symbols,
+                collect_coverage=self.collect_coverage,
+            )
+        except ExecutionError as exc:
+            orig_error = exc
+        try:
+            trans_result = self._trans_exec.run(
+                sample.copy_arguments(), sample.symbols,
+                collect_coverage=False,
+            )
+        except ExecutionError as exc:
+            trans_error = exc
+
+        if orig_error is not None and trans_error is not None:
+            return TrialResult(
+                index=index,
+                status=TrialStatus.SKIPPED_BOTH_CRASH,
+                error_message=str(orig_error),
+                symbols=dict(sample.symbols),
+            )
+        if orig_error is None and trans_error is not None:
+            status = (
+                TrialStatus.HANG_TRANSFORMED
+                if isinstance(trans_error, HangError)
+                else TrialStatus.CRASH_TRANSFORMED
+            )
+            return TrialResult(
+                index=index,
+                status=status,
+                error_message=str(trans_error),
+                symbols=dict(sample.symbols),
+            )
+        if orig_error is not None and trans_error is None:
+            return TrialResult(
+                index=index,
+                status=TrialStatus.CRASH_ORIGINAL_ONLY,
+                error_message=str(orig_error),
+                symbols=dict(sample.symbols),
+            )
+
+        mismatched, max_err = compare_system_states(
+            orig_result.outputs, trans_result.outputs, self.system_state, self.tolerance
+        )
+        if mismatched:
+            return TrialResult(
+                index=index,
+                status=TrialStatus.MISMATCH,
+                mismatched_containers=mismatched,
+                max_abs_error=max_err,
+                symbols=dict(sample.symbols),
+            )
+        return TrialResult(
+            index=index, status=TrialStatus.MATCH, max_abs_error=max_err,
+            symbols=dict(sample.symbols),
+            coverage=orig_result.coverage if self.collect_coverage else None,
+        )
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        num_trials: int = 100,
+        stop_on_failure: bool = False,
+        samples: Optional[Sequence[InputSample]] = None,
+    ) -> FuzzingReport:
+        """Run a fuzzing campaign of ``num_trials`` trials."""
+        report = FuzzingReport()
+        start = time.perf_counter()
+        for i in range(num_trials):
+            sample = samples[i] if samples is not None and i < len(samples) else self.sampler.sample()
+            trial = self.run_trial(sample, index=i)
+            report.trials.append(trial)
+            report.trials_run += 1
+            if trial.status == TrialStatus.SKIPPED_BOTH_CRASH:
+                report.trials_skipped += 1
+            if trial.is_failure:
+                report.failures += 1
+                if report.first_failure_trial is None:
+                    report.first_failure_trial = i + 1
+                    report.failing_inputs = {
+                        k: np.array(v, copy=True) for k, v in sample.arguments.items()
+                    }
+                    report.failing_symbols = dict(sample.symbols)
+                if stop_on_failure:
+                    break
+        report.duration_seconds = time.perf_counter() - start
+        return report

@@ -1,0 +1,157 @@
+"""Verdicts and report data structures for transformation testing."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Verdict",
+    "TrialStatus",
+    "TrialResult",
+    "FuzzingReport",
+    "TransformationTestReport",
+]
+
+
+class Verdict(enum.Enum):
+    """Outcome of testing one transformation instance.
+
+    Mirrors the failure classes of Table 2:
+
+    * ``PASS`` -- no semantic change observed over all trials,
+    * ``SEMANTIC_CHANGE`` -- the system state differed for some input (✗),
+    * ``INPUT_DEPENDENT`` -- semantic change only for *some* of the sampled
+      inputs/sizes while others passed ("),
+    * ``INVALID_CODE`` -- the transformed program failed validation or the
+      transformation could not be applied/ran into an internal error (ὒ8),
+    * ``UNTESTED`` -- no applicable match / testing skipped.
+    """
+
+    PASS = "pass"
+    SEMANTIC_CHANGE = "semantic_change"
+    INPUT_DEPENDENT = "input_dependent"
+    INVALID_CODE = "invalid_code"
+    UNTESTED = "untested"
+
+    @property
+    def is_failure(self) -> bool:
+        return self in (
+            Verdict.SEMANTIC_CHANGE,
+            Verdict.INPUT_DEPENDENT,
+            Verdict.INVALID_CODE,
+        )
+
+
+class TrialStatus(enum.Enum):
+    """Outcome of a single differential-fuzzing trial."""
+
+    MATCH = "match"
+    MISMATCH = "mismatch"
+    CRASH_TRANSFORMED = "crash_transformed"
+    HANG_TRANSFORMED = "hang_transformed"
+    CRASH_ORIGINAL_ONLY = "crash_original_only"
+    SKIPPED_BOTH_CRASH = "skipped_both_crash"
+
+    @property
+    def is_failure(self) -> bool:
+        return self in (
+            TrialStatus.MISMATCH,
+            TrialStatus.CRASH_TRANSFORMED,
+            TrialStatus.HANG_TRANSFORMED,
+            TrialStatus.CRASH_ORIGINAL_ONLY,
+        )
+
+
+@dataclass
+class TrialResult:
+    """Result of one differential trial."""
+
+    index: int
+    status: TrialStatus
+    mismatched_containers: List[str] = field(default_factory=list)
+    max_abs_error: float = 0.0
+    error_message: str = ""
+    symbols: Dict[str, int] = field(default_factory=dict)
+    #: Coverage features of the original program's execution (only populated
+    #: when the coverage-guided fuzzer requests it).
+    coverage: Optional[Any] = None
+
+    @property
+    def is_failure(self) -> bool:
+        return self.status.is_failure
+
+
+@dataclass
+class FuzzingReport:
+    """Aggregate result of a differential-fuzzing campaign."""
+
+    trials: List[TrialResult] = field(default_factory=list)
+    trials_run: int = 0
+    trials_skipped: int = 0
+    failures: int = 0
+    first_failure_trial: Optional[int] = None
+    failing_inputs: Optional[Dict[str, Any]] = None
+    failing_symbols: Optional[Dict[str, int]] = None
+    duration_seconds: float = 0.0
+
+    @property
+    def trials_per_second(self) -> float:
+        if self.duration_seconds <= 0:
+            return float("inf")
+        return self.trials_run / self.duration_seconds
+
+    def verdict(self) -> Verdict:
+        if self.trials_run == 0:
+            return Verdict.UNTESTED
+        if self.failures == 0:
+            return Verdict.PASS
+        if self.failures < self.trials_run - self.trials_skipped:
+            return Verdict.INPUT_DEPENDENT
+        return Verdict.SEMANTIC_CHANGE
+
+
+@dataclass
+class TransformationTestReport:
+    """Full FuzzyFlow report for one transformation instance."""
+
+    transformation: str
+    match_description: str
+    verdict: Verdict
+    fuzzing: Optional[FuzzingReport] = None
+    cutout_containers: int = 0
+    cutout_nodes: int = 0
+    cutout_states: int = 0
+    input_configuration: List[str] = field(default_factory=list)
+    system_state: List[str] = field(default_factory=list)
+    input_volume_elements: Optional[int] = None
+    minimized: bool = False
+    warnings: List[str] = field(default_factory=list)
+    error_message: str = ""
+    duration_seconds: float = 0.0
+    test_case_path: Optional[str] = None
+
+    @property
+    def passed(self) -> bool:
+        return self.verdict == Verdict.PASS
+
+    def summary(self) -> str:
+        lines = [
+            f"Transformation : {self.transformation}",
+            f"Match          : {self.match_description}",
+            f"Verdict        : {self.verdict.value}",
+            f"Input config   : {', '.join(self.input_configuration) or '-'}",
+            f"System state   : {', '.join(self.system_state) or '-'}",
+        ]
+        if self.fuzzing is not None:
+            lines.append(
+                f"Trials         : {self.fuzzing.trials_run} "
+                f"({self.fuzzing.failures} failing, "
+                f"first at #{self.fuzzing.first_failure_trial})"
+            )
+        if self.warnings:
+            lines.append("Warnings       : " + "; ".join(self.warnings))
+        if self.error_message:
+            lines.append(f"Error          : {self.error_message}")
+        return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""The requirements matrix for localized optimization testing (Table 1).
+
+The paper argues that a program representation must support five properties
+to extract generalizable, side-effect-free cutouts:
+
+* **scalar side-effect analysis** -- exposing when a scalar/register change
+  can affect the rest of the program,
+* **memory side-effect analysis** -- exposing memory dependencies through
+  aliasing and indirect writes,
+* **sub-region side-effect analysis** -- reasoning about which *parts* of a
+  container are accessed,
+* **input generalization** -- distinguishing values that may be freely
+  resampled from values that index other memory,
+* **size generalization** -- re-deriving container sizes from program
+  parameters so test cases can run at different sizes.
+
+``REQUIREMENTS_TABLE`` reproduces the literal content of Table 1.
+``probe_parametric_dataflow`` demonstrates, by construction on this
+repository's IR, that the parametric dataflow representation fulfills every
+requirement -- this is what the Table 1 benchmark regenerates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.side_effects import analyze_side_effects
+from repro.sdfg import SDFG, InterstateEdge, Memlet, float64
+
+__all__ = ["REQUIREMENTS", "REQUIREMENTS_TABLE", "probe_parametric_dataflow"]
+
+REQUIREMENTS: List[str] = [
+    "scalar_side_effects",
+    "memory_side_effects",
+    "subregion_side_effects",
+    "input_generalization",
+    "size_generalization",
+]
+
+#: Literal reproduction of Table 1 ("✓" = supported, "✗" = unsupported,
+#: "constant sizes only" for MLIR's sub-region analysis).
+REQUIREMENTS_TABLE: Dict[str, Dict[str, str]] = {
+    "Abstract Syntax Tree (AST)": {
+        "scalar_side_effects": "✗",
+        "memory_side_effects": "✗",
+        "subregion_side_effects": "✗",
+        "input_generalization": "✗",
+        "size_generalization": "✗",
+    },
+    "SSA-Form": {
+        "scalar_side_effects": "✓",
+        "memory_side_effects": "✗",
+        "subregion_side_effects": "✗",
+        "input_generalization": "✗",
+        "size_generalization": "✗",
+    },
+    "PDG": {
+        "scalar_side_effects": "✓",
+        "memory_side_effects": "✓",
+        "subregion_side_effects": "✗",
+        "input_generalization": "✗",
+        "size_generalization": "✗",
+    },
+    "MLIR": {
+        "scalar_side_effects": "✓",
+        "memory_side_effects": "✓",
+        "subregion_side_effects": "✓ (constant sizes only)",
+        "input_generalization": "✓",
+        "size_generalization": "✗",
+    },
+    "Parametric Dataflow": {
+        "scalar_side_effects": "✓",
+        "memory_side_effects": "✓",
+        "subregion_side_effects": "✓",
+        "input_generalization": "✓",
+        "size_generalization": "✓",
+    },
+}
+
+
+def probe_parametric_dataflow() -> Dict[str, bool]:
+    """Demonstrate each Table 1 requirement on this repository's IR.
+
+    Each probe builds a tiny program and checks the corresponding analysis
+    behaves as the requirement demands.  Returns a requirement -> satisfied
+    mapping (all ``True`` for the parametric dataflow IR).
+    """
+    results: Dict[str, bool] = {}
+
+    # 1. Scalar side effects: a write to a scalar read later is in the
+    #    system state of a cutout around the writer.
+    sdfg = SDFG("probe_scalar")
+    sdfg.add_scalar("alpha", float64, transient=True)
+    sdfg.add_array("out", [4], float64)
+    s1 = sdfg.add_state("write", is_start_state=True)
+    t = s1.add_tasklet("set_alpha", [], ["o"], "o = 42.0")
+    a = s1.add_access("alpha")
+    s1.add_edge(t, "o", a, None, Memlet.simple("alpha", "0"))
+    s2 = sdfg.add_state("read")
+    rd = s2.add_access("alpha")
+    wr = s2.add_access("out")
+    t2 = s2.add_tasklet("use_alpha", ["x"], ["y"], "y = x")
+    s2.add_edge(rd, None, t2, "x", Memlet.simple("alpha", "0"))
+    s2.add_edge(t2, "y", wr, None, Memlet.simple("out", "0"))
+    sdfg.add_edge(s1, s2, InterstateEdge())
+    analysis = analyze_side_effects(sdfg, cutout_nodes=[(s1, t), (s1, a)])
+    results["scalar_side_effects"] = "alpha" in analysis.system_state
+
+    # 2. Memory side effects: a write to a transient array read in a later
+    #    state is part of the system state (no pointer analysis needed).
+    sdfg2 = SDFG("probe_memory")
+    sdfg2.add_transient("buf", ["N"], float64)
+    sdfg2.add_array("res", ["N"], float64)
+    w_state = sdfg2.add_state("w", is_start_state=True)
+    tw, entry_w, _ = w_state.add_mapped_tasklet(
+        "fill", {"i": "0:N-1"}, {}, "o = i * 1.0", {"o": Memlet.simple("buf", "i")}
+    )
+    r_state = sdfg2.add_state("r")
+    r_state.add_mapped_tasklet(
+        "drain", {"i": "0:N-1"}, {"x": Memlet.simple("buf", "i")}, "y = x",
+        {"y": Memlet.simple("res", "i")},
+    )
+    sdfg2.add_edge(w_state, r_state, InterstateEdge())
+    analysis2 = analyze_side_effects(
+        sdfg2, cutout_nodes=[(w_state, n) for n in w_state.nodes()]
+    )
+    results["memory_side_effects"] = "buf" in analysis2.system_state
+
+    # 3. Sub-region side effects: writes to a disjoint region of a container
+    #    are *not* flagged as overlapping with later reads of another region.
+    sdfg3 = SDFG("probe_subregion")
+    sdfg3.add_transient("arr", [16], float64)
+    sdfg3.add_array("res", [4], float64)
+    st_a = sdfg3.add_state("a", is_start_state=True)
+    st_a.add_mapped_tasklet(
+        "write_low", {"i": "0:3"}, {}, "o = 1.0", {"o": Memlet.simple("arr", "i")}
+    )
+    st_b = sdfg3.add_state("b")
+    st_b.add_mapped_tasklet(
+        "read_high", {"i": "0:3"},
+        {"x": Memlet.simple("arr", "i + 8")}, "y = x",
+        {"y": Memlet.simple("res", "i")},
+    )
+    sdfg3.add_edge(st_a, st_b, InterstateEdge())
+    analysis3 = analyze_side_effects(
+        sdfg3, cutout_nodes=[(st_a, n) for n in st_a.nodes()], symbol_values={}
+    )
+    results["subregion_side_effects"] = "arr" not in analysis3.system_state
+
+    # 4. Input generalization: symbols used to index containers are
+    #    recognized and constrained instead of sampled arbitrarily.
+    from repro.core.constraints import derive_constraints
+
+    sdfg4 = SDFG("probe_inputs")
+    sdfg4.add_array("data", [8], float64)
+    sdfg4.add_array("out", [1], float64)
+    sdfg4.add_symbol("idx")
+    st = sdfg4.add_state("s", is_start_state=True)
+    rd = st.add_access("data")
+    wr = st.add_access("out")
+    t4 = st.add_tasklet("pick", ["x"], ["y"], "y = x")
+    st.add_edge(rd, None, t4, "x", Memlet.simple("data", "idx"))
+    st.add_edge(t4, "y", wr, None, Memlet.simple("out", "0"))
+    constraints = derive_constraints(sdfg4, symbol_values={})
+    results["input_generalization"] = (
+        "idx" in constraints
+        and constraints["idx"].role == "index"
+        and constraints["idx"].high <= 7
+    )
+
+    # 5. Size generalization: the relationship between a size parameter and
+    #    the container extent survives extraction, so the same program can be
+    #    instantiated at different sizes.
+    sdfg5 = SDFG("probe_sizes")
+    sdfg5.add_array("A", ["N", "N"], float64)
+    desc = sdfg5.arrays["A"]
+    results["size_generalization"] = (
+        desc.concrete_shape({"N": 4}) == (4, 4)
+        and desc.concrete_shape({"N": 9}) == (9, 9)
+        and desc.free_symbols == {"N"}
+    )
+
+    return results

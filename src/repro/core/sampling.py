@@ -1,0 +1,161 @@
+"""Input-configuration sampling for differential fuzzing.
+
+Samples concrete symbol values (respecting derived constraints) and concrete
+container contents for a cutout's input configuration.  Containers that are
+only part of the system state are zero-initialized; both program versions of
+a trial receive bit-identical copies of the same sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.constraints import SymbolConstraint
+from repro.sdfg.data import Scalar
+from repro.sdfg.sdfg import SDFG
+
+__all__ = ["InputSample", "InputSampler"]
+
+
+@dataclass
+class InputSample:
+    """One concrete input configuration."""
+
+    arguments: Dict[str, np.ndarray]
+    symbols: Dict[str, int]
+    index: int = 0
+
+    def copy_arguments(self) -> Dict[str, np.ndarray]:
+        """Fresh copies of the argument arrays (each run may mutate them)."""
+        return {k: np.array(v, copy=True) for k, v in self.arguments.items()}
+
+
+class InputSampler:
+    """Samples input configurations for a cutout."""
+
+    def __init__(
+        self,
+        sdfg: SDFG,
+        input_configuration: Sequence[str],
+        system_state: Sequence[str],
+        constraints: Optional[Mapping[str, SymbolConstraint]] = None,
+        fixed_symbols: Optional[Mapping[str, int]] = None,
+        vary_sizes: bool = True,
+        value_range: float = 2.0,
+        integer_range: Tuple[int, int] = (-8, 8),
+        seed: int = 0,
+    ) -> None:
+        self.sdfg = sdfg
+        self.input_configuration = list(input_configuration)
+        self.system_state = list(system_state)
+        self.constraints = dict(constraints or {})
+        self.fixed_symbols = dict(fixed_symbols or {})
+        self.vary_sizes = vary_sizes
+        self.value_range = float(value_range)
+        self.integer_range = integer_range
+        self.rng = np.random.default_rng(seed)
+        self._counter = 0
+
+    # ------------------------------------------------------------------ #
+    def sample_symbols(self) -> Dict[str, int]:
+        """Sample values for every free symbol of the program."""
+        out: Dict[str, int] = {}
+        for sym in sorted(self.sdfg.free_symbols):
+            if sym in self.fixed_symbols:
+                out[sym] = int(self.fixed_symbols[sym])
+                continue
+            constraint = self.constraints.get(sym)
+            if constraint is None:
+                out[sym] = int(self.rng.integers(1, 17))
+                continue
+            if constraint.role == "size" and not self.vary_sizes:
+                out[sym] = constraint.clamp(int(self.fixed_symbols.get(sym, constraint.high)))
+            else:
+                out[sym] = int(self.rng.integers(constraint.low, constraint.high + 1))
+        return out
+
+    def _sample_container(self, name: str, symbols: Mapping[str, int]) -> np.ndarray:
+        desc = self.sdfg.arrays[name]
+        shape = desc.concrete_shape(symbols)
+        dtype = desc.dtype.as_numpy()
+        if np.issubdtype(dtype, np.floating):
+            data = self.rng.uniform(-self.value_range, self.value_range, size=shape)
+            return data.astype(dtype)
+        if np.issubdtype(dtype, np.integer):
+            lo, hi = self.integer_range
+            return self.rng.integers(lo, hi + 1, size=shape).astype(dtype)
+        if dtype == np.bool_:
+            return self.rng.integers(0, 2, size=shape).astype(np.bool_)
+        raise TypeError(f"Cannot sample values for dtype {dtype}")
+
+    def sample(self, symbols: Optional[Mapping[str, int]] = None) -> InputSample:
+        """Sample a full input configuration.
+
+        Input-configuration containers receive random contents; containers
+        only in the system state are zero-initialized; any other
+        non-transient container of the executable cutout is zero-initialized
+        as well (it must exist to run the program, but its value cannot
+        influence the semantics).
+        """
+        symbol_values = dict(symbols) if symbols is not None else self.sample_symbols()
+        arguments: Dict[str, np.ndarray] = {}
+        for name, desc in self.sdfg.arrays.items():
+            if desc.transient:
+                continue
+            if name in self.input_configuration:
+                arguments[name] = self._sample_container(name, symbol_values)
+            else:
+                arguments[name] = np.zeros(
+                    desc.concrete_shape(symbol_values), dtype=desc.dtype.as_numpy()
+                )
+        sample = InputSample(arguments=arguments, symbols=symbol_values, index=self._counter)
+        self._counter += 1
+        return sample
+
+    # ------------------------------------------------------------------ #
+    def mutate(self, sample: InputSample, mutate_sizes_probability: float = 0.2) -> InputSample:
+        """AFL-style mutation of an existing sample (used by the
+        coverage-guided fuzzer): perturb a few values, occasionally change a
+        size symbol by a small delta."""
+        symbols = dict(sample.symbols)
+        if self.rng.random() < mutate_sizes_probability:
+            size_syms = [
+                s for s, c in self.constraints.items()
+                if c.role == "size" and s not in self.fixed_symbols and s in symbols
+            ]
+            if size_syms:
+                sym = size_syms[int(self.rng.integers(0, len(size_syms)))]
+                c = self.constraints[sym]
+                delta = int(self.rng.integers(-2, 3))
+                symbols[sym] = c.clamp(symbols[sym] + delta)
+        # Re-allocate containers if shapes changed; otherwise perturb values.
+        arguments: Dict[str, np.ndarray] = {}
+        for name, desc in self.sdfg.arrays.items():
+            if desc.transient:
+                continue
+            shape = desc.concrete_shape(symbols)
+            if name not in sample.arguments or sample.arguments[name].shape != shape:
+                if name in self.input_configuration:
+                    arguments[name] = self._sample_container(name, symbols)
+                else:
+                    arguments[name] = np.zeros(shape, dtype=desc.dtype.as_numpy())
+                continue
+            arr = np.array(sample.arguments[name], copy=True)
+            if name in self.input_configuration and arr.size:
+                num_mutations = max(1, arr.size // 8)
+                flat = arr.reshape(-1)
+                idx = self.rng.integers(0, flat.size, size=num_mutations)
+                if np.issubdtype(arr.dtype, np.floating):
+                    flat[idx] = self.rng.uniform(
+                        -self.value_range, self.value_range, size=num_mutations
+                    )
+                elif np.issubdtype(arr.dtype, np.integer):
+                    lo, hi = self.integer_range
+                    flat[idx] = self.rng.integers(lo, hi + 1, size=num_mutations)
+            arguments[name] = arr
+        out = InputSample(arguments=arguments, symbols=symbols, index=self._counter)
+        self._counter += 1
+        return out

@@ -1,0 +1,39 @@
+"""Convenience builders that lower common numerical operations to the IR.
+
+The paper's implementation uses DaCe's Python/C/Fortran frontends to obtain
+dataflow graphs from source programs.  This reproduction instead provides a
+library of *op builders* (:mod:`repro.frontend.ops`) -- matrix products,
+element-wise maps, reductions, softmax, initialization -- plus a small
+loop-nest DSL (:mod:`repro.frontend.loopdsl`) for sequential control flow.
+The workload programs in :mod:`repro.workloads` are assembled from these
+builders.
+"""
+
+from repro.frontend.loopdsl import LoopNest, build_loop_nest
+from repro.frontend.ops import (
+    add_batched_matmul,
+    add_bias_add,
+    add_copy,
+    add_elementwise_binary,
+    add_elementwise_unary,
+    add_init,
+    add_matmul,
+    add_reduce,
+    add_scale,
+    add_softmax_lastdim,
+)
+
+__all__ = [
+    "add_matmul",
+    "add_batched_matmul",
+    "add_elementwise_unary",
+    "add_elementwise_binary",
+    "add_scale",
+    "add_bias_add",
+    "add_init",
+    "add_reduce",
+    "add_softmax_lastdim",
+    "add_copy",
+    "LoopNest",
+    "build_loop_nest",
+]

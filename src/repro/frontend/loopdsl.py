@@ -1,0 +1,96 @@
+"""A small DSL for building sequential loop nests in the state machine.
+
+Sequential (control-flow) loops are expressed in the IR as guard/body/exit
+state patterns.  Building a multi-level nest by hand is verbose, so
+:func:`build_loop_nest` takes a list of loop descriptors and a body-builder
+callback and assembles the states and interstate edges.  The synthetic
+CLOUDSC workload and the loop-unrolling case study use this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.sdfg.sdfg import SDFG, InterstateEdge
+from repro.sdfg.state import SDFGState
+
+__all__ = ["LoopNest", "build_loop_nest"]
+
+
+@dataclass
+class LoopNest:
+    """Descriptor of one sequential loop level.
+
+    ``for <var> = <init>; <condition>; <var> = <increment>``
+    """
+
+    var: str
+    init: Union[str, int]
+    condition: str
+    increment: str
+
+    @classmethod
+    def ascending(cls, var: str, start: Union[str, int], bound: str, step: int = 1) -> "LoopNest":
+        """``for var = start; var < bound; var += step``."""
+        return cls(var, start, f"{var} < {bound}", f"{var} + {step}")
+
+    @classmethod
+    def descending(cls, var: str, start: Union[str, int], bound: str, step: int = 1) -> "LoopNest":
+        """``for var = start; var >= bound; var -= step`` (negative-step loop,
+        the pattern whose unrolling the CLOUDSC case study found broken)."""
+        return cls(var, start, f"{var} >= {bound}", f"{var} - {step}")
+
+
+def build_loop_nest(
+    sdfg: SDFG,
+    loops: Sequence[LoopNest],
+    body_builder: Callable[[SDFG, SDFGState], None],
+    before: Optional[SDFGState] = None,
+    after: Optional[SDFGState] = None,
+    label: str = "loop",
+) -> Tuple[SDFGState, SDFGState, SDFGState]:
+    """Build a (possibly multi-level) sequential loop nest.
+
+    ``body_builder(sdfg, state)`` populates the innermost body state.
+    Returns ``(before_state, innermost_body_state, after_state)``.
+    """
+    if not loops:
+        raise ValueError("At least one loop level is required")
+    if before is None:
+        before = sdfg.add_state(f"{label}_before")
+    if after is None:
+        after = sdfg.add_state(f"{label}_after")
+
+    current_before = before
+    current_after = after
+    body: Optional[SDFGState] = None
+    # Build outermost-first; each level's body contains the next level.
+    for depth, loop in enumerate(loops):
+        body = sdfg.add_state(f"{label}_body_{depth}")
+        sdfg.add_loop(
+            current_before,
+            body,
+            current_after,
+            loop.var,
+            loop.init,
+            loop.condition,
+            loop.increment,
+        )
+        if depth + 1 < len(loops):
+            # The next level nests between fresh pre/post states that live
+            # inside this level's body.  We model that by using the body state
+            # itself as the "before" anchor and a new join state as "after".
+            join = sdfg.add_state(f"{label}_join_{depth}")
+            current_before = body
+            current_after = join
+            # The back edge of the current loop must leave from the join
+            # state rather than the body: rewire it.
+            for e in list(sdfg.out_edges(body)):
+                if e.data.assignments.get(loop.var) is not None:
+                    sdfg.add_edge(join, e.dst, e.data)
+                    sdfg.remove_edge(e)
+        else:
+            body_builder(sdfg, body)
+    assert body is not None
+    return before, body, after

@@ -1,0 +1,310 @@
+"""Builders for common numerical operations on dataflow states.
+
+Two granularities are used deliberately:
+
+* **fine-grained** ops are map scopes over element-wise tasklets; these are
+  the structures the evaluated transformations (tiling, vectorization,
+  fusion, ...) match and rewrite, so every loop nest the paper's case studies
+  optimize is expressed this way;
+* **coarse-grained** ops are single block tasklets operating on whole array
+  views (e.g. ``C = A @ B``); these keep interpretation of the surrounding
+  program fast where the structure is not the subject of a transformation
+  (the role MKL-backed library nodes play in the paper's BERT case study).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.sdfg.dtypes import ScheduleType
+from repro.sdfg.memlet import Memlet
+from repro.sdfg.nodes import AccessNode, MapEntry, MapExit, Tasklet
+from repro.sdfg.sdfg import SDFG
+from repro.sdfg.state import SDFGState
+
+__all__ = [
+    "add_matmul",
+    "add_batched_matmul",
+    "add_elementwise_unary",
+    "add_elementwise_binary",
+    "add_scale",
+    "add_bias_add",
+    "add_init",
+    "add_reduce",
+    "add_softmax_lastdim",
+    "add_copy",
+]
+
+
+def _shape_of(sdfg: SDFG, name: str) -> List[str]:
+    return [str(s) for s in sdfg.data(name).shape]
+
+
+def _range_dict(params: Sequence[str], shape: Sequence[str]) -> Dict[str, str]:
+    return {p: f"0:({s})-1" for p, s in zip(params, shape)}
+
+
+# ---------------------------------------------------------------------- #
+# Matrix products
+# ---------------------------------------------------------------------- #
+def add_matmul(
+    sdfg: SDFG,
+    state: SDFGState,
+    a: str,
+    b: str,
+    c: str,
+    coarse: bool = False,
+    accumulate: bool = False,
+    label: Optional[str] = None,
+) -> Tuple:
+    """Add ``C (+)= A @ B`` to a state.
+
+    Fine-grained form: a 3D map (``i, j, k``) with a ``sum`` write-conflict
+    resolution on ``C[i, j]`` (the output is zero-initialized first unless
+    ``accumulate`` is set).  Coarse-grained form: one block tasklet.
+    """
+    label = label or f"matmul_{c}"
+    n, k = _shape_of(sdfg, a)
+    k2, m = _shape_of(sdfg, b)
+    if coarse:
+        ta = state.add_access(a)
+        tb = state.add_access(b)
+        tc = state.add_access(c)
+        code = "z = x @ y" if not accumulate else "z = z_in + x @ y"
+        inputs = ["x", "y"] + (["z_in"] if accumulate else [])
+        t = state.add_tasklet(label, inputs, ["z"], code)
+        state.add_edge(ta, None, t, "x", Memlet.full(a, [n, k]))
+        state.add_edge(tb, None, t, "y", Memlet.full(b, [k2, m]))
+        if accumulate:
+            tc_in = state.add_access(c)
+            state.add_edge(tc_in, None, t, "z_in", Memlet.full(c, [n, m]))
+        state.add_edge(t, "z", tc, None, Memlet.full(c, [n, m]))
+        return (t,)
+    if not accumulate:
+        add_init(sdfg, state, c, 0.0, label=f"{label}_init")
+    tasklet, entry, exit_ = state.add_mapped_tasklet(
+        label,
+        {"i": f"0:({n})-1", "j": f"0:({m})-1", "k": f"0:({k})-1"},
+        {"a_in": Memlet.simple(a, "i, k"), "b_in": Memlet.simple(b, "k, j")},
+        "c_out = a_in * b_in",
+        {"c_out": Memlet(c, "i, j", wcr="sum")},
+    )
+    return tasklet, entry, exit_
+
+
+def add_batched_matmul(
+    sdfg: SDFG,
+    state: SDFGState,
+    a: str,
+    b: str,
+    c: str,
+    batch_dims: int = 2,
+    label: Optional[str] = None,
+) -> Tuple:
+    """Add a batched ``C[b...] = A[b...] @ B[b...]`` as one block tasklet.
+
+    ``batch_dims`` leading dimensions are treated as batch dimensions; the
+    trailing two dimensions are contracted with ``numpy.matmul``.
+    """
+    label = label or f"bmm_{c}"
+    ta, tb, tc = state.add_access(a), state.add_access(b), state.add_access(c)
+    t = state.add_tasklet(label, ["x", "y"], ["z"], "z = np.matmul(x, y)")
+    state.add_edge(ta, None, t, "x", Memlet.full(a, _shape_of(sdfg, a)))
+    state.add_edge(tb, None, t, "y", Memlet.full(b, _shape_of(sdfg, b)))
+    state.add_edge(t, "z", tc, None, Memlet.full(c, _shape_of(sdfg, c)))
+    return (t,)
+
+
+# ---------------------------------------------------------------------- #
+# Element-wise maps
+# ---------------------------------------------------------------------- #
+def add_elementwise_unary(
+    sdfg: SDFG,
+    state: SDFGState,
+    src: str,
+    dst: str,
+    expression: str = "out_val = in_val",
+    label: Optional[str] = None,
+    schedule: ScheduleType = ScheduleType.Sequential,
+) -> Tuple[Tasklet, MapEntry, MapExit]:
+    """Add ``dst[idx] = f(src[idx])`` over the full (shared) index space.
+
+    ``expression`` is tasklet code using connectors ``in_val`` and ``out_val``.
+    """
+    shape = _shape_of(sdfg, dst)
+    params = [f"i{d}" for d in range(len(shape))]
+    idx = ", ".join(params)
+    return state.add_mapped_tasklet(
+        label or f"ew_{dst}",
+        _range_dict(params, shape),
+        {"in_val": Memlet.simple(src, idx)},
+        expression,
+        {"out_val": Memlet.simple(dst, idx)},
+        schedule=schedule,
+    )
+
+
+def add_elementwise_binary(
+    sdfg: SDFG,
+    state: SDFGState,
+    lhs: str,
+    rhs: str,
+    dst: str,
+    operator: str = "+",
+    label: Optional[str] = None,
+) -> Tuple[Tasklet, MapEntry, MapExit]:
+    """Add ``dst[idx] = lhs[idx] <op> rhs[idx]`` over the full index space."""
+    shape = _shape_of(sdfg, dst)
+    params = [f"i{d}" for d in range(len(shape))]
+    idx = ", ".join(params)
+    return state.add_mapped_tasklet(
+        label or f"ew_{operator}_{dst}",
+        _range_dict(params, shape),
+        {"a_val": Memlet.simple(lhs, idx), "b_val": Memlet.simple(rhs, idx)},
+        f"out_val = a_val {operator} b_val",
+        {"out_val": Memlet.simple(dst, idx)},
+    )
+
+
+def add_scale(
+    sdfg: SDFG,
+    state: SDFGState,
+    src: str,
+    dst: str,
+    scale: str,
+    label: Optional[str] = None,
+) -> Tuple[Tasklet, MapEntry, MapExit]:
+    """Add ``dst[idx] = src[idx] * scale`` where ``scale`` is a scalar container.
+
+    This is the exact loop-nest structure of the BERT multi-head-attention
+    scaling step the Fig. 5 case study vectorizes.
+    """
+    shape = _shape_of(sdfg, dst)
+    params = [f"i{d}" for d in range(len(shape))]
+    idx = ", ".join(params)
+    return state.add_mapped_tasklet(
+        label or f"scale_{dst}",
+        _range_dict(params, shape),
+        {"in_val": Memlet.simple(src, idx), "s": Memlet.simple(scale, "0")},
+        "out_val = in_val * s",
+        {"out_val": Memlet.simple(dst, idx)},
+    )
+
+
+def add_bias_add(
+    sdfg: SDFG,
+    state: SDFGState,
+    src: str,
+    bias: str,
+    dst: str,
+    label: Optional[str] = None,
+) -> Tuple[Tasklet, MapEntry, MapExit]:
+    """Add ``dst[..., j] = src[..., j] + bias[j]`` (bias broadcast on the last dim)."""
+    shape = _shape_of(sdfg, dst)
+    params = [f"i{d}" for d in range(len(shape))]
+    idx = ", ".join(params)
+    return state.add_mapped_tasklet(
+        label or f"bias_{dst}",
+        _range_dict(params, shape),
+        {"in_val": Memlet.simple(src, idx), "b_val": Memlet.simple(bias, params[-1])},
+        "out_val = in_val + b_val",
+        {"out_val": Memlet.simple(dst, idx)},
+    )
+
+
+def add_init(
+    sdfg: SDFG,
+    state: SDFGState,
+    dst: str,
+    value: float = 0.0,
+    label: Optional[str] = None,
+) -> Tuple[Tasklet, MapEntry, MapExit]:
+    """Initialize every element of ``dst`` to a constant value."""
+    shape = _shape_of(sdfg, dst)
+    params = [f"i{d}" for d in range(len(shape))]
+    idx = ", ".join(params)
+    return state.add_mapped_tasklet(
+        label or f"init_{dst}",
+        _range_dict(params, shape),
+        {},
+        f"out_val = {value!r}",
+        {"out_val": Memlet.simple(dst, idx)},
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Reductions and normalizations
+# ---------------------------------------------------------------------- #
+def add_reduce(
+    sdfg: SDFG,
+    state: SDFGState,
+    src: str,
+    dst: str,
+    wcr: str = "sum",
+    axis: Optional[int] = None,
+    label: Optional[str] = None,
+) -> Tuple[Tasklet, MapEntry, MapExit]:
+    """Reduce ``src`` into ``dst`` with the given write-conflict resolution.
+
+    With ``axis=None`` the reduction is total (``dst`` must be a scalar or a
+    one-element array); otherwise the named axis is reduced away.  The
+    destination is assumed to be initialized to the reduction identity.
+    """
+    shape = _shape_of(sdfg, src)
+    params = [f"i{d}" for d in range(len(shape))]
+    idx = ", ".join(params)
+    if axis is None:
+        dst_idx = ", ".join("0" for _ in _shape_of(sdfg, dst))
+    else:
+        dst_params = [p for d, p in enumerate(params) if d != axis]
+        dst_idx = ", ".join(dst_params) if dst_params else "0"
+    return state.add_mapped_tasklet(
+        label or f"reduce_{dst}",
+        _range_dict(params, shape),
+        {"in_val": Memlet.simple(src, idx)},
+        "out_val = in_val",
+        {"out_val": Memlet(dst, dst_idx, wcr=wcr)},
+    )
+
+
+def add_softmax_lastdim(
+    sdfg: SDFG,
+    state: SDFGState,
+    src: str,
+    dst: str,
+    label: Optional[str] = None,
+) -> Tuple[Tasklet]:
+    """Softmax along the last dimension as a coarse-grained block tasklet."""
+    shape = _shape_of(sdfg, src)
+    ts, td = state.add_access(src), state.add_access(dst)
+    code = (
+        "m = np.max(x, axis=-1, keepdims=True)\n"
+        "e = np.exp(x - m)\n"
+        "y = e / np.sum(e, axis=-1, keepdims=True)"
+    )
+    t = state.add_tasklet(label or f"softmax_{dst}", ["x"], ["y"], code)
+    state.add_edge(ts, None, t, "x", Memlet.full(src, shape))
+    state.add_edge(t, "y", td, None, Memlet.full(dst, shape))
+    return (t,)
+
+
+def add_copy(
+    sdfg: SDFG,
+    state: SDFGState,
+    src: str,
+    dst: str,
+    src_subset: Optional[str] = None,
+    dst_subset: Optional[str] = None,
+) -> None:
+    """Copy (a subset of) ``src`` into (a subset of) ``dst``."""
+    src_shape = _shape_of(sdfg, src)
+    dst_shape = _shape_of(sdfg, dst)
+    a, b = state.add_access(src), state.add_access(dst)
+    memlet = Memlet(
+        src,
+        src_subset if src_subset is not None else ", ".join(f"0:({s})-1" for s in src_shape),
+        other_subset=(
+            dst_subset if dst_subset is not None else ", ".join(f"0:({s})-1" for s in dst_shape)
+        ),
+    )
+    state.add_nedge(a, b, memlet)

@@ -1,0 +1,72 @@
+"""Execution error hierarchy.
+
+Differential testing distinguishes three outcomes per trial (Sec. 5.1 of the
+paper): normal completion, a *crash* (any :class:`ExecutionError` other than
+:class:`HangError`), and a *hang* (:class:`HangError`).  A transformed cutout
+that crashes or hangs while the original does not is reported as a semantic
+change.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ExecutionError",
+    "MemoryViolation",
+    "HangError",
+    "TaskletExecutionError",
+    "MissingArgumentError",
+    "InvalidValueError",
+]
+
+
+class ExecutionError(Exception):
+    """Base class for all runtime failures of the interpreter."""
+
+
+class MemoryViolation(ExecutionError):
+    """An access outside the bounds of a data container.
+
+    This is the interpreter's analogue of a segmentation fault; it is the
+    failure mode triggered by e.g. the off-by-one tiling bug of Fig. 2 or the
+    divisibility-dependent vectorization bug of Sec. 6.1.
+    """
+
+    def __init__(self, data: str, subset: str, shape, context: str = "") -> None:
+        self.data = data
+        self.subset = subset
+        self.shape = tuple(str(s) for s in shape)
+        msg = (
+            f"Out-of-bounds access to '{data}': subset [{subset}] exceeds "
+            f"shape {self.shape}"
+        )
+        if context:
+            msg += f" ({context})"
+        super().__init__(msg)
+
+
+class HangError(ExecutionError):
+    """The program exceeded its state-transition budget (non-termination)."""
+
+    def __init__(self, transitions: int) -> None:
+        self.transitions = transitions
+        super().__init__(
+            f"Program exceeded the maximum of {transitions} state transitions; "
+            "treating it as a hang"
+        )
+
+
+class TaskletExecutionError(ExecutionError):
+    """A tasklet's code raised an exception (division by zero, NaN checks, ...)."""
+
+    def __init__(self, tasklet: str, original: Exception) -> None:
+        self.tasklet = tasklet
+        self.original = original
+        super().__init__(f"Tasklet '{tasklet}' failed: {type(original).__name__}: {original}")
+
+
+class MissingArgumentError(ExecutionError):
+    """A required program argument or symbol value was not provided."""
+
+
+class InvalidValueError(ExecutionError):
+    """A provided argument does not match its data descriptor."""

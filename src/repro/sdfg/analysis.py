@@ -1,0 +1,232 @@
+"""Whole-program analyses on the SDFG state machine.
+
+Currently provides:
+
+* sequential-loop detection (the guard/body/back-edge pattern created by
+  :meth:`repro.sdfg.sdfg.SDFG.add_loop`), used by the loop-unrolling
+  transformation and by the gray-box constraint analysis (loop bounds
+  constrain the values a loop variable can take, Sec. 5.1),
+* state reachability helpers used by the side-effect analyses (Sec. 3.1),
+* map-scope enumeration across the program.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.sdfg.graph import Edge
+from repro.sdfg.nodes import MapEntry
+from repro.sdfg.sdfg import SDFG, InterstateEdge
+from repro.sdfg.state import SDFGState
+
+__all__ = [
+    "LoopInfo",
+    "find_loops",
+    "states_reachable_from",
+    "states_reaching",
+    "all_map_entries",
+    "loop_variable_bounds",
+]
+
+
+@dataclass
+class LoopInfo:
+    """A detected sequential loop in the state machine."""
+
+    guard: SDFGState
+    body: SDFGState
+    after: SDFGState
+    init_edge: Edge
+    condition_edge: Edge
+    exit_edge: Edge
+    back_edge: Edge
+    loop_variable: str
+    init_expression: str
+    condition: str
+    increment_expression: str
+
+    def trip_count_estimate(self, symbols: Dict[str, int]) -> Optional[int]:
+        """Concretely simulate the loop header to count iterations.
+
+        Returns ``None`` if the loop does not terminate within a generous
+        bound (used to avoid unrolling unbounded loops).
+        """
+        ns = dict(symbols)
+        try:
+            ns[self.loop_variable] = eval(  # noqa: S307 - controlled input
+                compile(self.init_expression, "<loop-init>", "eval"), {"__builtins__": {}}, ns
+            )
+        except Exception:
+            return None
+        count = 0
+        limit = 1_000_000
+        cond_code = compile(self.condition, "<loop-cond>", "eval")
+        incr_code = compile(self.increment_expression, "<loop-incr>", "eval")
+        try:
+            while eval(cond_code, {"__builtins__": {}}, ns):  # noqa: S307
+                count += 1
+                if count > limit:
+                    return None
+                ns[self.loop_variable] = eval(  # noqa: S307
+                    incr_code, {"__builtins__": {}}, ns
+                )
+        except Exception:
+            return None
+        return count
+
+    def iteration_values(self, symbols: Dict[str, int]) -> Optional[List[int]]:
+        """The concrete sequence of loop-variable values, if computable."""
+        ns = dict(symbols)
+        try:
+            ns[self.loop_variable] = eval(  # noqa: S307
+                compile(self.init_expression, "<loop-init>", "eval"), {"__builtins__": {}}, ns
+            )
+        except Exception:
+            return None
+        values: List[int] = []
+        cond_code = compile(self.condition, "<loop-cond>", "eval")
+        incr_code = compile(self.increment_expression, "<loop-incr>", "eval")
+        try:
+            while eval(cond_code, {"__builtins__": {}}, ns):  # noqa: S307
+                values.append(ns[self.loop_variable])
+                if len(values) > 1_000_000:
+                    return None
+                ns[self.loop_variable] = eval(incr_code, {"__builtins__": {}}, ns)  # noqa: S307
+        except Exception:
+            return None
+        return values
+
+
+def find_loops(sdfg: SDFG) -> List[LoopInfo]:
+    """Detect sequential loops following the guard-state pattern.
+
+    A guard state ``G`` forms a loop if it has exactly two outgoing edges --
+    one conditional edge to a body state ``B`` and one to an exit state with
+    the negated condition -- and there is a back edge ``B -> G`` whose
+    assignments update a variable that is also assigned on some incoming edge
+    of ``G`` from outside the loop (the init edge).
+    """
+    loops: List[LoopInfo] = []
+    for guard in sdfg.states():
+        out = sdfg.out_edges(guard)
+        if len(out) != 2:
+            continue
+        cond_edge: Optional[Edge] = None
+        exit_edge: Optional[Edge] = None
+        for a, b in ((out[0], out[1]), (out[1], out[0])):
+            ca, cb = a.data.condition.strip(), b.data.condition.strip()
+            if cb == f"not ({ca})" or ca == f"not ({cb})":
+                if cb == f"not ({ca})":
+                    cond_edge, exit_edge = a, b
+                else:
+                    cond_edge, exit_edge = b, a
+                break
+        if cond_edge is None or exit_edge is None:
+            continue
+        body = cond_edge.dst
+        after = exit_edge.dst
+        if body is guard or after is body:
+            continue
+        # Find the back edge: an incoming edge of the guard from a state
+        # reachable from the body (or the body itself) with assignments.
+        back_edge: Optional[Edge] = None
+        init_edge: Optional[Edge] = None
+        body_reach = states_reachable_from(sdfg, body, stop_at=guard)
+        for e in sdfg.in_edges(guard):
+            if e.src is body or e.src in body_reach:
+                if e.data.assignments:
+                    back_edge = e
+            else:
+                init_edge = e
+        if back_edge is None or init_edge is None:
+            continue
+        # The loop variable is assigned on both the init and the back edge.
+        candidates = set(back_edge.data.assignments) & set(init_edge.data.assignments)
+        if not candidates:
+            continue
+        # Prefer a variable that appears in the condition.
+        loop_var = None
+        cond_syms = set(re.findall(r"[A-Za-z_][A-Za-z_0-9]*", cond_edge.data.condition))
+        for c in sorted(candidates):
+            if c in cond_syms:
+                loop_var = c
+                break
+        if loop_var is None:
+            loop_var = sorted(candidates)[0]
+        loops.append(
+            LoopInfo(
+                guard=guard,
+                body=body,
+                after=after,
+                init_edge=init_edge,
+                condition_edge=cond_edge,
+                exit_edge=exit_edge,
+                back_edge=back_edge,
+                loop_variable=loop_var,
+                init_expression=init_edge.data.assignments[loop_var],
+                condition=cond_edge.data.condition,
+                increment_expression=back_edge.data.assignments[loop_var],
+            )
+        )
+    return loops
+
+
+def states_reachable_from(
+    sdfg: SDFG, state: SDFGState, stop_at: Optional[SDFGState] = None
+) -> Set[SDFGState]:
+    """States reachable from ``state`` (not crossing ``stop_at``)."""
+    visited: Set[SDFGState] = set()
+    stack = [state]
+    while stack:
+        cur = stack.pop()
+        for e in sdfg.out_edges(cur):
+            nxt = e.dst
+            if nxt is stop_at or nxt in visited:
+                continue
+            visited.add(nxt)
+            stack.append(nxt)
+    visited.discard(state)
+    return visited
+
+
+def states_reaching(sdfg: SDFG, state: SDFGState) -> Set[SDFGState]:
+    """States from which ``state`` is reachable."""
+    visited: Set[SDFGState] = set()
+    stack = [state]
+    while stack:
+        cur = stack.pop()
+        for e in sdfg.in_edges(cur):
+            prv = e.src
+            if prv in visited:
+                continue
+            visited.add(prv)
+            stack.append(prv)
+    visited.discard(state)
+    return visited
+
+
+def all_map_entries(sdfg: SDFG) -> List[Tuple[SDFGState, MapEntry]]:
+    """All map entry nodes in the program with their states."""
+    out: List[Tuple[SDFGState, MapEntry]] = []
+    for state in sdfg.states():
+        for node in state.nodes():
+            if isinstance(node, MapEntry):
+                out.append((state, node))
+    return out
+
+
+def loop_variable_bounds(sdfg: SDFG, symbols: Dict[str, int]) -> Dict[str, Tuple[int, int]]:
+    """Concrete (min, max) bounds of each sequential-loop variable.
+
+    Used by the gray-box constraint analysis: when a cutout was extracted
+    from inside a loop, the loop variable's observed range constrains the
+    values worth sampling for it.
+    """
+    bounds: Dict[str, Tuple[int, int]] = {}
+    for loop in find_loops(sdfg):
+        values = loop.iteration_values(symbols)
+        if values:
+            bounds[loop.loop_variable] = (min(values), max(values))
+    return bounds

@@ -1,0 +1,201 @@
+"""Data descriptors: parametric arrays and scalars.
+
+A data descriptor describes a named data container of the program: its
+element type, its (possibly symbolic) shape, whether it is *transient*
+(allocated and managed inside the program, invisible outside) and where it is
+stored.  Parametric shapes are the key property Table 1 of the paper requires
+for generalizing extracted test cases to different input sizes.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.sdfg.dtypes import StorageType, dtype_from_numpy, typeclass
+from repro.symbolic.expressions import Expr, Integer, Mul, sympify
+from repro.symbolic.simplify import simplify
+
+ExprLike = Union[Expr, int, str]
+
+__all__ = ["Data", "Scalar", "Array"]
+
+
+class Data:
+    """Base class for data descriptors."""
+
+    def __init__(
+        self,
+        dtype: Union[typeclass, str, np.dtype, type],
+        transient: bool = False,
+        storage: StorageType = StorageType.Default,
+    ) -> None:
+        self.dtype = dtype_from_numpy(dtype)
+        self.transient = bool(transient)
+        self.storage = storage
+
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[Expr, ...]:
+        raise NotImplementedError
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def total_size(self) -> Expr:
+        """Total number of elements (symbolic)."""
+        total: Expr = Integer(1)
+        for s in self.shape:
+            total = Mul.make(total, s)
+        return simplify(total)
+
+    def size_in_bytes(self) -> Expr:
+        """Total size in bytes (symbolic)."""
+        return simplify(Mul.make(self.total_size(), Integer(self.dtype.bytes)))
+
+    def concrete_shape(self, symbols: Mapping[str, int] | None = None) -> Tuple[int, ...]:
+        """Shape with all symbols substituted by concrete values."""
+        return tuple(int(sympify(s).evaluate(symbols)) for s in self.shape)
+
+    @property
+    def free_symbols(self) -> set:
+        out: set = set()
+        for s in self.shape:
+            out |= sympify(s).free_symbols
+        return out
+
+    def clone(self) -> "Data":
+        return copy.deepcopy(self)
+
+    def allocate(self, symbols: Mapping[str, int] | None = None) -> np.ndarray:
+        """Allocate a zero-initialized NumPy buffer for this descriptor."""
+        raise NotImplementedError
+
+    def validate_value(self, value) -> None:
+        """Check a concrete value against this descriptor (dtype only)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        return {
+            "type": type(self).__name__,
+            "dtype": self.dtype.name,
+            "transient": self.transient,
+            "storage": self.storage.value,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.to_dict()})"
+
+
+class Scalar(Data):
+    """A single scalar value (e.g. a size parameter or a scaling factor)."""
+
+    def __init__(
+        self,
+        dtype: Union[typeclass, str, np.dtype, type],
+        transient: bool = False,
+        storage: StorageType = StorageType.Default,
+    ) -> None:
+        super().__init__(dtype, transient, storage)
+
+    @property
+    def shape(self) -> Tuple[Expr, ...]:
+        return (Integer(1),)
+
+    def allocate(self, symbols: Mapping[str, int] | None = None) -> np.ndarray:
+        return np.zeros((1,), dtype=self.dtype.as_numpy())
+
+    def validate_value(self, value) -> None:
+        arr = np.asarray(value)
+        if arr.size != 1:
+            raise ValueError(f"Scalar value must have a single element, got {arr.size}")
+
+    def to_dict(self) -> Dict:
+        d = super().to_dict()
+        d["shape"] = ["1"]
+        return d
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Scalar)
+            and self.dtype == other.dtype
+            and self.transient == other.transient
+            and self.storage == other.storage
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Scalar", self.dtype, self.transient, self.storage))
+
+
+class Array(Data):
+    """A multi-dimensional array with a parametric shape."""
+
+    def __init__(
+        self,
+        dtype: Union[typeclass, str, np.dtype, type],
+        shape: Sequence[ExprLike],
+        transient: bool = False,
+        storage: StorageType = StorageType.Default,
+    ) -> None:
+        super().__init__(dtype, transient, storage)
+        if not shape:
+            raise ValueError("Array shape must have at least one dimension")
+        self._shape: Tuple[Expr, ...] = tuple(sympify(s) for s in shape)
+
+    @property
+    def shape(self) -> Tuple[Expr, ...]:
+        return self._shape
+
+    def set_shape(self, shape: Sequence[ExprLike]) -> None:
+        """Replace the shape (used when shrinking cutout containers)."""
+        if not shape:
+            raise ValueError("Array shape must have at least one dimension")
+        self._shape = tuple(sympify(s) for s in shape)
+
+    def allocate(self, symbols: Mapping[str, int] | None = None) -> np.ndarray:
+        shape = self.concrete_shape(symbols)
+        if any(s <= 0 for s in shape):
+            raise ValueError(
+                f"Cannot allocate array with non-positive shape {shape}"
+            )
+        return np.zeros(shape, dtype=self.dtype.as_numpy())
+
+    def validate_value(self, value) -> None:
+        arr = np.asarray(value)
+        if arr.ndim != self.ndim:
+            raise ValueError(
+                f"Array value has {arr.ndim} dimensions, descriptor expects {self.ndim}"
+            )
+
+    def to_dict(self) -> Dict:
+        d = super().to_dict()
+        d["shape"] = [str(s) for s in self._shape]
+        return d
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Array)
+            and self.dtype == other.dtype
+            and self._shape == other._shape
+            and self.transient == other.transient
+            and self.storage == other.storage
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Array", self.dtype, self._shape, self.transient, self.storage))
+
+
+def data_from_dict(d: Dict) -> Data:
+    """Reconstruct a data descriptor from its dictionary form."""
+    dtype = d["dtype"]
+    transient = bool(d.get("transient", False))
+    storage = StorageType(d.get("storage", "Default"))
+    if d["type"] == "Scalar":
+        return Scalar(dtype, transient=transient, storage=storage)
+    if d["type"] == "Array":
+        return Array(dtype, d["shape"], transient=transient, storage=storage)
+    raise ValueError(f"Unknown data descriptor type {d['type']!r}")

@@ -1,0 +1,288 @@
+"""A small ordered directed multigraph used by the dataflow IR.
+
+The IR needs a graph structure with:
+
+* arbitrary (hashable-by-identity) node objects,
+* parallel edges carrying payloads and named connectors,
+* deterministic iteration order (insertion order) so that program execution,
+  serialization and graph diffs are reproducible,
+* the usual traversals (topological sort, BFS, reverse BFS) used by the
+  FuzzyFlow analyses.
+
+``networkx`` is used elsewhere only as a cross-check for the max-flow
+computation; the IR itself uses this self-contained implementation so node
+and edge identity semantics stay fully under our control.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, Generic, Iterable, Iterator, List, Optional, Set, Tuple, TypeVar
+
+NodeT = TypeVar("NodeT")
+EdgeDataT = TypeVar("EdgeDataT")
+
+__all__ = ["Edge", "OrderedMultiDiGraph", "GraphError"]
+
+
+class GraphError(Exception):
+    """Raised on invalid graph manipulations (unknown nodes, cycles, ...)."""
+
+
+class Edge(Generic[NodeT, EdgeDataT]):
+    """A directed edge with optional connector names and a payload."""
+
+    __slots__ = ("src", "dst", "data", "src_conn", "dst_conn")
+
+    def __init__(
+        self,
+        src: NodeT,
+        dst: NodeT,
+        data: EdgeDataT = None,
+        src_conn: Optional[str] = None,
+        dst_conn: Optional[str] = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.data = data
+        self.src_conn = src_conn
+        self.dst_conn = dst_conn
+
+    def __repr__(self) -> str:
+        sc = f".{self.src_conn}" if self.src_conn else ""
+        dc = f".{self.dst_conn}" if self.dst_conn else ""
+        return f"Edge({self.src!r}{sc} -> {self.dst!r}{dc}: {self.data!r})"
+
+
+class OrderedMultiDiGraph(Generic[NodeT, EdgeDataT]):
+    """Directed multigraph with insertion-ordered nodes and edges."""
+
+    def __init__(self) -> None:
+        # Node -> insertion index (dict preserves order).
+        self._nodes: Dict[NodeT, int] = {}
+        self._edges: List[Edge[NodeT, EdgeDataT]] = []
+        self._out: Dict[NodeT, List[Edge[NodeT, EdgeDataT]]] = {}
+        self._in: Dict[NodeT, List[Edge[NodeT, EdgeDataT]]] = {}
+        self._next_index = 0
+
+    # ------------------------------------------------------------------ #
+    # Nodes
+    # ------------------------------------------------------------------ #
+    def add_node(self, node: NodeT) -> NodeT:
+        if node not in self._nodes:
+            self._nodes[node] = self._next_index
+            self._next_index += 1
+            self._out[node] = []
+            self._in[node] = []
+        return node
+
+    def remove_node(self, node: NodeT) -> None:
+        if node not in self._nodes:
+            raise GraphError(f"Node {node!r} not in graph")
+        for e in list(self._in[node]) + list(self._out[node]):
+            self.remove_edge(e)
+        del self._nodes[node]
+        del self._out[node]
+        del self._in[node]
+
+    def has_node(self, node: NodeT) -> bool:
+        return node in self._nodes
+
+    def nodes(self) -> List[NodeT]:
+        return list(self._nodes.keys())
+
+    def node_id(self, node: NodeT) -> int:
+        """Stable insertion index of a node (unique within this graph)."""
+        if node not in self._nodes:
+            raise GraphError(f"Node {node!r} not in graph")
+        return self._nodes[node]
+
+    def number_of_nodes(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------ #
+    # Edges
+    # ------------------------------------------------------------------ #
+    def add_edge(
+        self,
+        src: NodeT,
+        dst: NodeT,
+        data: EdgeDataT = None,
+        src_conn: Optional[str] = None,
+        dst_conn: Optional[str] = None,
+    ) -> Edge[NodeT, EdgeDataT]:
+        self.add_node(src)
+        self.add_node(dst)
+        edge = Edge(src, dst, data, src_conn, dst_conn)
+        self._edges.append(edge)
+        self._out[src].append(edge)
+        self._in[dst].append(edge)
+        return edge
+
+    def add_edge_object(self, edge: Edge[NodeT, EdgeDataT]) -> Edge[NodeT, EdgeDataT]:
+        """Insert a pre-constructed edge object (nodes are added if needed)."""
+        self.add_node(edge.src)
+        self.add_node(edge.dst)
+        self._edges.append(edge)
+        self._out[edge.src].append(edge)
+        self._in[edge.dst].append(edge)
+        return edge
+
+    def remove_edge(self, edge: Edge[NodeT, EdgeDataT]) -> None:
+        try:
+            self._edges.remove(edge)
+        except ValueError as exc:
+            raise GraphError(f"Edge {edge!r} not in graph") from exc
+        self._out[edge.src].remove(edge)
+        self._in[edge.dst].remove(edge)
+
+    def has_edge(self, edge: Edge[NodeT, EdgeDataT]) -> bool:
+        return edge in self._edges
+
+    def edges(self) -> List[Edge[NodeT, EdgeDataT]]:
+        return list(self._edges)
+
+    def number_of_edges(self) -> int:
+        return len(self._edges)
+
+    def out_edges(self, node: NodeT) -> List[Edge[NodeT, EdgeDataT]]:
+        if node not in self._nodes:
+            raise GraphError(f"Node {node!r} not in graph")
+        return list(self._out[node])
+
+    def in_edges(self, node: NodeT) -> List[Edge[NodeT, EdgeDataT]]:
+        if node not in self._nodes:
+            raise GraphError(f"Node {node!r} not in graph")
+        return list(self._in[node])
+
+    def all_edges(self, *nodes: NodeT) -> List[Edge[NodeT, EdgeDataT]]:
+        """All edges incident to any of the given nodes (no duplicates)."""
+        seen: List[Edge[NodeT, EdgeDataT]] = []
+        for node in nodes:
+            for e in self.in_edges(node) + self.out_edges(node):
+                if e not in seen:
+                    seen.append(e)
+        return seen
+
+    def edges_between(self, src: NodeT, dst: NodeT) -> List[Edge[NodeT, EdgeDataT]]:
+        return [e for e in self._out.get(src, []) if e.dst is dst]
+
+    # ------------------------------------------------------------------ #
+    # Degrees / neighbours
+    # ------------------------------------------------------------------ #
+    def in_degree(self, node: NodeT) -> int:
+        return len(self._in[node])
+
+    def out_degree(self, node: NodeT) -> int:
+        return len(self._out[node])
+
+    def successors(self, node: NodeT) -> List[NodeT]:
+        out: List[NodeT] = []
+        for e in self._out[node]:
+            if e.dst not in out:
+                out.append(e.dst)
+        return out
+
+    def predecessors(self, node: NodeT) -> List[NodeT]:
+        out: List[NodeT] = []
+        for e in self._in[node]:
+            if e.src not in out:
+                out.append(e.src)
+        return out
+
+    def source_nodes(self) -> List[NodeT]:
+        """Nodes without incoming edges."""
+        return [n for n in self._nodes if not self._in[n]]
+
+    def sink_nodes(self) -> List[NodeT]:
+        """Nodes without outgoing edges."""
+        return [n for n in self._nodes if not self._out[n]]
+
+    # ------------------------------------------------------------------ #
+    # Traversals
+    # ------------------------------------------------------------------ #
+    def topological_sort(self) -> List[NodeT]:
+        """Kahn's algorithm; raises :class:`GraphError` on cycles."""
+        indeg = {n: self.in_degree(n) for n in self._nodes}
+        queue = deque(n for n in self._nodes if indeg[n] == 0)
+        order: List[NodeT] = []
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for e in self._out[node]:
+                indeg[e.dst] -= 1
+                if indeg[e.dst] == 0:
+                    queue.append(e.dst)
+        if len(order) != len(self._nodes):
+            raise GraphError("Graph contains a cycle; topological sort impossible")
+        return order
+
+    def bfs_nodes(self, sources: Iterable[NodeT], reverse: bool = False) -> Iterator[NodeT]:
+        """Breadth-first traversal from the given sources (excluded sources
+        are yielded as well, first)."""
+        visited: Set[int] = set()
+        queue: deque[NodeT] = deque()
+        for s in sources:
+            if id(s) not in visited:
+                visited.add(id(s))
+                queue.append(s)
+        while queue:
+            node = queue.popleft()
+            yield node
+            edges = self._in[node] if reverse else self._out[node]
+            for e in edges:
+                nxt = e.src if reverse else e.dst
+                if id(nxt) not in visited:
+                    visited.add(id(nxt))
+                    queue.append(nxt)
+
+    def bfs_edges(
+        self, sources: Iterable[NodeT], reverse: bool = False
+    ) -> Iterator[Edge[NodeT, EdgeDataT]]:
+        """Breadth-first edge traversal from the given sources."""
+        visited: Set[int] = set()
+        queue: deque[NodeT] = deque()
+        for s in sources:
+            if id(s) not in visited:
+                visited.add(id(s))
+                queue.append(s)
+        while queue:
+            node = queue.popleft()
+            edges = self._in[node] if reverse else self._out[node]
+            for e in edges:
+                yield e
+                nxt = e.src if reverse else e.dst
+                if id(nxt) not in visited:
+                    visited.add(id(nxt))
+                    queue.append(nxt)
+
+    def has_path(self, src: NodeT, dst: NodeT) -> bool:
+        """Whether a directed path from ``src`` to ``dst`` exists."""
+        if src not in self._nodes or dst not in self._nodes:
+            return False
+        for node in self.bfs_nodes([src]):
+            if node is dst:
+                return True
+        return False
+
+    def descendants(self, node: NodeT) -> Set[NodeT]:
+        """All nodes reachable from ``node`` (excluding itself unless cyclic)."""
+        out = set(self.bfs_nodes([node]))
+        out.discard(node)
+        return out
+
+    def ancestors(self, node: NodeT) -> Set[NodeT]:
+        """All nodes that can reach ``node``."""
+        out = set(self.bfs_nodes([node], reverse=True))
+        out.discard(node)
+        return out
+
+    # ------------------------------------------------------------------ #
+    def __contains__(self, node: NodeT) -> bool:
+        return node in self._nodes
+
+    def __iter__(self) -> Iterator[NodeT]:
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)

@@ -1,0 +1,125 @@
+"""Parse Python-syntax strings into symbolic expressions.
+
+Only the arithmetic subset needed for parametric shapes and subsets is
+accepted: integer/float literals, names, ``+ - * / // % **``, unary ``+ -``,
+and calls to ``Min``/``Max`` (case-insensitive, also ``min``/``max``).
+Anything else raises :class:`ExpressionParseError`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Union
+
+from repro.symbolic.expressions import (
+    Add,
+    Expr,
+    Float,
+    FloorDiv,
+    Integer,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Pow,
+    Symbol,
+    TrueDiv,
+)
+
+__all__ = ["parse_expr", "ExpressionParseError"]
+
+
+class ExpressionParseError(ValueError):
+    """Raised when a string cannot be parsed into a symbolic expression."""
+
+
+_ALLOWED_CALLS = {
+    "min": Min,
+    "max": Max,
+}
+
+
+def parse_expr(text: Union[str, int, float, Expr]) -> Expr:
+    """Parse ``text`` into an :class:`~repro.symbolic.expressions.Expr`."""
+    if isinstance(text, Expr):
+        return text
+    if isinstance(text, bool):
+        return Integer(int(text))
+    if isinstance(text, int):
+        return Integer(text)
+    if isinstance(text, float):
+        return Integer(int(text)) if text.is_integer() else Float(text)
+    if not isinstance(text, str):
+        raise ExpressionParseError(f"Cannot parse {text!r} as an expression")
+    stripped = text.strip()
+    if not stripped:
+        raise ExpressionParseError("Empty expression string")
+    try:
+        tree = ast.parse(stripped, mode="eval")
+    except SyntaxError as exc:
+        raise ExpressionParseError(f"Invalid expression {text!r}: {exc}") from exc
+    return _convert(tree.body, text)
+
+
+def _convert(node: ast.AST, source: str) -> Expr:
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool):
+            return Integer(int(node.value))
+        if isinstance(node.value, int):
+            return Integer(node.value)
+        if isinstance(node.value, float):
+            v = node.value
+            return Integer(int(v)) if v.is_integer() else Float(v)
+        raise ExpressionParseError(
+            f"Unsupported constant {node.value!r} in expression {source!r}"
+        )
+    if isinstance(node, ast.Name):
+        return Symbol(node.id)
+    if isinstance(node, ast.UnaryOp):
+        operand = _convert(node.operand, source)
+        if isinstance(node.op, ast.USub):
+            return Mul.make(Integer(-1), operand)
+        if isinstance(node.op, ast.UAdd):
+            return operand
+        raise ExpressionParseError(
+            f"Unsupported unary operator in expression {source!r}"
+        )
+    if isinstance(node, ast.BinOp):
+        lhs = _convert(node.left, source)
+        rhs = _convert(node.right, source)
+        if isinstance(node.op, ast.Add):
+            return Add.make(lhs, rhs)
+        if isinstance(node.op, ast.Sub):
+            return Add.make(lhs, Mul.make(Integer(-1), rhs))
+        if isinstance(node.op, ast.Mult):
+            return Mul.make(lhs, rhs)
+        if isinstance(node.op, ast.FloorDiv):
+            return FloorDiv.make(lhs, rhs)
+        if isinstance(node.op, ast.Div):
+            return TrueDiv.make(lhs, rhs)
+        if isinstance(node.op, ast.Mod):
+            return Mod.make(lhs, rhs)
+        if isinstance(node.op, ast.Pow):
+            return Pow.make(lhs, rhs)
+        raise ExpressionParseError(
+            f"Unsupported binary operator in expression {source!r}"
+        )
+    if isinstance(node, ast.Call):
+        if not isinstance(node.func, ast.Name):
+            raise ExpressionParseError(
+                f"Unsupported call target in expression {source!r}"
+            )
+        fname = node.func.id.lower()
+        if fname not in _ALLOWED_CALLS:
+            raise ExpressionParseError(
+                f"Unsupported function '{node.func.id}' in expression {source!r}"
+            )
+        if node.keywords:
+            raise ExpressionParseError(
+                f"Keyword arguments not allowed in expression {source!r}"
+            )
+        args = [_convert(a, source) for a in node.args]
+        return _ALLOWED_CALLS[fname].make(*args)
+    raise ExpressionParseError(
+        f"Unsupported syntax ({type(node).__name__}) in expression {source!r}"
+    )

@@ -1,0 +1,131 @@
+"""Simplification of symbolic expressions.
+
+The builders in :mod:`repro.symbolic.expressions` already perform constant
+folding and neutral-element removal.  :func:`simplify` adds a couple of
+rewrites that are useful when composing subsets and volumes:
+
+* collecting like terms in sums (``i + i`` -> ``2 * i``),
+* rebuilding every node bottom-up so nested constants fold through,
+* cancelling ``x * c // c`` for integer constants ``c``.
+
+The goal is readability of derived expressions and cheaper evaluation, not a
+complete computer-algebra system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.symbolic.expressions import (
+    Add,
+    Expr,
+    Float,
+    FloorDiv,
+    Integer,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Pow,
+    Symbol,
+    TrueDiv,
+    sympify,
+)
+
+__all__ = ["simplify"]
+
+
+def simplify(expr) -> Expr:
+    """Return a simplified copy of ``expr``."""
+    return _simplify(sympify(expr))
+
+
+def _simplify(expr: Expr) -> Expr:
+    if isinstance(expr, (Integer, Float, Symbol)):
+        return expr
+    if isinstance(expr, Add):
+        return _simplify_add(expr)
+    if isinstance(expr, Mul):
+        return Mul.make(*[_simplify(a) for a in expr.args])
+    if isinstance(expr, Min):
+        return Min.make(*[_simplify(a) for a in expr.args])
+    if isinstance(expr, Max):
+        return Max.make(*[_simplify(a) for a in expr.args])
+    if isinstance(expr, FloorDiv):
+        return _simplify_floordiv(expr)
+    if isinstance(expr, TrueDiv):
+        return TrueDiv.make(_simplify(expr.lhs), _simplify(expr.rhs))
+    if isinstance(expr, Mod):
+        return Mod.make(_simplify(expr.lhs), _simplify(expr.rhs))
+    if isinstance(expr, Pow):
+        return Pow.make(_simplify(expr.lhs), _simplify(expr.rhs))
+    return expr
+
+
+def _split_coefficient(term: Expr) -> Tuple[int, Expr]:
+    """Split a term into ``(integer coefficient, remaining factor)``."""
+    if isinstance(term, Integer):
+        return term.value, Integer(1)
+    if isinstance(term, Mul):
+        coeff = 1
+        rest = []
+        for f in term.args:
+            if isinstance(f, Integer):
+                coeff *= f.value
+            else:
+                rest.append(f)
+        if not rest:
+            return coeff, Integer(1)
+        if len(rest) == 1:
+            return coeff, rest[0]
+        return coeff, Mul(rest)
+    return 1, term
+
+
+def _simplify_add(expr: Add) -> Expr:
+    terms = [_simplify(a) for a in expr.args]
+    # Re-flatten through Add.make first (folds nested constants).
+    flat = Add.make(*terms)
+    if not isinstance(flat, Add):
+        return flat
+    # Collect like terms by their non-constant factor.
+    buckets: Dict[Expr, int] = {}
+    const = 0
+    order: list[Expr] = []
+    for term in flat.args:
+        if isinstance(term, (Integer, Float)):
+            const += term.value
+            continue
+        coeff, base = _split_coefficient(term)
+        if base not in buckets:
+            buckets[base] = 0
+            order.append(base)
+        buckets[base] += coeff
+    rebuilt = []
+    for base in order:
+        coeff = buckets[base]
+        if coeff == 0:
+            continue
+        if base == Integer(1):
+            const += coeff
+            continue
+        if coeff == 1:
+            rebuilt.append(base)
+        else:
+            rebuilt.append(Mul.make(Integer(coeff), base))
+    if const != 0 or not rebuilt:
+        rebuilt.append(sympify(const))
+    if len(rebuilt) == 1:
+        return rebuilt[0]
+    return Add(rebuilt)
+
+
+def _simplify_floordiv(expr: FloorDiv) -> Expr:
+    lhs = _simplify(expr.lhs)
+    rhs = _simplify(expr.rhs)
+    # (c * x) // c  ->  x  when c is a positive integer constant factor.
+    if isinstance(rhs, Integer) and rhs.value > 0 and isinstance(lhs, Mul):
+        coeff, base = _split_coefficient(lhs)
+        if coeff % rhs.value == 0:
+            return Mul.make(Integer(coeff // rhs.value), base)
+    return FloorDiv.make(lhs, rhs)

@@ -1,0 +1,68 @@
+"""Program transformations (optimizations) and the matching framework.
+
+Every transformation named in the paper's evaluation is re-implemented here,
+each with an optional *injected bug* reproducing the failure class FuzzyFlow
+uncovered (Table 2 and Sec. 6.4):
+
+==============================  =============================================
+Transformation                  Failure class reproduced (when buggy)
+==============================  =============================================
+MapTiling                       off-by-one tile bound (Fig. 2), non-divisible
+                                sizes out-of-bounds (Sec. 2.1)
+Vectorization                   correctness depends on input size divisibility
+TaskletFusion                   change in semantics (wrong operand forwarded)
+BufferTiling                    change in semantics (remainder tile dropped)
+MapExpansion                    generates invalid code (missing connectors)
+MapReduceFusion                 generates invalid code (dangling container)
+StateAssignElimination          generates invalid code (symbol still needed)
+SymbolAliasPromotion            generates invalid code (alias dropped too early)
+LoopUnrolling                   wrong unroll count for negative loop steps
+RedundantWriteElimination       removes a write that is read again later
+GPUKernelExtraction             copies whole containers back from the device
+                                without copying them in first
+==============================  =============================================
+"""
+
+from repro.transforms.base import (
+    Match,
+    PatternTransformation,
+    TransformationError,
+    all_builtin_transformations,
+    register_transformation,
+)
+from repro.transforms.fusion_transforms import (
+    MapReduceFusion,
+    RedundantWriteElimination,
+    TaskletFusion,
+)
+from repro.transforms.gpu_transforms import GPUKernelExtraction
+from repro.transforms.map_transforms import (
+    BufferTiling,
+    MapExpansion,
+    MapTiling,
+    Vectorization,
+)
+from repro.transforms.state_transforms import (
+    LoopUnrolling,
+    StateAssignElimination,
+    SymbolAliasPromotion,
+)
+
+__all__ = [
+    "PatternTransformation",
+    "Match",
+    "TransformationError",
+    "register_transformation",
+    "all_builtin_transformations",
+    "MapTiling",
+    "Vectorization",
+    "MapExpansion",
+    "BufferTiling",
+    "TaskletFusion",
+    "MapReduceFusion",
+    "RedundantWriteElimination",
+    "StateAssignElimination",
+    "SymbolAliasPromotion",
+    "LoopUnrolling",
+    "GPUKernelExtraction",
+]

@@ -1,0 +1,37 @@
+"""Workload programs used by the paper's case studies.
+
+Every application the evaluation touches is rebuilt on the dataflow IR:
+
+* :mod:`repro.workloads.matmul_chain` -- the Fig. 2 running example,
+* :mod:`repro.workloads.bert_encoder` -- the BERT multi-head-attention loop
+  nests of Sec. 6.1 / Fig. 5,
+* :mod:`repro.workloads.sddmm` -- the sampled dense-dense matrix
+  multiplication at the core of Vanilla Attention (Sec. 6.2 / Fig. 6),
+* :mod:`repro.workloads.npbench` -- a mini NPBench-style kernel suite for the
+  transformation sweep of Sec. 6.3 / Table 2,
+* :mod:`repro.workloads.cloudsc` -- a synthetic cloud-microphysics scheme
+  standing in for ECMWF CLOUDSC (Sec. 6.4).
+"""
+
+from repro.workloads.bert_encoder import (
+    BERT_LARGE,
+    BERT_TINY,
+    build_attention_scores,
+    build_encoder_layer,
+)
+from repro.workloads.cloudsc import CloudscConfig, build_cloudsc
+from repro.workloads.matmul_chain import build_matmul_chain, reference_matmul_chain
+from repro.workloads.sddmm import build_sddmm, reference_sddmm
+
+__all__ = [
+    "build_matmul_chain",
+    "reference_matmul_chain",
+    "build_attention_scores",
+    "build_encoder_layer",
+    "BERT_LARGE",
+    "BERT_TINY",
+    "build_sddmm",
+    "reference_sddmm",
+    "build_cloudsc",
+    "CloudscConfig",
+]

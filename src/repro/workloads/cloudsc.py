@@ -1,0 +1,186 @@
+"""A synthetic cloud-microphysics scheme standing in for ECMWF CLOUDSC.
+
+The Sec. 6.4 case study tests three custom transformations on the CLOUDSC
+cloud-microphysics scheme (3,163 lines of Fortran): GPU kernel extraction
+(62 applicable instances, 48 semantics-changing), loop unrolling (19
+instances, 1 faulty on a negative-step loop) and write elimination (136
+instances, 1 removing a live write).  The original Fortran application and
+the engineers' transformation code are not available, so this module builds a
+*synthetic* scheme with the same structural features at a configurable scale:
+
+* a column/level-structured set of physics kernels (vertical loop nests over
+  ``NPROMA`` columns and ``NLEV`` levels) -- the GPU-extraction targets; a
+  configurable fraction of them writes only a sub-range of levels, which is
+  the situation the buggy device-copy handling corrupts;
+* small constant-bound sub-stepping loops, one of which iterates downwards
+  (the pattern the buggy unroller mishandles);
+* per-process saturation/adjustment tasklet chains through temporaries --
+  the write-elimination targets -- one of which is read again by a later
+  diagnostic state (the live write the buggy elimination removes).
+
+Scaled to ``CloudscConfig.paper_scale()`` the instance counts match the
+paper (62 / 19 / 136); the default configuration is a smaller but
+structurally identical scheme for tests and quick benchmark runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.sdfg import SDFG, InterstateEdge, Memlet, float64
+
+__all__ = ["CloudscConfig", "build_cloudsc"]
+
+
+@dataclass
+class CloudscConfig:
+    """Scale parameters of the synthetic scheme."""
+
+    #: Number of column/level physics kernels (GPU-extraction targets).
+    num_kernels: int = 10
+    #: Fraction of kernels that update only the lower half of the levels.
+    partial_write_fraction: float = 0.77
+    #: Number of constant-bound sub-stepping loops (unrolling targets).
+    num_substep_loops: int = 4
+    #: Index of the loop that iterates downwards (negative step); -1 for none.
+    descending_loop_index: int = 0
+    #: Number of saturation-adjustment tasklet chains (write-elimination targets).
+    num_adjustment_chains: int = 12
+    #: Indices of chains whose temporary is read again by a later diagnostic.
+    live_chain_indices: Tuple[int, ...] = (3,)
+    #: Default symbol values (columns per block and vertical levels).
+    nproma: int = 4
+    nlev: int = 6
+
+    @classmethod
+    def paper_scale(cls) -> "CloudscConfig":
+        """The instance counts reported in Sec. 6.4 (62 / 19 / 136)."""
+        return cls(
+            num_kernels=62,
+            partial_write_fraction=48 / 62,
+            num_substep_loops=19,
+            descending_loop_index=7,
+            num_adjustment_chains=136,
+            live_chain_indices=(41,),
+            nproma=4,
+            nlev=6,
+        )
+
+    @property
+    def symbols(self) -> Dict[str, int]:
+        return {"NPROMA": self.nproma, "NLEV": self.nlev}
+
+    def num_partial_kernels(self) -> int:
+        return round(self.num_kernels * self.partial_write_fraction)
+
+
+def build_cloudsc(config: CloudscConfig | None = None) -> SDFG:
+    """Build the synthetic cloud-microphysics scheme."""
+    cfg = config or CloudscConfig()
+    sdfg = SDFG("cloudsc_synthetic")
+
+    # Prognostic fields (column x level).
+    sdfg.add_array("temperature", ["NPROMA", "NLEV"], float64)
+    sdfg.add_array("humidity", ["NPROMA", "NLEV"], float64)
+    sdfg.add_array("cloud_fraction", ["NPROMA", "NLEV"], float64)
+
+    prev_state = None
+
+    def chain_state(label: str):
+        nonlocal prev_state
+        state = sdfg.add_state(label, is_start_state=prev_state is None)
+        if prev_state is not None:
+            sdfg.add_edge(prev_state, state, InterstateEdge())
+        prev_state = state
+        return state
+
+    # ------------------------------------------------------------------ #
+    # 1. Column/level physics kernels (GPU-extraction targets).
+    # ------------------------------------------------------------------ #
+    num_partial = cfg.num_partial_kernels()
+    for k in range(cfg.num_kernels):
+        out_name = f"flux_{k}"
+        sdfg.add_array(out_name, ["NPROMA", "NLEV"], float64)
+        src = "temperature" if k % 2 == 0 else "humidity"
+        state = chain_state(f"kernel_{k}")
+        partial = k < num_partial
+        level_range = "0:(NLEV//2)-1" if partial else "0:NLEV-1"
+        state.add_mapped_tasklet(
+            f"physics_kernel_{k}",
+            {"jl": "0:NPROMA-1", "jk": level_range},
+            {"t": Memlet.simple(src, "jl, jk")},
+            f"f = t * {0.5 + 0.01 * k} + {0.1 * (k % 7)}",
+            {"f": Memlet.simple(out_name, "jl, jk")},
+        )
+
+    # ------------------------------------------------------------------ #
+    # 2. Constant-bound sub-stepping loops (unrolling targets).
+    # ------------------------------------------------------------------ #
+    for l in range(cfg.num_substep_loops):
+        acc_name = f"substep_acc_{l}"
+        sdfg.add_array(acc_name, [1], float64)
+        before = chain_state(f"substep_{l}_before")
+        body = sdfg.add_state(f"substep_{l}_body")
+        t = body.add_tasklet("substep", ["a"], ["b"], "b = a + jn * 0.25")
+        rd, wr = body.add_access(acc_name), body.add_access(acc_name)
+        body.add_edge(rd, None, t, "a", Memlet.simple(acc_name, "0"))
+        body.add_edge(t, "b", wr, None, Memlet.simple(acc_name, "0"))
+        after = sdfg.add_state(f"substep_{l}_after")
+        if l == cfg.descending_loop_index:
+            sdfg.add_loop(before, body, after, "jn", "4", "jn >= 1", "jn - 1")
+        else:
+            sdfg.add_loop(before, body, after, "jn", "1", "jn <= 4", "jn + 1")
+        prev_state = after
+
+    # ------------------------------------------------------------------ #
+    # 3. Saturation-adjustment tasklet chains (write-elimination targets).
+    # ------------------------------------------------------------------ #
+    live_temps: List[str] = []
+    for c in range(cfg.num_adjustment_chains):
+        tmp_name = f"sat_tmp_{c}"
+        out_name = f"adjust_{c}"
+        sdfg.add_transient(tmp_name, [1], float64)
+        sdfg.add_array(out_name, [1], float64)
+        state = chain_state(f"adjust_{c}")
+        rd_t = state.add_access("temperature")
+        rd_q = state.add_access("humidity")
+        tmp_node = state.add_access(tmp_name)
+        out_node = state.add_access(out_name)
+        t1 = state.add_tasklet(
+            f"saturation_{c}", ["t"], ["s"], f"s = t * {1.0 + 0.02 * (c % 9)}"
+        )
+        t2 = state.add_tasklet(
+            f"adjustment_{c}", ["s", "q"], ["o"], "o = s - q * 0.5"
+        )
+        state.add_edge(rd_t, None, t1, "t", Memlet.simple("temperature", "0, 0"))
+        state.add_edge(t1, "s", tmp_node, None, Memlet.simple(tmp_name, "0"))
+        state.add_edge(tmp_node, None, t2, "s", Memlet.simple(tmp_name, "0"))
+        state.add_edge(rd_q, None, t2, "q", Memlet.simple("humidity", "0, 0"))
+        state.add_edge(t2, "o", out_node, None, Memlet.simple(out_name, "0"))
+        if c in cfg.live_chain_indices:
+            live_temps.append(tmp_name)
+
+    # A later diagnostic state re-reads the "live" temporaries, making their
+    # intermediate writes part of the system state of any cutout around them.
+    if live_temps:
+        diag = chain_state("diagnostics")
+        for i, tmp_name in enumerate(live_temps):
+            diag_out = f"diag_{i}"
+            sdfg.add_array(diag_out, [1], float64)
+            rd = diag.add_access(tmp_name)
+            wr = diag.add_access(diag_out)
+            t = diag.add_tasklet(f"diagnose_{i}", ["x"], ["y"], "y = x * 2.0")
+            diag.add_edge(rd, None, t, "x", Memlet.simple(tmp_name, "0"))
+            diag.add_edge(t, "y", wr, None, Memlet.simple(diag_out, "0"))
+
+    # Final cloud-fraction update reading a couple of fluxes, so the kernel
+    # outputs remain live beyond their defining states.
+    final = chain_state("cloud_fraction_update")
+    flux0 = final.add_access("flux_0")
+    cf = final.add_access("cloud_fraction")
+    t = final.add_tasklet("cf_update", ["f"], ["c"], "c = 1.0 - np.exp(-abs(f))")
+    final.add_edge(flux0, None, t, "f", Memlet.full("flux_0", ["NPROMA", "NLEV"]))
+    final.add_edge(t, "c", cf, None, Memlet.full("cloud_fraction", ["NPROMA", "NLEV"]))
+
+    return sdfg

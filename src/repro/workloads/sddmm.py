@@ -1,0 +1,60 @@
+"""Sampled dense-dense matrix multiplication (SDDMM), the Vanilla-Attention
+kernel of Sec. 6.2 / Fig. 6.
+
+``out[i, j] = S[i, j] * sum_k A[i, k] * B[k, j]``
+
+The local (per-rank) kernel is a dataflow program; the distributed variant
+lives in :mod:`repro.distributed.vanilla_attention` and feeds the local
+kernel with data received through (simulated) collectives.  Because the
+communication is not part of the kernel's dataflow, a cutout of the SDDMM can
+be tested on a single rank -- which is exactly the Fig. 6 point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frontend import add_init
+from repro.sdfg import SDFG, Memlet, float64
+
+__all__ = ["build_sddmm", "reference_sddmm"]
+
+
+def build_sddmm(rows: str = "NR", cols: str = "NC", inner: str = "NK") -> SDFG:
+    """Build the SDDMM kernel as a dataflow program.
+
+    ``dense = A @ B`` is computed with a 3D map + sum write-conflict
+    resolution into a transient, followed by the element-wise sampling
+    multiplication with the (dense-stored) sparsity mask ``S``.
+    """
+    sdfg = SDFG("sddmm")
+    sdfg.add_array("A", [rows, inner], float64)
+    sdfg.add_array("B", [inner, cols], float64)
+    sdfg.add_array("S", [rows, cols], float64)
+    sdfg.add_array("out", [rows, cols], float64)
+    sdfg.add_transient("dense", [rows, cols], float64)
+    state = sdfg.add_state("sddmm")
+
+    add_init(sdfg, state, "dense", 0.0, label="init_dense")
+    _, _, mm_exit = state.add_mapped_tasklet(
+        "dense_mm",
+        {"i": f"0:{rows}-1", "j": f"0:{cols}-1", "k": f"0:{inner}-1"},
+        {"a": Memlet.simple("A", "i, k"), "b": Memlet.simple("B", "k, j")},
+        "c = a * b",
+        {"c": Memlet("dense", "i, j", wcr="sum")},
+    )
+    dense_node = next(e.dst for e in state.out_edges(mm_exit))
+    state.add_mapped_tasklet(
+        "sample",
+        {"i": f"0:{rows}-1", "j": f"0:{cols}-1"},
+        {"d": Memlet.simple("dense", "i, j"), "s": Memlet.simple("S", "i, j")},
+        "o = d * s",
+        {"o": Memlet.simple("out", "i, j")},
+        input_nodes={"dense": dense_node},
+    )
+    return sdfg
+
+
+def reference_sddmm(A: np.ndarray, B: np.ndarray, S: np.ndarray) -> np.ndarray:
+    """NumPy reference."""
+    return S * (A @ B)

@@ -1,0 +1,25 @@
+"""Pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(e.g. running ``pytest`` straight from a fresh checkout in an offline
+environment), and provides shared fixtures.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic NumPy random generator for tests."""
+    return np.random.default_rng(42)

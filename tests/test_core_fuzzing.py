@@ -1,0 +1,276 @@
+"""Tests for constraints, sampling, differential fuzzing and test cases."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CoverageGuidedFuzzer,
+    DifferentialFuzzer,
+    InputSampler,
+    ReproducibleTestCase,
+    TrialStatus,
+    compare_system_states,
+    derive_constraints,
+    load_test_case,
+    save_test_case,
+)
+from repro.frontend import add_scale
+from repro.sdfg import SDFG, Memlet, float64, int32
+from repro.transforms import Vectorization
+
+
+def scale_program():
+    sdfg = SDFG("scale")
+    sdfg.add_array("X", ["N"], float64)
+    sdfg.add_array("Y", ["N"], float64)
+    sdfg.add_scalar("factor", float64)
+    state = sdfg.add_state("s")
+    add_scale(sdfg, state, "X", "Y", "factor")
+    return sdfg
+
+
+class TestConstraints:
+    def test_size_symbol(self):
+        sdfg = scale_program()
+        constraints = derive_constraints(sdfg, symbol_values={"N": 8})
+        assert constraints["N"].role == "size"
+        assert constraints["N"].low >= 1
+
+    def test_index_symbol(self):
+        sdfg = SDFG("index")
+        sdfg.add_array("A", [16], float64)
+        sdfg.add_array("out", [1], float64)
+        sdfg.add_symbol("k")
+        st = sdfg.add_state("s")
+        a, o = st.add_access("A"), st.add_access("out")
+        t = st.add_tasklet("pick", ["x"], ["y"], "y = x")
+        st.add_edge(a, None, t, "x", Memlet.simple("A", "k"))
+        st.add_edge(t, "y", o, None, Memlet.simple("out", "0"))
+        constraints = derive_constraints(sdfg, symbol_values={})
+        assert constraints["k"].role == "index"
+        assert (constraints["k"].low, constraints["k"].high) == (0, 15)
+
+    def test_custom_overrides(self):
+        sdfg = scale_program()
+        constraints = derive_constraints(
+            sdfg, symbol_values={"N": 8}, custom={"N": (4, 6)}
+        )
+        assert constraints["N"].role == "custom"
+        assert (constraints["N"].low, constraints["N"].high) == (4, 6)
+
+    def test_clamp(self):
+        sdfg = scale_program()
+        constraints = derive_constraints(sdfg, symbol_values={"N": 8})
+        c = constraints["N"]
+        assert c.clamp(-100) == c.low
+        assert c.clamp(10_000) == c.high
+
+
+class TestSampling:
+    def test_sample_shapes_and_types(self):
+        sdfg = scale_program()
+        constraints = derive_constraints(sdfg, symbol_values={"N": 8})
+        sampler = InputSampler(sdfg, ["X", "factor"], ["Y"], constraints, seed=1)
+        sample = sampler.sample()
+        n = sample.symbols["N"]
+        assert sample.arguments["X"].shape == (n,)
+        assert sample.arguments["Y"].shape == (n,)
+        assert np.all(sample.arguments["Y"] == 0)  # system-state only: zeroed
+        assert sample.arguments["factor"].shape == (1,)
+
+    def test_fixed_symbols(self):
+        sdfg = scale_program()
+        sampler = InputSampler(sdfg, ["X"], ["Y"], fixed_symbols={"N": 5}, seed=0)
+        for _ in range(5):
+            assert sampler.sample().symbols["N"] == 5
+
+    def test_sampling_is_deterministic_per_seed(self):
+        sdfg = scale_program()
+        s1 = InputSampler(sdfg, ["X"], ["Y"], fixed_symbols={"N": 4}, seed=7).sample()
+        s2 = InputSampler(sdfg, ["X"], ["Y"], fixed_symbols={"N": 4}, seed=7).sample()
+        np.testing.assert_array_equal(s1.arguments["X"], s2.arguments["X"])
+
+    def test_integer_containers(self):
+        sdfg = SDFG("ints")
+        sdfg.add_array("A", [4], int32)
+        sampler = InputSampler(sdfg, ["A"], [], seed=0)
+        sample = sampler.sample()
+        assert sample.arguments["A"].dtype == np.int32
+
+    def test_mutation_changes_values(self):
+        sdfg = scale_program()
+        sampler = InputSampler(sdfg, ["X"], ["Y"], fixed_symbols={"N": 16}, seed=3)
+        base = sampler.sample()
+        mutated = sampler.mutate(base)
+        assert mutated.symbols["N"] == 16
+        assert not np.array_equal(base.arguments["X"], mutated.arguments["X"])
+
+
+class TestCompare:
+    def test_identical(self):
+        a = {"x": np.arange(4.0)}
+        mism, err = compare_system_states(a, {"x": np.arange(4.0)}, ["x"])
+        assert not mism and err == 0
+
+    def test_tolerance(self):
+        a = {"x": np.zeros(4)}
+        b = {"x": np.full(4, 1e-7)}
+        mism, _ = compare_system_states(a, b, ["x"], tolerance=1e-5)
+        assert not mism
+        mism, _ = compare_system_states(a, b, ["x"], tolerance=0)
+        assert mism
+
+    def test_shape_mismatch(self):
+        mism, err = compare_system_states(
+            {"x": np.zeros(4)}, {"x": np.zeros(5)}, ["x"]
+        )
+        assert mism == ["x"] and err == float("inf")
+
+    def test_missing_container(self):
+        mism, _ = compare_system_states({"x": np.zeros(4)}, {}, ["x"])
+        assert mism == ["x"]
+
+    def test_nan_patterns_must_match(self):
+        a = {"x": np.array([np.nan, 1.0])}
+        b = {"x": np.array([0.0, 1.0])}
+        mism, _ = compare_system_states(a, b, ["x"])
+        assert mism == ["x"]
+        mism, _ = compare_system_states(a, {"x": np.array([np.nan, 1.0])}, ["x"])
+        assert not mism
+
+    def test_integer_exact(self):
+        a = {"x": np.array([1, 2, 3])}
+        b = {"x": np.array([1, 2, 4])}
+        mism, _ = compare_system_states(a, b, ["x"])
+        assert mism == ["x"]
+
+
+class TestDifferentialFuzzer:
+    def _fuzzer(self, inject_bug, vary_sizes=True, seed=0):
+        original = scale_program()
+        transformed = original.clone()
+        Vectorization(vector_size=4, inject_bug=inject_bug).apply_to_first(transformed)
+        constraints = derive_constraints(original, symbol_values={"N": 8}, size_max=16)
+        sampler = InputSampler(
+            original, ["X", "factor"], ["Y"], constraints,
+            vary_sizes=vary_sizes, seed=seed,
+            fixed_symbols=None if vary_sizes else {"N": 8},
+        )
+        return DifferentialFuzzer(original, transformed, ["Y"], sampler)
+
+    def test_correct_transformation_passes(self):
+        report = self._fuzzer(inject_bug=False).run(num_trials=15)
+        assert report.failures == 0
+        assert report.verdict().value == "pass"
+
+    def test_buggy_transformation_found_quickly(self):
+        report = self._fuzzer(inject_bug=True).run(num_trials=30, stop_on_failure=True)
+        assert report.failures >= 1
+        assert report.first_failure_trial is not None
+        assert report.first_failure_trial <= 10  # non-divisible N is likely
+        assert report.failing_symbols is not None
+        assert report.failing_inputs is not None
+
+    def test_buggy_hidden_when_sizes_fixed_divisible(self):
+        report = self._fuzzer(inject_bug=True, vary_sizes=False).run(num_trials=10)
+        assert report.failures == 0
+
+    def test_trial_statuses(self):
+        fuzzer = self._fuzzer(inject_bug=True)
+        sample = fuzzer.sampler.sample(symbols={"N": 10})
+        trial = fuzzer.run_trial(sample)
+        assert trial.status in (TrialStatus.CRASH_TRANSFORMED, TrialStatus.MISMATCH)
+        sample_ok = fuzzer.sampler.sample(symbols={"N": 8})
+        assert fuzzer.run_trial(sample_ok).status == TrialStatus.MATCH
+
+    def test_report_rates(self):
+        report = self._fuzzer(inject_bug=False).run(num_trials=5)
+        assert report.trials_run == 5
+        assert report.trials_per_second > 0
+
+
+class TestCoverageGuidedFuzzer:
+    def test_finds_size_dependent_bug_eventually(self):
+        original = scale_program()
+        transformed = original.clone()
+        Vectorization(vector_size=4, inject_bug=True).apply_to_first(transformed)
+        constraints = derive_constraints(original, symbol_values={"N": 8}, size_max=16)
+        sampler = InputSampler(original, ["X", "factor"], ["Y"], constraints, seed=2)
+        fuzzer = DifferentialFuzzer(original, transformed, ["Y"], sampler)
+        cg = CoverageGuidedFuzzer(fuzzer, sampler, seed=2, mutate_sizes_probability=0.5)
+        report = cg.run(max_trials=200, default_symbols={"N": 8})
+        assert report.failures >= 1
+
+    def test_needs_more_trials_than_graybox(self):
+        """Coverage-guided (starting from well-behaved sizes) needs more
+        trials than gray-box size sampling -- the Sec. 6.1 comparison."""
+        def build(seed):
+            original = scale_program()
+            transformed = original.clone()
+            Vectorization(vector_size=4, inject_bug=True).apply_to_first(transformed)
+            constraints = derive_constraints(original, symbol_values={"N": 8}, size_max=16)
+            sampler = InputSampler(original, ["X", "factor"], ["Y"], constraints, seed=seed)
+            return DifferentialFuzzer(original, transformed, ["Y"], sampler), sampler
+
+        gray_trials, cov_trials = [], []
+        for seed in range(3):
+            fz, _ = build(seed)
+            gray = fz.run(num_trials=100, stop_on_failure=True)
+            gray_trials.append(gray.first_failure_trial or 100)
+            fz2, sampler2 = build(seed + 100)
+            cg = CoverageGuidedFuzzer(fz2, sampler2, seed=seed, mutate_sizes_probability=0.2)
+            cov = cg.run(max_trials=300, default_symbols={"N": 8})
+            cov_trials.append(cov.first_failure_trial or 300)
+        assert sum(gray_trials) < sum(cov_trials)
+
+    def test_corpus_grows_with_coverage(self):
+        original = scale_program()
+        transformed = original.clone()
+        Vectorization(vector_size=4).apply_to_first(transformed)
+        constraints = derive_constraints(original, symbol_values={"N": 8}, size_max=16)
+        sampler = InputSampler(original, ["X", "factor"], ["Y"], constraints, seed=5)
+        fuzzer = DifferentialFuzzer(original, transformed, ["Y"], sampler)
+        cg = CoverageGuidedFuzzer(fuzzer, sampler, seed=5, mutate_sizes_probability=0.6)
+        cg.run(max_trials=40, stop_on_failure=False)
+        assert len(cg.corpus) >= 2
+
+
+class TestReproducibleTestCases:
+    def test_roundtrip_and_replay(self, tmp_path):
+        original = scale_program()
+        transformed = original.clone()
+        Vectorization(vector_size=4, inject_bug=True).apply_to_first(transformed)
+        inputs = {
+            "X": np.arange(10.0), "Y": np.zeros(10), "factor": np.array([2.0]),
+        }
+        case = ReproducibleTestCase(
+            name="vectorization_bug",
+            transformation="Vectorization",
+            original_cutout=original,
+            transformed_cutout=transformed,
+            inputs=inputs,
+            symbols={"N": 10},
+            system_state=["Y"],
+            input_configuration=["X", "factor"],
+            verdict="semantic_change",
+        )
+        path = save_test_case(case, str(tmp_path / "case"))
+        loaded = load_test_case(path)
+        assert loaded.transformation == "Vectorization"
+        assert loaded.symbols == {"N": 10}
+        result = loaded.replay()
+        assert result["reproduced"]
+
+    def test_replay_passing_case(self, tmp_path):
+        original = scale_program()
+        transformed = original.clone()
+        Vectorization(vector_size=4).apply_to_first(transformed)
+        inputs = {"X": np.arange(8.0), "Y": np.zeros(8), "factor": np.array([3.0])}
+        case = ReproducibleTestCase(
+            name="ok", transformation="Vectorization",
+            original_cutout=original, transformed_cutout=transformed,
+            inputs=inputs, symbols={"N": 8},
+            system_state=["Y"], input_configuration=["X", "factor"],
+        )
+        path = save_test_case(case, str(tmp_path / "ok"))
+        assert not load_test_case(path).replay()["reproduced"]

@@ -1,0 +1,326 @@
+"""Tests for the SDFG interpreter: correctness vs. NumPy, crash/hang detection."""
+
+import numpy as np
+import pytest
+
+from repro.interpreter import (
+    CoverageMap,
+    HangError,
+    MemoryViolation,
+    MissingArgumentError,
+    SDFGExecutor,
+    TaskletExecutionError,
+    execute_sdfg,
+)
+from repro.sdfg import SDFG, InterstateEdge, Memlet, float64, int32
+
+
+# ---------------------------------------------------------------------- #
+# Program builders used in this module
+# ---------------------------------------------------------------------- #
+def build_scale_program():
+    """out[i] = inp[i] * scale for i in 0..N-1."""
+    sdfg = SDFG("scale_prog")
+    sdfg.add_array("inp", ["N"], float64)
+    sdfg.add_array("out", ["N"], float64)
+    sdfg.add_scalar("scale", float64)
+    state = sdfg.add_state("compute")
+    state.add_mapped_tasklet(
+        "scale",
+        {"i": "0:N-1"},
+        {"a": Memlet.simple("inp", "i"), "s": Memlet.simple("scale", "0")},
+        "b = a * s",
+        {"b": Memlet.simple("out", "i")},
+    )
+    return sdfg
+
+
+def build_matmul_program():
+    """C += A @ B as a 3-dimensional map with a sum write-conflict resolution."""
+    sdfg = SDFG("matmul")
+    sdfg.add_array("A", ["N", "K"], float64)
+    sdfg.add_array("B", ["K", "M"], float64)
+    sdfg.add_array("C", ["N", "M"], float64)
+    state = sdfg.add_state("mm")
+    state.add_mapped_tasklet(
+        "mm",
+        {"i": "0:N-1", "j": "0:M-1", "k": "0:K-1"},
+        {"a": Memlet.simple("A", "i, k"), "b": Memlet.simple("B", "k, j")},
+        "c = a * b",
+        {"c": Memlet("C", "i, j", wcr="sum")},
+    )
+    return sdfg
+
+
+def build_loop_sum_program():
+    """acc[0] = sum(inp[0:N]) with a sequential control-flow loop."""
+    sdfg = SDFG("loop_sum")
+    sdfg.add_array("inp", ["N"], float64)
+    sdfg.add_array("acc", [1], float64)
+    init = sdfg.add_state("init", is_start_state=True)
+    body = sdfg.add_state("body")
+    t = body.add_tasklet("add", ["a", "x"], ["o"], "o = a + x")
+    rd_acc = body.add_access("acc")
+    rd_inp = body.add_access("inp")
+    wr_acc = body.add_access("acc")
+    body.add_edge(rd_acc, None, t, "a", Memlet.simple("acc", "0"))
+    body.add_edge(rd_inp, None, t, "x", Memlet.simple("inp", "i"))
+    body.add_edge(t, "o", wr_acc, None, Memlet.simple("acc", "0"))
+    sdfg.add_loop(init, body, None, "i", "0", "i < N", "i + 1")
+    return sdfg
+
+
+def build_copy_program():
+    """dst[0:4] = src[2:6] using an access-to-access copy edge."""
+    sdfg = SDFG("copy")
+    sdfg.add_array("src", [8], float64)
+    sdfg.add_array("dst", [4], float64)
+    state = sdfg.add_state("s")
+    a = state.add_access("src")
+    b = state.add_access("dst")
+    state.add_nedge(a, b, Memlet("src", "2:5", other_subset="0:3"))
+    return sdfg
+
+
+# ---------------------------------------------------------------------- #
+class TestElementwise:
+    def test_scale_matches_numpy(self, rng):
+        sdfg = build_scale_program()
+        x = rng.standard_normal(10)
+        res = execute_sdfg(sdfg, {"inp": x, "out": np.zeros(10), "scale": 2.5}, {"N": 10})
+        np.testing.assert_allclose(res.outputs["out"], x * 2.5)
+
+    def test_inputs_not_modified(self, rng):
+        sdfg = build_scale_program()
+        x = rng.standard_normal(6)
+        x_orig = x.copy()
+        out = np.zeros(6)
+        execute_sdfg(sdfg, {"inp": x, "out": out, "scale": 3.0}, {"N": 6})
+        np.testing.assert_array_equal(x, x_orig)
+        np.testing.assert_array_equal(out, np.zeros(6))  # caller buffer untouched
+
+    def test_single_element(self, rng):
+        sdfg = build_scale_program()
+        res = execute_sdfg(
+            sdfg, {"inp": np.array([3.0]), "out": np.zeros(1), "scale": -1.0}, {"N": 1}
+        )
+        np.testing.assert_allclose(res.outputs["out"], [-3.0])
+
+
+class TestMatmul:
+    def test_matmul_matches_numpy(self, rng):
+        sdfg = build_matmul_program()
+        A = rng.standard_normal((5, 4))
+        B = rng.standard_normal((4, 6))
+        res = execute_sdfg(
+            sdfg,
+            {"A": A, "B": B, "C": np.zeros((5, 6))},
+            {"N": 5, "M": 6, "K": 4},
+        )
+        np.testing.assert_allclose(res.outputs["C"], A @ B, rtol=1e-12)
+
+    def test_matmul_accumulates_into_existing(self, rng):
+        sdfg = build_matmul_program()
+        A = rng.standard_normal((3, 3))
+        B = rng.standard_normal((3, 3))
+        C0 = rng.standard_normal((3, 3))
+        res = execute_sdfg(
+            sdfg, {"A": A, "B": B, "C": C0.copy()}, {"N": 3, "M": 3, "K": 3}
+        )
+        np.testing.assert_allclose(res.outputs["C"], C0 + A @ B, rtol=1e-12)
+
+
+class TestBlockTasklets:
+    def test_whole_array_tasklet(self, rng):
+        """Coarse-grained tasklets receive NumPy views of the full subset."""
+        sdfg = SDFG("block")
+        sdfg.add_array("A", ["N", "N"], float64)
+        sdfg.add_array("B", ["N", "N"], float64)
+        sdfg.add_array("C", ["N", "N"], float64)
+        state = sdfg.add_state("s")
+        a, b, c = state.add_access("A"), state.add_access("B"), state.add_access("C")
+        t = state.add_tasklet("gemm", ["x", "y"], ["z"], "z = x @ y")
+        state.add_edge(a, None, t, "x", Memlet.full("A", ["N", "N"]))
+        state.add_edge(b, None, t, "y", Memlet.full("B", ["N", "N"]))
+        state.add_edge(t, "z", c, None, Memlet.full("C", ["N", "N"]))
+        A = rng.standard_normal((7, 7))
+        B = rng.standard_normal((7, 7))
+        res = execute_sdfg(sdfg, {"A": A, "B": B, "C": np.zeros((7, 7))}, {"N": 7})
+        np.testing.assert_allclose(res.outputs["C"], A @ B, rtol=1e-12)
+
+
+class TestControlFlow:
+    def test_sequential_loop_sum(self, rng):
+        sdfg = build_loop_sum_program()
+        x = rng.standard_normal(12)
+        res = execute_sdfg(sdfg, {"inp": x, "acc": np.zeros(1)}, {"N": 12})
+        np.testing.assert_allclose(res.outputs["acc"][0], x.sum(), rtol=1e-12)
+
+    def test_zero_trip_loop(self):
+        sdfg = build_loop_sum_program()
+        res = execute_sdfg(sdfg, {"inp": np.zeros(0).reshape(0), "acc": np.zeros(1)}, {"N": 0})
+        assert res.outputs["acc"][0] == 0.0
+
+    def test_branching_on_scalar(self):
+        """Interstate conditions can read scalar containers."""
+        sdfg = SDFG("branch")
+        sdfg.add_scalar("flag", int32)
+        sdfg.add_array("out", [1], float64)
+        start = sdfg.add_state("start", is_start_state=True)
+        then_state = sdfg.add_state("then")
+        else_state = sdfg.add_state("else")
+        for st, val in ((then_state, 1.0), (else_state, 2.0)):
+            t = st.add_tasklet("w", [], ["o"], f"o = {val}")
+            w = st.add_access("out")
+            st.add_edge(t, "o", w, None, Memlet.simple("out", "0"))
+        sdfg.add_edge(start, then_state, InterstateEdge(condition="flag > 0"))
+        sdfg.add_edge(start, else_state, InterstateEdge(condition="flag <= 0"))
+        r1 = execute_sdfg(sdfg, {"flag": 1, "out": np.zeros(1)})
+        r2 = execute_sdfg(sdfg, {"flag": 0, "out": np.zeros(1)})
+        assert r1.outputs["out"][0] == 1.0
+        assert r2.outputs["out"][0] == 2.0
+
+    def test_hang_detection(self):
+        sdfg = SDFG("hang")
+        sdfg.add_array("out", [1], float64)
+        s0 = sdfg.add_state("s0", is_start_state=True)
+        t = s0.add_tasklet("w", [], ["o"], "o = 1")
+        w = s0.add_access("out")
+        s0.add_edge(t, "o", w, None, Memlet.simple("out", "0"))
+        sdfg.add_edge(s0, s0, InterstateEdge())  # infinite self-loop
+        with pytest.raises(HangError):
+            execute_sdfg(sdfg, {"out": np.zeros(1)}, max_transitions=50)
+
+
+class TestCopies:
+    def test_access_to_access_copy(self):
+        sdfg = build_copy_program()
+        src = np.arange(8, dtype=np.float64)
+        res = execute_sdfg(sdfg, {"src": src, "dst": np.zeros(4)})
+        np.testing.assert_array_equal(res.outputs["dst"], src[2:6])
+
+
+class TestErrorHandling:
+    def test_out_of_bounds_read(self):
+        sdfg = SDFG("oob")
+        sdfg.add_array("A", ["N"], float64)
+        sdfg.add_array("B", ["N"], float64)
+        state = sdfg.add_state("s")
+        state.add_mapped_tasklet(
+            "shift",
+            {"i": "0:N-1"},
+            {"a": Memlet.simple("A", "i + 1")},  # reads A[N] on the last iteration
+            "b = a",
+            {"b": Memlet.simple("B", "i")},
+        )
+        with pytest.raises(MemoryViolation):
+            execute_sdfg(sdfg, {"A": np.zeros(4), "B": np.zeros(4)}, {"N": 4})
+
+    def test_missing_argument(self):
+        sdfg = build_scale_program()
+        with pytest.raises(MissingArgumentError):
+            execute_sdfg(sdfg, {"inp": np.zeros(4), "out": np.zeros(4)}, {"N": 4})
+
+    def test_missing_symbol(self):
+        sdfg = build_scale_program()
+        with pytest.raises(MissingArgumentError):
+            execute_sdfg(sdfg, {"inp": np.zeros(4), "out": np.zeros(4), "scale": 1.0})
+
+    def test_unknown_argument_rejected(self):
+        sdfg = build_scale_program()
+        with pytest.raises(MissingArgumentError):
+            execute_sdfg(
+                sdfg,
+                {"inp": np.zeros(4), "out": np.zeros(4), "scale": 1.0,
+                 "bogus": np.zeros(4)},
+                {"N": 4},
+            )
+
+    def test_wrong_shape_rejected(self):
+        sdfg = build_scale_program()
+        with pytest.raises(Exception):
+            execute_sdfg(
+                sdfg, {"inp": np.zeros((4, 2)), "out": np.zeros(4), "scale": 1.0}, {"N": 4}
+            )
+
+    def test_tasklet_exception_is_wrapped(self):
+        sdfg = SDFG("div")
+        sdfg.add_array("out", [1], float64)
+        state = sdfg.add_state("s")
+        t = state.add_tasklet("bad", [], ["o"], "o = 1 / 0")
+        w = state.add_access("out")
+        state.add_edge(t, "o", w, None, Memlet.simple("out", "0"))
+        with pytest.raises(TaskletExecutionError):
+            execute_sdfg(sdfg, {"out": np.zeros(1)})
+
+
+class TestCoverage:
+    def test_coverage_collected(self, rng):
+        sdfg = build_loop_sum_program()
+        res = execute_sdfg(
+            sdfg, {"inp": rng.standard_normal(5), "acc": np.zeros(1)}, {"N": 5},
+            collect_coverage=True,
+        )
+        assert len(res.coverage) > 0
+
+    def test_coverage_differs_between_paths(self):
+        sdfg = build_loop_sum_program()
+        r_small = execute_sdfg(
+            sdfg, {"inp": np.zeros(1), "acc": np.zeros(1)}, {"N": 1},
+            collect_coverage=True,
+        )
+        r_big = execute_sdfg(
+            sdfg, {"inp": np.zeros(64), "acc": np.zeros(1)}, {"N": 64},
+            collect_coverage=True,
+        )
+        assert (
+            r_small.coverage.has_new_coverage(r_big.coverage)
+            or r_big.coverage.has_new_coverage(r_small.coverage)
+        )
+
+    def test_coverage_map_operations(self):
+        a, b = CoverageMap(), CoverageMap()
+        a.record("x", 1)
+        b.record("x", 1)
+        b.record("y", 2)
+        assert a.has_new_coverage(b)
+        assert not b.has_new_coverage(a)
+        a.merge(b)
+        assert not a.has_new_coverage(b)
+
+    def test_reexecution_reuses_executor(self, rng):
+        """The same executor instance can run many trials (caches stay valid)."""
+        sdfg = build_matmul_program()
+        ex = SDFGExecutor(sdfg)
+        for _ in range(3):
+            A = rng.standard_normal((3, 3))
+            B = rng.standard_normal((3, 3))
+            res = ex.run({"A": A, "B": B, "C": np.zeros((3, 3))}, {"N": 3, "M": 3, "K": 3})
+            np.testing.assert_allclose(res.outputs["C"], A @ B, rtol=1e-12)
+
+
+class TestNestedSDFG:
+    def test_nested_program_execution(self, rng):
+        inner = SDFG("inner")
+        inner.add_array("x", ["K"], float64)
+        inner.add_array("y", ["K"], float64)
+        istate = inner.add_state("s")
+        istate.add_mapped_tasklet(
+            "sq", {"i": "0:K-1"},
+            {"a": Memlet.simple("x", "i")}, "b = a * a",
+            {"b": Memlet.simple("y", "i")},
+        )
+
+        outer = SDFG("outer")
+        outer.add_array("inp", ["N"], float64)
+        outer.add_array("out", ["N"], float64)
+        state = outer.add_state("s")
+        rd = state.add_access("inp")
+        wr = state.add_access("out")
+        nested = state.add_nested_sdfg(inner, ["x"], ["y"], {"K": "N"})
+        state.add_edge(rd, None, nested, "x", Memlet.full("inp", ["N"]))
+        state.add_edge(nested, "y", wr, None, Memlet.full("out", ["N"]))
+
+        v = rng.standard_normal(6)
+        res = execute_sdfg(outer, {"inp": v, "out": np.zeros(6)}, {"N": 6})
+        np.testing.assert_allclose(res.outputs["out"], v * v)

@@ -1,0 +1,162 @@
+"""Unit and property tests for ranges and subsets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import Range, Subset, Indices, Symbol
+from repro.symbolic.expressions import equivalent
+
+
+class TestRange:
+    def test_full(self):
+        r = Range.full("N")
+        assert str(r) == "0:N -1" or equivalent(r.end, "N - 1")
+        assert r.num_elements().evaluate({"N": 7}) == 7
+
+    def test_from_string_point(self):
+        r = Range.from_string("i")
+        assert r.is_point()
+
+    def test_from_string_range(self):
+        r = Range.from_string("2:10")
+        assert r.evaluate() == (2, 10, 1)
+
+    def test_from_string_step(self):
+        r = Range.from_string("0:N-1:2")
+        assert r.evaluate({"N": 9}) == (0, 8, 2)
+
+    def test_from_string_invalid(self):
+        with pytest.raises(ValueError):
+            Range.from_string("1:2:3:4")
+
+    def test_num_elements_with_step(self):
+        r = Range(0, 9, 2)
+        assert r.num_elements().evaluate() == 5
+
+    def test_intersects_concrete(self):
+        assert Range(0, 5).intersects(Range(5, 9))
+        assert not Range(0, 4).intersects(Range(5, 9))
+
+    def test_intersects_symbolic_conservative(self):
+        assert Range(0, Symbol("N")).intersects(Range(Symbol("M"), Symbol("M")))
+
+    def test_covers(self):
+        assert Range(0, 9).covers(Range(2, 5))
+        assert not Range(2, 5).covers(Range(0, 9))
+
+    def test_covers_symbolic_structural(self):
+        assert Range(0, Symbol("N") - 1).covers(Range(0, Symbol("N") - 1))
+
+    def test_offset(self):
+        r = Range(Symbol("i") * 4, Symbol("i") * 4 + 3).offset_by(Symbol("i") * 4)
+        assert r.evaluate({"i": 7}) == (0, 3, 1)
+
+    def test_union_hull(self):
+        u = Range(0, 3).union_hull(Range(5, 9))
+        assert u.evaluate() == (0, 9, 1)
+
+    def test_indices(self):
+        assert list(Range(1, 7, 3).indices()) == [1, 4, 7]
+
+
+class TestSubset:
+    def test_full(self):
+        s = Subset.full(["N", "M"])
+        assert s.dims == 2
+        assert s.num_elements().evaluate({"N": 3, "M": 4}) == 12
+
+    def test_from_string(self):
+        s = Subset.from_string("i, 0:N-1, 2:9:2")
+        assert s.dims == 3
+        assert s[0].is_point()
+
+    def test_point(self):
+        s = Subset.point(["i", "j"])
+        assert s.is_point()
+        assert s.num_elements().evaluate({"i": 3, "j": 4}) == 1
+
+    def test_as_slices(self):
+        s = Subset.from_string("2:5, 1")
+        assert s.as_slices() == (slice(2, 6, 1), slice(1, 2, 1))
+
+    def test_intersects(self):
+        a = Subset.from_string("0:3, 0:3")
+        b = Subset.from_string("3:5, 2:4")
+        c = Subset.from_string("4:5, 0:3")
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+    def test_covers(self):
+        a = Subset.from_string("0:9, 0:9")
+        b = Subset.from_string("2:5, 0:1")
+        assert a.covers(b)
+        assert not b.covers(a)
+
+    def test_dim_mismatch_union_raises(self):
+        with pytest.raises(ValueError):
+            Subset.from_string("0:3").bounding_box_union(Subset.from_string("0:3, 0:3"))
+
+    def test_offset_by(self):
+        s = Subset.from_string("i, j").offset_by(["i", "j"])
+        assert s.volume_at({"i": 10, "j": 20}) == 1
+        assert s.evaluate({"i": 10, "j": 20}) == [(0, 0, 1), (0, 0, 1)]
+
+    def test_offset_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            Subset.from_string("i, j").offset_by(["i"])
+
+    def test_indices_class(self):
+        idx = Indices(["i", 0])
+        assert idx.is_point()
+        assert len(idx.index_expressions) == 2
+
+    def test_subs(self):
+        s = Subset.from_string("i, 0:N-1").subs({"i": 3, "N": 8})
+        assert s.evaluate() == [(3, 3, 1), (0, 7, 1)]
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    b0=st.integers(0, 20), l0=st.integers(0, 20),
+    b1=st.integers(0, 20), l1=st.integers(0, 20),
+)
+def test_property_range_intersection_matches_sets(b0, l0, b1, l1):
+    """Range.intersects agrees with Python set intersection of covered indices."""
+    r0, r1 = Range(b0, b0 + l0), Range(b1, b1 + l1)
+    expected = bool(set(range(b0, b0 + l0 + 1)) & set(range(b1, b1 + l1 + 1)))
+    assert r0.intersects(r1) == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    b=st.integers(0, 10), l=st.integers(0, 10), step=st.integers(1, 4),
+)
+def test_property_num_elements_matches_enumeration(b, l, step):
+    r = Range(b, b + l, step)
+    assert r.num_elements().evaluate() == len(list(r.indices()))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    dims=st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)), min_size=1, max_size=3)
+)
+def test_property_subset_volume_is_product(dims):
+    s = Subset([(b, b + l, 1) for b, l in dims])
+    expected = 1
+    for _, l in dims:
+        expected *= l + 1
+    assert s.volume_at() == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)), min_size=2, max_size=2),
+    b=st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)), min_size=2, max_size=2),
+)
+def test_property_bounding_box_covers_both(a, b):
+    sa = Subset([(x, x + l, 1) for x, l in a])
+    sb = Subset([(x, x + l, 1) for x, l in b])
+    bb = sa.bounding_box_union(sb)
+    assert bb.covers(sa)
+    assert bb.covers(sb)
