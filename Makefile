@@ -1,0 +1,22 @@
+# Convenience targets; CI runs `make smoke` on every PR.
+
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: test smoke sweep bench-scaling
+
+test:
+	$(PY) -m pytest -x -q
+
+# Exercise the sweep pipeline end to end (2 workers, tiny budget), then the
+# tier-1 test suite.
+smoke:
+	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1
+	$(PY) -m pytest -x -q
+
+# The full injected-bug sweep at default scale.
+sweep:
+	$(PY) -m repro.pipeline --suite npbench --buggy --workers 4
+
+bench-scaling:
+	cd benchmarks && PYTHONPATH=../src $(PY) -m pytest bench_pipeline_scaling.py -q -s

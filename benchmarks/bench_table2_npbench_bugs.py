@@ -9,20 +9,7 @@ each applicable instance is tested with FuzzyFlow.  Two sweeps are reported:
   failure class of its Table 2 row.
 """
 
-from collections import defaultdict
-
-from repro.core import FuzzyFlowVerifier, Verdict
-from repro.transforms import (
-    BufferTiling,
-    MapExpansion,
-    MapReduceFusion,
-    MapTiling,
-    StateAssignElimination,
-    SymbolAliasPromotion,
-    TaskletFusion,
-    Vectorization,
-)
-from repro.workloads.npbench import all_kernels
+from repro.pipeline import SweepRunner, TransformationSpec, enumerate_sweep_tasks
 
 #: Expected Table 2 failure class per transformation (when buggy).
 EXPECTED_FAILURE = {
@@ -37,40 +24,31 @@ EXPECTED_FAILURE = {
 }
 
 
-def _transformations(buggy: bool):
+def _transformation_specs(buggy: bool):
     return [
-        MapTiling(tile_size=4, inject_bug=buggy, bug_kind="off_by_one"),
-        Vectorization(vector_size=4, inject_bug=buggy),
-        MapExpansion(inject_bug=buggy),
-        BufferTiling(tile_size=4, inject_bug=buggy),
-        TaskletFusion(inject_bug=buggy),
-        MapReduceFusion(inject_bug=buggy),
-        StateAssignElimination(inject_bug=buggy),
-        SymbolAliasPromotion(inject_bug=buggy),
+        TransformationSpec("MapTiling", {"tile_size": 4, "inject_bug": buggy, "bug_kind": "off_by_one"}),
+        TransformationSpec("Vectorization", {"vector_size": 4, "inject_bug": buggy}),
+        TransformationSpec("MapExpansion", {"inject_bug": buggy}),
+        TransformationSpec("BufferTiling", {"tile_size": 4, "inject_bug": buggy}),
+        TransformationSpec("TaskletFusion", {"inject_bug": buggy}),
+        TransformationSpec("MapReduceFusion", {"inject_bug": buggy}),
+        TransformationSpec("StateAssignElimination", {"inject_bug": buggy}),
+        TransformationSpec("SymbolAliasPromotion", {"inject_bug": buggy}),
     ]
 
 
 def _sweep(buggy: bool, num_trials: int, max_instances_per_kernel: int = 4):
-    verifier = FuzzyFlowVerifier(
-        num_trials=num_trials, seed=0, size_max=10, minimize_inputs=False,
+    """Thin wrapper over the sweep pipeline (serial execution)."""
+    tasks = enumerate_sweep_tasks(
+        suite="npbench",
+        transformations=_transformation_specs(buggy),
+        max_instances=max_instances_per_kernel,
+        verifier_kwargs=dict(
+            num_trials=num_trials, seed=0, size_max=10, minimize_inputs=False,
+        ),
     )
-    per_transformation = defaultdict(lambda: {"instances": 0, "failing": 0, "verdicts": defaultdict(int)})
-    for spec in all_kernels():
-        for xform in _transformations(buggy):
-            sdfg = spec.build()
-            reports = verifier.verify_all_instances(
-                sdfg, xform, symbol_values=spec.symbols,
-                max_instances=max_instances_per_kernel,
-            )
-            entry = per_transformation[xform.name]
-            for r in reports:
-                if r.verdict == Verdict.UNTESTED:
-                    continue
-                entry["instances"] += 1
-                entry["verdicts"][r.verdict.value] += 1
-                if r.verdict.is_failure:
-                    entry["failing"] += 1
-    return per_transformation
+    result = SweepRunner(workers=1).run(tasks, suite="npbench", buggy=buggy)
+    return result.verdict_table()
 
 
 def test_table2_faithful_sweep_passes(benchmark, report_lines):

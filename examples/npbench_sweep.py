@@ -1,68 +1,25 @@
 #!/usr/bin/env python
 """Sec. 6.3: sweep the built-in transformations over the mini NPBench suite.
 
-For every kernel and every built-in transformation, every applicable instance
-is tested with FuzzyFlow.  Use ``--buggy`` to sweep the injected-bug variants
-and reproduce the Table 2 failure classes.
+Thin wrapper over the sweep pipeline (:mod:`repro.pipeline`).  For every
+kernel and every built-in transformation, every applicable instance is
+tested with FuzzyFlow.  Use ``--buggy`` to sweep the injected-bug variants
+and reproduce the Table 2 failure classes, and ``--workers N`` to fan the
+(workload x transformation x match instance) tasks out to N processes.
 
 Run with::
 
-    python examples/npbench_sweep.py [--buggy] [--trials N]
+    python examples/npbench_sweep.py [--buggy] [--trials N] [--workers N]
+
+See ``python -m repro.pipeline --help`` for the full option list.
 """
 
-import argparse
 import os
 import sys
-from collections import defaultdict
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
-from repro.core import FuzzyFlowVerifier, Verdict
-from repro.transforms import all_builtin_transformations
-from repro.workloads.npbench import all_kernels
-
-
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--buggy", action="store_true",
-                        help="sweep the injected-bug variants (Table 2 reproduction)")
-    parser.add_argument("--trials", type=int, default=6, help="fuzzing trials per instance")
-    parser.add_argument("--max-instances", type=int, default=4,
-                        help="maximum instances per kernel and transformation")
-    args = parser.parse_args()
-
-    verifier = FuzzyFlowVerifier(num_trials=args.trials, seed=0, size_max=10, minimize_inputs=False)
-    registry = all_builtin_transformations()
-    totals = defaultdict(lambda: defaultdict(int))
-
-    for spec in all_kernels():
-        print(f"[{spec.name}] ({spec.domain})")
-        for name, cls in sorted(registry.items()):
-            xform = cls(inject_bug=args.buggy)
-            reports = verifier.verify_all_instances(
-                spec.build(), xform, symbol_values=spec.symbols,
-                max_instances=args.max_instances,
-            )
-            tested = [r for r in reports if r.verdict != Verdict.UNTESTED]
-            failing = [r for r in tested if r.verdict.is_failure]
-            if tested:
-                print(f"    {name:<26} {len(tested):3d} instance(s), {len(failing)} failing")
-            totals[name]["instances"] += len(tested)
-            totals[name]["failing"] += len(failing)
-
-    print("\n" + "=" * 60)
-    print(f"{'Transformation':<28}{'instances':>12}{'failing':>10}")
-    grand_i = grand_f = 0
-    for name in sorted(totals):
-        i, f = totals[name]["instances"], totals[name]["failing"]
-        grand_i, grand_f = grand_i + i, grand_f + f
-        print(f"{name:<28}{i:>12}{f:>10}")
-    print(f"{'TOTAL':<28}{grand_i:>12}{grand_f:>10}")
-    if args.buggy:
-        print("\n(buggy sweep: every failing row corresponds to a Table 2 entry)")
-    else:
-        print("\n(faithful sweep: all instances are expected to pass)")
-
+from repro.pipeline.cli import main
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

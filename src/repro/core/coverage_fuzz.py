@@ -103,8 +103,11 @@ class CoverageGuidedFuzzer:
             trial_index += 1
             report.trials.append(trial)
             report.trials_run += 1
+            report.trials_attempted += 1
             if trial.status == TrialStatus.SKIPPED_BOTH_CRASH:
                 report.trials_skipped += 1
+            else:
+                report.trials_effective += 1
             if trial.is_failure:
                 report.failures += 1
                 if report.first_failure_trial is None:

@@ -25,6 +25,35 @@ from repro.sdfg.sdfg import SDFG
 __all__ = ["DifferentialFuzzer", "compare_system_states"]
 
 
+def _max_abs_diff(ref: np.ndarray, cand: np.ndarray) -> float:
+    """Maximum absolute element-wise difference between two same-shape arrays.
+
+    Works for any numeric dtype: integers use exact arithmetic (a float64
+    cast would round away differences above 2**53), floats treat one-sided
+    NaNs as ``inf`` (pattern divergence is structural), and non-numeric
+    dtypes fall back to ``inf`` since no meaningful distance exists.
+    """
+    if ref.size == 0:
+        return 0.0
+    if np.issubdtype(ref.dtype, np.integer) and np.issubdtype(cand.dtype, np.integer):
+        unequal = ref != cand
+        if not np.any(unequal):
+            return 0.0
+        return float(
+            max(abs(int(a) - int(b)) for a, b in zip(ref[unequal].ravel(), cand[unequal].ravel()))
+        )
+    try:
+        a = np.asarray(ref, dtype=np.float64)
+        b = np.asarray(cand, dtype=np.float64)
+    except (TypeError, ValueError):
+        return float("inf")
+    diff = np.abs(a - b)
+    equal = (a == b) | (np.isnan(a) & np.isnan(b))
+    diff = np.where(equal, 0.0, diff)
+    diff = np.where(np.isnan(diff), np.inf, diff)
+    return float(diff.max())
+
+
 def compare_system_states(
     reference: Mapping[str, np.ndarray],
     candidate: Mapping[str, np.ndarray],
@@ -35,6 +64,10 @@ def compare_system_states(
 
     Returns the list of mismatching container names and the maximum absolute
     error observed.  With ``tolerance == 0`` the comparison is bit-wise.
+    ``inf`` is reported only for structural mismatches (a missing container,
+    a shape mismatch, or a NaN/inf pattern divergence); value mismatches --
+    including integer and boolean containers -- report the true maximum
+    absolute difference so failures can be ranked and thresholded.
     """
     mismatched: List[str] = []
     max_err = 0.0
@@ -54,10 +87,9 @@ def compare_system_states(
             max_err = float("inf")
             continue
         if tolerance == 0:
-            equal = np.array_equal(ref, cand)
-            if not equal:
+            if not np.array_equal(ref, cand):
                 mismatched.append(name)
-                max_err = float("inf")
+                max_err = max(max_err, _max_abs_diff(ref, cand))
             continue
         if np.issubdtype(ref.dtype, np.floating):
             finite_mismatch = not np.array_equal(np.isnan(ref), np.isnan(cand)) or not np.array_equal(
@@ -73,7 +105,7 @@ def compare_system_states(
         else:
             if not np.array_equal(ref, cand):
                 mismatched.append(name)
-                max_err = float("inf")
+                max_err = max(max_err, _max_abs_diff(ref, cand))
     return mismatched, max_err
 
 
@@ -171,26 +203,51 @@ class DifferentialFuzzer:
         num_trials: int = 100,
         stop_on_failure: bool = False,
         samples: Optional[Sequence[InputSample]] = None,
+        max_skip_retries: int = 3,
     ) -> FuzzingReport:
-        """Run a fuzzing campaign of ``num_trials`` trials."""
+        """Run a fuzzing campaign of ``num_trials`` trials.
+
+        A trial where both programs crash (``SKIPPED_BOTH_CRASH``) carries no
+        differential information, so it does not consume the trial budget:
+        the slot is resampled up to ``max_skip_retries`` extra times before
+        being given up.  ``FuzzingReport.trials_attempted`` counts every
+        executed trial (including skips and retries) while
+        ``trials_effective`` counts the trials that actually compared the two
+        programs.
+        """
         report = FuzzingReport()
         start = time.perf_counter()
-        for i in range(num_trials):
-            sample = samples[i] if samples is not None and i < len(samples) else self.sampler.sample()
-            trial = self.run_trial(sample, index=i)
-            report.trials.append(trial)
-            report.trials_run += 1
-            if trial.status == TrialStatus.SKIPPED_BOTH_CRASH:
-                report.trials_skipped += 1
-            if trial.is_failure:
-                report.failures += 1
-                if report.first_failure_trial is None:
-                    report.first_failure_trial = i + 1
-                    report.failing_inputs = {
-                        k: np.array(v, copy=True) for k, v in sample.arguments.items()
-                    }
-                    report.failing_symbols = dict(sample.symbols)
-                if stop_on_failure:
+        stop = False
+        for slot in range(num_trials):
+            if stop:
+                break
+            retries = 0
+            while True:
+                if samples is not None and slot < len(samples) and retries == 0:
+                    sample = samples[slot]
+                else:
+                    sample = self.sampler.sample()
+                trial = self.run_trial(sample, index=len(report.trials))
+                report.trials.append(trial)
+                report.trials_run += 1
+                report.trials_attempted += 1
+                if trial.status == TrialStatus.SKIPPED_BOTH_CRASH:
+                    report.trials_skipped += 1
+                    if retries < max_skip_retries:
+                        retries += 1
+                        continue
                     break
+                report.trials_effective += 1
+                if trial.is_failure:
+                    report.failures += 1
+                    if report.first_failure_trial is None:
+                        report.first_failure_trial = len(report.trials)
+                        report.failing_inputs = {
+                            k: np.array(v, copy=True) for k, v in sample.arguments.items()
+                        }
+                        report.failing_symbols = dict(sample.symbols)
+                    if stop_on_failure:
+                        stop = True
+                break
         report.duration_seconds = time.perf_counter() - start
         return report

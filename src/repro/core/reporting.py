@@ -6,6 +6,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+import numpy as np
+
 __all__ = [
     "Verdict",
     "TrialStatus",
@@ -82,14 +84,47 @@ class TrialResult:
     def is_failure(self) -> bool:
         return self.status.is_failure
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation (coverage features are omitted)."""
+        return {
+            "index": self.index,
+            "status": self.status.value,
+            "mismatched_containers": list(self.mismatched_containers),
+            "max_abs_error": self.max_abs_error,
+            "error_message": self.error_message,
+            "symbols": {k: int(v) for k, v in self.symbols.items()},
+        }
+
+
+def _inputs_to_dict(inputs: Optional[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    if inputs is None:
+        return None
+    out: Dict[str, Any] = {}
+    for name, value in inputs.items():
+        arr = np.asarray(value)
+        out[name] = {
+            "dtype": str(arr.dtype),
+            "shape": list(arr.shape),
+            "data": arr.tolist(),
+        }
+    return out
+
 
 @dataclass
 class FuzzingReport:
-    """Aggregate result of a differential-fuzzing campaign."""
+    """Aggregate result of a differential-fuzzing campaign.
+
+    ``trials_run`` counts every recorded trial, ``trials_attempted`` every
+    executed trial including skip-retries, and ``trials_effective`` only the
+    trials that actually compared the two programs (i.e. were not skipped
+    because both versions crashed).
+    """
 
     trials: List[TrialResult] = field(default_factory=list)
     trials_run: int = 0
     trials_skipped: int = 0
+    trials_attempted: int = 0
+    trials_effective: int = 0
     failures: int = 0
     first_failure_trial: Optional[int] = None
     failing_inputs: Optional[Dict[str, Any]] = None
@@ -103,13 +138,32 @@ class FuzzingReport:
         return self.trials_run / self.duration_seconds
 
     def verdict(self) -> Verdict:
-        if self.trials_run == 0:
+        effective = self.trials_run - self.trials_skipped
+        if self.trials_run == 0 or effective <= 0:
             return Verdict.UNTESTED
         if self.failures == 0:
             return Verdict.PASS
-        if self.failures < self.trials_run - self.trials_skipped:
+        if self.failures < effective:
             return Verdict.INPUT_DEPENDENT
         return Verdict.SEMANTIC_CHANGE
+
+    def to_dict(self, include_trials: bool = True) -> Dict[str, Any]:
+        """JSON-safe representation for aggregation and persistence."""
+        out: Dict[str, Any] = {
+            "trials_run": self.trials_run,
+            "trials_skipped": self.trials_skipped,
+            "trials_attempted": self.trials_attempted,
+            "trials_effective": self.trials_effective,
+            "failures": self.failures,
+            "first_failure_trial": self.first_failure_trial,
+            "failing_symbols": dict(self.failing_symbols) if self.failing_symbols else None,
+            "failing_inputs": _inputs_to_dict(self.failing_inputs),
+            "duration_seconds": self.duration_seconds,
+            "verdict": self.verdict().value,
+        }
+        if include_trials:
+            out["trials"] = [t.to_dict() for t in self.trials]
+        return out
 
 
 @dataclass
@@ -135,6 +189,28 @@ class TransformationTestReport:
     @property
     def passed(self) -> bool:
         return self.verdict == Verdict.PASS
+
+    def to_dict(self, include_trials: bool = False) -> Dict[str, Any]:
+        """JSON-safe representation (used by the sweep pipeline)."""
+        return {
+            "transformation": self.transformation,
+            "match_description": self.match_description,
+            "verdict": self.verdict.value,
+            "fuzzing": self.fuzzing.to_dict(include_trials=include_trials)
+            if self.fuzzing is not None
+            else None,
+            "cutout_containers": self.cutout_containers,
+            "cutout_nodes": self.cutout_nodes,
+            "cutout_states": self.cutout_states,
+            "input_configuration": list(self.input_configuration),
+            "system_state": list(self.system_state),
+            "input_volume_elements": self.input_volume_elements,
+            "minimized": self.minimized,
+            "warnings": list(self.warnings),
+            "error_message": self.error_message,
+            "duration_seconds": self.duration_seconds,
+            "test_case_path": self.test_case_path,
+        }
 
     def summary(self) -> str:
         lines = [

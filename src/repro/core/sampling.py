@@ -36,6 +36,13 @@ class InputSample:
 class InputSampler:
     """Samples input configurations for a cutout."""
 
+    #: Default edge length for size symbols when ``vary_sizes`` is off and no
+    #: fixed value was provided.  Kept deliberately small: fixed-size
+    #: campaigns are meant to be fast, so defaulting to the constraint's
+    #: upper bound (the slowest trials) would silently waste the budget.  The
+    #: value is clamped into the symbol's constraint interval.
+    DEFAULT_FIXED_SIZE = 8
+
     def __init__(
         self,
         sdfg: SDFG,
@@ -61,18 +68,22 @@ class InputSampler:
 
     # ------------------------------------------------------------------ #
     def sample_symbols(self) -> Dict[str, int]:
-        """Sample values for every free symbol of the program."""
-        out: Dict[str, int] = {}
+        """Sample values for every free symbol of the program.
+
+        Every ``fixed_symbols`` entry is honored in the output, even for
+        symbols the program does not list as free (e.g. symbols only used by
+        interstate assignments or by the enclosing context).
+        """
+        out: Dict[str, int] = {sym: int(val) for sym, val in self.fixed_symbols.items()}
         for sym in sorted(self.sdfg.free_symbols):
-            if sym in self.fixed_symbols:
-                out[sym] = int(self.fixed_symbols[sym])
+            if sym in out:
                 continue
             constraint = self.constraints.get(sym)
             if constraint is None:
                 out[sym] = int(self.rng.integers(1, 17))
                 continue
             if constraint.role == "size" and not self.vary_sizes:
-                out[sym] = constraint.clamp(int(self.fixed_symbols.get(sym, constraint.high)))
+                out[sym] = constraint.clamp(self.DEFAULT_FIXED_SIZE)
             else:
                 out[sym] = int(self.rng.integers(constraint.low, constraint.high + 1))
         return out

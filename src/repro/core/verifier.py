@@ -272,6 +272,56 @@ class FuzzyFlowVerifier:
         report.test_case_path = save_test_case(case, path)
 
     # ------------------------------------------------------------------ #
+    def enumerate_instances(
+        self,
+        sdfg: SDFG,
+        transformation: PatternTransformation,
+        max_instances: Optional[int] = None,
+    ) -> List[Match]:
+        """Enumerate the applicable matches of a transformation on a program.
+
+        Enumeration is separable from execution: the sweep pipeline uses it
+        to fan (workload x transformation x match instance) tasks out to
+        worker processes, which re-enumerate by index on a worker-side
+        rebuild of the same program.  The order is deterministic for a given
+        program construction."""
+        matches = [
+            m
+            for m in transformation.find_matches(sdfg)
+            if transformation.can_be_applied(sdfg, m)
+        ]
+        if max_instances is not None:
+            matches = matches[:max_instances]
+        return matches
+
+    def verify_instance(
+        self,
+        sdfg: SDFG,
+        transformation: PatternTransformation,
+        instance_index: int,
+        symbol_values: Optional[Mapping[str, int]] = None,
+        fixed_symbols: Optional[Mapping[str, int]] = None,
+    ) -> TransformationTestReport:
+        """Test the ``instance_index``-th applicable match of a transformation."""
+        matches = self.enumerate_instances(sdfg, transformation)
+        if instance_index < 0 or instance_index >= len(matches):
+            return TransformationTestReport(
+                transformation=transformation.name,
+                match_description=f"(instance {instance_index} out of range, "
+                f"{len(matches)} available)",
+                verdict=Verdict.UNTESTED,
+                error_message=f"instance index {instance_index} out of range: "
+                f"only {len(matches)} applicable match(es) on this program build",
+            )
+        return self.verify(
+            sdfg,
+            transformation,
+            match=matches[instance_index],
+            symbol_values=symbol_values,
+            fixed_symbols=fixed_symbols,
+        )
+
+    # ------------------------------------------------------------------ #
     def verify_all_instances(
         self,
         sdfg: SDFG,
@@ -285,14 +335,7 @@ class FuzzyFlowVerifier:
         Each instance is tested on a fresh clone of the program (instances
         are independent, as in the paper's per-instance testing)."""
         reports: List[TransformationTestReport] = []
-        base_matches = [
-            m
-            for m in transformation.find_matches(sdfg)
-            if transformation.can_be_applied(sdfg, m)
-        ]
-        if max_instances is not None:
-            base_matches = base_matches[:max_instances]
-        for m in base_matches:
+        for m in self.enumerate_instances(sdfg, transformation, max_instances):
             reports.append(
                 self.verify(
                     sdfg,

@@ -1,0 +1,123 @@
+"""Command-line interface of the sweep pipeline.
+
+Run with::
+
+    python -m repro.pipeline --suite npbench [--buggy] --workers 4 --trials 6
+
+The defaults mirror the historical serial sweep script
+(``examples/npbench_sweep.py``): 6 trials per instance, at most 4 instances
+per (kernel, transformation) pair, seed 0, size_max 10, no input
+minimization.  ``--json`` / ``--markdown`` persist the aggregated
+:class:`repro.pipeline.result.SweepResult` for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.pipeline.runner import SweepRunner
+from repro.pipeline.tasks import enumerate_sweep_tasks
+from repro.workloads import list_workload_suites
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.pipeline",
+        description="Parallel transformation x workload verification sweep (Sec. 6.3 / Table 2).",
+    )
+    parser.add_argument(
+        "--suite", default="npbench", choices=list_workload_suites(),
+        help="workload suite to sweep (default: npbench)",
+    )
+    parser.add_argument(
+        "--buggy", action="store_true",
+        help="sweep the injected-bug transformation variants (Table 2 reproduction)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial, default)",
+    )
+    parser.add_argument("--trials", type=int, default=6, help="fuzzing trials per instance")
+    parser.add_argument(
+        "--max-instances", type=int, default=4,
+        help="maximum instances per (kernel, transformation) pair",
+    )
+    parser.add_argument(
+        "--kernels", default=None,
+        help="comma-separated subset of suite kernels to sweep (default: all)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="fuzzing seed")
+    parser.add_argument("--size-max", type=int, default=10, help="maximum sampled size-symbol value")
+    parser.add_argument("--json", default=None, metavar="PATH", help="write the JSON report here")
+    parser.add_argument(
+        "--markdown", default=None, metavar="PATH", help="write the Markdown report here"
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress the stdout table")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    workloads = None
+    if args.kernels:
+        workloads = [k.strip() for k in args.kernels.split(",") if k.strip()]
+
+    try:
+        tasks = enumerate_sweep_tasks(
+            suite=args.suite,
+            workloads=workloads,
+            buggy=args.buggy,
+            max_instances=args.max_instances,
+            verifier_kwargs=dict(
+                num_trials=args.trials,
+                seed=args.seed,
+                size_max=args.size_max,
+                minimize_inputs=False,
+            ),
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    workers = max(1, args.workers)
+    if not args.quiet:
+        print(
+            f"[pipeline] {len(tasks)} task(s) over suite '{args.suite}' "
+            f"({'buggy' if args.buggy else 'faithful'}), {workers} worker(s)"
+        )
+    runner = SweepRunner(workers=workers)
+    result = runner.run(tasks, suite=args.suite, buggy=args.buggy)
+
+    if not args.quiet:
+        print(result.render_text())
+        print(f"\nduration: {result.duration_seconds:.2f} s")
+        for err in result.errors():
+            print(
+                f"error: {err['workload']} / {err['transformation']} "
+                f"#{err['match_index']}: {err['error']}",
+                file=sys.stderr,
+            )
+        if args.buggy:
+            print("(buggy sweep: every failing row corresponds to a Table 2 entry)")
+        else:
+            print("(faithful sweep: all instances are expected to pass)")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            f.write(result.to_json())
+        if not args.quiet:
+            print(f"JSON report written to {args.json}")
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as f:
+            f.write(result.to_markdown())
+        if not args.quiet:
+            print(f"Markdown report written to {args.markdown}")
+    return 1 if result.errors() else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,128 @@
+"""Sweep result aggregation and rendering (JSON, Markdown, plain text).
+
+A :class:`SweepResult` collects one outcome dict per sweep task -- the
+task coordinates plus the JSON-safe ``TransformationTestReport.to_dict()``
+-- and derives the per-transformation verdict table the paper reports in
+Table 2 (instances tested, instances failing, verdict histogram).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.reporting import Verdict
+
+__all__ = ["SweepResult"]
+
+#: Version of the JSON document produced by :meth:`SweepResult.to_dict`.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class SweepResult:
+    """Aggregate outcome of one sweep run."""
+
+    suite: str
+    buggy: bool = False
+    workers: int = 1
+    outcomes: List[Dict[str, Any]] = field(default_factory=list)
+    duration_seconds: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    def verdict_table(self) -> Dict[str, Dict[str, Any]]:
+        """Per-transformation verdict histogram (UNTESTED instances excluded)."""
+        table: Dict[str, Dict[str, Any]] = {}
+        for outcome in self.outcomes:
+            verdict = outcome["verdict"]
+            if verdict == Verdict.UNTESTED.value:
+                continue
+            entry = table.setdefault(
+                outcome["transformation"],
+                {"instances": 0, "failing": 0, "verdicts": {}},
+            )
+            entry["instances"] += 1
+            entry["verdicts"][verdict] = entry["verdicts"].get(verdict, 0) + 1
+            if Verdict(verdict).is_failure:
+                entry["failing"] += 1
+        return table
+
+    def totals(self) -> Tuple[int, int]:
+        """(total instances tested, total instances failing)."""
+        table = self.verdict_table()
+        return (
+            sum(e["instances"] for e in table.values()),
+            sum(e["failing"] for e in table.values()),
+        )
+
+    def errors(self) -> List[Dict[str, Any]]:
+        """Outcomes that hit an infrastructure error (not a test verdict)."""
+        return [o for o in self.outcomes if o.get("error")]
+
+    # ------------------------------------------------------------------ #
+    # Renderers
+    # ------------------------------------------------------------------ #
+    def to_dict(self, include_outcomes: bool = True) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "schema_version": SCHEMA_VERSION,
+            "suite": self.suite,
+            "buggy": self.buggy,
+            "workers": self.workers,
+            "duration_seconds": self.duration_seconds,
+            "verdict_table": self.verdict_table(),
+            "totals": dict(zip(("instances", "failing"), self.totals())),
+        }
+        if include_outcomes:
+            out["outcomes"] = list(self.outcomes)
+        return out
+
+    def to_json(self, indent: Optional[int] = 2, include_outcomes: bool = True) -> str:
+        return json.dumps(self.to_dict(include_outcomes=include_outcomes), indent=indent)
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "SweepResult":
+        return cls(
+            suite=d["suite"],
+            buggy=d.get("buggy", False),
+            workers=d.get("workers", 1),
+            outcomes=list(d.get("outcomes", [])),
+            duration_seconds=d.get("duration_seconds", 0.0),
+        )
+
+    def to_markdown(self) -> str:
+        lines = [
+            f"# Sweep result: suite `{self.suite}`"
+            + (" (injected bugs)" if self.buggy else ""),
+            "",
+            f"- workers: {self.workers}",
+            f"- duration: {self.duration_seconds:.2f} s",
+            "",
+            "| Transformation | Instances | Failing | Verdicts |",
+            "| --- | ---: | ---: | --- |",
+        ]
+        table = self.verdict_table()
+        for name in sorted(table):
+            entry = table[name]
+            verdicts = ", ".join(
+                f"{k}={v}" for k, v in sorted(entry["verdicts"].items())
+            )
+            lines.append(
+                f"| {name} | {entry['instances']} | {entry['failing']} | {verdicts} |"
+            )
+        total_i, total_f = self.totals()
+        lines.append(f"| **TOTAL** | **{total_i}** | **{total_f}** | |")
+        return "\n".join(lines) + "\n"
+
+    def render_text(self) -> str:
+        """The aligned plain-text table the serial sweep script used to print."""
+        lines = [f"{'Transformation':<28}{'instances':>12}{'failing':>10}"]
+        table = self.verdict_table()
+        total_i = total_f = 0
+        for name in sorted(table):
+            entry = table[name]
+            total_i += entry["instances"]
+            total_f += entry["failing"]
+            lines.append(f"{name:<28}{entry['instances']:>12}{entry['failing']:>10}")
+        lines.append(f"{'TOTAL':<28}{total_i:>12}{total_f:>10}")
+        return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Shared-nothing sweep execution: serial loop or multiprocessing pool.
+
+Each worker receives only plain picklable :class:`SweepTask` descriptions,
+rebuilds the workload from its suite/name (or serialized JSON), re-derives
+the transformation instance by index, runs the full FuzzyFlow verification,
+and returns a JSON-safe outcome dict.  With ``workers <= 1`` the same task
+function runs inline, so serial and parallel sweeps are bit-identical in
+everything but wall-clock time.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.reporting import Verdict
+from repro.core.verifier import FuzzyFlowVerifier
+from repro.pipeline.result import SweepResult
+from repro.pipeline.tasks import SweepTask
+
+__all__ = ["SweepRunner", "execute_task"]
+
+
+def execute_task(task: SweepTask) -> Dict[str, Any]:
+    """Run one sweep task and return its JSON-safe outcome.
+
+    Infrastructure failures (a workload that no longer builds, an unknown
+    transformation, ...) are captured in the ``error`` field instead of
+    killing the whole sweep.
+    """
+    base = {
+        "suite": task.suite,
+        "workload": task.workload,
+        "transformation": task.transformation.name,
+        "match_index": task.match_index,
+        "error": None,
+    }
+    try:
+        sdfg = task.build_sdfg()
+        xform = task.transformation.instantiate()
+        verifier = FuzzyFlowVerifier(**task.verifier_kwargs)
+        report = verifier.verify_instance(
+            sdfg, xform, task.match_index, symbol_values=task.symbols
+        )
+    except Exception as exc:  # noqa: BLE001 - reported per task
+        base["verdict"] = Verdict.UNTESTED.value
+        base["match_description"] = task.match_description
+        base["error"] = f"{type(exc).__name__}: {exc}"
+        base["report"] = None
+        return base
+    base["verdict"] = report.verdict.value
+    base["match_description"] = report.match_description
+    base["report"] = report.to_dict()
+    if report.verdict == Verdict.UNTESTED and report.error_message:
+        # E.g. the worker-side rebuild produced fewer matches than the
+        # coordinator enumerated: an infrastructure problem, not a verdict --
+        # surface it through SweepResult.errors() instead of letting the
+        # instance silently vanish from the verdict table.
+        base["error"] = report.error_message
+    return base
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap on Linux); fall back to spawn elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class SweepRunner:
+    """Fans sweep tasks out to a worker pool and aggregates the outcomes."""
+
+    def __init__(self, workers: int = 1, chunksize: int = 1) -> None:
+        self.workers = max(1, int(workers))
+        self.chunksize = max(1, int(chunksize))
+
+    def run(
+        self,
+        tasks: Sequence[SweepTask],
+        suite: Optional[str] = None,
+        buggy: Optional[bool] = None,
+    ) -> SweepResult:
+        """Execute all tasks and aggregate them into a :class:`SweepResult`.
+
+        Outcome order always follows task order, independent of worker
+        scheduling, so serial and parallel runs aggregate identically.
+        ``suite`` and ``buggy`` label the result; by default they are
+        derived from the tasks themselves so the report header cannot
+        contradict what was actually run.
+        """
+        start = time.perf_counter()
+        tasks = list(tasks)
+        if suite is None:
+            suite = tasks[0].suite if tasks else "npbench"
+        if buggy is None:
+            buggy = any(
+                bool(t.transformation.kwargs.get("inject_bug")) for t in tasks
+            )
+        if self.workers == 1 or len(tasks) <= 1:
+            outcomes = [execute_task(t) for t in tasks]
+            workers_used = 1
+        else:
+            workers_used = min(self.workers, len(tasks))
+            ctx = _pool_context()
+            with ctx.Pool(processes=workers_used) as pool:
+                outcomes = pool.map(execute_task, tasks, chunksize=self.chunksize)
+        return SweepResult(
+            suite=suite,
+            buggy=buggy,
+            workers=workers_used,
+            outcomes=outcomes,
+            duration_seconds=time.perf_counter() - start,
+        )

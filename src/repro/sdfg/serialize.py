@@ -7,6 +7,7 @@ program round-trips losslessly.
 
 from __future__ import annotations
 
+import json
 from typing import Dict, List
 
 from repro.sdfg.data import data_from_dict
@@ -25,7 +26,28 @@ from repro.sdfg.sdfg import SDFG, InterstateEdge
 from repro.sdfg.state import SDFGState
 from repro.symbolic.ranges import Range
 
-__all__ = ["sdfg_to_dict", "sdfg_from_dict", "node_to_dict", "node_from_dict"]
+__all__ = [
+    "sdfg_to_dict",
+    "sdfg_from_dict",
+    "sdfg_to_json",
+    "sdfg_from_json",
+    "node_to_dict",
+    "node_from_dict",
+]
+
+
+def sdfg_to_json(sdfg: "SDFG") -> str:
+    """Serialize an SDFG to a JSON string.
+
+    The sweep pipeline ships custom (non-suite) workloads to worker
+    processes as JSON strings, since SDFG object graphs are not guaranteed
+    to be picklable across process boundaries."""
+    return json.dumps(sdfg_to_dict(sdfg))
+
+
+def sdfg_from_json(text: str) -> "SDFG":
+    """Deserialize an SDFG from a JSON string."""
+    return sdfg_from_dict(json.loads(text))
 
 
 def node_to_dict(node: Node, node_id: int) -> Dict:

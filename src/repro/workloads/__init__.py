@@ -13,6 +13,8 @@ Every application the evaluation touches is rebuilt on the dataflow IR:
   standing in for ECMWF CLOUDSC (Sec. 6.4).
 """
 
+from typing import Callable, Dict, List
+
 from repro.workloads.bert_encoder import (
     BERT_LARGE,
     BERT_TINY,
@@ -34,4 +36,55 @@ __all__ = [
     "reference_sddmm",
     "build_cloudsc",
     "CloudscConfig",
+    "register_workload_suite",
+    "get_workload_suite",
+    "get_workload",
+    "list_workload_suites",
 ]
+
+
+# ---------------------------------------------------------------------- #
+# Suite registry: lookup by name so shared-nothing sweep workers can
+# rebuild a workload from its (suite, name) pair instead of pickling SDFGs.
+# ---------------------------------------------------------------------- #
+_SUITE_LOADERS: Dict[str, Callable[[], List]] = {}
+
+
+def register_workload_suite(name: str, loader: Callable[[], List]) -> None:
+    """Register a workload suite under a name.
+
+    ``loader`` returns the suite's list of :class:`KernelSpec`-like entries
+    (each with ``name``, ``build()`` and ``symbols``).  Loaders are called
+    lazily so registration stays import-cycle free."""
+    _SUITE_LOADERS[name] = loader
+
+
+def list_workload_suites() -> List[str]:
+    """Names of all registered workload suites."""
+    return sorted(_SUITE_LOADERS)
+
+
+def get_workload_suite(name: str) -> List:
+    """All workload specs of a registered suite."""
+    if name not in _SUITE_LOADERS:
+        raise KeyError(
+            f"Unknown workload suite '{name}' (available: {', '.join(list_workload_suites())})"
+        )
+    return list(_SUITE_LOADERS[name]())
+
+
+def get_workload(suite: str, name: str):
+    """Look up one workload spec of a suite by name."""
+    for spec in get_workload_suite(suite):
+        if spec.name == name:
+            return spec
+    raise KeyError(f"Unknown workload '{name}' in suite '{suite}'")
+
+
+def _load_npbench():
+    from repro.workloads.npbench import all_kernels
+
+    return all_kernels()
+
+
+register_workload_suite("npbench", _load_npbench)

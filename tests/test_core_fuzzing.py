@@ -97,6 +97,37 @@ class TestSampling:
         sample = sampler.sample()
         assert sample.arguments["A"].dtype == np.int32
 
+    def test_fixed_size_default_is_small(self):
+        """With vary_sizes=False and no fixed value, size symbols default to
+        the small DEFAULT_FIXED_SIZE clamped into the constraint -- not the
+        constraint's upper bound (regression)."""
+        from repro.core import SymbolConstraint
+
+        sdfg = scale_program()
+        constraints = {"N": SymbolConstraint("N", 1, 32, role="size")}
+        sampler = InputSampler(sdfg, ["X"], ["Y"], constraints, vary_sizes=False, seed=0)
+        for _ in range(3):
+            assert sampler.sample().symbols["N"] == InputSampler.DEFAULT_FIXED_SIZE
+
+    def test_fixed_size_default_clamped(self):
+        from repro.core import SymbolConstraint
+
+        sdfg = scale_program()
+        constraints = {"N": SymbolConstraint("N", 1, 4, role="size")}
+        sampler = InputSampler(sdfg, ["X"], ["Y"], constraints, vary_sizes=False, seed=0)
+        assert sampler.sample().symbols["N"] == 4
+
+    def test_fixed_symbols_beyond_free_symbols_kept(self):
+        """fixed_symbols entries for symbols the program does not list as
+        free still appear in the sampled symbols (regression)."""
+        sdfg = scale_program()
+        sampler = InputSampler(
+            sdfg, ["X"], ["Y"], fixed_symbols={"N": 5, "OUTER": 7}, seed=0
+        )
+        symbols = sampler.sample_symbols()
+        assert symbols["N"] == 5
+        assert symbols["OUTER"] == 7
+
     def test_mutation_changes_values(self):
         sdfg = scale_program()
         sampler = InputSampler(sdfg, ["X"], ["Y"], fixed_symbols={"N": 16}, seed=3)
@@ -144,6 +175,53 @@ class TestCompare:
         mism, _ = compare_system_states(a, b, ["x"])
         assert mism == ["x"]
 
+    def test_integer_mismatch_reports_true_error(self):
+        """Integer mismatches report the actual max abs diff, not inf, so
+        failures can be ranked and thresholded (regression)."""
+        a = {"x": np.array([1, 2, 3], dtype=np.int32)}
+        b = {"x": np.array([1, 5, 2], dtype=np.int32)}
+        mism, err = compare_system_states(a, b, ["x"])
+        assert mism == ["x"]
+        assert err == 3.0
+
+    def test_bool_mismatch_reports_true_error(self):
+        a = {"x": np.array([True, False])}
+        b = {"x": np.array([True, True])}
+        mism, err = compare_system_states(a, b, ["x"])
+        assert mism == ["x"]
+        assert err == 1.0
+
+    def test_bitwise_mismatch_reports_true_error(self):
+        a = {"x": np.array([0.0, 1.0])}
+        b = {"x": np.array([0.0, 1.5])}
+        mism, err = compare_system_states(a, b, ["x"], tolerance=0)
+        assert mism == ["x"]
+        assert err == 0.5
+
+    def test_bitwise_nan_divergence_reports_inf(self):
+        """A one-sided NaN is a structural (pattern) divergence even in
+        bit-wise mode, not a zero-error mismatch."""
+        a = {"x": np.array([np.nan])}
+        b = {"x": np.array([1.0])}
+        mism, err = compare_system_states(a, b, ["x"], tolerance=0)
+        assert mism == ["x"] and err == float("inf")
+
+    def test_large_integer_mismatch_exact(self):
+        """Integer diffs are computed exactly: a float64 cast would round
+        2**60 and 2**60 + 1 to the same value."""
+        a = {"x": np.array([2**60], dtype=np.int64)}
+        b = {"x": np.array([2**60 + 1], dtype=np.int64)}
+        mism, err = compare_system_states(a, b, ["x"])
+        assert mism == ["x"] and err == 1.0
+
+    def test_inf_reserved_for_structural_mismatches(self):
+        mism, err = compare_system_states(
+            {"x": np.zeros(4, dtype=np.int64)}, {"x": np.zeros(5, dtype=np.int64)}, ["x"]
+        )
+        assert mism == ["x"] and err == float("inf")
+        mism, err = compare_system_states({"x": np.zeros(4)}, {}, ["x"])
+        assert mism == ["x"] and err == float("inf")
+
 
 class TestDifferentialFuzzer:
     def _fuzzer(self, inject_bug, vary_sizes=True, seed=0):
@@ -187,6 +265,49 @@ class TestDifferentialFuzzer:
         report = self._fuzzer(inject_bug=False).run(num_trials=5)
         assert report.trials_run == 5
         assert report.trials_per_second > 0
+
+    def test_effective_trials_counted(self):
+        report = self._fuzzer(inject_bug=False).run(num_trials=5)
+        assert report.trials_attempted == 5
+        assert report.trials_effective == 5
+        assert report.trials_skipped == 0
+
+    def test_skipped_trials_resampled(self):
+        """SKIPPED_BOTH_CRASH trials no longer consume the trial budget: each
+        skipped slot is resampled so the campaign still performs the requested
+        number of real comparisons (regression)."""
+        from repro.core.reporting import TrialResult
+
+        fuzzer = self._fuzzer(inject_bug=False)
+        real_run_trial = fuzzer.run_trial
+        calls = {"n": 0}
+
+        def flaky_run_trial(sample, index=0):
+            calls["n"] += 1
+            if calls["n"] <= 3:
+                return TrialResult(index=index, status=TrialStatus.SKIPPED_BOTH_CRASH)
+            return real_run_trial(sample, index=index)
+
+        fuzzer.run_trial = flaky_run_trial
+        report = fuzzer.run(num_trials=5)
+        assert report.trials_effective == 5
+        assert report.trials_skipped == 3
+        assert report.trials_attempted == 8
+        assert report.verdict().value == "pass"
+
+    def test_skip_retries_bounded(self):
+        from repro.core.reporting import TrialResult
+
+        fuzzer = self._fuzzer(inject_bug=False)
+        fuzzer.run_trial = lambda sample, index=0: TrialResult(
+            index=index, status=TrialStatus.SKIPPED_BOTH_CRASH
+        )
+        report = fuzzer.run(num_trials=3, max_skip_retries=2)
+        # Every slot retried at most twice: 3 slots x (1 + 2) attempts.
+        assert report.trials_attempted == 9
+        assert report.trials_effective == 0
+        # A campaign with zero effective comparisons is inconclusive.
+        assert report.verdict().value == "untested"
 
 
 class TestCoverageGuidedFuzzer:

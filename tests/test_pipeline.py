@@ -1,0 +1,254 @@
+"""Tests for the parallel sweep pipeline (repro.pipeline)."""
+
+import json
+
+import pytest
+
+from repro.core import Verdict
+from repro.frontend import add_scale
+from repro.pipeline import (
+    SweepResult,
+    SweepRunner,
+    SweepTask,
+    TransformationSpec,
+    default_transformation_specs,
+    enumerate_sweep_tasks,
+    execute_task,
+)
+from repro.pipeline.cli import main as pipeline_main
+from repro.sdfg import SDFG, float64
+from repro.sdfg.serialize import sdfg_to_json
+from repro.transforms import all_builtin_transformations
+from repro.workloads import (
+    get_workload,
+    get_workload_suite,
+    list_workload_suites,
+    register_workload_suite,
+)
+
+#: Small, fast kernel subset used throughout these tests.
+KERNELS = ["jacobi_1d", "axpy_pipeline", "scaled_diff"]
+VERIFIER_KWARGS = dict(num_trials=2, seed=0, size_max=8, minimize_inputs=False)
+
+
+def _tasks(buggy=False, kernels=KERNELS, max_instances=1):
+    return enumerate_sweep_tasks(
+        suite="npbench",
+        workloads=kernels,
+        buggy=buggy,
+        max_instances=max_instances,
+        verifier_kwargs=VERIFIER_KWARGS,
+    )
+
+
+def scale_program():
+    sdfg = SDFG("scale")
+    sdfg.add_array("X", ["N"], float64)
+    sdfg.add_array("Y", ["N"], float64)
+    sdfg.add_scalar("factor", float64)
+    state = sdfg.add_state("s")
+    add_scale(sdfg, state, "X", "Y", "factor")
+    return sdfg
+
+
+class TestWorkloadRegistry:
+    def test_npbench_registered(self):
+        assert "npbench" in list_workload_suites()
+        specs = get_workload_suite("npbench")
+        assert len(specs) >= 10
+
+    def test_lookup_by_name(self):
+        spec = get_workload("npbench", "gemm")
+        assert spec.name == "gemm"
+        assert spec.build().name == "gemm"
+
+    def test_unknown_suite_and_workload(self):
+        with pytest.raises(KeyError):
+            get_workload_suite("no_such_suite")
+        with pytest.raises(KeyError):
+            get_workload("npbench", "no_such_kernel")
+
+    def test_register_custom_suite(self):
+        from repro.workloads.npbench import KernelSpec
+
+        register_workload_suite(
+            "test_suite", lambda: [KernelSpec("scale", scale_program, {"N": 8}, "test")]
+        )
+        try:
+            assert get_workload("test_suite", "scale").symbols == {"N": 8}
+        finally:
+            from repro.workloads import _SUITE_LOADERS
+
+            _SUITE_LOADERS.pop("test_suite", None)
+
+
+class TestTaskEnumeration:
+    def test_enumeration_is_deterministic(self):
+        t1 = _tasks(buggy=True)
+        t2 = _tasks(buggy=True)
+        assert [(t.workload, t.transformation.name, t.match_index) for t in t1] == [
+            (t.workload, t.transformation.name, t.match_index) for t in t2
+        ]
+        assert [t.match_description for t in t1] == [t.match_description for t in t2]
+
+    def test_default_specs_cover_registry(self):
+        specs = default_transformation_specs(buggy=True)
+        assert {s.name for s in specs} == set(all_builtin_transformations())
+        assert all(s.kwargs == {"inject_bug": True} for s in specs)
+
+    def test_max_instances_bounds_tasks(self):
+        unbounded = _tasks(max_instances=None)
+        bounded = _tasks(max_instances=1)
+        per_pair = {}
+        for t in bounded:
+            per_pair.setdefault((t.workload, t.transformation.name), []).append(t)
+        assert all(len(v) == 1 for v in per_pair.values())
+        assert len(bounded) <= len(unbounded)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            _tasks(kernels=["no_such_kernel"])
+
+    def test_unknown_transformation_rejected(self):
+        with pytest.raises(KeyError):
+            TransformationSpec("NoSuchTransformation").instantiate()
+
+
+class TestExecuteTask:
+    def test_single_task_roundtrip(self):
+        task = _tasks(buggy=False)[0]
+        outcome = execute_task(task)
+        assert outcome["workload"] == task.workload
+        assert outcome["error"] is None
+        assert outcome["verdict"] == Verdict.PASS.value
+        assert outcome["report"]["fuzzing"]["trials_run"] >= 1
+        json.dumps(outcome)  # JSON-safe end to end
+
+    def test_out_of_range_instance_is_untested_and_surfaced(self):
+        task = _tasks()[0]
+        task.match_index = 999
+        outcome = execute_task(task)
+        assert outcome["verdict"] == Verdict.UNTESTED.value
+        # An out-of-range instance is an infrastructure problem (e.g. a
+        # worker-side rebuild with fewer matches), not a silent no-op: it
+        # must show up in SweepResult.errors().
+        assert outcome["error"] is not None and "out of range" in outcome["error"]
+        result = SweepResult(suite="npbench", outcomes=[outcome])
+        assert result.errors() == [outcome]
+
+    def test_custom_sdfg_task(self):
+        """A program outside any registered suite travels as serialized JSON."""
+        sdfg = scale_program()
+        task = SweepTask(
+            suite="custom",
+            workload="scale",
+            transformation=TransformationSpec("Vectorization", {"vector_size": 4}),
+            match_index=0,
+            match_description="",
+            symbols={"N": 8},
+            verifier_kwargs=VERIFIER_KWARGS,
+            sdfg_json=sdfg_to_json(sdfg),
+        )
+        outcome = execute_task(task)
+        assert outcome["error"] is None
+        assert outcome["verdict"] == Verdict.PASS.value
+
+    def test_infrastructure_error_captured(self):
+        task = _tasks()[0]
+        task.suite = "no_such_suite"
+        task.sdfg_json = None
+        outcome = execute_task(task)
+        assert outcome["error"] is not None
+        assert outcome["verdict"] == Verdict.UNTESTED.value
+
+
+class TestSweepRunner:
+    def test_parallel_matches_serial_faithful(self):
+        tasks = _tasks(buggy=False)
+        serial = SweepRunner(workers=1).run(tasks, suite="npbench", buggy=False)
+        parallel = SweepRunner(workers=2).run(tasks, suite="npbench", buggy=False)
+        assert serial.verdict_table() == parallel.verdict_table()
+        assert serial.totals()[1] == 0
+
+    def test_parallel_matches_serial_buggy(self):
+        """The acceptance check in miniature: the buggy sweep aggregates to
+        the identical verdict table regardless of worker count."""
+        tasks = _tasks(buggy=True)
+        serial = SweepRunner(workers=1).run(tasks, suite="npbench", buggy=True)
+        parallel = SweepRunner(workers=2).run(tasks, suite="npbench", buggy=True)
+        assert serial.verdict_table() == parallel.verdict_table()
+        assert [o["verdict"] for o in serial.outcomes] == [
+            o["verdict"] for o in parallel.outcomes
+        ]
+        assert serial.totals()[1] >= 1  # the injected bugs are detected
+
+    def test_result_labels_derived_from_tasks(self):
+        """run() derives suite/buggy from the tasks, so the report header
+        cannot claim a faithful sweep over injected-bug tasks."""
+        tasks = _tasks(buggy=True, kernels=["jacobi_1d"])
+        result = SweepRunner(workers=1).run(tasks)
+        assert result.suite == "npbench"
+        assert result.buggy is True
+        faithful = SweepRunner(workers=1).run(_tasks(buggy=False, kernels=["jacobi_1d"]))
+        assert faithful.buggy is False
+
+    def test_outcome_order_follows_task_order(self):
+        tasks = _tasks(buggy=True)
+        result = SweepRunner(workers=2).run(tasks, suite="npbench", buggy=True)
+        assert [(o["workload"], o["transformation"], o["match_index"]) for o in result.outcomes] == [
+            (t.workload, t.transformation.name, t.match_index) for t in tasks
+        ]
+
+
+class TestSweepResult:
+    def _result(self):
+        return SweepRunner(workers=1).run(_tasks(buggy=True), suite="npbench", buggy=True)
+
+    def test_json_roundtrip(self):
+        result = self._result()
+        restored = SweepResult.from_dict(json.loads(result.to_json()))
+        assert restored.verdict_table() == result.verdict_table()
+        assert restored.totals() == result.totals()
+        assert restored.suite == "npbench" and restored.buggy
+
+    def test_json_schema_fields(self):
+        doc = json.loads(self._result().to_json())
+        assert doc["schema_version"] == 1
+        assert set(doc) >= {
+            "suite", "buggy", "workers", "duration_seconds",
+            "verdict_table", "totals", "outcomes",
+        }
+        for entry in doc["verdict_table"].values():
+            assert set(entry) == {"instances", "failing", "verdicts"}
+
+    def test_markdown_and_text_renderers(self):
+        result = self._result()
+        md = result.to_markdown()
+        assert "| Transformation |" in md and "**TOTAL**" in md
+        text = result.render_text()
+        assert text.startswith("Transformation")
+        assert "TOTAL" in text
+
+
+class TestCLI:
+    def test_cli_smoke(self, capsys, tmp_path):
+        json_path = tmp_path / "sweep.json"
+        md_path = tmp_path / "sweep.md"
+        rc = pipeline_main([
+            "--suite", "npbench", "--kernels", "jacobi_1d", "--trials", "1",
+            "--max-instances", "1", "--workers", "1",
+            "--json", str(json_path), "--markdown", str(md_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out
+        assert json.loads(json_path.read_text())["suite"] == "npbench"
+        assert "| Transformation |" in md_path.read_text()
+
+    def test_cli_parallel_buggy(self, capsys):
+        rc = pipeline_main([
+            "--suite", "npbench", "--kernels", "jacobi_1d,axpy_pipeline",
+            "--buggy", "--trials", "2", "--max-instances", "1", "--workers", "2",
+        ])
+        assert rc == 0
+        assert "buggy sweep" in capsys.readouterr().out
