@@ -3,15 +3,18 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke sweep bench-scaling
+.PHONY: test smoke sweep bench-scaling bench-quick
 
 test:
 	$(PY) -m pytest -x -q
 
-# Exercise the sweep pipeline end to end (2 workers, tiny budget), then the
+# Exercise the sweep pipeline end to end (2 workers, tiny budget) once per
+# execution backend -- 'cross' doubles as a backend self-check -- then the
 # tier-1 test suite.
 smoke:
-	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1
+	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend interpreter
+	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend vectorized
+	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend cross
 	$(PY) -m pytest -x -q
 
 # The full injected-bug sweep at default scale.
@@ -20,3 +23,7 @@ sweep:
 
 bench-scaling:
 	cd benchmarks && PYTHONPATH=../src $(PY) -m pytest bench_pipeline_scaling.py -q -s
+
+# Interpreter-vs-vectorized throughput at tiny sizes (BENCH_backends.json).
+bench-quick:
+	cd benchmarks && PYTHONPATH=../src REPRO_BENCH_QUICK=1 $(PY) -m pytest bench_backend_throughput.py -q -s

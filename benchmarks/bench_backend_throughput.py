@@ -1,0 +1,148 @@
+"""Execution-backend throughput: interpreter vs. vectorized.
+
+Measures elements/second (map iterations executed per second) and
+trials/second (full program executions per second) for both execution
+backends on three NPBench kernels -- a large affine matmul (``gemm``), a 2-D
+stencil (``jacobi_2d``) and an element-wise producer/consumer pipeline
+(``axpy_pipeline``) -- and writes the series to ``BENCH_backends.json``.
+
+The backends must agree bitwise on every measured run (the measurement
+doubles as an equivalence check), and the vectorized backend must beat the
+interpreter by at least 5x on the large affine matmul: that margin is the
+point of the backend seam -- the Sec. 6.3 sweep's hot loop is dominated by
+cutout executions, and lowering affine map scopes to NumPy array expressions
+buys orders of magnitude there.
+
+Set ``REPRO_BENCH_QUICK=1`` (the ``make bench-quick`` target) for tiny sizes,
+``REPRO_PAPER_SCALE=1`` for larger ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from conftest import paper_scale
+
+from repro.backends import get_backend
+from repro.workloads import get_workload
+
+OUTPUT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_backends.json")
+
+#: Required interpreter-to-vectorized speedup on the large affine matmul.
+REQUIRED_MATMUL_SPEEDUP = 5.0
+
+
+def quick_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
+
+
+def _cases():
+    """(kernel, symbols, iteration-space volume) triples to measure."""
+    if quick_scale():
+        n_mm, n_st, n_ew = 16, 24, 4096
+    elif paper_scale():
+        n_mm, n_st, n_ew = 64, 96, 65536
+    else:
+        n_mm, n_st, n_ew = 40, 64, 16384
+    return [
+        # gemm runs NI*NJ*NK matmul iterations plus two NI*NJ element-wise maps.
+        ("gemm", {"NI": n_mm, "NJ": n_mm, "NK": n_mm},
+         n_mm ** 3 + 2 * n_mm ** 2),
+        ("jacobi_2d", {"N": n_st}, (n_st - 2) ** 2),
+        ("axpy_pipeline", {"N": n_ew}, 2 * n_ew),
+    ]
+
+
+def _arguments(sdfg, symbols, seed=0):
+    rng = np.random.default_rng(seed)
+    args = {}
+    for name, desc in sdfg.arrays.items():
+        if desc.transient:
+            continue
+        args[name] = rng.standard_normal(desc.concrete_shape(symbols))
+    return args
+
+
+def _measure(program, args, symbols, min_trials=2, min_seconds=0.2):
+    """Run at least ``min_trials`` trials for at least ``min_seconds``."""
+    trials = 0
+    elapsed = 0.0
+    result = None
+    while trials < min_trials or elapsed < min_seconds:
+        start = time.perf_counter()
+        result = program.run(dict(args), symbols)
+        elapsed += time.perf_counter() - start
+        trials += 1
+        if trials >= 64:  # the interpreter rows would otherwise take minutes
+            break
+    return result, trials, elapsed
+
+
+def test_backend_throughput(report_lines):
+    rows = []
+    speedups = {}
+    report_lines.append(
+        f"{'kernel':<16}{'backend':<14}{'elements/s':>14}{'trials/s':>12}{'speedup':>10}"
+    )
+    for kernel, symbols, volume in _cases():
+        spec = get_workload("npbench", kernel)
+        args = _arguments(spec.build(), symbols)
+        results = {}
+        rates = {}
+        for backend_name in ("interpreter", "vectorized"):
+            program = get_backend(backend_name).prepare(spec.build())
+            program.run(dict(args), symbols)  # warm-up: plans built here
+            result, trials, elapsed = _measure(program, args, symbols)
+            results[backend_name] = result
+            rates[backend_name] = dict(
+                elements_per_second=volume * trials / elapsed,
+                trials_per_second=trials / elapsed,
+                trials=trials,
+                seconds=elapsed,
+            )
+        speedup = (
+            rates["vectorized"]["elements_per_second"]
+            / rates["interpreter"]["elements_per_second"]
+        )
+        speedups[kernel] = speedup
+        for backend_name in ("interpreter", "vectorized"):
+            r = rates[backend_name]
+            rows.append(
+                dict(kernel=kernel, backend=backend_name, symbols=symbols,
+                     iteration_elements=volume, **r)
+            )
+            report_lines.append(
+                f"{kernel:<16}{backend_name:<14}{r['elements_per_second']:>14.3g}"
+                f"{r['trials_per_second']:>12.3g}"
+                + (f"{speedup:>9.1f}x" if backend_name == "vectorized" else f"{'':>10}")
+            )
+        # The measurement doubles as a backend-equivalence check.
+        ref, cand = results["interpreter"], results["vectorized"]
+        for name in ref.outputs:
+            assert np.array_equal(ref.outputs[name], cand.outputs[name]), (
+                f"{kernel}: backend outputs diverge on '{name}'"
+            )
+
+    with open(OUTPUT_PATH, "w", encoding="utf-8") as f:
+        json.dump(
+            dict(
+                benchmark="backend_throughput",
+                quick=quick_scale(),
+                paper_scale=paper_scale(),
+                required_matmul_speedup=REQUIRED_MATMUL_SPEEDUP,
+                speedups=speedups,
+                rows=rows,
+            ),
+            f,
+            indent=2,
+        )
+    report_lines.append(f"written to {OUTPUT_PATH}")
+
+    assert speedups["gemm"] >= REQUIRED_MATMUL_SPEEDUP, (
+        f"vectorized backend only {speedups['gemm']:.1f}x faster than the "
+        f"interpreter on the affine matmul (required: {REQUIRED_MATMUL_SPEEDUP}x)"
+    )

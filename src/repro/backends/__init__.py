@@ -1,0 +1,60 @@
+"""Pluggable execution backends.
+
+Execution of dataflow programs is a swappable layer behind the
+:class:`~repro.backends.base.ExecutionBackend` seam:
+
+* ``"interpreter"`` -- the reference backend
+  (:mod:`repro.backends.interpreter`): node-by-node interpretation with
+  element-wise map expansion.  Slow, but the semantic oracle.
+* ``"vectorized"`` -- the compiled backend (:mod:`repro.backends.vectorized`):
+  map scopes with affine memlets become NumPy array expressions, compiled
+  once per program and cached by SDFG content hash; unsupported constructs
+  fall back to the interpreter scope by scope.
+* ``"cross"`` -- the self-checking backend (:mod:`repro.backends.cross`):
+  runs both and raises :class:`~repro.backends.cross.BackendDivergenceError`
+  on any bitwise difference -- FuzzyFlow's differential method applied to
+  its own execution layer.
+
+``get_backend(name).prepare(sdfg).run(args, symbols)`` is the whole API; the
+differential fuzzer, verifier and sweep pipeline all thread a backend name
+through to this registry.
+"""
+
+from repro.backends.base import (
+    DEFAULT_BACKEND,
+    CompiledProgram,
+    ExecutionBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+from repro.backends.cross import BackendDivergenceError, CrossBackend, CrossProgram
+from repro.backends.interpreter import InterpreterBackend, InterpreterProgram
+from repro.backends.vectorized import (
+    VectorizedBackend,
+    VectorizedExecutor,
+    VectorizedProgram,
+    sdfg_content_hash,
+)
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "CompiledProgram",
+    "ExecutionBackend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "InterpreterBackend",
+    "InterpreterProgram",
+    "VectorizedBackend",
+    "VectorizedExecutor",
+    "VectorizedProgram",
+    "sdfg_content_hash",
+    "CrossBackend",
+    "CrossProgram",
+    "BackendDivergenceError",
+]
+
+register_backend("interpreter", InterpreterBackend)
+register_backend("vectorized", VectorizedBackend)
+register_backend("cross", CrossBackend)

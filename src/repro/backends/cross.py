@@ -1,0 +1,164 @@
+"""The self-checking ``cross`` backend: FuzzyFlow applied to ourselves.
+
+Runs every execution through *both* the reference interpreter and the
+vectorized backend and compares the complete system states bit for bit.
+Any divergence -- different outputs, different final symbols, different
+transition counts, or one backend crashing where the other does not -- is a
+bug in an execution backend, not a property of the program under test, and
+is raised as :class:`BackendDivergenceError`.
+
+``BackendDivergenceError`` deliberately does **not** derive from
+:class:`~repro.interpreter.errors.ExecutionError`: the differential fuzzer
+treats ``ExecutionError`` as a crash of the program under test, while a
+backend divergence must abort the trial loudly and surface as an
+infrastructure error in sweep reports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.backends.base import CompiledProgram, ExecutionBackend, get_backend
+from repro.interpreter.errors import ExecutionError, HangError
+from repro.interpreter.executor import ExecutionResult
+from repro.sdfg.sdfg import SDFG
+
+__all__ = ["CrossBackend", "CrossProgram", "BackendDivergenceError"]
+
+
+class BackendDivergenceError(Exception):
+    """The reference and candidate backends disagree on an execution."""
+
+    def __init__(self, program: str, details: List[str]) -> None:
+        self.program = program
+        self.details = list(details)
+        super().__init__(
+            f"Backend divergence on '{program}' (interpreter vs. vectorized): "
+            + "; ".join(self.details)
+        )
+
+
+def _bitwise_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    if a.shape != b.shape or a.dtype != b.dtype:
+        return False
+    # True byte equality, not value equality: -0.0 vs +0.0 and differing
+    # NaN payloads are divergences the self-check must catch.
+    return np.ascontiguousarray(a).tobytes() == np.ascontiguousarray(b).tobytes()
+
+
+class CrossProgram(CompiledProgram):
+    """Runs the reference and candidate programs in lockstep."""
+
+    def __init__(
+        self,
+        sdfg: SDFG,
+        reference: CompiledProgram,
+        candidate: CompiledProgram,
+    ) -> None:
+        super().__init__(sdfg)
+        self.reference = reference
+        self.candidate = candidate
+        #: Number of executions that were cross-checked without divergence.
+        self.checked_runs = 0
+
+    # .................................................................. #
+    def run(
+        self,
+        arguments: Optional[Mapping[str, Any]] = None,
+        symbols: Optional[Mapping[str, Any]] = None,
+        collect_coverage: bool = False,
+    ) -> ExecutionResult:
+        ref_result = ref_error = None
+        cand_result = cand_error = None
+        # Both backends copy their inputs, so the same mappings can be
+        # handed to each run without cross-contamination.
+        try:
+            ref_result = self.reference.run(
+                arguments, symbols, collect_coverage=collect_coverage
+            )
+        except ExecutionError as exc:
+            ref_error = exc
+        try:
+            cand_result = self.candidate.run(
+                arguments, symbols, collect_coverage=collect_coverage
+            )
+        except ExecutionError as exc:
+            cand_error = exc
+
+        if ref_error is not None or cand_error is not None:
+            if ref_error is None or cand_error is None:
+                raise BackendDivergenceError(
+                    self.sdfg.name,
+                    [
+                        "interpreter "
+                        + (f"raised {type(ref_error).__name__}" if ref_error else "succeeded")
+                        + ", vectorized "
+                        + (f"raised {type(cand_error).__name__}" if cand_error else "succeeded")
+                    ],
+                )
+            # Differential testing only distinguishes hangs from crashes, and
+            # the vectorized backend legitimately reports a different crash
+            # *class* than the interpreter (it checks a whole scope's bounds
+            # before executing any tasklet, so e.g. a MemoryViolation can
+            # pre-empt the TaskletExecutionError the interpreter hits first).
+            # Only a hang-vs-crash disagreement is a backend bug.
+            if isinstance(ref_error, HangError) is not isinstance(cand_error, HangError):
+                raise BackendDivergenceError(
+                    self.sdfg.name,
+                    [
+                        f"crash classes differ: interpreter {type(ref_error).__name__}, "
+                        f"vectorized {type(cand_error).__name__}"
+                    ],
+                )
+            # Agreeing failures propagate the reference error so differential
+            # trial classification is unchanged.
+            raise ref_error
+
+        details = self._compare(ref_result, cand_result, collect_coverage)
+        if details:
+            raise BackendDivergenceError(self.sdfg.name, details)
+        self.checked_runs += 1
+        return ref_result
+
+    # .................................................................. #
+    @staticmethod
+    def _compare(
+        ref: ExecutionResult, cand: ExecutionResult, compare_coverage: bool
+    ) -> List[str]:
+        details: List[str] = []
+        for name in sorted(set(ref.outputs) | set(cand.outputs)):
+            a, b = ref.outputs.get(name), cand.outputs.get(name)
+            if a is None or b is None:
+                details.append(f"container '{name}' missing from one backend")
+            elif not _bitwise_equal(np.asarray(a), np.asarray(b)):
+                details.append(f"container '{name}' differs bitwise")
+        if ref.symbols != cand.symbols:
+            details.append("final symbol values differ")
+        if ref.transitions != cand.transitions:
+            details.append(
+                f"transition counts differ ({ref.transitions} vs. {cand.transitions})"
+            )
+        if compare_coverage and ref.coverage.features() != cand.coverage.features():
+            details.append("coverage maps differ")
+        return details
+
+
+class CrossBackend(ExecutionBackend):
+    """Runs the interpreter and the vectorized backend side by side."""
+
+    name = "cross"
+
+    def __init__(
+        self, reference: str = "interpreter", candidate: str = "vectorized"
+    ) -> None:
+        self.reference_name = reference
+        self.candidate_name = candidate
+
+    def prepare(self, sdfg: SDFG, max_transitions: int = 100_000) -> CrossProgram:
+        return CrossProgram(
+            sdfg,
+            get_backend(self.reference_name).prepare(sdfg, max_transitions=max_transitions),
+            get_backend(self.candidate_name).prepare(sdfg, max_transitions=max_transitions),
+        )

@@ -1,0 +1,667 @@
+"""The vectorized compiled backend.
+
+Lowers map scopes whose memlets are affine in the map parameters to NumPy
+array expressions: instead of expanding the iteration space one element at a
+time (the interpreter's hot loop), a vectorizable scope is executed as a
+handful of whole-array operations -- gather the inputs with broadcast index
+grids, run the tasklet code once on arrays, scatter/reduce the outputs.
+
+Scope *plans* are code-generated once per (program, scope) at preparation
+time and reused across runs; whole compiled programs are cached by SDFG
+content hash, so preparing the same cutout twice (e.g. repeated sweep tasks)
+is free.  Any construct the planner cannot express -- nested SDFGs or nested
+maps inside a scope, data-dependent (``dynamic``) subsets, non-affine output
+indices, write-conflict patterns it cannot prove race-free, tasklet code
+outside the vectorizable subset of Python -- falls back node-by-node to the
+interpreter for exactly that scope, keeping the two backends semantically
+interchangeable.
+
+Bitwise fidelity to the interpreter is a design goal (the ``cross`` backend
+and the backend-equivalence test suite assert it):
+
+* write-conflict reductions accumulate **sequentially in iteration order**
+  (one vector operation per reduction index) rather than with NumPy's
+  pairwise ``reduce``, so floating-point results match the interpreter bit
+  for bit,
+* ``math.*`` calls are routed through a shim that applies the *scalar*
+  :mod:`math` function element-wise (libm and NumPy's SIMD transcendentals
+  may differ in the last ulp),
+* scopes where an iteration could read an element written by a *different*
+  iteration of the same scope are not vectorized.
+
+On an out-of-bounds access the backend raises the same
+:class:`~repro.interpreter.errors.MemoryViolation` the interpreter raises;
+the only observable difference is that the vectorized backend detects the
+violation before mutating any container (the interpreter stops mid-scope).
+Since results are only returned for successful runs, differential verdicts
+are unaffected.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.backends.base import CompiledProgram, ExecutionBackend
+from repro.interpreter.errors import (
+    ExecutionError,
+    MemoryViolation,
+    TaskletExecutionError,
+)
+from repro.interpreter.executor import _EVAL_GLOBALS, ExecutionResult, SDFGExecutor
+from repro.interpreter.tasklet_exec import _SAFE_BUILTINS, compile_expression
+from repro.sdfg.memlet import Memlet
+from repro.sdfg.nodes import MapEntry, MapExit, Tasklet
+from repro.sdfg.sdfg import SDFG
+from repro.sdfg.serialize import sdfg_to_json
+from repro.sdfg.state import SDFGState
+
+__all__ = [
+    "VectorizedBackend",
+    "VectorizedProgram",
+    "VectorizedExecutor",
+    "sdfg_content_hash",
+]
+
+
+def sdfg_content_hash(sdfg: SDFG) -> str:
+    """Content hash of a program (its canonical JSON serialization)."""
+    return hashlib.sha256(sdfg_to_json(sdfg).encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------- #
+# math shim: scalar-identical element-wise transcendentals
+# ---------------------------------------------------------------------- #
+class _MathShim:
+    """``math`` stand-in whose functions also accept arrays.
+
+    Array inputs are processed element-wise with the *scalar* ``math``
+    function, keeping results bitwise identical to the interpreter's
+    per-iteration execution (libm vs. NumPy SIMD transcendentals can differ
+    in the last ulp)."""
+
+    def __init__(self) -> None:
+        self._wrappers: Dict[str, Callable] = {}
+
+    def __getattr__(self, name: str):
+        attr = getattr(math, name)
+        if not callable(attr):
+            return attr
+        fn = self._wrappers.get(name)
+        if fn is None:
+
+            def fn(*args, _scalar=attr):
+                if any(isinstance(a, np.ndarray) and a.ndim > 0 for a in args):
+                    ufn = np.frompyfunc(_scalar, len(args), 1)
+                    return ufn(*args).astype(np.float64)
+                return _scalar(*args)
+
+            self._wrappers[name] = fn
+        return fn
+
+
+_MATH_SHIM = _MathShim()
+
+#: Element-wise NumPy functions allowed inside vectorized tasklet code.
+_ALLOWED_NP_FUNCS = frozenset(
+    {
+        "exp", "expm1", "log", "log1p", "log2", "log10", "sqrt", "cbrt",
+        "abs", "absolute", "fabs", "sign", "floor", "ceil", "trunc", "rint",
+        "sin", "cos", "tan", "arcsin", "arccos", "arctan", "arctan2",
+        "sinh", "cosh", "tanh", "power", "maximum", "minimum", "fmod",
+        "hypot", "copysign", "where",
+    }
+)
+
+_ALLOWED_BINOPS = (
+    ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow,
+)
+_ALLOWED_UNARYOPS = (ast.USub, ast.UAdd)
+
+
+_RAISING_BINOPS = (ast.Div, ast.FloorDiv, ast.Mod, ast.Pow)
+
+
+def _code_is_vectorizable(code: str, np_names: frozenset) -> bool:
+    """Whether tasklet code stays element-wise under array substitution.
+
+    Accepts straight-line assignments built from arithmetic, ``abs``,
+    ``math.*`` (via the shim) and a whitelist of element-wise ``np`` / ``numpy``
+    functions.  Control flow, comparisons, subscripts and anything else that
+    changes meaning between scalars and arrays is rejected -- the scope then
+    falls back to the interpreter.  Augmented assignment is rejected too:
+    after ``b = a``, ``b += c`` would mutate the *aliased* gathered input
+    array in place, whereas the scalar path rebinds ``b``.
+
+    ``np_names`` are the names bound to NumPy values in the interpreter's
+    scalar path (the input connectors).  ``/ // % **`` are only accepted
+    when an operand is NumPy-typed there as well: with pure-Python operands
+    (map parameters, constants, ``math.*`` results) the interpreter raises
+    (``ZeroDivisionError``, ...) where NumPy arrays would warn and continue,
+    so such scopes must fall back to keep crash classification identical.
+    """
+    try:
+        tree = ast.parse(code)
+    except SyntaxError:
+        return False
+    np_locals = set(np_names)
+
+    def np_typed(node: ast.AST) -> bool:
+        """Whether the interpreter's scalar path yields a NumPy value here."""
+        if isinstance(node, ast.Name):
+            return node.id in np_locals
+        if isinstance(node, ast.BinOp):
+            return np_typed(node.left) or np_typed(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return np_typed(node.operand)
+        if isinstance(node, ast.Call):
+            fn = node.func
+            if isinstance(fn, ast.Name) and fn.id == "abs":
+                return any(np_typed(a) for a in node.args)
+            if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name):
+                # np.* returns NumPy scalars even for Python inputs;
+                # math.* returns plain Python floats.
+                return fn.value.id in ("np", "numpy")
+        return False
+
+    def expr_ok(node: ast.AST) -> bool:
+        if isinstance(node, ast.BinOp):
+            if not (
+                isinstance(node.op, _ALLOWED_BINOPS)
+                and expr_ok(node.left)
+                and expr_ok(node.right)
+            ):
+                return False
+            if isinstance(node.op, _RAISING_BINOPS):
+                return np_typed(node.left) or np_typed(node.right)
+            return True
+        if isinstance(node, ast.UnaryOp):
+            return isinstance(node.op, _ALLOWED_UNARYOPS) and expr_ok(node.operand)
+        if isinstance(node, ast.Name):
+            return True
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, (int, float, bool))
+        if isinstance(node, ast.Call):
+            if node.keywords:
+                return False
+            if not all(expr_ok(a) for a in node.args):
+                return False
+            fn = node.func
+            if isinstance(fn, ast.Name):
+                return fn.id == "abs"
+            if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name):
+                if fn.value.id == "math":
+                    return True
+                if fn.value.id in ("np", "numpy"):
+                    return fn.attr in _ALLOWED_NP_FUNCS
+            return False
+        return False
+
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.Assign):
+            return False
+        if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
+            return False
+        if not expr_ok(stmt.value):
+            return False
+        if np_typed(stmt.value):
+            np_locals.add(stmt.targets[0].id)
+        else:
+            np_locals.discard(stmt.targets[0].id)
+    return True
+
+
+# ---------------------------------------------------------------------- #
+# Scope plans
+# ---------------------------------------------------------------------- #
+@dataclass
+class _InputSpec:
+    conn: str
+    data: str
+    #: One compiled index expression per dimension (point subsets only).
+    idx_code: List[Any]
+    subset_str: str
+
+
+@dataclass
+class _OutputSpec:
+    conn: str
+    data: str
+    #: Per dimension: ``("param", axis)`` for a bare map parameter or
+    #: ``("const", code)`` for an expression free of map parameters.
+    dims: List[Tuple[str, Any]]
+    wcr: Optional[str]
+    subset_str: str
+
+
+@dataclass
+class _ScopePlan:
+    """A vectorized execution recipe for one map scope."""
+
+    entry: MapEntry
+    tasklet: Tasklet
+    code_obj: Any
+    inputs: List[_InputSpec]
+    outputs: List[_OutputSpec]
+    #: Cleared permanently if vectorized execution fails at runtime
+    #: (e.g. an index expression that does not evaluate on index grids).
+    usable: bool = True
+
+
+def _point_index_codes(memlet: Memlet) -> Optional[List[Any]]:
+    """Compiled per-dimension index expressions, or None if not all points."""
+    if memlet.subset is None:
+        return None
+    codes = []
+    for r in memlet.subset.ranges:
+        if not r.is_point():
+            return None
+        codes.append(compile_expression(str(r.begin)))
+    return codes
+
+
+class _PlanBuilder:
+    """Builds (or refuses to build) a vectorized plan for a map scope."""
+
+    def __init__(self, state: SDFGState, entry: MapEntry, children: List[Any]) -> None:
+        self.state = state
+        self.entry = entry
+        self.children = children
+
+    def build(self) -> Optional[_ScopePlan]:
+        entry, state = self.entry, self.state
+        # Exactly one tasklet in the scope: nested maps, nested SDFGs and
+        # in-scope access nodes all fall back to the interpreter.
+        if len(self.children) != 1 or not isinstance(self.children[0], Tasklet):
+            return None
+        tasklet = self.children[0]
+        if tasklet.side_effect_callback:
+            return None
+        params = entry.map.params
+
+        inputs: List[_InputSpec] = []
+        for edge in state.in_edges(tasklet):
+            memlet: Memlet = edge.data
+            if memlet is None or memlet.is_empty:
+                if edge.src is not entry:
+                    return None
+                continue
+            if edge.src is not entry or edge.dst_conn is None:
+                return None
+            if memlet.dynamic or memlet.other_subset is not None:
+                return None  # data-dependent subset or copy annotation
+            codes = _point_index_codes(memlet)
+            if codes is None:
+                return None
+            inputs.append(
+                _InputSpec(edge.dst_conn, memlet.data, codes, str(memlet.subset))
+            )
+
+        outputs: List[_OutputSpec] = []
+        for edge in state.out_edges(tasklet):
+            memlet = edge.data
+            if memlet is None or memlet.is_empty:
+                if isinstance(edge.dst, MapExit) and edge.dst.map is entry.map:
+                    continue
+                return None
+            if not isinstance(edge.dst, MapExit) or edge.dst.map is not entry.map:
+                return None
+            if edge.src_conn is None or memlet.dynamic or memlet.other_subset is not None:
+                return None
+            if memlet.subset is None:
+                return None
+            dims: List[Tuple[str, Any]] = []
+            used_params: List[str] = []
+            for r in memlet.subset.ranges:
+                if not r.is_point():
+                    return None
+                text = str(r.begin).strip()
+                if text in params:
+                    if text in used_params:
+                        return None  # same parameter indexing two dimensions
+                    used_params.append(text)
+                    dims.append(("param", params.index(text)))
+                elif not (r.begin.free_symbols & set(params)):
+                    dims.append(("const", compile_expression(text)))
+                else:
+                    return None  # affine-but-not-bare in a parameter
+            if memlet.wcr is None:
+                # Without a reduction, the write must be a bijection on the
+                # iteration space (every parameter appears as its own
+                # dimension), otherwise iteration order would matter.
+                if set(used_params) != set(params):
+                    return None
+            elif memlet.wcr not in ("sum", "prod", "min", "max"):
+                return None
+            outputs.append(
+                _OutputSpec(edge.src_conn, memlet.data, dims, memlet.wcr, str(memlet.subset))
+            )
+
+        # Two output edges into the same container interleave their writes
+        # per iteration in the interpreter but would run as two full-array
+        # passes here; only vectorize single-writer containers.
+        out_data = [o.data for o in outputs]
+        if len(out_data) != len(set(out_data)):
+            return None
+        # An iteration must never observe another iteration's write: reading
+        # a container that the scope also writes is only safe when read and
+        # write subsets are textually identical (pure element-wise update).
+        for spec in inputs:
+            for other in outputs:
+                if other.data != spec.data:
+                    continue
+                if other.wcr is not None or spec.subset_str != other.subset_str:
+                    return None
+
+        if not _code_is_vectorizable(
+            tasklet.code, frozenset(s.conn for s in inputs)
+        ):
+            return None
+        try:
+            code_obj = compile(tasklet.code, "<vectorized-tasklet>", "exec")
+        except SyntaxError:
+            return None
+        return _ScopePlan(entry, tasklet, code_obj, inputs, outputs)
+
+
+# ---------------------------------------------------------------------- #
+# Executor
+# ---------------------------------------------------------------------- #
+class VectorizedExecutor(SDFGExecutor):
+    """An :class:`SDFGExecutor` that executes vectorizable map scopes as
+    NumPy array expressions and falls back to element-wise interpretation
+    for everything else."""
+
+    _VEC_GLOBALS = {
+        "__builtins__": _SAFE_BUILTINS,
+        "np": np,
+        "numpy": np,
+        "math": _MATH_SHIM,
+    }
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: Plans per (state id, map-entry guid); ``None`` marks scopes the
+        #: planner rejected so they are not re-analyzed every execution.
+        self._plans: Dict[Tuple[int, int], Optional[_ScopePlan]] = {}
+        #: Scope-execution counters (vectorized vs. interpreter fallback).
+        self.stats: Dict[str, int] = {"vectorized": 0, "fallback": 0}
+
+    def run(self, *args, **kwargs) -> ExecutionResult:
+        try:
+            return super().run(*args, **kwargs)
+        finally:
+            # Programs prepared by the vectorized backend outlive their runs
+            # in the content-hash cache; drop the per-run data store so a
+            # cached program does not pin its last trial's arrays.
+            self._store = {}
+            self._symbols = {}
+
+    # .................................................................. #
+    def _plan_for(self, state: SDFGState, entry: MapEntry) -> Optional[_ScopePlan]:
+        key = (id(state), entry.guid)
+        if key not in self._plans:
+            order = self._state_order(state)
+            scopes = self._scope_cache[id(state)]
+            children = [
+                n for n in order if scopes.get(n) is entry and not isinstance(n, MapExit)
+            ]
+            self._plans[key] = _PlanBuilder(state, entry, children).build()
+        plan = self._plans[key]
+        if plan is not None and not plan.usable:
+            return None
+        return plan
+
+    def _execute_map_scope(self, state, entry, bindings) -> None:
+        plan = self._plan_for(state, entry)
+        if plan is not None:
+            try:
+                writes, iterations = self._compute_vectorized(plan, bindings)
+            except ExecutionError:
+                raise
+            except Exception:  # noqa: BLE001 - plan did not survive contact
+                plan.usable = False
+            else:
+                for apply_write in writes:
+                    apply_write()
+                if iterations:
+                    # One logical tasklet execution per iteration, exactly as
+                    # the interpreter counts them (coverage-map parity).
+                    self._tasklet_counts[plan.tasklet.guid] = (
+                        self._tasklet_counts.get(plan.tasklet.guid, 0) + iterations
+                    )
+                self.stats["vectorized"] += 1
+                return
+        self.stats["fallback"] += 1
+        super()._execute_map_scope(state, entry, bindings)
+
+    # .................................................................. #
+    def _compute_vectorized(
+        self, plan: _ScopePlan, bindings: Dict[str, Any]
+    ) -> Tuple[List[Callable[[], None]], int]:
+        """Evaluate a vectorized scope; returns deferred writes.
+
+        Nothing is mutated here: bounds checks and tasklet execution happen
+        first, container writes are returned as closures so a mid-flight
+        failure can safely fall back to the interpreter.
+        """
+        entry = plan.entry
+        # Concrete iteration grids, one axis per map parameter.
+        axes: List[np.ndarray] = []
+        for rng in entry.map.ranges:
+            b, e, s = rng.evaluate(bindings)
+            if s == 0:
+                raise ExecutionError(f"Map '{entry.label}' has a zero step")
+            axes.append(np.arange(b, e + 1 if s > 0 else e - 1, s, dtype=np.int64))
+        shape_full = tuple(len(a) for a in axes)
+        iterations = int(np.prod(shape_full, dtype=np.int64))
+        if iterations == 0:
+            return [], 0
+        nparams = len(axes)
+        grids: Dict[str, np.ndarray] = {}
+        for axis, (param, vals) in enumerate(zip(entry.map.params, axes)):
+            gshape = [1] * nparams
+            gshape[axis] = len(vals)
+            grids[param] = vals.reshape(gshape)
+
+        idx_ns = dict(bindings)
+        idx_ns.update(grids)
+
+        # Gather inputs (advanced indexing copies, so in-scope element-wise
+        # self-updates see the pre-scope values, as each iteration does).
+        values: Dict[str, Any] = {}
+        for spec in plan.inputs:
+            arr = self._store.get(spec.data)
+            if arr is None:
+                raise ExecutionError(f"Read from unknown container '{spec.data}'")
+            idx = self._index_arrays(spec.idx_code, idx_ns)
+            self._check_vector_bounds(spec.data, spec.subset_str, idx, arr.shape)
+            values[spec.conn] = arr[tuple(idx)]
+
+        # Resolve output targets (and check their bounds) before executing.
+        out_targets = []
+        for spec in plan.outputs:
+            arr = self._store.get(spec.data)
+            if arr is None:
+                raise ExecutionError(f"Write to unknown container '{spec.data}'")
+            if len(spec.dims) != arr.ndim:
+                raise MemoryViolation(
+                    spec.data, spec.subset_str, arr.shape, "dimensionality mismatch"
+                )
+            index_1d: List[np.ndarray] = []
+            param_axes: List[int] = []
+            for kind, payload in spec.dims:
+                if kind == "param":
+                    param_axes.append(payload)
+                    index_1d.append(axes[payload])
+                else:
+                    c = int(eval(payload, _EVAL_GLOBALS, dict(bindings)))  # noqa: S307
+                    index_1d.append(np.asarray([c], dtype=np.int64))
+            self._check_vector_bounds(spec.data, spec.subset_str, index_1d, arr.shape)
+            out_targets.append((spec, arr, index_1d, param_axes))
+
+        # Run the tasklet once on whole arrays.  Map parameters are visible
+        # as index grids, program symbols as scalars -- mirroring the
+        # interpreter's per-iteration namespace.
+        ns: Dict[str, Any] = dict(bindings)
+        ns.update(grids)
+        ns.update(values)
+        try:
+            exec(plan.code_obj, self._VEC_GLOBALS, ns)  # noqa: S102
+        except Exception as exc:  # noqa: BLE001 - same typed error as TaskletRunner
+            raise TaskletExecutionError(plan.tasklet.label, exc) from exc
+
+        writes: List[Callable[[], None]] = []
+        for spec, arr, index_1d, param_axes in out_targets:
+            if spec.conn not in ns:
+                raise TaskletExecutionError(
+                    plan.tasklet.label,
+                    KeyError(f"tasklet did not assign output connector '{spec.conn}'"),
+                )
+            value = np.broadcast_to(np.asarray(ns[spec.conn]), shape_full)
+            writes.append(
+                self._make_write(spec, arr, index_1d, param_axes, value, shape_full)
+            )
+        return writes, iterations
+
+    # .................................................................. #
+    @staticmethod
+    def _index_arrays(idx_code: List[Any], idx_ns: Dict[str, Any]) -> List[Any]:
+        out = []
+        for code in idx_code:
+            v = eval(code, _EVAL_GLOBALS, idx_ns)  # noqa: S307
+            out.append(v if isinstance(v, np.ndarray) else int(v))
+        return out
+
+    @staticmethod
+    def _check_vector_bounds(
+        data: str, subset_str: str, idx: List[Any], shape: Tuple[int, ...]
+    ) -> None:
+        if len(idx) != len(shape):
+            raise MemoryViolation(data, subset_str, shape, "dimensionality mismatch")
+        for v, dim in zip(idx, shape):
+            arr = np.asarray(v)
+            if arr.size == 0:
+                continue
+            lo, hi = int(arr.min()), int(arr.max())
+            if lo < 0 or hi >= dim:
+                raise MemoryViolation(data, subset_str, shape)
+
+    def _make_write(
+        self,
+        spec: _OutputSpec,
+        arr: np.ndarray,
+        index_1d: List[np.ndarray],
+        param_axes: List[int],
+        value: np.ndarray,
+        shape_full: Tuple[int, ...],
+    ) -> Callable[[], None]:
+        from repro.sdfg.dtypes import reduction_function
+
+        nparams = len(shape_full)
+        red_axes = [a for a in range(nparams) if a not in param_axes]
+        kept_sorted = sorted(param_axes)
+        kept_shape = tuple(shape_full[a] for a in kept_sorted)
+        # Value axes end up in ascending-parameter order; ``perm`` reorders
+        # them to the output's dimension order, ``target_shape`` re-inserts
+        # length-1 axes for constant-indexed dimensions.
+        perm = [kept_sorted.index(a) for a in param_axes]
+        target_shape = tuple(
+            shape_full[payload] if kind == "param" else 1 for kind, payload in spec.dims
+        )
+        mesh = np.ix_(*index_1d) if index_1d else ()
+        # Reduction slabs, flattened in iteration (lexicographic) order.
+        slabs = np.moveaxis(value, red_axes, range(len(red_axes))).reshape(
+            (-1,) + kept_shape
+        )
+
+        def shape_for_write(a: np.ndarray) -> np.ndarray:
+            return a.transpose(perm).reshape(target_shape)
+
+        if spec.wcr is None:
+
+            def apply_plain() -> None:
+                arr[mesh] = shape_for_write(slabs[0])
+
+            return apply_plain
+
+        func = reduction_function(spec.wcr)
+
+        def apply_wcr() -> None:
+            # Sequential accumulation in iteration order: bitwise identical
+            # to the interpreter's per-element read-modify-write loop
+            # (NumPy's pairwise reduce would round differently).  Each step
+            # casts back to the container dtype, mirroring the interpreter's
+            # per-iteration store (accumulating in the promoted dtype would
+            # round non-float64 containers differently).
+            region = np.array(arr[mesh], copy=True)
+            for k in range(slabs.shape[0]):
+                region = np.asarray(func(region, shape_for_write(slabs[k]))).astype(
+                    arr.dtype, copy=False
+                )
+            arr[mesh] = region
+
+        return apply_wcr
+
+
+# ---------------------------------------------------------------------- #
+# Backend
+# ---------------------------------------------------------------------- #
+class VectorizedProgram(CompiledProgram):
+    """A program bound to a reusable :class:`VectorizedExecutor`."""
+
+    def __init__(self, sdfg: SDFG, max_transitions: int = 100_000) -> None:
+        super().__init__(sdfg)
+        self.executor = VectorizedExecutor(sdfg, max_transitions=max_transitions)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return self.executor.stats
+
+    def run(
+        self,
+        arguments: Optional[Mapping[str, Any]] = None,
+        symbols: Optional[Mapping[str, Any]] = None,
+        collect_coverage: bool = False,
+    ) -> ExecutionResult:
+        return self.executor.run(arguments, symbols, collect_coverage=collect_coverage)
+
+
+class VectorizedBackend(ExecutionBackend):
+    """Compiles map scopes to NumPy array programs, caching by content hash.
+
+    The hash covers the exact serialization *including node guids* (which
+    clones and JSON roundtrips preserve), so cache hits occur for repeated
+    prepares of the same program object, its clones, and worker-side
+    deserializations -- while two independent builds of the same kernel,
+    whose coverage features are keyed by their distinct guids, correctly
+    compile separately.
+    """
+
+    name = "vectorized"
+
+    def __init__(self, cache_size: int = 64) -> None:
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[Tuple[str, int], VectorizedProgram]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def prepare(self, sdfg: SDFG, max_transitions: int = 100_000) -> VectorizedProgram:
+        key = (sdfg_content_hash(sdfg), max_transitions)
+        program = self._cache.get(key)
+        if program is not None:
+            self._cache.move_to_end(key)
+            self.cache_hits += 1
+            return program
+        self.cache_misses += 1
+        program = VectorizedProgram(sdfg, max_transitions=max_transitions)
+        self._cache[key] = program
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+        return program

@@ -12,13 +12,14 @@ matching the paper's footnote 1).
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.backends import DEFAULT_BACKEND, ExecutionBackend, get_backend
 from repro.core.reporting import FuzzingReport, TrialResult, TrialStatus
 from repro.core.sampling import InputSample, InputSampler
-from repro.interpreter import HangError, SDFGExecutor
+from repro.interpreter import HangError
 from repro.interpreter.errors import ExecutionError
 from repro.sdfg.sdfg import SDFG
 
@@ -121,6 +122,7 @@ class DifferentialFuzzer:
         tolerance: float = 1e-5,
         max_transitions: int = 100_000,
         collect_coverage: bool = False,
+        backend: Union[str, ExecutionBackend] = DEFAULT_BACKEND,
     ) -> None:
         self.original = original
         self.transformed = transformed
@@ -128,8 +130,14 @@ class DifferentialFuzzer:
         self.sampler = sampler
         self.tolerance = tolerance
         self.collect_coverage = collect_coverage
-        self._orig_exec = SDFGExecutor(original, max_transitions=max_transitions)
-        self._trans_exec = SDFGExecutor(transformed, max_transitions=max_transitions)
+        # Per-trial setup (argument coercion plans, symbol binding, compiled
+        # subsets, vectorization plans) lives in prepare(), outside the
+        # trial loop.  Backend errors other than ExecutionError -- notably a
+        # cross-backend divergence -- propagate out of run_trial: they are
+        # backend bugs, not properties of the program under test.
+        self.backend = get_backend(backend)
+        self._orig_exec = self.backend.prepare(original, max_transitions=max_transitions)
+        self._trans_exec = self.backend.prepare(transformed, max_transitions=max_transitions)
 
     # ------------------------------------------------------------------ #
     def run_trial(self, sample: InputSample, index: int = 0) -> TrialResult:

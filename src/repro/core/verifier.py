@@ -63,6 +63,7 @@ class FuzzyFlowVerifier:
         max_transitions: int = 100_000,
         test_case_dir: Optional[str] = None,
         use_coverage_guidance: bool = False,
+        backend: str = "interpreter",
     ) -> None:
         self.num_trials = num_trials
         self.tolerance = tolerance
@@ -75,6 +76,9 @@ class FuzzyFlowVerifier:
         self.max_transitions = max_transitions
         self.test_case_dir = test_case_dir
         self.use_coverage_guidance = use_coverage_guidance
+        #: Execution backend for differential fuzzing ("interpreter",
+        #: "vectorized" or the self-checking "cross"; see repro.backends).
+        self.backend = backend
 
     # ------------------------------------------------------------------ #
     def _executable(self, cutout: Cutout, sdfg: SDFG) -> SDFG:
@@ -212,6 +216,7 @@ class FuzzyFlowVerifier:
             sampler,
             tolerance=self.tolerance,
             max_transitions=self.max_transitions,
+            backend=self.backend,
         )
         if self.use_coverage_guidance:
             cg = CoverageGuidedFuzzer(fuzzer, sampler, seed=self.seed)
@@ -425,6 +430,7 @@ class FuzzyFlowVerifier:
             sampler,
             tolerance=self.tolerance,
             max_transitions=self.max_transitions,
+            backend=self.backend,
         )
         fuzzing_report = fuzzer.run(
             num_trials=num_trials if num_trials is not None else self.num_trials,

@@ -17,6 +17,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.backends import list_backends
 from repro.pipeline.runner import SweepRunner
 from repro.pipeline.tasks import enumerate_sweep_tasks
 from repro.workloads import list_workload_suites
@@ -50,6 +51,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernels", default=None,
         help="comma-separated subset of suite kernels to sweep (default: all)",
     )
+    parser.add_argument(
+        "--backend", default="interpreter", choices=list_backends(),
+        help="execution backend: 'interpreter' (reference), 'vectorized' "
+        "(compiled NumPy), or 'cross' (run both, fail on any divergence)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print each task's verdict as it completes",
+    )
     parser.add_argument("--seed", type=int, default=0, help="fuzzing seed")
     parser.add_argument("--size-max", type=int, default=10, help="maximum sampled size-symbol value")
     parser.add_argument("--json", default=None, metavar="PATH", help="write the JSON report here")
@@ -78,6 +88,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 seed=args.seed,
                 size_max=args.size_max,
                 minimize_inputs=False,
+                backend=args.backend,
             ),
         )
     except KeyError as exc:
@@ -87,10 +98,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not args.quiet:
         print(
             f"[pipeline] {len(tasks)} task(s) over suite '{args.suite}' "
-            f"({'buggy' if args.buggy else 'faithful'}), {workers} worker(s)"
+            f"({'buggy' if args.buggy else 'faithful'}), {workers} worker(s), "
+            f"backend '{args.backend}'"
         )
+
+    progress = None
+    if args.progress:  # independent of --quiet, which only hides the table
+        def progress(index, outcome, completed, total):
+            print(
+                f"[{completed}/{total}] {outcome['workload']} / "
+                f"{outcome['transformation']} #{outcome['match_index']}: "
+                f"{outcome['verdict']}"
+                + (f" (error: {outcome['error']})" if outcome.get("error") else ""),
+                flush=True,
+            )
+
     runner = SweepRunner(workers=workers)
-    result = runner.run(tasks, suite=args.suite, buggy=args.buggy)
+    result = runner.run(
+        tasks,
+        suite=args.suite,
+        buggy=args.buggy,
+        backend=args.backend,
+        progress_callback=progress,
+    )
 
     if not args.quiet:
         print(result.render_text())

@@ -17,7 +17,10 @@ from repro.core.reporting import Verdict
 __all__ = ["SweepResult"]
 
 #: Version of the JSON document produced by :meth:`SweepResult.to_dict`.
-SCHEMA_VERSION = 1
+#: Version 2 adds the ``backend`` field (execution backend used for the
+#: sweep); version-1 documents lack it and load as ``"interpreter"``, which
+#: is what every v1 sweep actually ran.
+SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -27,6 +30,7 @@ class SweepResult:
     suite: str
     buggy: bool = False
     workers: int = 1
+    backend: str = "interpreter"
     outcomes: List[Dict[str, Any]] = field(default_factory=list)
     duration_seconds: float = 0.0
 
@@ -69,6 +73,7 @@ class SweepResult:
             "suite": self.suite,
             "buggy": self.buggy,
             "workers": self.workers,
+            "backend": self.backend,
             "duration_seconds": self.duration_seconds,
             "verdict_table": self.verdict_table(),
             "totals": dict(zip(("instances", "failing"), self.totals())),
@@ -86,6 +91,7 @@ class SweepResult:
             suite=d["suite"],
             buggy=d.get("buggy", False),
             workers=d.get("workers", 1),
+            backend=d.get("backend", "interpreter"),
             outcomes=list(d.get("outcomes", [])),
             duration_seconds=d.get("duration_seconds", 0.0),
         )
@@ -96,6 +102,7 @@ class SweepResult:
             + (" (injected bugs)" if self.buggy else ""),
             "",
             f"- workers: {self.workers}",
+            f"- backend: {self.backend}",
             f"- duration: {self.duration_seconds:.2f} s",
             "",
             "| Transformation | Instances | Failing | Verdicts |",

@@ -6,13 +6,17 @@ the transformation instance by index, runs the full FuzzyFlow verification,
 and returns a JSON-safe outcome dict.  With ``workers <= 1`` the same task
 function runs inline, so serial and parallel sweeps are bit-identical in
 everything but wall-clock time.
+
+Outcomes stream back incrementally (``imap_unordered``) and are reassembled
+into task order, so a progress callback sees every verdict as it lands while
+the aggregated :class:`SweepResult` remains identical to a serial run.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.reporting import Verdict
 from repro.core.verifier import FuzzyFlowVerifier
@@ -20,6 +24,9 @@ from repro.pipeline.result import SweepResult
 from repro.pipeline.tasks import SweepTask
 
 __all__ = ["SweepRunner", "execute_task"]
+
+#: Callback signature: (task index, outcome dict, completed count, total).
+ProgressCallback = Callable[[int, Dict[str, Any], int, int], None]
 
 
 def execute_task(task: SweepTask) -> Dict[str, Any]:
@@ -61,6 +68,12 @@ def execute_task(task: SweepTask) -> Dict[str, Any]:
     return base
 
 
+def _execute_indexed(item: Tuple[int, SweepTask]) -> Tuple[int, Dict[str, Any]]:
+    """Pool worker wrapper carrying the task index through imap_unordered."""
+    index, task = item
+    return index, execute_task(task)
+
+
 def _pool_context() -> multiprocessing.context.BaseContext:
     """Prefer fork (cheap on Linux); fall back to spawn elsewhere."""
     methods = multiprocessing.get_all_start_methods()
@@ -79,35 +92,60 @@ class SweepRunner:
         tasks: Sequence[SweepTask],
         suite: Optional[str] = None,
         buggy: Optional[bool] = None,
+        backend: Optional[str] = None,
+        progress_callback: Optional[ProgressCallback] = None,
     ) -> SweepResult:
         """Execute all tasks and aggregate them into a :class:`SweepResult`.
 
-        Outcome order always follows task order, independent of worker
-        scheduling, so serial and parallel runs aggregate identically.
-        ``suite`` and ``buggy`` label the result; by default they are
+        Parallel outcomes stream back as workers finish
+        (``imap_unordered``) and are reassembled into task order, so serial
+        and parallel runs aggregate identically while ``progress_callback``
+        (if given) observes every verdict the moment it lands.  ``suite``,
+        ``buggy`` and ``backend`` label the result; by default they are
         derived from the tasks themselves so the report header cannot
         contradict what was actually run.
         """
         start = time.perf_counter()
         tasks = list(tasks)
+        total = len(tasks)
         if suite is None:
             suite = tasks[0].suite if tasks else "npbench"
         if buggy is None:
             buggy = any(
                 bool(t.transformation.kwargs.get("inject_bug")) for t in tasks
             )
-        if self.workers == 1 or len(tasks) <= 1:
-            outcomes = [execute_task(t) for t in tasks]
+        if backend is None:
+            backend = (
+                tasks[0].verifier_kwargs.get("backend", "interpreter")
+                if tasks
+                else "interpreter"
+            )
+        if self.workers == 1 or total <= 1:
             workers_used = 1
+            outcomes: List[Optional[Dict[str, Any]]] = []
+            for index, task in enumerate(tasks):
+                outcome = execute_task(task)
+                outcomes.append(outcome)
+                if progress_callback is not None:
+                    progress_callback(index, outcome, len(outcomes), total)
         else:
-            workers_used = min(self.workers, len(tasks))
+            workers_used = min(self.workers, total)
             ctx = _pool_context()
+            outcomes = [None] * total
+            completed = 0
             with ctx.Pool(processes=workers_used) as pool:
-                outcomes = pool.map(execute_task, tasks, chunksize=self.chunksize)
+                for index, outcome in pool.imap_unordered(
+                    _execute_indexed, list(enumerate(tasks)), chunksize=self.chunksize
+                ):
+                    outcomes[index] = outcome
+                    completed += 1
+                    if progress_callback is not None:
+                        progress_callback(index, outcome, completed, total)
         return SweepResult(
             suite=suite,
             buggy=buggy,
             workers=workers_used,
+            backend=backend,
             outcomes=outcomes,
             duration_seconds=time.perf_counter() - start,
         )

@@ -87,4 +87,27 @@ def _load_npbench():
     return all_kernels()
 
 
+def _load_bert():
+    """The Sec. 6.1 BERT workloads at the laptop-scale configuration."""
+    from repro.workloads.npbench.suite import KernelSpec
+
+    symbols = {k: BERT_TINY[k] for k in ("B", "H", "SM", "P")}
+    return [
+        KernelSpec("attention_scores", build_attention_scores, dict(symbols), "attention"),
+        KernelSpec("encoder_layer", build_encoder_layer, dict(symbols), "attention"),
+    ]
+
+
+def _load_cloudsc():
+    """The Sec. 6.4 synthetic cloud-microphysics scheme (default scale)."""
+    from repro.workloads.npbench.suite import KernelSpec
+
+    config = CloudscConfig()
+    return [
+        KernelSpec("cloudsc", lambda: build_cloudsc(config), dict(config.symbols), "climate")
+    ]
+
+
 register_workload_suite("npbench", _load_npbench)
+register_workload_suite("bert", _load_bert)
+register_workload_suite("cloudsc", _load_cloudsc)

@@ -1,0 +1,451 @@
+"""Tests for the pluggable execution backends (repro.backends).
+
+The heart of this suite is backend equivalence: for every NPBench kernel the
+interpreter and the vectorized backend must produce *bitwise identical*
+:class:`ExecutionResult`s -- outputs, final symbols, transition counts and
+coverage maps -- and must agree on memory-violation detection.  Constructs
+the vectorized planner cannot express (nested SDFGs, data-dependent subsets,
+order-dependent writes, non-element-wise tasklet code) must fall back to the
+interpreter scope by scope without changing any result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    BackendDivergenceError,
+    CompiledProgram,
+    CrossProgram,
+    get_backend,
+    list_backends,
+    sdfg_content_hash,
+)
+from repro.core.fuzzing import DifferentialFuzzer
+from repro.core.sampling import InputSampler
+from repro.core.verifier import FuzzyFlowVerifier
+from repro.interpreter.errors import MemoryViolation
+from repro.sdfg import SDFG, Memlet, float64, int32
+from repro.transforms import all_builtin_transformations
+from repro.workloads import get_workload, get_workload_suite
+
+NPBENCH = [spec.name for spec in get_workload_suite("npbench")]
+
+
+def make_arguments(sdfg, symbols, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        name: rng.standard_normal(desc.concrete_shape(symbols))
+        for name, desc in sdfg.arrays.items()
+        if not desc.transient
+    }
+
+
+def run_both(sdfg, args, symbols, collect_coverage=True):
+    ref = get_backend("interpreter").prepare(sdfg)
+    cand = get_backend("vectorized").prepare(sdfg)
+    r1 = ref.run(dict(args), symbols, collect_coverage=collect_coverage)
+    r2 = cand.run(dict(args), symbols, collect_coverage=collect_coverage)
+    return r1, r2, cand
+
+
+def assert_bitwise_equal(r1, r2):
+    assert set(r1.outputs) == set(r2.outputs)
+    for name in r1.outputs:
+        a, b = r1.outputs[name], r2.outputs[name]
+        assert a.dtype == b.dtype and a.shape == b.shape, name
+        assert np.ascontiguousarray(a).tobytes() == np.ascontiguousarray(b).tobytes(), (
+            f"container '{name}' differs bitwise"
+        )
+    assert r1.symbols == r2.symbols
+    assert r1.transitions == r2.transitions
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert {"interpreter", "vectorized", "cross"} <= set(list_backends())
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KeyError):
+            get_backend("no_such_backend")
+
+    def test_instance_passthrough_and_sharing(self):
+        be = get_backend("vectorized")
+        assert get_backend(be) is be
+        assert get_backend("vectorized") is be  # shared per process
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("kernel", NPBENCH)
+    def test_bitwise_identical_results(self, kernel):
+        spec = get_workload("npbench", kernel)
+        sdfg = spec.build()
+        symbols = dict(spec.symbols)
+        args = make_arguments(sdfg, symbols)
+        r1, r2, _ = run_both(sdfg, args, symbols)
+        assert_bitwise_equal(r1, r2)
+
+    @pytest.mark.parametrize("kernel", NPBENCH)
+    def test_coverage_map_parity(self, kernel):
+        spec = get_workload("npbench", kernel)
+        sdfg = spec.build()
+        symbols = dict(spec.symbols)
+        args = make_arguments(sdfg, symbols)
+        r1, r2, _ = run_both(sdfg, args, symbols, collect_coverage=True)
+        assert r1.coverage.features() == r2.coverage.features()
+
+    def test_affine_scopes_actually_vectorize(self):
+        spec = get_workload("npbench", "gemm")
+        sdfg = spec.build()
+        symbols = dict(spec.symbols)
+        args = make_arguments(sdfg, symbols)
+        _, _, program = run_both(sdfg, args, symbols)
+        assert program.stats["vectorized"] > 0
+        assert program.stats["fallback"] == 0
+
+    def test_wcr_casts_through_container_dtype_each_step(self):
+        """The interpreter stores the accumulator back into the container
+        dtype every iteration; accumulating float contributions into an
+        int32 container must truncate per step, not once at the end."""
+        sdfg = SDFG("intacc")
+        sdfg.add_array("A", ["N"], float64)
+        sdfg.add_array("acc", [1], int32)
+        state = sdfg.add_state("s")
+        state.add_mapped_tasklet(
+            "accumulate", {"i": "0:N-1"},
+            {"a": Memlet.simple("A", "i")}, "o = a",
+            {"o": Memlet("acc", "0", wcr="sum")},
+        )
+        args = {"A": np.full(4, 0.6), "acc": np.zeros(1, dtype=np.int32)}
+        r1, r2, program = run_both(sdfg, args, {"N": 4})
+        assert program.stats["vectorized"] > 0
+        assert_bitwise_equal(r1, r2)
+        assert r1.outputs["acc"][0] == 0  # 0 + 0.6 truncates to 0 every step
+
+    def test_division_by_pure_python_operands_falls_back(self):
+        """1 / (i - 1) raises ZeroDivisionError on the interpreter's Python
+        scalars but would yield inf on index arrays; the planner must fall
+        back so both backends crash identically."""
+        from repro.interpreter.errors import TaskletExecutionError
+
+        sdfg = SDFG("paramdiv")
+        sdfg.add_array("A", ["N"], float64)
+        sdfg.add_array("B", ["N"], float64)
+        state = sdfg.add_state("s")
+        state.add_mapped_tasklet(
+            "pdiv", {"i": "1:N-1"},
+            {"a": Memlet.simple("A", "i")},
+            "b = a + 1 / (i - 1)",
+            {"b": Memlet.simple("B", "i")},
+        )
+        args = {"A": np.ones(5), "B": np.zeros(5)}
+        for name in ("interpreter", "vectorized"):
+            with pytest.raises(TaskletExecutionError):
+                get_backend(name).prepare(sdfg).run(dict(args), {"N": 5})
+
+    def test_division_by_numpy_operands_still_vectorizes(self):
+        """Connector-typed divisions (jacobi's '/ 3.0', softmax's 'e / s')
+        follow NumPy semantics on the interpreter's scalars too, so they
+        stay vectorized."""
+        spec = get_workload("npbench", "jacobi_1d")
+        sdfg = spec.build()
+        args = make_arguments(sdfg, spec.symbols)
+        _, _, program = run_both(sdfg, args, dict(spec.symbols))
+        assert program.stats["vectorized"] > 0
+        assert program.stats["fallback"] == 0
+
+    def test_memory_violation_parity(self):
+        """Both backends flag the same out-of-bounds access (the class of
+        bug behind Fig. 2's tiling off-by-one)."""
+        sdfg = SDFG("oob")
+        sdfg.add_array("A", ["N"], float64)
+        sdfg.add_array("B", ["N"], float64)
+        state = sdfg.add_state("s")
+        state.add_mapped_tasklet(
+            "shift", {"i": "0:N-1"},
+            {"a": Memlet.simple("A", "i + 1")}, "b = a",
+            {"b": Memlet.simple("B", "i")},
+        )
+        args = {"A": np.arange(6.0), "B": np.zeros(6)}
+        errors = {}
+        for name in ("interpreter", "vectorized"):
+            program = get_backend(name).prepare(sdfg)
+            with pytest.raises(MemoryViolation) as exc_info:
+                program.run(dict(args), {"N": 6})
+            errors[name] = exc_info.value
+        assert errors["interpreter"].data == errors["vectorized"].data == "A"
+
+    def test_content_hash_cache_reuses_programs(self):
+        """Clones and JSON roundtrips preserve node guids, so they share one
+        compiled program; independent builds have fresh guids (distinct
+        coverage identities) and correctly compile separately."""
+        from repro.sdfg.serialize import sdfg_from_json, sdfg_to_json
+
+        backend = get_backend("vectorized")
+        spec = get_workload("npbench", "jacobi_1d")
+        sdfg = spec.build()
+        clone = sdfg.clone()
+        roundtrip = sdfg_from_json(sdfg_to_json(sdfg))
+        assert sdfg_content_hash(sdfg) == sdfg_content_hash(clone)
+        assert backend.prepare(sdfg) is backend.prepare(clone)
+        assert backend.prepare(sdfg) is backend.prepare(roundtrip)
+        assert sdfg_content_hash(sdfg) != sdfg_content_hash(spec.build())
+
+
+class TestFallbackPaths:
+    def _assert_fallback_equivalence(self, sdfg, args, symbols):
+        r1, r2, program = run_both(sdfg, args, symbols)
+        assert_bitwise_equal(r1, r2)
+        return program
+
+    def test_nested_sdfg_in_map_falls_back(self):
+        inner = SDFG("inner")
+        # Row slices arrive as (1, K) regions, so the inner program is 2-D.
+        inner.add_array("x", [1, "K"], float64)
+        inner.add_array("y", [1, "K"], float64)
+        istate = inner.add_state("s")
+        istate.add_mapped_tasklet(
+            "sq", {"j": "0:K-1"},
+            {"a": Memlet.simple("x", "0, j")}, "b = a * a",
+            {"b": Memlet.simple("y", "0, j")},
+        )
+
+        outer = SDFG("outer")
+        outer.add_array("inp", ["N", "M"], float64)
+        outer.add_array("out", ["N", "M"], float64)
+        state = outer.add_state("s")
+        entry, exit_ = state.add_map("rows", {"i": "0:N-1"})
+        nested = state.add_nested_sdfg(inner, ["x"], ["y"], {"K": "M"})
+        state.add_memlet_path(
+            state.add_access("inp"), entry, nested,
+            memlet=Memlet.simple("inp", "i, 0:M-1"), dst_conn="x",
+        )
+        state.add_memlet_path(
+            nested, exit_, state.add_access("out"),
+            memlet=Memlet.simple("out", "i, 0:M-1"), src_conn="y",
+        )
+
+        v = np.arange(15.0).reshape(5, 3)
+        program = self._assert_fallback_equivalence(
+            outer, {"inp": v, "out": np.zeros((5, 3))}, {"N": 5, "M": 3}
+        )
+        assert program.stats["fallback"] > 0
+
+    def test_data_dependent_subset_falls_back(self):
+        sdfg = SDFG("dynmem")
+        sdfg.add_array("A", ["N"], float64)
+        sdfg.add_array("B", ["N"], float64)
+        state = sdfg.add_state("s")
+        state.add_mapped_tasklet(
+            "copy", {"i": "0:N-1"},
+            {"a": Memlet.simple("A", "i", dynamic=True)}, "b = a",
+            {"b": Memlet.simple("B", "i")},
+        )
+        program = self._assert_fallback_equivalence(
+            sdfg, {"A": np.arange(4.0), "B": np.zeros(4)}, {"N": 4}
+        )
+        assert program.stats["fallback"] > 0
+
+    def test_order_dependent_write_falls_back(self):
+        """All iterations write the same element without a reduction: the
+        sequential last-write-wins semantics must be preserved."""
+        sdfg = SDFG("lastwrite")
+        sdfg.add_array("A", ["N"], float64)
+        sdfg.add_array("last", [1], float64)
+        state = sdfg.add_state("s")
+        state.add_mapped_tasklet(
+            "collapse", {"i": "0:N-1"},
+            {"a": Memlet.simple("A", "i")}, "o = a",
+            {"o": Memlet.simple("last", "0")},
+        )
+        program = self._assert_fallback_equivalence(
+            sdfg, {"A": np.array([3.0, 7.0, 5.0]), "last": np.zeros(1)}, {"N": 3}
+        )
+        assert program.stats["fallback"] > 0
+        assert program.stats["vectorized"] == 0
+
+    def test_augmented_assignment_falls_back(self):
+        """After 'b = a', 'b += c' would mutate the aliased gathered array in
+        place under vectorization; the planner must reject such code."""
+        sdfg = SDFG("augalias")
+        sdfg.add_array("A", ["N"], float64)
+        sdfg.add_array("C", ["N"], float64)
+        sdfg.add_array("D", ["N"], float64)
+        state = sdfg.add_state("s")
+        state.add_mapped_tasklet(
+            "aug", {"i": "0:N-1"},
+            {"a": Memlet.simple("A", "i"), "c": Memlet.simple("C", "i")},
+            "b = a\nb += c\nd = a + b",
+            {"d": Memlet.simple("D", "i")},
+        )
+        program = self._assert_fallback_equivalence(
+            sdfg,
+            {"A": np.ones(4), "C": np.full(4, 2.0), "D": np.zeros(4)},
+            {"N": 4},
+        )
+        assert program.stats["vectorized"] == 0
+
+    def test_multiple_writes_to_one_container_fall_back(self):
+        """Two output edges into the same container interleave per iteration
+        in the interpreter; the planner must not vectorize them."""
+        sdfg = SDFG("multiwrite")
+        sdfg.add_array("A", ["N"], float64)
+        sdfg.add_array("B", ["N"], float64)
+        state = sdfg.add_state("s")
+        state.add_mapped_tasklet(
+            "two_outs", {"i": "0:N-1"},
+            {"a": Memlet.simple("A", "i")},
+            "o1 = a * 2.0\no2 = a",
+            {"o1": Memlet.simple("B", "i"), "o2": Memlet("B", "i", wcr="sum")},
+        )
+        program = self._assert_fallback_equivalence(
+            sdfg, {"A": np.arange(4.0), "B": np.zeros(4)}, {"N": 4}
+        )
+        assert program.stats["vectorized"] == 0
+
+    def test_non_elementwise_tasklet_code_falls_back(self):
+        sdfg = SDFG("branchy")
+        sdfg.add_array("A", ["N"], float64)
+        sdfg.add_array("B", ["N"], float64)
+        state = sdfg.add_state("s")
+        state.add_mapped_tasklet(
+            "relu", {"i": "0:N-1"},
+            {"a": Memlet.simple("A", "i")},
+            "b = a if a > 0 else 0.0",
+            {"b": Memlet.simple("B", "i")},
+        )
+        program = self._assert_fallback_equivalence(
+            sdfg, {"A": np.array([-1.0, 2.0, -3.0, 4.0]), "B": np.zeros(4)}, {"N": 4}
+        )
+        assert program.stats["fallback"] > 0
+        assert program.stats["vectorized"] == 0
+
+
+class TestCrossBackend:
+    def test_agreeing_backends_pass_through(self):
+        spec = get_workload("npbench", "gemm")
+        sdfg = spec.build()
+        symbols = dict(spec.symbols)
+        args = make_arguments(sdfg, symbols)
+        program = get_backend("cross").prepare(sdfg)
+        result = program.run(dict(args), symbols)
+        reference = get_backend("interpreter").prepare(sdfg).run(dict(args), symbols)
+        assert_bitwise_equal(result, reference)
+        assert program.checked_runs == 1
+
+    def test_divergence_raises(self):
+        spec = get_workload("npbench", "jacobi_1d")
+        sdfg = spec.build()
+        symbols = dict(spec.symbols)
+        args = make_arguments(sdfg, symbols)
+        reference = get_backend("interpreter").prepare(sdfg)
+
+        class BrokenProgram(CompiledProgram):
+            def run(self, arguments=None, symbols=None, collect_coverage=False):
+                result = reference.run(arguments, symbols, collect_coverage=collect_coverage)
+                result.outputs["B"] = result.outputs["B"] + 1e-12
+                return result
+
+        program = CrossProgram(sdfg, reference, BrokenProgram(sdfg))
+        with pytest.raises(BackendDivergenceError) as exc_info:
+            program.run(dict(args), symbols)
+        assert "B" in str(exc_info.value)
+
+    def test_one_sided_crash_is_divergence(self):
+        spec = get_workload("npbench", "jacobi_1d")
+        sdfg = spec.build()
+        symbols = dict(spec.symbols)
+        args = make_arguments(sdfg, symbols)
+        reference = get_backend("interpreter").prepare(sdfg)
+
+        class CrashingProgram(CompiledProgram):
+            def run(self, arguments=None, symbols=None, collect_coverage=False):
+                raise MemoryViolation("B", "0", (1,))
+
+        program = CrossProgram(sdfg, reference, CrashingProgram(sdfg))
+        with pytest.raises(BackendDivergenceError):
+            program.run(dict(args), symbols)
+
+    def test_differing_crash_types_are_not_divergence(self):
+        """The vectorized backend checks a scope's bounds before running any
+        tasklet, so it may report MemoryViolation where the interpreter hits
+        a TaskletExecutionError first; both are crashes, not a divergence."""
+        from repro.interpreter.errors import ExecutionError, TaskletExecutionError
+
+        sdfg = SDFG("mixed_crash")
+        sdfg.add_array("A", ["N"], float64)
+        sdfg.add_array("B", ["N"], float64)
+        state = sdfg.add_state("s")
+        state.add_mapped_tasklet(
+            "sqrt_shift", {"i": "0:N-1"},
+            {"a": Memlet.simple("A", "i + 1")},  # out of bounds at i = N-1
+            "b = math.sqrt(a)",                  # fails at i = 0 (negative)
+            {"b": Memlet.simple("B", "i")},
+        )
+        args = {"A": np.full(4, -1.0), "B": np.zeros(4)}
+        program = get_backend("cross").prepare(sdfg)
+        with pytest.raises(TaskletExecutionError):  # the reference's error
+            program.run(dict(args), {"N": 4})
+        # Sanity: the candidate alone reports the other crash class.
+        with pytest.raises(ExecutionError):
+            get_backend("vectorized").prepare(sdfg).run(dict(args), {"N": 4})
+
+    def test_agreeing_crashes_propagate_reference_error(self):
+        sdfg = SDFG("oob")
+        sdfg.add_array("A", ["N"], float64)
+        sdfg.add_array("B", ["N"], float64)
+        state = sdfg.add_state("s")
+        state.add_mapped_tasklet(
+            "shift", {"i": "0:N-1"},
+            {"a": Memlet.simple("A", "i + 2")}, "b = a",
+            {"b": Memlet.simple("B", "i")},
+        )
+        program = get_backend("cross").prepare(sdfg)
+        with pytest.raises(MemoryViolation):
+            program.run({"A": np.zeros(4), "B": np.zeros(4)}, {"N": 4})
+
+
+class TestBackendsInTheWorkflow:
+    """Backend selection threaded through fuzzing -> verifier."""
+
+    def _verify(self, backend, buggy=True):
+        spec = get_workload("npbench", "gemm")
+        xform = all_builtin_transformations()["Vectorization"](inject_bug=buggy)
+        verifier = FuzzyFlowVerifier(
+            num_trials=3, seed=0, size_max=8, minimize_inputs=False, backend=backend
+        )
+        return verifier.verify(spec.build(), xform, symbol_values=spec.symbols)
+
+    @pytest.mark.parametrize("backend", ["vectorized", "cross"])
+    def test_verifier_verdict_matches_interpreter(self, backend):
+        reference = self._verify("interpreter")
+        candidate = self._verify(backend)
+        assert candidate.verdict == reference.verdict
+        assert candidate.fuzzing.trials_run == reference.fuzzing.trials_run
+        assert [t.status for t in candidate.fuzzing.trials] == [
+            t.status for t in reference.fuzzing.trials
+        ]
+
+    def test_fuzzer_backend_equivalence(self):
+        """A whole fuzzing campaign is trial-by-trial identical across
+        backends (statuses and max-abs-errors)."""
+        spec = get_workload("npbench", "axpy_pipeline")
+        sdfg = spec.build()
+        xform = all_builtin_transformations()["Vectorization"](inject_bug=True)
+        match = next(iter(xform.find_matches(sdfg)))
+        transformed = sdfg.clone(new_name="t")
+        from repro.core.cutout import transfer_match
+
+        xform.apply(transformed, transfer_match(xform, match, transformed))
+        non_transient = [n for n, d in sdfg.arrays.items() if not d.transient]
+        reports = {}
+        for backend in ("interpreter", "vectorized"):
+            sampler = InputSampler(
+                sdfg, non_transient, non_transient, seed=7, vary_sizes=False
+            )
+            fuzzer = DifferentialFuzzer(
+                sdfg, transformed, non_transient, sampler, backend=backend
+            )
+            reports[backend] = fuzzer.run(num_trials=4)
+        a, b = reports["interpreter"], reports["vectorized"]
+        assert [t.status for t in a.trials] == [t.status for t in b.trials]
+        assert [t.max_abs_error for t in a.trials] == [t.max_abs_error for t in b.trials]

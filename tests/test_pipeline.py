@@ -213,13 +213,23 @@ class TestSweepResult:
 
     def test_json_schema_fields(self):
         doc = json.loads(self._result().to_json())
-        assert doc["schema_version"] == 1
+        assert doc["schema_version"] == 2
         assert set(doc) >= {
-            "suite", "buggy", "workers", "duration_seconds",
+            "suite", "buggy", "workers", "backend", "duration_seconds",
             "verdict_table", "totals", "outcomes",
         }
+        assert doc["backend"] == "interpreter"
         for entry in doc["verdict_table"].values():
             assert set(entry) == {"instances", "failing", "verdicts"}
+
+    def test_v1_document_migrates_to_interpreter_backend(self):
+        """schema_version 1 documents predate backend selection; every v1
+        sweep ran the interpreter, so they load with that backend label."""
+        v1 = json.loads(self._result().to_json())
+        v1.pop("backend")
+        v1["schema_version"] = 1
+        restored = SweepResult.from_dict(v1)
+        assert restored.backend == "interpreter"
 
     def test_markdown_and_text_renderers(self):
         result = self._result()
