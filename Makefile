@@ -9,12 +9,14 @@ test:
 	$(PY) -m pytest -x -q
 
 # Exercise the sweep pipeline end to end (2 workers, tiny budget) once per
-# execution backend -- 'cross' doubles as a backend self-check -- then the
-# tier-1 test suite.
+# execution backend -- the 'cross' pairs double as backend self-checks --
+# then the tier-1 test suite.
 smoke:
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend interpreter
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend vectorized
+	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend compiled
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend cross
+	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend cross:compiled,interpreter
 	$(PY) -m pytest -x -q
 
 # The full injected-bug sweep at default scale.
@@ -24,6 +26,7 @@ sweep:
 bench-scaling:
 	cd benchmarks && PYTHONPATH=../src $(PY) -m pytest bench_pipeline_scaling.py -q -s
 
-# Interpreter-vs-vectorized throughput at tiny sizes (BENCH_backends.json).
+# Interpreter / vectorized / compiled throughput at tiny sizes, including
+# the loop-nest kernel (BENCH_backends.json).
 bench-quick:
 	cd benchmarks && PYTHONPATH=../src REPRO_BENCH_QUICK=1 $(PY) -m pytest bench_backend_throughput.py -q -s

@@ -1,17 +1,21 @@
-"""Execution-backend throughput: interpreter vs. vectorized.
+"""Execution-backend throughput: interpreter vs. vectorized vs. compiled.
 
 Measures elements/second (map iterations executed per second) and
-trials/second (full program executions per second) for both execution
-backends on three NPBench kernels -- a large affine matmul (``gemm``), a 2-D
-stencil (``jacobi_2d``) and an element-wise producer/consumer pipeline
-(``axpy_pipeline``) -- and writes the series to ``BENCH_backends.json``.
+trials/second (full program executions per second) for all three execution
+backends on four kernels -- a large affine matmul (``gemm``), a 2-D stencil
+(``jacobi_2d``), an element-wise producer/consumer pipeline
+(``axpy_pipeline``) and a sequential **loop nest** (``loop_smoother``, a
+time-stepped smoothing sweep whose state machine takes ``2T + 3`` interstate
+transitions) -- and writes the series to ``BENCH_backends.json``.
 
 The backends must agree bitwise on every measured run (the measurement
-doubles as an equivalence check), and the vectorized backend must beat the
-interpreter by at least 5x on the large affine matmul: that margin is the
-point of the backend seam -- the Sec. 6.3 sweep's hot loop is dominated by
-cutout executions, and lowering affine map scopes to NumPy array expressions
-buys orders of magnitude there.
+doubles as an equivalence check), and two speedup floors are asserted:
+
+* the vectorized backend must beat the interpreter by at least 5x on the
+  large affine matmul (the PR 2 margin), and
+* the compiled whole-program backend must beat the interpreter by at least
+  5x on the loop nest -- the workload class where per-transition interpreter
+  re-entry used to swallow the vectorized speedup.
 
 Set ``REPRO_BENCH_QUICK=1`` (the ``make bench-quick`` target) for tiny sizes,
 ``REPRO_PAPER_SCALE=1`` for larger ones.
@@ -28,32 +32,69 @@ import numpy as np
 from conftest import paper_scale
 
 from repro.backends import get_backend
+from repro.sdfg import SDFG, Memlet, float64
 from repro.workloads import get_workload
 
 OUTPUT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_backends.json")
 
+BACKENDS = ("interpreter", "vectorized", "compiled")
+
 #: Required interpreter-to-vectorized speedup on the large affine matmul.
 REQUIRED_MATMUL_SPEEDUP = 5.0
+#: Required interpreter-to-compiled speedup on the sequential loop nest.
+REQUIRED_LOOP_NEST_SPEEDUP = 5.0
 
 
 def quick_scale() -> bool:
     return os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
 
 
+def build_loop_smoother() -> SDFG:
+    """A time-stepped smoothing sweep: ``T`` sequential loop iterations,
+    each running two element-wise maps over ``N`` elements."""
+    sdfg = SDFG("loop_smoother")
+    sdfg.add_array("A", ["N"], float64)
+    sdfg.add_transient("B", ["N"], float64)
+    init = sdfg.add_state("init", is_start_state=True)
+    body = sdfg.add_state("sweep")
+    _, _, e1 = body.add_mapped_tasklet(
+        "smooth", {"i": "1:N-2"},
+        {"w": Memlet.simple("A", "i - 1"), "c": Memlet.simple("A", "i"),
+         "e": Memlet.simple("A", "i + 1")},
+        "o = (w + c + e) / 3.0", {"o": Memlet.simple("B", "i")},
+    )
+    b_node = next(e.dst for e in body.out_edges(e1))
+    body.add_mapped_tasklet(
+        "writeback", {"i": "1:N-2"},
+        {"b": Memlet.simple("B", "i")}, "a = b",
+        {"a": Memlet.simple("A", "i")},
+        input_nodes={"B": b_node},
+    )
+    sdfg.add_loop(init, body, None, "t", "0", "t < T", "t + 1")
+    return sdfg
+
+
+def _suite_builder(kernel):
+    spec = get_workload("npbench", kernel)
+    return spec.build
+
+
 def _cases():
-    """(kernel, symbols, iteration-space volume) triples to measure."""
+    """(kernel, builder, symbols, iteration-space volume) tuples to measure."""
     if quick_scale():
-        n_mm, n_st, n_ew = 16, 24, 4096
+        n_mm, n_st, n_ew, n_ln, t_ln = 16, 24, 4096, 256, 8
     elif paper_scale():
-        n_mm, n_st, n_ew = 64, 96, 65536
+        n_mm, n_st, n_ew, n_ln, t_ln = 64, 96, 65536, 2048, 32
     else:
-        n_mm, n_st, n_ew = 40, 64, 16384
+        n_mm, n_st, n_ew, n_ln, t_ln = 40, 64, 16384, 1024, 16
     return [
         # gemm runs NI*NJ*NK matmul iterations plus two NI*NJ element-wise maps.
-        ("gemm", {"NI": n_mm, "NJ": n_mm, "NK": n_mm},
+        ("gemm", _suite_builder("gemm"), {"NI": n_mm, "NJ": n_mm, "NK": n_mm},
          n_mm ** 3 + 2 * n_mm ** 2),
-        ("jacobi_2d", {"N": n_st}, (n_st - 2) ** 2),
-        ("axpy_pipeline", {"N": n_ew}, 2 * n_ew),
+        ("jacobi_2d", _suite_builder("jacobi_2d"), {"N": n_st}, (n_st - 2) ** 2),
+        ("axpy_pipeline", _suite_builder("axpy_pipeline"), {"N": n_ew}, 2 * n_ew),
+        ("loop_smoother", build_loop_smoother, {"N": n_ln, "T": t_ln},
+         t_ln * 2 * (n_ln - 2)),
     ]
 
 
@@ -88,13 +129,13 @@ def test_backend_throughput(report_lines):
     report_lines.append(
         f"{'kernel':<16}{'backend':<14}{'elements/s':>14}{'trials/s':>12}{'speedup':>10}"
     )
-    for kernel, symbols, volume in _cases():
-        spec = get_workload("npbench", kernel)
-        args = _arguments(spec.build(), symbols)
+    for kernel, builder, symbols, volume in _cases():
+        sdfg = builder()
+        args = _arguments(sdfg, symbols)
         results = {}
         rates = {}
-        for backend_name in ("interpreter", "vectorized"):
-            program = get_backend(backend_name).prepare(spec.build())
+        for backend_name in BACKENDS:
+            program = get_backend(backend_name).prepare(builder())
             program.run(dict(args), symbols)  # warm-up: plans built here
             result, trials, elapsed = _measure(program, args, symbols)
             results[backend_name] = result
@@ -104,27 +145,36 @@ def test_backend_throughput(report_lines):
                 trials=trials,
                 seconds=elapsed,
             )
-        speedup = (
-            rates["vectorized"]["elements_per_second"]
-            / rates["interpreter"]["elements_per_second"]
-        )
-        speedups[kernel] = speedup
-        for backend_name in ("interpreter", "vectorized"):
+        speedups[kernel] = {
+            backend_name: (
+                rates[backend_name]["elements_per_second"]
+                / rates["interpreter"]["elements_per_second"]
+            )
+            for backend_name in BACKENDS
+            if backend_name != "interpreter"
+        }
+        for backend_name in BACKENDS:
             r = rates[backend_name]
             rows.append(
                 dict(kernel=kernel, backend=backend_name, symbols=symbols,
                      iteration_elements=volume, **r)
             )
+            sp = speedups[kernel].get(backend_name)
             report_lines.append(
                 f"{kernel:<16}{backend_name:<14}{r['elements_per_second']:>14.3g}"
                 f"{r['trials_per_second']:>12.3g}"
-                + (f"{speedup:>9.1f}x" if backend_name == "vectorized" else f"{'':>10}")
+                + (f"{sp:>9.1f}x" if sp is not None else f"{'':>10}")
             )
         # The measurement doubles as a backend-equivalence check.
-        ref, cand = results["interpreter"], results["vectorized"]
-        for name in ref.outputs:
-            assert np.array_equal(ref.outputs[name], cand.outputs[name]), (
-                f"{kernel}: backend outputs diverge on '{name}'"
+        ref = results["interpreter"]
+        for backend_name in BACKENDS[1:]:
+            cand = results[backend_name]
+            for name in ref.outputs:
+                assert np.array_equal(ref.outputs[name], cand.outputs[name]), (
+                    f"{kernel}: interpreter/{backend_name} outputs diverge on '{name}'"
+                )
+            assert ref.transitions == cand.transitions, (
+                f"{kernel}: interpreter/{backend_name} transition counts diverge"
             )
 
     with open(OUTPUT_PATH, "w", encoding="utf-8") as f:
@@ -133,7 +183,9 @@ def test_backend_throughput(report_lines):
                 benchmark="backend_throughput",
                 quick=quick_scale(),
                 paper_scale=paper_scale(),
+                backends=list(BACKENDS),
                 required_matmul_speedup=REQUIRED_MATMUL_SPEEDUP,
+                required_loop_nest_speedup=REQUIRED_LOOP_NEST_SPEEDUP,
                 speedups=speedups,
                 rows=rows,
             ),
@@ -142,7 +194,13 @@ def test_backend_throughput(report_lines):
         )
     report_lines.append(f"written to {OUTPUT_PATH}")
 
-    assert speedups["gemm"] >= REQUIRED_MATMUL_SPEEDUP, (
-        f"vectorized backend only {speedups['gemm']:.1f}x faster than the "
-        f"interpreter on the affine matmul (required: {REQUIRED_MATMUL_SPEEDUP}x)"
+    assert speedups["gemm"]["vectorized"] >= REQUIRED_MATMUL_SPEEDUP, (
+        f"vectorized backend only {speedups['gemm']['vectorized']:.1f}x faster "
+        f"than the interpreter on the affine matmul "
+        f"(required: {REQUIRED_MATMUL_SPEEDUP}x)"
+    )
+    assert speedups["loop_smoother"]["compiled"] >= REQUIRED_LOOP_NEST_SPEEDUP, (
+        f"compiled backend only {speedups['loop_smoother']['compiled']:.1f}x "
+        f"faster than the interpreter on the loop nest "
+        f"(required: {REQUIRED_LOOP_NEST_SPEEDUP}x)"
     )

@@ -6,14 +6,25 @@ Execution of dataflow programs is a swappable layer behind the
 * ``"interpreter"`` -- the reference backend
   (:mod:`repro.backends.interpreter`): node-by-node interpretation with
   element-wise map expansion.  Slow, but the semantic oracle.
-* ``"vectorized"`` -- the compiled backend (:mod:`repro.backends.vectorized`):
-  map scopes with affine memlets become NumPy array expressions, compiled
-  once per program and cached by SDFG content hash; unsupported constructs
-  fall back to the interpreter scope by scope.
+* ``"vectorized"`` -- the per-scope compiled backend
+  (:mod:`repro.backends.vectorized`): map scopes with affine memlets become
+  NumPy array expressions, compiled once per program and cached by SDFG
+  content hash; unsupported constructs fall back to the interpreter scope by
+  scope.  Interstate control flow still runs the interpreter's transition
+  loop.
+* ``"compiled"`` -- the whole-program backend
+  (:mod:`repro.backends.compiled`): one generated Python function per SDFG
+  lowers the state machine to structured control flow (native ``while``
+  loops and ``if`` chains, with a state-dispatch loop for irreducible
+  graphs) with inline interstate conditions/assignments, and executes each
+  state's dataflow through the vectorized scope kernels.
 * ``"cross"`` -- the self-checking backend (:mod:`repro.backends.cross`):
-  runs both and raises :class:`~repro.backends.cross.BackendDivergenceError`
-  on any bitwise difference -- FuzzyFlow's differential method applied to
-  its own execution layer.
+  runs two backends in lockstep and raises
+  :class:`~repro.backends.cross.BackendDivergenceError` on any bitwise
+  difference -- FuzzyFlow's differential method applied to its own execution
+  layer.  ``cross`` pairs the interpreter with the vectorized backend;
+  ``cross:REF,CAND`` (e.g. ``cross:compiled,interpreter``) pairs any two
+  registered backends.
 
 ``get_backend(name).prepare(sdfg).run(args, symbols)`` is the whole API; the
 differential fuzzer, verifier and sweep pipeline all thread a backend name
@@ -27,6 +38,11 @@ from repro.backends.base import (
     get_backend,
     list_backends,
     register_backend,
+)
+from repro.backends.compiled import (
+    CompiledBackend,
+    CompiledExecutor,
+    CompiledWholeProgram,
 )
 from repro.backends.cross import BackendDivergenceError, CrossBackend, CrossProgram
 from repro.backends.interpreter import InterpreterBackend, InterpreterProgram
@@ -50,6 +66,9 @@ __all__ = [
     "VectorizedExecutor",
     "VectorizedProgram",
     "sdfg_content_hash",
+    "CompiledBackend",
+    "CompiledExecutor",
+    "CompiledWholeProgram",
     "CrossBackend",
     "CrossProgram",
     "BackendDivergenceError",
@@ -57,4 +76,5 @@ __all__ = [
 
 register_backend("interpreter", InterpreterBackend)
 register_backend("vectorized", VectorizedBackend)
+register_backend("compiled", CompiledBackend)
 register_backend("cross", CrossBackend)

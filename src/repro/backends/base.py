@@ -95,17 +95,48 @@ def list_backends() -> List[str]:
 def get_backend(backend: Union[str, ExecutionBackend]) -> ExecutionBackend:
     """Resolve a backend name (or pass an instance through).
 
+    Besides plain registry names, ``cross:REF,CAND`` materializes a
+    self-checking pair of any two registered backends (e.g.
+    ``cross:compiled,interpreter``); the bare name ``cross`` remains the
+    interpreter-vs-vectorized default.
+
     Instances are shared per name so backend-level caches (e.g. the
     vectorized backend's compiled-program cache) persist across callers
     within one process.
     """
     if isinstance(backend, ExecutionBackend):
         return backend
+    if backend.startswith("cross:"):
+        if backend not in _INSTANCES:
+            _INSTANCES[backend] = _make_cross_pair(backend)
+        return _INSTANCES[backend]
     if backend not in _FACTORIES:
         raise KeyError(
             f"Unknown execution backend '{backend}' "
-            f"(available: {', '.join(list_backends())})"
+            f"(available: {', '.join(list_backends())}, "
+            f"or 'cross:REF,CAND' for any pair)"
         )
     if backend not in _INSTANCES:
         _INSTANCES[backend] = _FACTORIES[backend]()
     return _INSTANCES[backend]
+
+
+def _make_cross_pair(name: str) -> ExecutionBackend:
+    """Build a ``cross:REF,CAND`` backend from two registered names."""
+    from repro.backends.cross import CrossBackend
+
+    parts = [p.strip() for p in name[len("cross:"):].split(",")]
+    if len(parts) != 2 or not all(parts):
+        raise KeyError(
+            f"Invalid cross pair '{name}': expected 'cross:REF,CAND' with "
+            f"exactly two backend names"
+        )
+    for part in parts:
+        if part == "cross" or part.startswith("cross:"):
+            raise KeyError(f"Cross pairs cannot nest ('{name}')")
+        if part not in _FACTORIES:
+            raise KeyError(
+                f"Unknown execution backend '{part}' in cross pair '{name}' "
+                f"(available: {', '.join(list_backends())})"
+            )
+    return CrossBackend(reference=parts[0], candidate=parts[1])

@@ -1,0 +1,405 @@
+"""The compiled whole-program backend.
+
+PR 2's vectorized backend only accelerates dataflow *inside* a state: every
+interstate transition (loop iterations, branches) still re-enters the
+interpreter's generic transition loop -- rebuild the interstate namespace,
+``eval`` each edge condition against a fresh dict, ``eval`` each assignment.
+For loop-nest programs that transition loop dominates, so ``cloudsc``- and
+``bert``-shaped workloads saw almost none of the vectorized speedup.
+
+This backend code-generates **one Python driver function for the entire
+SDFG** at preparation time:
+
+* the state machine is lowered to *structured* control flow
+  (:func:`repro.sdfg.analysis.structured_control_flow`): natural loops (the
+  guard pattern) become native ``while`` loops, if-diamonds become ``if``
+  chains, linear chains stay flat;
+* interstate edge conditions and symbol assignments become inline Python
+  expressions (:func:`repro.symbolic.codegen.emit_interstate_expression`)
+  reading program symbols from one shared dict and scalar containers from
+  the data store -- no per-transition namespace rebuild, no ``eval``;
+* irreducible interstate graphs fall back to a generated
+  ``while``-over-current-state dispatch loop (still native conditions, just
+  with an explicit state variable);
+* each state's dataflow is executed by the existing vectorized scope
+  machinery (:class:`~repro.backends.vectorized.VectorizedExecutor`), so map
+  scopes run as NumPy array expressions with per-scope interpreter fallback.
+
+Results are bitwise identical to the interpreter, including final symbol
+values, transition counts, coverage maps (transition, condition and tasklet
+features) and the full error taxonomy (``HangError`` on transition-budget
+exhaustion, ``ExecutionError`` wrapping of failing conditions/assignments,
+``MemoryViolation`` from dataflow).  Compiled programs are cached by SDFG
+content hash exactly like vectorized ones.
+
+As a last-resort safety net (e.g. an interstate assignment targeting a name
+that is *also* a scalar container, where static name routing cannot
+reproduce the interpreter's shadowing dance), the driver degrades to an
+``interpreted`` control loop that reuses the interpreter's ``_next_state``
+verbatim -- dataflow stays vectorized, only transitions stay dynamic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.backends.base import CompiledProgram as _BaseCompiledProgram
+from repro.backends.vectorized import (
+    VectorizedBackend,
+    VectorizedExecutor,
+    VectorizedProgram,
+)
+from repro.interpreter.errors import ExecutionError, HangError
+from repro.interpreter.executor import _EVAL_GLOBALS
+from repro.interpreter.tasklet_exec import compile_expression
+from repro.sdfg.analysis import (
+    CFBlock,
+    CFBranch,
+    CFExec,
+    CFLoop,
+    structured_control_flow,
+)
+from repro.sdfg.data import Scalar
+from repro.sdfg.sdfg import SDFG
+from repro.sdfg.state import SDFGState
+from repro.symbolic.codegen import (
+    ExpressionCodegenError,
+    emit_interstate_expression,
+)
+
+__all__ = [
+    "CompiledBackend",
+    "CompiledWholeProgram",
+    "CompiledExecutor",
+    "compile_driver",
+]
+
+#: Globals of the generated driver.  User expressions see exactly the
+#: interpreter's ``_EVAL_GLOBALS`` vocabulary; the dunder-prefixed aliases
+#: are infrastructure used by *emitted* statements only, so they cannot
+#: widen what a program's own conditions can resolve.
+_DRIVER_GLOBALS: Dict[str, Any] = dict(_EVAL_GLOBALS)
+_DRIVER_GLOBALS.update(
+    {
+        "__bool": bool,
+        "__isinstance": isinstance,
+        "__float": float,
+        "__int": int,
+        "__Exception": Exception,
+    }
+)
+
+
+# ---------------------------------------------------------------------- #
+# Driver code generation
+# ---------------------------------------------------------------------- #
+class _DriverEmitter:
+    """Emits the Python source of one whole-program driver function."""
+
+    def __init__(
+        self,
+        sdfg: SDFG,
+        state_index: Dict[SDFGState, int],
+        scalar_names: Set[str],
+    ) -> None:
+        self.sdfg = sdfg
+        self.state_index = state_index
+        self.scalar_names = scalar_names
+        self.lines: List[str] = []
+        self.indent = 0
+
+    # .................................................................. #
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+    # .................................................................. #
+    def emit_driver(self, body: Callable[[], None]) -> None:
+        self.line("def __drive(__rt):")
+        self.indent += 1
+        self.line("__sym = __rt._symbols")
+        self.line("__store = __rt._store")
+        self.line("__cov = __rt._coverage")
+        self.line("__max = __rt.max_transitions")
+        self.line("__exec = __rt._execute_state")
+        self.line("__states = __rt._compiled_states")
+        self.line("__t = 0")
+        self.line("__prev = '__start__'")
+        body()
+        self.line("return __t")
+        self.indent -= 1
+
+    def emit_exec(self, state: SDFGState) -> None:
+        """One state execution, mirroring the interpreter's per-state steps:
+        hang check, transition coverage, dataflow, transition count."""
+        self.line("if __t > __max:")
+        self.line("    __rt._hang()")
+        self.line("if __cov is not None:")
+        self.line(f"    __cov.record_transition(__prev, {state.label!r})")
+        self.line(f"__exec(__states[{self.state_index[state]}])")
+        self.line(f"__prev = {state.label!r}")
+        self.line("__t += 1")
+
+    # .................................................................. #
+    def emit_condition(self, edge) -> None:
+        """Sets ``__c`` to the edge condition's truth value (or raises the
+        interpreter's :class:`ExecutionError` wrapper)."""
+        cond = edge.data.condition
+        if cond.strip() in ("True", "1"):
+            # The interpreter evaluates these to True; skip the try block.
+            self.line("__c = True")
+            return
+        try:
+            src = emit_interstate_expression(cond, self.scalar_names)
+            expr = f"__bool({src})"
+        except ExpressionCodegenError:
+            # Unparseable condition: defer to the interpreter's dynamic
+            # evaluation so the failure mode (and message) is identical.
+            expr = f"__bool(__rt._eval_raw({cond!r}))"
+        self.line("try:")
+        self.line(f"    __c = {expr}")
+        self.line("except __Exception as __exc:")
+        self.line(f"    __rt._cond_fail({cond!r}, __exc)")
+
+    def emit_record_condition(self, state: SDFGState, edge) -> None:
+        location = f"{state.label}->{edge.dst.label}"
+        self.line("if __cov is not None:")
+        self.line(f"    __cov.record_condition({location!r}, __c)")
+
+    def emit_assignments(self, edge) -> None:
+        for sym, expr in edge.data.assignments.items():
+            try:
+                src = emit_interstate_expression(expr, self.scalar_names)
+            except ExpressionCodegenError:
+                src = f"__rt._eval_raw({expr!r})"
+            self.line("try:")
+            self.line(f"    __v = {src}")
+            self.line("except __Exception as __exc:")
+            self.line(f"    __rt._assign_fail({sym!r}, {expr!r}, __exc)")
+            # Interpreter parity: integral floats become Python ints.
+            self.line("if __isinstance(__v, __float) and __v.is_integer():")
+            self.line("    __v = __int(__v)")
+            self.line(f"__sym[{sym!r}] = __v")
+
+    # .................................................................. #
+    # Structured emission
+    # .................................................................. #
+    def emit_block(self, block: CFBlock, halt: str = "return __t") -> None:
+        for item in block.items:
+            if isinstance(item, CFExec):
+                self.emit_exec(item.state)
+            elif isinstance(item, CFLoop):
+                self.line("while True:")
+                self.indent += 1
+                self.emit_exec(item.loop.guard)
+                self._emit_arms(item.branch.state, item.branch.arms, 0, halt)
+                self.indent -= 1
+            elif isinstance(item, CFBranch):
+                arm = item.arms[0] if item.arms else None
+                if (
+                    len(item.arms) == 1
+                    and arm.terminal == "fallthrough"
+                ):
+                    # Linear-chain edge: stay flat instead of nesting.
+                    self.emit_condition(arm.edge)
+                    self.emit_record_condition(item.state, arm.edge)
+                    if arm.edge.data.condition.strip() not in ("True", "1"):
+                        self.line("if not __c:")
+                        self.line(f"    {halt}")
+                    self.emit_assignments(arm.edge)
+                else:
+                    self._emit_arms(item.state, item.arms, 0, halt)
+            else:  # pragma: no cover - exhaustive over CF node kinds
+                raise ExpressionCodegenError(f"Unknown CF item {item!r}")
+        # Defensive terminator: blocks ending in a terminal state (no
+        # out-edges) fall through to here; after an exhaustive branch this
+        # line is simply unreachable.
+        self.line(halt)
+
+    def _emit_arms(self, state: SDFGState, arms, i: int, halt: str) -> None:
+        """Evaluate out-edges in order; the first true condition wins, no
+        true condition terminates the program -- the interpreter's
+        ``_next_state`` contract."""
+        if i == len(arms):
+            self.line(halt)
+            return
+        arm = arms[i]
+        self.emit_condition(arm.edge)
+        self.emit_record_condition(state, arm.edge)
+        self.line("if __c:")
+        self.indent += 1
+        self.emit_assignments(arm.edge)
+        if arm.terminal in ("continue", "break"):
+            self.line(arm.terminal)
+        elif arm.block is not None:
+            self.emit_block(arm.block, halt)
+        else:  # pragma: no cover - structurer emits no other terminals here
+            self.line(halt)
+        self.indent -= 1
+        if i + 1 < len(arms):
+            self.line("else:")
+            self.indent += 1
+            self._emit_arms(state, arms, i + 1, halt)
+            self.indent -= 1
+        else:
+            self.line("else:")
+            self.line(f"    {halt}")
+
+    # .................................................................. #
+    # Dispatch emission (irreducible graphs)
+    # .................................................................. #
+    def emit_dispatch(self) -> None:
+        start = self.state_index[self.sdfg.start_state]
+        self.line(f"__s = {start}")
+        self.line("while __s >= 0:")
+        self.indent += 1
+        keyword = "if"
+        for state, idx in self.state_index.items():
+            self.line(f"{keyword} __s == {idx}:")
+            keyword = "elif"
+            self.indent += 1
+            self.emit_exec(state)
+            self._emit_dispatch_arms(state, self.sdfg.out_edges(state), 0)
+            self.indent -= 1
+        self.indent -= 1
+
+    def _emit_dispatch_arms(self, state: SDFGState, edges, i: int) -> None:
+        if i == len(edges):
+            self.line("__s = -1")
+            return
+        edge = edges[i]
+        self.emit_condition(edge)
+        self.emit_record_condition(state, edge)
+        self.line("if __c:")
+        self.indent += 1
+        self.emit_assignments(edge)
+        self.line(f"__s = {self.state_index[edge.dst]}")
+        self.indent -= 1
+        self.line("else:")
+        self.indent += 1
+        self._emit_dispatch_arms(state, edges, i + 1)
+        self.indent -= 1
+
+
+def _interpreted_drive(rt: "CompiledExecutor") -> int:
+    """Fallback control loop: the interpreter's transition machinery verbatim
+    (dataflow still runs through the vectorized scope kernels)."""
+    from repro.interpreter.executor import SDFGExecutor
+
+    return SDFGExecutor._run_control_loop(rt)
+
+
+def compile_driver(
+    sdfg: SDFG, state_index: Dict[SDFGState, int]
+) -> Tuple[str, Optional[str], Optional[Callable]]:
+    """Generate the whole-program driver for ``sdfg``.
+
+    Returns ``(mode, source, fn)`` where mode is ``"structured"``,
+    ``"dispatch"``, ``"interpreted"`` (dynamic-transition safety net) or
+    ``"empty"`` (stateless program; running it raises like the interpreter).
+    """
+    if not sdfg.states():
+        return "empty", None, None
+
+    scalar_names = {
+        name for name, desc in sdfg.arrays.items() if isinstance(desc, Scalar)
+    }
+    assigned: Set[str] = set()
+    for e in sdfg.edges():
+        assigned |= set(e.data.assignments)
+    if assigned & scalar_names:
+        # An interstate assignment shadowing a scalar container cannot be
+        # routed statically (the interpreter's namespace lets the assigned
+        # value win within a transition, the scalar win on the next one).
+        return "interpreted", None, _interpreted_drive
+
+    try:
+        tree = structured_control_flow(sdfg)
+        emitter = _DriverEmitter(sdfg, state_index, scalar_names)
+        if tree is not None:
+            mode = "structured"
+            emitter.emit_driver(lambda: emitter.emit_block(tree))
+        else:
+            mode = "dispatch"
+            emitter.emit_driver(emitter.emit_dispatch)
+        source = emitter.source()
+        namespace: Dict[str, Any] = {}
+        code = compile(source, f"<compiled-sdfg:{sdfg.name}>", "exec")
+        exec(code, dict(_DRIVER_GLOBALS), namespace)  # noqa: S102
+        return mode, source, namespace["__drive"]
+    except Exception:  # noqa: BLE001 - never fail prepare; degrade instead
+        return "interpreted", None, _interpreted_drive
+
+
+# ---------------------------------------------------------------------- #
+# Executor / program / backend
+# ---------------------------------------------------------------------- #
+class CompiledExecutor(VectorizedExecutor):
+    """A :class:`VectorizedExecutor` whose control flow is one generated
+    Python function instead of the generic interpretation loop."""
+
+    def __init__(self, sdfg: SDFG, max_transitions: int = 100_000, **kwargs) -> None:
+        super().__init__(sdfg, max_transitions=max_transitions, **kwargs)
+        self._compiled_states: List[SDFGState] = list(sdfg.states())
+        state_index = {s: i for i, s in enumerate(self._compiled_states)}
+        self.control_mode, self.driver_source, self._drive = compile_driver(
+            sdfg, state_index
+        )
+
+    # Runtime services the generated driver calls ...................... #
+    def _hang(self) -> None:
+        raise HangError(self.max_transitions)
+
+    def _cond_fail(self, condition: str, exc: BaseException) -> None:
+        raise ExecutionError(
+            f"Failed to evaluate interstate condition {condition!r}: {exc}"
+        ) from exc
+
+    def _assign_fail(self, sym: str, expr: str, exc: BaseException) -> None:
+        raise ExecutionError(
+            f"Failed to evaluate interstate assignment {sym} = {expr!r}: {exc}"
+        ) from exc
+
+    def _eval_raw(self, expr: str) -> Any:
+        """Interpreter-identical dynamic evaluation (unparseable exprs)."""
+        return eval(  # noqa: S307 - restricted namespace
+            compile_expression(expr), _EVAL_GLOBALS, self._interstate_namespace()
+        )
+
+    # .................................................................. #
+    def _run_control_loop(self) -> int:
+        """The whole run contract (setup, result construction, store reset
+        for cached programs) is inherited; only the transition loop is
+        replaced by the generated driver."""
+        if self._drive is None:
+            # Stateless program: raise exactly like the interpreter.
+            _ = self.sdfg.start_state
+        return self._drive(self)
+
+
+class CompiledWholeProgram(VectorizedProgram):
+    """A program bound to a reusable :class:`CompiledExecutor`."""
+
+    def __init__(self, sdfg: SDFG, max_transitions: int = 100_000) -> None:
+        # Deliberately skip VectorizedProgram.__init__: same shape, but the
+        # executor is the compiled one.
+        _BaseCompiledProgram.__init__(self, sdfg)
+        self.executor = CompiledExecutor(sdfg, max_transitions=max_transitions)
+
+    @property
+    def control_mode(self) -> str:
+        return self.executor.control_mode
+
+    @property
+    def driver_source(self) -> Optional[str]:
+        return self.executor.driver_source
+
+
+class CompiledBackend(VectorizedBackend):
+    """Whole-program compilation: structured interstate control flow plus
+    vectorized state dataflow, cached by SDFG content hash."""
+
+    name = "compiled"
+    program_class = CompiledWholeProgram

@@ -1,22 +1,27 @@
 """The self-checking ``cross`` backend: FuzzyFlow applied to ourselves.
 
-Runs every execution through *both* the reference interpreter and the
-vectorized backend and compares the complete system states bit for bit.
-Any divergence -- different outputs, different final symbols, different
-transition counts, or one backend crashing where the other does not -- is a
-bug in an execution backend, not a property of the program under test, and
-is raised as :class:`BackendDivergenceError`.
+Runs every execution through *two* backends -- by default the reference
+interpreter and the vectorized backend, but any registered pair can be
+named via ``cross:REF,CAND`` (e.g. ``cross:compiled,interpreter``) -- and
+compares the complete system states bit for bit.  Any divergence --
+different outputs, different final symbols, different transition counts, or
+one backend crashing where the other does not -- is a bug in an execution
+backend, not a property of the program under test, and is raised as
+:class:`BackendDivergenceError`.
 
 ``BackendDivergenceError`` deliberately does **not** derive from
 :class:`~repro.interpreter.errors.ExecutionError`: the differential fuzzer
 treats ``ExecutionError`` as a crash of the program under test, while a
 backend divergence must abort the trial loudly and surface as an
-infrastructure error in sweep reports.
+infrastructure error in sweep reports.  The error carries the backend pair
+and the SDFG content hash and pickles losslessly, so a divergence raised
+inside a multiprocessing pool worker still names which backends diverged on
+which program once it is reconstructed on the coordinator side.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, List, Mapping, Optional
 
 import numpy as np
 
@@ -31,12 +36,34 @@ __all__ = ["CrossBackend", "CrossProgram", "BackendDivergenceError"]
 class BackendDivergenceError(Exception):
     """The reference and candidate backends disagree on an execution."""
 
-    def __init__(self, program: str, details: List[str]) -> None:
+    def __init__(
+        self,
+        program: str,
+        details: List[str],
+        reference: str = "interpreter",
+        candidate: str = "vectorized",
+        sdfg_hash: Optional[str] = None,
+    ) -> None:
         self.program = program
         self.details = list(details)
+        self.reference = reference
+        self.candidate = candidate
+        self.sdfg_hash = sdfg_hash
+        where = f"'{program}'"
+        if sdfg_hash:
+            where += f" [sdfg {sdfg_hash[:12]}]"
         super().__init__(
-            f"Backend divergence on '{program}' (interpreter vs. vectorized): "
+            f"Backend divergence on {where} ({reference} vs. {candidate}): "
             + "; ".join(self.details)
+        )
+
+    def __reduce__(self):
+        # Default exception pickling replays ``cls(*args)`` with the joined
+        # message string, which would crash the constructor and lose the
+        # backend pair / hash; rebuild from the full context instead.
+        return (
+            type(self),
+            (self.program, self.details, self.reference, self.candidate, self.sdfg_hash),
         )
 
 
@@ -56,14 +83,29 @@ class CrossProgram(CompiledProgram):
         sdfg: SDFG,
         reference: CompiledProgram,
         candidate: CompiledProgram,
+        reference_name: str = "interpreter",
+        candidate_name: str = "vectorized",
+        sdfg_hash: Optional[str] = None,
     ) -> None:
         super().__init__(sdfg)
         self.reference = reference
         self.candidate = candidate
+        self.reference_name = reference_name
+        self.candidate_name = candidate_name
+        self.sdfg_hash = sdfg_hash
         #: Number of executions that were cross-checked without divergence.
         self.checked_runs = 0
 
     # .................................................................. #
+    def _diverged(self, details: List[str]) -> BackendDivergenceError:
+        return BackendDivergenceError(
+            self.sdfg.name,
+            details,
+            reference=self.reference_name,
+            candidate=self.candidate_name,
+            sdfg_hash=self.sdfg_hash,
+        )
+
     def run(
         self,
         arguments: Optional[Mapping[str, Any]] = None,
@@ -89,28 +131,28 @@ class CrossProgram(CompiledProgram):
 
         if ref_error is not None or cand_error is not None:
             if ref_error is None or cand_error is None:
-                raise BackendDivergenceError(
-                    self.sdfg.name,
+                raise self._diverged(
                     [
-                        "interpreter "
+                        f"{self.reference_name} "
                         + (f"raised {type(ref_error).__name__}" if ref_error else "succeeded")
-                        + ", vectorized "
+                        + f", {self.candidate_name} "
                         + (f"raised {type(cand_error).__name__}" if cand_error else "succeeded")
-                    ],
+                    ]
                 )
             # Differential testing only distinguishes hangs from crashes, and
-            # the vectorized backend legitimately reports a different crash
-            # *class* than the interpreter (it checks a whole scope's bounds
-            # before executing any tasklet, so e.g. a MemoryViolation can
-            # pre-empt the TaskletExecutionError the interpreter hits first).
-            # Only a hang-vs-crash disagreement is a backend bug.
+            # a compiled backend legitimately reports a different crash
+            # *class* than the interpreter (e.g. the vectorized scope checks
+            # a whole scope's bounds before executing any tasklet, so a
+            # MemoryViolation can pre-empt the TaskletExecutionError the
+            # interpreter hits first).  Only a hang-vs-crash disagreement is
+            # a backend bug.
             if isinstance(ref_error, HangError) is not isinstance(cand_error, HangError):
-                raise BackendDivergenceError(
-                    self.sdfg.name,
+                raise self._diverged(
                     [
-                        f"crash classes differ: interpreter {type(ref_error).__name__}, "
-                        f"vectorized {type(cand_error).__name__}"
-                    ],
+                        f"crash classes differ: {self.reference_name} "
+                        f"{type(ref_error).__name__}, {self.candidate_name} "
+                        f"{type(cand_error).__name__}"
+                    ]
                 )
             # Agreeing failures propagate the reference error so differential
             # trial classification is unchanged.
@@ -118,7 +160,7 @@ class CrossProgram(CompiledProgram):
 
         details = self._compare(ref_result, cand_result, collect_coverage)
         if details:
-            raise BackendDivergenceError(self.sdfg.name, details)
+            raise self._diverged(details)
         self.checked_runs += 1
         return ref_result
 
@@ -146,7 +188,12 @@ class CrossProgram(CompiledProgram):
 
 
 class CrossBackend(ExecutionBackend):
-    """Runs the interpreter and the vectorized backend side by side."""
+    """Runs two backends side by side, comparing every execution.
+
+    The default pairing is the reference interpreter against the vectorized
+    backend; :func:`repro.backends.base.get_backend` materializes arbitrary
+    pairs from ``cross:REF,CAND`` names.
+    """
 
     name = "cross"
 
@@ -157,8 +204,13 @@ class CrossBackend(ExecutionBackend):
         self.candidate_name = candidate
 
     def prepare(self, sdfg: SDFG, max_transitions: int = 100_000) -> CrossProgram:
+        from repro.backends.vectorized import sdfg_content_hash
+
         return CrossProgram(
             sdfg,
             get_backend(self.reference_name).prepare(sdfg, max_transitions=max_transitions),
             get_backend(self.candidate_name).prepare(sdfg, max_transitions=max_transitions),
+            reference_name=self.reference_name,
+            candidate_name=self.candidate_name,
+            sdfg_hash=sdfg_content_hash(sdfg),
         )

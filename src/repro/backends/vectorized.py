@@ -233,11 +233,36 @@ class _InputSpec:
 class _OutputSpec:
     conn: str
     data: str
-    #: Per dimension: ``("param", axis)`` for a bare map parameter or
-    #: ``("const", code)`` for an expression free of map parameters.
+    #: Per dimension: ``("param", (axis, offset))`` for a unit-slope affine
+    #: expression in one map parameter (``i`` -> offset 0, ``i + 1`` ->
+    #: offset 1, ``i - 1`` -> offset -1) or ``("const", code)`` for an
+    #: expression free of map parameters.
     dims: List[Tuple[str, Any]]
     wcr: Optional[str]
     subset_str: str
+
+
+def _unit_affine_offset(expr, param: str) -> Optional[int]:
+    """Integer ``c`` such that ``expr == param + c``, else ``None``.
+
+    The match is *structural* -- ``Symbol(param)`` or a two-term sum of
+    ``Symbol(param)`` and an integer constant (what ``i + 1`` / ``i - 1`` /
+    ``1 + i`` parse and fold to).  Probing concrete points instead would
+    accept piecewise expressions (``i % 4096``, ``Min(i, C)``) that agree
+    with ``param + c`` on the probe set but wrap elsewhere, silently
+    corrupting vectorized writes.
+    """
+    from repro.symbolic.expressions import Add, Integer, Symbol
+
+    if isinstance(expr, Symbol):
+        return 0 if expr.name == param else None
+    if isinstance(expr, Add) and len(expr.args) == 2:
+        a, b = expr.args
+        if isinstance(b, Symbol):
+            a, b = b, a
+        if isinstance(a, Symbol) and a.name == param and isinstance(b, Integer):
+            return b.value
+    return None
 
 
 @dataclass
@@ -326,11 +351,23 @@ class _PlanBuilder:
                     if text in used_params:
                         return None  # same parameter indexing two dimensions
                     used_params.append(text)
-                    dims.append(("param", params.index(text)))
+                    dims.append(("param", (params.index(text), 0)))
                 elif not (r.begin.free_symbols & set(params)):
                     dims.append(("const", compile_expression(text)))
                 else:
-                    return None  # affine-but-not-bare in a parameter
+                    # Affine-but-not-bare (e.g. ``i + 1``): lower to a slice
+                    # offset when the index is unit-slope in one parameter;
+                    # the shift keeps the write a bijection, so the plain /
+                    # WCR write paths below apply unchanged.
+                    candidates = r.begin.free_symbols & set(params)
+                    if len(candidates) != 1:
+                        return None
+                    p = next(iter(candidates))
+                    offset = _unit_affine_offset(r.begin, p)
+                    if offset is None or p in used_params:
+                        return None
+                    used_params.append(p)
+                    dims.append(("param", (params.index(p), offset)))
             if memlet.wcr is None:
                 # Without a reduction, the write must be a bijection on the
                 # iteration space (every parameter appears as its own
@@ -498,8 +535,9 @@ class VectorizedExecutor(SDFGExecutor):
             param_axes: List[int] = []
             for kind, payload in spec.dims:
                 if kind == "param":
-                    param_axes.append(payload)
-                    index_1d.append(axes[payload])
+                    axis, offset = payload
+                    param_axes.append(axis)
+                    index_1d.append(axes[axis] + offset if offset else axes[axis])
                 else:
                     c = int(eval(payload, _EVAL_GLOBALS, dict(bindings)))  # noqa: S307
                     index_1d.append(np.asarray([c], dtype=np.int64))
@@ -573,7 +611,8 @@ class VectorizedExecutor(SDFGExecutor):
         # length-1 axes for constant-indexed dimensions.
         perm = [kept_sorted.index(a) for a in param_axes]
         target_shape = tuple(
-            shape_full[payload] if kind == "param" else 1 for kind, payload in spec.dims
+            shape_full[payload[0]] if kind == "param" else 1
+            for kind, payload in spec.dims
         )
         mesh = np.ix_(*index_1d) if index_1d else ()
         # Reduction slabs, flattened in iteration (lexicographic) order.
@@ -645,6 +684,9 @@ class VectorizedBackend(ExecutionBackend):
     """
 
     name = "vectorized"
+    #: Program type this backend prepares; subclasses (e.g. the compiled
+    #: whole-program backend) swap it while inheriting the cache policy.
+    program_class = VectorizedProgram
 
     def __init__(self, cache_size: int = 64) -> None:
         self.cache_size = cache_size
@@ -660,7 +702,7 @@ class VectorizedBackend(ExecutionBackend):
             self.cache_hits += 1
             return program
         self.cache_misses += 1
-        program = VectorizedProgram(sdfg, max_transitions=max_transitions)
+        program = self.program_class(sdfg, max_transitions=max_transitions)
         self._cache[key] = program
         while len(self._cache) > self.cache_size:
             self._cache.popitem(last=False)

@@ -120,18 +120,7 @@ class SDFGExecutor:
         self._tasklet_counts = {}
         self._setup(arguments, symbols)
 
-        state: Optional[SDFGState] = self.sdfg.start_state
-        transitions = 0
-        prev_label = "__start__"
-        while state is not None:
-            if transitions > self.max_transitions:
-                raise HangError(self.max_transitions)
-            if self._coverage is not None:
-                self._coverage.record_transition(prev_label, state.label)
-            self._execute_state(state)
-            prev_label = state.label
-            state = self._next_state(state)
-            transitions += 1
+        transitions = self._run_control_loop()
 
         if self._coverage is not None:
             for guid, count in self._tasklet_counts.items():
@@ -148,6 +137,26 @@ class SDFGExecutor:
             transitions=transitions,
             coverage=self._coverage or CoverageMap(),
         )
+
+    def _run_control_loop(self) -> int:
+        """Walk the state machine until termination; returns the transition
+        count.  The only part of the run contract backends may override:
+        the compiled backend replaces this generic loop with a generated
+        whole-program driver while inheriting setup/teardown and result
+        construction verbatim."""
+        state: Optional[SDFGState] = self.sdfg.start_state
+        transitions = 0
+        prev_label = "__start__"
+        while state is not None:
+            if transitions > self.max_transitions:
+                raise HangError(self.max_transitions)
+            if self._coverage is not None:
+                self._coverage.record_transition(prev_label, state.label)
+            self._execute_state(state)
+            prev_label = state.label
+            state = self._next_state(state)
+            transitions += 1
+        return transitions
 
     # ------------------------------------------------------------------ #
     # Setup

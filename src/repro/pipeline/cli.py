@@ -17,12 +17,22 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.backends import list_backends
+from repro.backends import get_backend, list_backends
 from repro.pipeline.runner import SweepRunner
 from repro.pipeline.tasks import enumerate_sweep_tasks
 from repro.workloads import list_workload_suites
 
 __all__ = ["main", "build_parser"]
+
+
+def _backend_name(value: str) -> str:
+    """Validate a backend name (including ``cross:REF,CAND`` pairs) without
+    giving up argparse's error reporting."""
+    try:
+        get_backend(value)
+    except KeyError as exc:
+        raise argparse.ArgumentTypeError(str(exc.args[0]))
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,9 +62,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated subset of suite kernels to sweep (default: all)",
     )
     parser.add_argument(
-        "--backend", default="interpreter", choices=list_backends(),
-        help="execution backend: 'interpreter' (reference), 'vectorized' "
-        "(compiled NumPy), or 'cross' (run both, fail on any divergence)",
+        "--backend", default="interpreter", type=_backend_name,
+        metavar="BACKEND",
+        help="execution backend: one of "
+        f"{', '.join(list_backends())}, or 'cross:REF,CAND' to cross-check "
+        "any backend pair (e.g. 'cross:compiled,interpreter'); any "
+        "divergence fails the sweep as an infrastructure error",
     )
     parser.add_argument(
         "--progress", action="store_true",

@@ -20,7 +20,11 @@ __all__ = ["SweepResult"]
 #: Version 2 adds the ``backend`` field (execution backend used for the
 #: sweep); version-1 documents lack it and load as ``"interpreter"``, which
 #: is what every v1 sweep actually ran.
-SCHEMA_VERSION = 2
+#: Version 3 fixes the ``backend`` string format: besides plain registry
+#: names (now including ``"compiled"``), it may be a cross-check pair of
+#: the form ``"cross:REF,CAND"`` (the bare ``"cross"`` remains shorthand
+#: for ``"cross:interpreter,vectorized"``).  v2 documents load unchanged.
+SCHEMA_VERSION = 3
 
 
 @dataclass

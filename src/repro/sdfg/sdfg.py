@@ -34,6 +34,28 @@ class SDFGError(Exception):
     """Raised on invalid SDFG construction or queries."""
 
 
+#: Names treated as expression vocabulary rather than program inputs, so
+#: ``free_symbols`` never reports them.  This is deliberately *wider* than
+#: what the interpreter's interstate evaluator actually resolves
+#: (``_EVAL_GLOBALS``: Min/Max/min/max/abs/int): a condition calling e.g.
+#: ``len(...)`` crashes at evaluation either way, but demanding ``len`` as
+#: a fuzzed program input is a bogus requirement -- providing an integer
+#: for it could never make the call form work.  The trade-off is that a
+#: program symbol literally named ``len``/``sum``/... is invisible to
+#: requirement analysis; execution still resolves it correctly (the symbol
+#: namespace shadows the vocabulary in both backends).
+_EXPRESSION_BUILTINS = frozenset(
+    {
+        "Min", "Max", "min", "max", "abs", "int", "float", "bool", "len",
+        "round", "pow", "sum", "divmod", "math", "np", "numpy",
+        "True", "False", "None",
+    }
+)
+
+#: Keywords the legacy regex extraction used to pick up as identifiers.
+_EXPRESSION_KEYWORDS = frozenset({"and", "or", "not", "in", "if", "else", "is"})
+
+
 class InterstateEdge:
     """Control-flow edge between two states.
 
@@ -59,12 +81,25 @@ class InterstateEdge:
 
     @property
     def free_symbols(self) -> Set[str]:
-        import re
+        """Names the condition and assignment expressions actually read.
 
-        names = set(re.findall(r"[A-Za-z_][A-Za-z_0-9]*", self.condition))
-        for v in self.assignments.values():
-            names |= set(re.findall(r"[A-Za-z_][A-Za-z_0-9]*", v))
-        return names - {"True", "False", "and", "or", "not", "min", "max"}
+        Extraction is :mod:`ast`-based, so builtins used as calls
+        (``abs(x)``, ``len(...)``, ``int(n)``), attribute accesses and
+        keywords are never misreported as free symbols; a malformed
+        expression falls back to regex scraping so requirement analyses
+        still see *some* conservative answer instead of crashing.
+        """
+        from repro.symbolic.codegen import ExpressionCodegenError, expression_names
+
+        names: Set[str] = set()
+        for expr in (self.condition, *self.assignments.values()):
+            try:
+                names |= expression_names(expr)
+            except ExpressionCodegenError:
+                import re
+
+                names |= set(re.findall(r"[A-Za-z_][A-Za-z_0-9]*", expr))
+        return names - _EXPRESSION_BUILTINS - _EXPRESSION_KEYWORDS
 
     def to_dict(self) -> Dict:
         return {"condition": self.condition, "assignments": dict(self.assignments)}

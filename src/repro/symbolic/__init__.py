@@ -13,8 +13,16 @@ subpackage provides a small, dependency-free symbolic engine:
   simplification.
 * :mod:`repro.symbolic.ranges` -- one-dimensional ranges and multi-dimensional
   subsets with symbolic bounds, including volume, overlap and covering checks.
+* :mod:`repro.symbolic.codegen` -- Python-source emission for interstate
+  control-flow expressions (used by the compiled whole-program backend) and
+  :mod:`ast`-based free-name extraction.
 """
 
+from repro.symbolic.codegen import (
+    ExpressionCodegenError,
+    emit_interstate_expression,
+    expression_names,
+)
 from repro.symbolic.expressions import (
     Add,
     Expr,
@@ -49,4 +57,7 @@ __all__ = [
     "Range",
     "Subset",
     "Indices",
+    "ExpressionCodegenError",
+    "emit_interstate_expression",
+    "expression_names",
 ]

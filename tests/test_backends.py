@@ -62,7 +62,9 @@ def assert_bitwise_equal(r1, r2):
 
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert {"interpreter", "vectorized", "cross"} <= set(list_backends())
+        assert {"interpreter", "vectorized", "compiled", "cross"} <= set(
+            list_backends()
+        )
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(KeyError):
@@ -318,6 +320,152 @@ class TestFallbackPaths:
         )
         assert program.stats["fallback"] > 0
         assert program.stats["vectorized"] == 0
+
+
+class TestShiftedWriteIndices:
+    """Affine-but-not-bare write indices (`i+1`, `i-1`) lower to slice
+    offsets instead of falling back; explicit interpreter-parity tests so
+    the old silent fallback can never regress to wrong results."""
+
+    def _shifted_stencil(self, offset_expr):
+        sdfg = SDFG(f"shifted_{offset_expr.replace(' ', '')}")
+        sdfg.add_array("A", ["N"], float64)
+        sdfg.add_array("B", ["N"], float64)
+        state = sdfg.add_state("s")
+        state.add_mapped_tasklet(
+            "shift", {"i": "1:N-3"},
+            {"a": Memlet.simple("A", "i")}, "b = a * 2.0",
+            {"b": Memlet.simple("B", offset_expr)},
+        )
+        return sdfg
+
+    @pytest.mark.parametrize("offset_expr", ["i + 1", "i - 1", "i + 2"])
+    def test_shifted_writes_vectorize_and_match(self, offset_expr):
+        sdfg = self._shifted_stencil(offset_expr)
+        args = {"A": np.arange(8.0), "B": np.zeros(8)}
+        r1, r2, program = run_both(sdfg, args, {"N": 8})
+        assert_bitwise_equal(r1, r2)
+        assert program.stats["vectorized"] > 0
+        assert program.stats["fallback"] == 0
+
+    def test_shifted_wcr_writes_vectorize_and_match(self):
+        sdfg = SDFG("shifted_wcr")
+        sdfg.add_array("A", ["N"], float64)
+        sdfg.add_array("B", ["N"], float64)
+        state = sdfg.add_state("s")
+        state.add_mapped_tasklet(
+            "acc", {"i": "0:N-3"},
+            {"a": Memlet.simple("A", "i")}, "b = a",
+            {"b": Memlet("B", "i + 1", wcr="sum")},
+        )
+        args = {"A": np.arange(6.0), "B": np.full(6, 0.5)}
+        r1, r2, program = run_both(sdfg, args, {"N": 6})
+        assert_bitwise_equal(r1, r2)
+        assert program.stats["vectorized"] > 0
+
+    def test_shifted_2d_mixed_dims_vectorize_and_match(self):
+        sdfg = SDFG("shifted_2d")
+        sdfg.add_array("A", ["N", "N"], float64)
+        sdfg.add_array("B", ["N", "N"], float64)
+        state = sdfg.add_state("s")
+        state.add_mapped_tasklet(
+            "shift2d", {"i": "1:N-2", "j": "0:N-3"},
+            {"a": Memlet.simple("A", "i, j")}, "b = a + 1.0",
+            {"b": Memlet.simple("B", "i - 1, j + 2")},
+        )
+        rng = np.random.default_rng(3)
+        args = {"A": rng.standard_normal((6, 6)), "B": np.zeros((6, 6))}
+        r1, r2, program = run_both(sdfg, args, {"N": 6})
+        assert_bitwise_equal(r1, r2)
+        assert program.stats["vectorized"] > 0
+        assert program.stats["fallback"] == 0
+
+    def test_shifted_write_out_of_bounds_detected_by_both(self):
+        # B is fixed-size 5; with N=8 the map writes index i+1 up to 6.
+        sdfg = SDFG("shifted_oob")
+        sdfg.add_array("A", ["N"], float64)
+        sdfg.add_array("B", [5], float64)
+        state = sdfg.add_state("s")
+        state.add_mapped_tasklet(
+            "shift", {"i": "1:N-3"},
+            {"a": Memlet.simple("A", "i")}, "b = a * 2.0",
+            {"b": Memlet.simple("B", "i + 1")},
+        )
+        args = {"A": np.arange(8.0), "B": np.zeros(5)}
+        errors = {}
+        for name in ("interpreter", "vectorized"):
+            with pytest.raises(MemoryViolation) as exc_info:
+                get_backend(name).prepare(sdfg).run(dict(args), {"N": 8})
+            errors[name] = exc_info.value
+        assert errors["interpreter"].data == errors["vectorized"].data == "B"
+
+    @pytest.mark.parametrize("index_expr", ["i % 4", "Min(i, 3)", "i // 2 + i % 2"])
+    def test_piecewise_indices_that_look_affine_on_probes_fall_back(self, index_expr):
+        """`i % 4` agrees with `i + 0` on small probe points but wraps for
+        larger iterations; affinity must be established structurally, not by
+        probing, or vectorized writes silently corrupt."""
+        sdfg = SDFG("wrapwrite")
+        sdfg.add_array("A", ["N"], float64)
+        sdfg.add_array("B", ["N"], float64)
+        state = sdfg.add_state("s")
+        state.add_mapped_tasklet(
+            "wrap", {"i": "0:N-1"},
+            {"a": Memlet.simple("A", "i")}, "b = a",
+            {"b": Memlet.simple("B", index_expr)},
+        )
+        args = {"A": np.arange(8.0), "B": np.zeros(8)}
+        r1, r2, program = run_both(sdfg, args, {"N": 8})
+        assert_bitwise_equal(r1, r2)
+        assert program.stats["vectorized"] == 0
+
+    def test_non_unit_slope_still_falls_back(self):
+        """`2*i` is injective but not unit-slope; the planner must keep the
+        conservative fallback rather than guess."""
+        sdfg = SDFG("strided_write")
+        sdfg.add_array("A", ["N"], float64)
+        sdfg.add_array("B", ["N"], float64)
+        state = sdfg.add_state("s")
+        state.add_mapped_tasklet(
+            "stride", {"i": "0:N // 2 - 1"},
+            {"a": Memlet.simple("A", "i")}, "b = a",
+            {"b": Memlet.simple("B", "2 * i")},
+        )
+        args = {"A": np.arange(8.0), "B": np.zeros(8)}
+        r1, r2, program = run_both(sdfg, args, {"N": 8})
+        assert_bitwise_equal(r1, r2)
+        assert program.stats["fallback"] > 0
+
+    def test_read_write_shift_overlap_still_falls_back(self):
+        """Reading A[i] while writing A[i+1] is order-dependent; the shifted
+        lowering must not be applied to same-container overlaps."""
+        sdfg = SDFG("overlap_shift")
+        sdfg.add_array("A", ["N"], float64)
+        state = sdfg.add_state("s")
+        state.add_mapped_tasklet(
+            "prop", {"i": "0:N-3"},
+            {"a": Memlet.simple("A", "i")}, "o = a",
+            {"o": Memlet.simple("A", "i + 1")},
+        )
+        args = {"A": np.arange(6.0)}
+        r1, r2, program = run_both(sdfg, args, {"N": 6})
+        assert_bitwise_equal(r1, r2)
+        assert program.stats["vectorized"] == 0
+
+    @pytest.mark.parametrize("backend", ["vectorized", "compiled"])
+    def test_jacobi_style_shifted_kernel_parity(self, backend):
+        """End-to-end parity on a jacobi-like shifted stencil for both
+        compiled backends (the compiled one routes through the same scope
+        kernels inside its generated driver)."""
+        sdfg = self._shifted_stencil("i + 1")
+        args = {"A": np.arange(9.0), "B": np.zeros(9)}
+        ref = get_backend("interpreter").prepare(sdfg).run(
+            dict(args), {"N": 9}, collect_coverage=True
+        )
+        cand = get_backend(backend).prepare(sdfg).run(
+            dict(args), {"N": 9}, collect_coverage=True
+        )
+        assert_bitwise_equal(ref, cand)
+        assert ref.coverage.features() == cand.coverage.features()
 
 
 class TestCrossBackend:

@@ -1,0 +1,433 @@
+"""Tests for the compiled whole-program backend (repro.backends.compiled).
+
+The compiled backend code-generates one Python driver per SDFG (structured
+loops/branches, dispatch fallback for irreducible graphs) and must stay
+bitwise identical to the reference interpreter: outputs, final symbols,
+transition counts, coverage maps (transition + condition + tasklet
+features) and the full error taxonomy.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    BackendDivergenceError,
+    CrossBackend,
+    get_backend,
+    sdfg_content_hash,
+)
+from repro.interpreter.errors import ExecutionError, HangError
+from repro.sdfg import SDFG, InterstateEdge, Memlet, float64
+from repro.sdfg.analysis import structured_control_flow
+from repro.workloads import get_workload, get_workload_suite
+
+NPBENCH = [spec.name for spec in get_workload_suite("npbench")]
+
+
+def make_arguments(sdfg, symbols, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        name: rng.standard_normal(desc.concrete_shape(symbols))
+        for name, desc in sdfg.arrays.items()
+        if not desc.transient
+    }
+
+
+def run_pair(sdfg, args, symbols, collect_coverage=True):
+    ref = get_backend("interpreter").prepare(sdfg)
+    cand = get_backend("compiled").prepare(sdfg)
+    r1 = ref.run(dict(args), symbols, collect_coverage=collect_coverage)
+    r2 = cand.run(dict(args), symbols, collect_coverage=collect_coverage)
+    return r1, r2, cand
+
+
+def assert_identical(r1, r2):
+    assert set(r1.outputs) == set(r2.outputs)
+    for name in r1.outputs:
+        a, b = r1.outputs[name], r2.outputs[name]
+        assert a.dtype == b.dtype and a.shape == b.shape, name
+        assert np.ascontiguousarray(a).tobytes() == np.ascontiguousarray(b).tobytes(), (
+            f"container '{name}' differs bitwise"
+        )
+    assert r1.symbols == r2.symbols
+    assert r1.transitions == r2.transitions
+    assert r1.coverage.features() == r2.coverage.features()
+
+
+def build_loop_nest(trip="T"):
+    """Time-stepped smoother: the canonical guard/body/back-edge loop."""
+    sdfg = SDFG("loop_nest")
+    sdfg.add_array("A", ["N"], float64)
+    sdfg.add_transient("B", ["N"], float64)
+    init = sdfg.add_state("init", is_start_state=True)
+    body = sdfg.add_state("sweep")
+    _, _, e1 = body.add_mapped_tasklet(
+        "smooth", {"i": "1:N-2"},
+        {"w": Memlet.simple("A", "i - 1"), "c": Memlet.simple("A", "i"),
+         "e": Memlet.simple("A", "i + 1")},
+        "o = (w + c + e) / 3.0", {"o": Memlet.simple("B", "i")},
+    )
+    b_node = next(e.dst for e in body.out_edges(e1))
+    body.add_mapped_tasklet(
+        "writeback", {"i": "1:N-2"},
+        {"b": Memlet.simple("B", "i")}, "a = b",
+        {"a": Memlet.simple("A", "i")},
+        input_nodes={"B": b_node},
+    )
+    sdfg.add_loop(init, body, None, "t", "0", f"t < {trip}", "t + 1")
+    return sdfg
+
+
+def build_diamond():
+    """If-diamond branching on a scalar container."""
+    sdfg = SDFG("diamond")
+    sdfg.add_array("X", [1], float64)
+    sdfg.add_scalar("s", float64)
+    entry = sdfg.add_state("entry", is_start_state=True)
+    then_s = sdfg.add_state("then")
+    else_s = sdfg.add_state("else")
+    join = sdfg.add_state("join")
+    then_s.add_mapped_tasklet(
+        "plus", {"i": "0:0"}, {"x": Memlet.simple("X", "i")},
+        "y = x + 1.0", {"y": Memlet.simple("X", "i")},
+    )
+    else_s.add_mapped_tasklet(
+        "minus", {"i": "0:0"}, {"x": Memlet.simple("X", "i")},
+        "y = x - 1.0", {"y": Memlet.simple("X", "i")},
+    )
+    sdfg.add_edge(entry, then_s, InterstateEdge(condition="s > 0"))
+    sdfg.add_edge(entry, else_s, InterstateEdge(condition="s <= 0"))
+    sdfg.add_edge(then_s, join, InterstateEdge(assignments={"taken": "1"}))
+    sdfg.add_edge(else_s, join, InterstateEdge(assignments={"taken": "2"}))
+    return sdfg
+
+
+def build_irreducible():
+    """A cycle without the guard pattern (conditions not textually negated),
+    so the structurer must refuse and the driver must dispatch."""
+    sdfg = SDFG("irreducible")
+    sdfg.add_array("X", [1], float64)
+    sdfg.add_symbol("x")
+    a = sdfg.add_state("a", is_start_state=True)
+    b = sdfg.add_state("b")
+    c = sdfg.add_state("c")
+    sdfg.add_edge(a, b, InterstateEdge(assignments={"x": "x + 1"}))
+    sdfg.add_edge(b, a, InterstateEdge(condition="x < 3"))
+    sdfg.add_edge(b, c, InterstateEdge(condition="x >= 3"))
+    return sdfg
+
+
+class TestParityAcrossSuite:
+    @pytest.mark.parametrize("kernel", NPBENCH)
+    def test_bitwise_and_coverage_parity(self, kernel):
+        spec = get_workload("npbench", kernel)
+        sdfg = spec.build()
+        symbols = dict(spec.symbols)
+        args = make_arguments(sdfg, symbols)
+        r1, r2, _ = run_pair(sdfg, args, symbols)
+        assert_identical(r1, r2)
+
+    @pytest.mark.parametrize("kernel", NPBENCH)
+    def test_suite_kernels_compile_structured(self, kernel):
+        """Every suite kernel's state machine is reducible: no kernel should
+        silently pay the dispatch (or interpreted) penalty."""
+        program = get_backend("compiled").prepare(get_workload("npbench", kernel).build())
+        assert program.control_mode == "structured"
+
+
+class TestControlFlowLowering:
+    def test_loop_nest_runs_structured_with_correct_transitions(self):
+        sdfg = build_loop_nest()
+        symbols = {"N": 10, "T": 5}
+        args = make_arguments(sdfg, symbols)
+        r1, r2, program = run_pair(sdfg, args, symbols)
+        assert program.control_mode == "structured"
+        assert "while True:" in program.driver_source
+        # init + T x (guard + body) + final guard check + after state
+        assert r2.transitions == r1.transitions == 2 * 5 + 3
+        assert r2.symbols["t"] == 5
+        assert_identical(r1, r2)
+
+    def test_diamond_both_paths(self):
+        sdfg = build_diamond()
+        program = get_backend("compiled").prepare(sdfg)
+        assert program.control_mode == "structured"
+        for sval, taken in ((2.5, 1), (-2.5, 2)):
+            args = {"X": np.zeros(1), "s": np.array([sval])}
+            r1 = get_backend("interpreter").prepare(sdfg).run(
+                dict(args), {}, collect_coverage=True
+            )
+            r2 = program.run(dict(args), {}, collect_coverage=True)
+            assert_identical(r1, r2)
+            assert r2.symbols["taken"] == taken
+
+    def test_irreducible_graph_falls_back_to_dispatch(self):
+        sdfg = build_irreducible()
+        assert structured_control_flow(sdfg) is None
+        program = get_backend("compiled").prepare(sdfg)
+        assert program.control_mode == "dispatch"
+        r1, r2, _ = run_pair(sdfg, {"X": np.zeros(1)}, {"x": 0})
+        assert_identical(r1, r2)
+        assert r2.symbols["x"] == 3
+
+    def test_hang_parity(self):
+        sdfg = SDFG("spin")
+        sdfg.add_array("X", [1], float64)
+        s0 = sdfg.add_state("s0", is_start_state=True)
+        sdfg.add_edge(s0, s0, InterstateEdge())
+        for name in ("interpreter", "compiled"):
+            with pytest.raises(HangError):
+                get_backend(name).prepare(sdfg, max_transitions=40).run(
+                    {"X": np.zeros(1)}, {}
+                )
+
+    def test_failing_condition_raises_execution_error(self):
+        """A condition referencing a (non-scalar) array resolves in neither
+        backend's namespace; both must report ExecutionError, not NameError."""
+        sdfg = SDFG("badcond")
+        sdfg.add_array("X", [2], float64)
+        s0 = sdfg.add_state("s0", is_start_state=True)
+        s1 = sdfg.add_state("s1")
+        sdfg.add_edge(s0, s1, InterstateEdge(condition="X > 0"))
+        for name in ("interpreter", "compiled"):
+            with pytest.raises(ExecutionError):
+                get_backend(name).prepare(sdfg).run({"X": np.zeros(2)}, {})
+
+    def test_assignment_integral_float_becomes_int(self):
+        """Interpreter parity: `N / 2` with even N must land as a Python
+        int in the final symbols, not 2.0."""
+        sdfg = SDFG("intconv")
+        sdfg.add_array("X", [1], float64)
+        s0 = sdfg.add_state("s0", is_start_state=True)
+        s1 = sdfg.add_state("s1")
+        sdfg.add_edge(s0, s1, InterstateEdge(assignments={"half": "N / 2"}))
+        sdfg.add_symbol("N")
+        r1, r2, _ = run_pair(sdfg, {"X": np.zeros(1)}, {"N": 4})
+        assert_identical(r1, r2)
+        assert r2.symbols["half"] == 2 and type(r2.symbols["half"]) is int
+
+    def test_no_true_out_edge_terminates(self):
+        """When no condition holds the interpreter stops; so must the
+        generated driver (in both structured and dispatch modes)."""
+        sdfg = SDFG("deadend")
+        sdfg.add_array("X", [1], float64)
+        s0 = sdfg.add_state("s0", is_start_state=True)
+        s1 = sdfg.add_state("s1")
+        sdfg.add_edge(s0, s1, InterstateEdge(condition="False"))
+        r1, r2, _ = run_pair(sdfg, {"X": np.zeros(1)}, {})
+        assert_identical(r1, r2)
+        assert r2.transitions == 1
+
+    def test_assigned_symbol_sharing_an_array_name_resolves(self):
+        """An interstate assignment may target a name that is also a
+        (non-scalar) array; the interpreter resolves later reads through the
+        symbol namespace, and so must the generated driver."""
+        sdfg = SDFG("arrshadow")
+        sdfg.add_array("A", [2], float64)
+        s0 = sdfg.add_state("s0", is_start_state=True)
+        s1 = sdfg.add_state("s1")
+        s2 = sdfg.add_state("s2")
+        sdfg.add_edge(s0, s1, InterstateEdge(assignments={"A": "5"}))
+        sdfg.add_edge(s1, s2, InterstateEdge(condition="A > 3"))
+        r1, r2, _ = run_pair(sdfg, {"A": np.zeros(2)}, {})
+        assert_identical(r1, r2)
+        assert r2.transitions == 3 and r2.symbols["A"] == 5
+
+    def test_runtime_symbol_named_after_builtin_resolves(self):
+        """A symbol genuinely named `len` (or any builtin) is resolved from
+        the symbol namespace by the interpreter; name routing must not leave
+        it to the (empty) global vocabulary."""
+        sdfg = SDFG("lensym")
+        sdfg.add_array("X", [1], float64)
+        s0 = sdfg.add_state("s0", is_start_state=True)
+        s1 = sdfg.add_state("s1")
+        sdfg.add_edge(s0, s1, InterstateEdge(condition="len > 0"))
+        r1, r2, _ = run_pair(sdfg, {"X": np.zeros(1)}, {"len": 1})
+        assert_identical(r1, r2)
+        assert r2.transitions == 2
+
+    def test_symbol_shadowing_eval_vocabulary_wins_like_eval_locals(self):
+        """`eval` resolves the symbol namespace (locals) before the
+        `min`/`max`/`abs` vocabulary (globals); the emitted conditional
+        lookup must preserve that, while unshadowed builtins keep working."""
+        shadowed = SDFG("minshadow")
+        shadowed.add_array("X", [1], float64)
+        s0 = shadowed.add_state("s0", is_start_state=True)
+        s1 = shadowed.add_state("s1")
+        shadowed.add_edge(
+            s0, s1, InterstateEdge(condition="min > 0", assignments={"k": "min + 1"})
+        )
+        r1, r2, _ = run_pair(shadowed, {"X": np.zeros(1)}, {"min": 2})
+        assert_identical(r1, r2)
+        assert r2.symbols["k"] == 3
+
+        vocab = SDFG("minuse")
+        vocab.add_array("X", [1], float64)
+        t0 = vocab.add_state("t0", is_start_state=True)
+        t1 = vocab.add_state("t1")
+        vocab.add_edge(
+            t0, t1,
+            InterstateEdge(condition="min(N, 3) > 1", assignments={"k": "Max(N, 10)"}),
+        )
+        r1, r2, _ = run_pair(vocab, {"X": np.zeros(1)}, {"N": 5})
+        assert_identical(r1, r2)
+        assert r2.symbols["k"] == 10
+
+    def test_scalar_shadowing_assignment_uses_interpreted_safety_net(self):
+        """An interstate assignment to a name that is also a scalar container
+        cannot be routed statically; the driver must degrade to the
+        interpreted control loop and stay parity-exact."""
+        sdfg = SDFG("shadow")
+        sdfg.add_array("X", [1], float64)
+        sdfg.add_scalar("s", float64)
+        s0 = sdfg.add_state("s0", is_start_state=True)
+        s1 = sdfg.add_state("s1")
+        sdfg.add_edge(s0, s1, InterstateEdge(assignments={"s": "7"}))
+        program = get_backend("compiled").prepare(sdfg)
+        assert program.control_mode == "interpreted"
+        args = {"X": np.zeros(1), "s": np.array([1.0])}
+        r1 = get_backend("interpreter").prepare(sdfg).run(dict(args), {}, collect_coverage=True)
+        r2 = program.run(dict(args), {}, collect_coverage=True)
+        assert_identical(r1, r2)
+
+
+class TestPreparationCache:
+    def test_repeated_prepare_hits_cache(self):
+        backend = get_backend("compiled")
+        sdfg = build_loop_nest()
+        clone = sdfg.clone()
+        misses_before = backend.cache_misses
+        hits_before = backend.cache_hits
+        program = backend.prepare(sdfg)
+        assert backend.prepare(clone) is program
+        assert backend.prepare(sdfg) is program
+        assert backend.cache_misses == misses_before + 1
+        assert backend.cache_hits == hits_before + 2
+        # Independent builds have fresh guids -> distinct programs.
+        assert sdfg_content_hash(sdfg) != sdfg_content_hash(build_loop_nest())
+
+    def test_cached_program_reruns_identically(self):
+        backend = get_backend("compiled")
+        sdfg = build_loop_nest()
+        symbols = {"N": 9, "T": 3}
+        args = make_arguments(sdfg, symbols)
+        first = backend.prepare(sdfg).run(dict(args), symbols)
+        second = backend.prepare(sdfg.clone()).run(dict(args), symbols)
+        assert np.array_equal(first.outputs["A"], second.outputs["A"])
+        assert first.symbols == second.symbols
+
+
+class TestCrossPairs:
+    def test_cross_pair_name_resolves(self):
+        backend = get_backend("cross:compiled,interpreter")
+        assert isinstance(backend, CrossBackend)
+        assert backend.reference_name == "compiled"
+        assert backend.candidate_name == "interpreter"
+        # Shared per name, like every other registry entry.
+        assert get_backend("cross:compiled,interpreter") is backend
+
+    @pytest.mark.parametrize(
+        "name", ["cross:compiled", "cross:compiled,nope", "cross:cross,interpreter",
+                 "cross:a,b,c"]
+    )
+    def test_invalid_pairs_rejected(self, name):
+        with pytest.raises(KeyError):
+            get_backend(name)
+
+    def test_cross_compiled_interpreter_agrees_on_loop_nest(self):
+        sdfg = build_loop_nest()
+        symbols = {"N": 10, "T": 4}
+        args = make_arguments(sdfg, symbols)
+        program = get_backend("cross:compiled,interpreter").prepare(sdfg)
+        result = program.run(dict(args), symbols, collect_coverage=True)
+        assert program.checked_runs == 1
+        reference = get_backend("interpreter").prepare(sdfg).run(
+            dict(args), symbols, collect_coverage=True
+        )
+        assert_identical(result, reference)
+
+    @pytest.mark.parametrize("kernel", NPBENCH)
+    def test_cross_compiled_interpreter_agrees_on_suite(self, kernel):
+        spec = get_workload("npbench", kernel)
+        sdfg = spec.build()
+        symbols = dict(spec.symbols)
+        args = make_arguments(sdfg, symbols)
+        program = get_backend("cross:compiled,interpreter").prepare(sdfg)
+        program.run(dict(args), symbols, collect_coverage=True)
+        assert program.checked_runs == 1
+
+
+class TestDivergenceErrorContext:
+    def test_pickle_roundtrip_preserves_context(self):
+        err = BackendDivergenceError(
+            "gemm",
+            ["container 'C' differs bitwise"],
+            reference="compiled",
+            candidate="interpreter",
+            sdfg_hash="abc123def4567890",
+        )
+        clone = pickle.loads(pickle.dumps(err))
+        assert type(clone) is BackendDivergenceError
+        assert clone.program == "gemm"
+        assert clone.details == ["container 'C' differs bitwise"]
+        assert clone.reference == "compiled"
+        assert clone.candidate == "interpreter"
+        assert clone.sdfg_hash == "abc123def4567890"
+        assert "compiled vs. interpreter" in str(clone)
+        assert "abc123def456" in str(clone)
+
+    def test_cross_program_attaches_pair_and_hash(self):
+        from repro.backends import CompiledProgram as _Base  # abstract base
+        from repro.backends.cross import CrossProgram
+
+        sdfg = build_diamond()
+        reference = get_backend("interpreter").prepare(sdfg)
+
+        class Broken(_Base):
+            def run(self, arguments=None, symbols=None, collect_coverage=False):
+                result = reference.run(arguments, symbols, collect_coverage=collect_coverage)
+                result.outputs["X"] = result.outputs["X"] + 1.0
+                return result
+
+        program = CrossProgram(
+            sdfg, reference, Broken(sdfg),
+            reference_name="interpreter", candidate_name="broken",
+            sdfg_hash=sdfg_content_hash(sdfg),
+        )
+        args = {"X": np.zeros(1), "s": np.array([1.0])}
+        with pytest.raises(BackendDivergenceError) as exc_info:
+            program.run(dict(args), {})
+        err = exc_info.value
+        assert (err.reference, err.candidate) == ("interpreter", "broken")
+        assert err.sdfg_hash == sdfg_content_hash(sdfg)
+        # The reconstructed worker-side exception keeps the same context.
+        clone = pickle.loads(pickle.dumps(err))
+        assert (clone.reference, clone.candidate, clone.sdfg_hash) == (
+            err.reference, err.candidate, err.sdfg_hash
+        )
+
+
+class TestWorkflowThreading:
+    def test_verifier_verdict_matches_interpreter(self):
+        from repro.core.verifier import FuzzyFlowVerifier
+        from repro.transforms import all_builtin_transformations
+
+        spec = get_workload("npbench", "iterative_smoother")
+        xform = all_builtin_transformations()["MapTiling"](inject_bug=False)
+
+        def verify(backend):
+            verifier = FuzzyFlowVerifier(
+                num_trials=3, seed=0, size_max=8, minimize_inputs=False,
+                backend=backend,
+            )
+            return verifier.verify(spec.build(), xform, symbol_values=spec.symbols)
+
+        reference = verify("interpreter")
+        candidate = verify("compiled")
+        crossed = verify("cross:compiled,interpreter")
+        assert candidate.verdict == reference.verdict == crossed.verdict
+        assert [t.status for t in candidate.fuzzing.trials] == [
+            t.status for t in reference.fuzzing.trials
+        ]

@@ -213,7 +213,7 @@ class TestSweepResult:
 
     def test_json_schema_fields(self):
         doc = json.loads(self._result().to_json())
-        assert doc["schema_version"] == 2
+        assert doc["schema_version"] == 3
         assert set(doc) >= {
             "suite", "buggy", "workers", "backend", "duration_seconds",
             "verdict_table", "totals", "outcomes",
@@ -230,6 +230,24 @@ class TestSweepResult:
         v1["schema_version"] = 1
         restored = SweepResult.from_dict(v1)
         assert restored.backend == "interpreter"
+
+    def test_v2_document_loads_unchanged(self):
+        """schema_version 3 only records the backend string format
+        (``cross:REF,CAND`` pairs); v2 documents load without migration."""
+        v2 = json.loads(self._result().to_json())
+        v2["schema_version"] = 2
+        v2["backend"] = "vectorized"
+        restored = SweepResult.from_dict(v2)
+        assert restored.backend == "vectorized"
+        assert restored.totals() == self._result().totals()
+
+    def test_cross_pair_backend_label_roundtrips(self):
+        result = SweepRunner(workers=1).run(
+            [], suite="npbench", buggy=False, backend="cross:compiled,interpreter"
+        )
+        doc = json.loads(result.to_json())
+        assert doc["backend"] == "cross:compiled,interpreter"
+        assert SweepResult.from_dict(doc).backend == "cross:compiled,interpreter"
 
     def test_markdown_and_text_renderers(self):
         result = self._result()

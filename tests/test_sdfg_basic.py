@@ -361,3 +361,45 @@ class TestCloningAndSerialization:
         sdfg.save(str(path))
         restored = SDFG.load(str(path))
         assert restored.name == sdfg.name
+
+
+class TestInterstateEdgeFreeSymbols:
+    """Regression: free-symbol extraction is ast-based, so builtins used in
+    conditions (`abs`, `len`, `int`, ...) are not misreported as free
+    symbols and cannot force bogus symbol requirements."""
+
+    def test_builtin_calls_are_not_free_symbols(self):
+        edge = InterstateEdge(condition="abs(x) > len(ys) and int(N) > 0")
+        assert edge.free_symbols == {"x", "ys", "N"}
+
+    def test_min_max_and_keywords_excluded(self):
+        edge = InterstateEdge(
+            condition="not (i < Min(N, M))",
+            assignments={"i": "min(i + 1, N)"},
+        )
+        assert edge.free_symbols == {"i", "N", "M"}
+
+    def test_attribute_access_reports_only_the_base(self):
+        edge = InterstateEdge(condition="math.floor(x) > 0")
+        assert edge.free_symbols == {"x"}
+
+    def test_true_false_none_excluded(self):
+        edge = InterstateEdge(condition="flag == True or other is None")
+        assert edge.free_symbols == {"flag", "other"}
+
+    def test_assignments_contribute_their_reads(self):
+        edge = InterstateEdge(assignments={"k": "j * 2 + offset"})
+        assert edge.free_symbols == {"j", "offset"}
+
+    def test_malformed_expression_falls_back_to_regex(self):
+        edge = InterstateEdge(condition="x <")
+        # Conservative regex fallback still reports the identifier.
+        assert "x" in edge.free_symbols
+
+    def test_sdfg_free_symbols_no_longer_demand_builtins(self):
+        sdfg = SDFG("cond")
+        sdfg.add_array("A", ["N"], float64)
+        s0 = sdfg.add_state("s0", is_start_state=True)
+        s1 = sdfg.add_state("s1")
+        sdfg.add_edge(s0, s1, InterstateEdge(condition="abs(N) > 2"))
+        assert sdfg.free_symbols == {"N"}
