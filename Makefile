@@ -3,21 +3,28 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke sweep bench-scaling bench-quick
+.PHONY: test smoke smoke-dist sweep bench-scaling bench-quick
 
 test:
 	$(PY) -m pytest -x -q
 
 # Exercise the sweep pipeline end to end (2 workers, tiny budget) once per
 # execution backend -- the 'cross' pairs double as backend self-checks --
-# then the tier-1 test suite.
+# then the distributed loopback check and the tier-1 test suite.
 smoke:
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend interpreter
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend vectorized
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend compiled
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend cross
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend cross:compiled,interpreter
+	$(MAKE) smoke-dist
 	$(PY) -m pytest -x -q
+
+# Loopback distributed sweep: a coordinator plus two worker subprocesses
+# (running *different* backends), journaled, diffed field-by-field against
+# the serial runner (modulo timing/host metadata).
+smoke-dist:
+	$(PY) -m repro.cluster.smoke --trials 2 --max-instances 1
 
 # The full injected-bug sweep at default scale.
 sweep:

@@ -344,6 +344,18 @@ class CompiledExecutor(VectorizedExecutor):
         super().__init__(sdfg, max_transitions=max_transitions, **kwargs)
         self._compiled_states: List[SDFGState] = list(sdfg.states())
         state_index = {s: i for i, s in enumerate(self._compiled_states)}
+        # Per-state top-level (scope-free) node lists, fixed at prepare
+        # time: the generic ``_execute_state`` re-derives them -- and copies
+        # the full symbol dict into a fresh bindings namespace -- on every
+        # transition, which costs ~25 us per tiny state and dominates
+        # transition-heavy loop nests.
+        self._state_toplevel: Dict[int, List[Any]] = {}
+        for state in self._compiled_states:
+            order = self._state_order(state)
+            scopes = self._scope_cache[id(state)]
+            self._state_toplevel[id(state)] = [
+                n for n in order if scopes.get(n) is None
+            ]
         self.control_mode, self.driver_source, self._drive = compile_driver(
             sdfg, state_index
         )
@@ -367,6 +379,20 @@ class CompiledExecutor(VectorizedExecutor):
         return eval(  # noqa: S307 - restricted namespace
             compile_expression(expr), _EVAL_GLOBALS, self._interstate_namespace()
         )
+
+    def _execute_state(self, state: SDFGState) -> None:
+        """Per-state dataflow without the per-transition namespace copy.
+
+        The generic executor snapshots ``dict(self._symbols)`` into a fresh
+        bindings dict on every state execution.  Nothing below mutates the
+        top-level bindings (tasklets run in their own namespaces, map scopes
+        copy bindings before adding parameters, reads/writes only evaluate
+        against them), so the live symbol dict is passed directly and the
+        node list comes from the table built at prepare time.
+        """
+        symbols = self._symbols
+        for node in self._state_toplevel[id(state)]:
+            self._execute_node(state, node, symbols)
 
     # .................................................................. #
     def _run_control_loop(self) -> int:

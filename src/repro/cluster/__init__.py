@@ -1,0 +1,59 @@
+"""Distributed sweep service: coordinator/worker orchestration + journal.
+
+``repro.cluster`` turns the sweep pipeline (:mod:`repro.pipeline`) into a
+distributed, fault-tolerant, resumable service.  Three pieces compose:
+
+1. **Protocol** (:mod:`repro.cluster.protocol`) -- length-prefixed JSON
+   messages over TCP; strictly worker-initiated request/response.
+2. **Journal** (:mod:`repro.cluster.journal`) -- an append-only JSONL
+   result store keyed by deterministic task IDs
+   (:attr:`repro.pipeline.tasks.SweepTask.task_id`), crash-safe by
+   construction; any sweep (distributed or single-machine) journals its
+   outcomes and can be killed and resumed, re-running only incomplete
+   tasks.
+3. **Coordinator / worker** (:mod:`repro.cluster.coordinator`,
+   :mod:`repro.cluster.worker`) -- the coordinator shards the task list
+   over connected workers, requeues the in-flight shard of a lost worker
+   with bounded per-task retries, and reassembles outcomes into task order;
+   each worker drives a local process pool and may run a different
+   execution backend (a free cross-machine backend cross-check, since
+   backends are bitwise-equivalent).
+
+Entry points::
+
+    python -m repro.pipeline --serve :8765 --journal sweep.jsonl [--resume]
+    python -m repro.cluster.worker --connect HOST:8765 --backend B --procs N
+    python -m repro.cluster.smoke        # loopback coordinator + 2 workers,
+                                         # diffed against the serial runner
+
+The invariant everything here defends: a distributed, killed-and-resumed,
+heterogeneous-backend sweep aggregates to a :class:`SweepResult` whose
+:meth:`~repro.pipeline.result.SweepResult.comparable_dict` is identical to
+a plain serial run's.
+"""
+
+from repro.cluster.coordinator import SweepCoordinator
+from repro.cluster.journal import JournalError, ResultStore, sweep_identity
+from repro.cluster.protocol import ProtocolError, recv_message, send_message
+
+__all__ = [
+    "SweepCoordinator",
+    "ResultStore",
+    "JournalError",
+    "sweep_identity",
+    "ProtocolError",
+    "send_message",
+    "recv_message",
+    "run_worker",
+    "parse_endpoint",
+]
+
+
+def __getattr__(name):
+    # The worker module is imported lazily so `python -m repro.cluster.worker`
+    # does not see itself pre-imported by this package (runpy would warn).
+    if name in ("run_worker", "parse_endpoint"):
+        from repro.cluster import worker
+
+        return getattr(worker, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

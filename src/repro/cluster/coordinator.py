@@ -1,0 +1,371 @@
+"""The sweep coordinator: shards tasks to socket workers, survives them.
+
+One coordinator owns the full task list of a sweep.  Workers connect over
+TCP (:mod:`repro.cluster.protocol`), introduce themselves, and then pull
+*shards* -- batches of tasks leased to exactly one worker at a time --
+executing each task locally and streaming the outcome back.  The
+coordinator:
+
+* **journals** every outcome the moment it arrives (when given a
+  :class:`~repro.cluster.journal.ResultStore`), so a killed sweep resumes
+  from its last completed task;
+* **requeues** the in-flight shard of a worker whose connection drops, with
+  bounded retries per task -- a task whose leases keep dying is recorded as
+  an infrastructure error (``UNTESTED`` + ``error``) instead of wedging the
+  sweep forever;
+* **deduplicates** by task ID: if a worker declared lost still delivers its
+  result (network flake rather than crash), the late duplicate of an
+  already-completed task is acknowledged and dropped, so progress counts
+  never drift and the journal stays last-wins-consistent;
+* **reassembles** outcomes into task-enumeration order, producing a
+  :class:`~repro.pipeline.result.SweepResult` identical (modulo timing and
+  per-outcome ``worker`` metadata) to a serial in-process run.
+
+Workers may run *different execution backends* (``--backend`` per worker):
+since backends are bitwise-equivalent by contract, a heterogeneous cluster
+doubles as a free cross-machine backend cross-check -- the aggregated
+verdict table must not depend on which worker ran which shard.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.journal import ResultStore
+from repro.cluster.protocol import ProtocolError, recv_message, send_message
+from repro.core.reporting import Verdict
+from repro.pipeline.result import SweepResult
+from repro.pipeline.runner import ProgressCallback
+from repro.pipeline.tasks import SweepTask
+
+__all__ = ["SweepCoordinator"]
+
+
+class SweepCoordinator:
+    """Serves a sweep's tasks to remote workers and aggregates the result.
+
+    Typical use (the ``--serve`` path of the pipeline CLI)::
+
+        coordinator = SweepCoordinator(tasks, host, port, store=store)
+        coordinator.start()              # binds; .address is now concrete
+        result = coordinator.wait()      # blocks until every task completed
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence[SweepTask],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        store: Optional[ResultStore] = None,
+        completed: Optional[Dict[str, Dict[str, Any]]] = None,
+        max_task_retries: int = 2,
+        batch_size: int = 0,
+        progress_callback: Optional[ProgressCallback] = None,
+        suite: Optional[str] = None,
+        buggy: Optional[bool] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        self.tasks = list(tasks)
+        self.host = host
+        self.port = port
+        self.store = store
+        #: Re-leases allowed per task after a lost worker before the task is
+        #: recorded as an infrastructure error.
+        self.max_task_retries = max_task_retries
+        #: Upper bound on tasks per shard; 0 lets the worker's requested
+        #: ``max_tasks`` (its process count) decide.
+        self.batch_size = batch_size
+        self.progress_callback = progress_callback
+        self.suite = suite if suite is not None else (
+            self.tasks[0].suite if self.tasks else "npbench"
+        )
+        self.buggy = buggy if buggy is not None else any(
+            bool(t.transformation.kwargs.get("inject_bug")) for t in self.tasks
+        )
+        self.backend = backend if backend is not None else (
+            self.tasks[0].verifier_kwargs.get("backend", "interpreter")
+            if self.tasks
+            else "interpreter"
+        )
+
+        self._task_ids = [t.task_id for t in self.tasks]
+        self._index_of = {tid: i for i, tid in enumerate(self._task_ids)}
+        self._lock = threading.Lock()
+        self._outcomes: List[Optional[Dict[str, Any]]] = [None] * len(self.tasks)
+        self._pending: deque = deque()
+        self._lost_leases: Dict[int, int] = {}  # task index -> lost-lease count
+        self._done_count = 0
+        self._shard_counter = 0
+        self._worker_counter = 0
+        self._start_time: Optional[float] = None
+        self._done_event = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._closing = False
+
+        # Preload journaled outcomes (the resume path).
+        completed = completed if completed is not None else (
+            dict(store.completed) if store is not None else {}
+        )
+        for index, tid in enumerate(self._task_ids):
+            outcome = completed.get(tid)
+            if outcome is not None:
+                self._outcomes[index] = outcome
+                self._done_count += 1
+            else:
+                self._pending.append(index)
+        if self._done_count == len(self.tasks):
+            self._done_event.set()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port); concrete only after :meth:`start`."""
+        if self._listener is None:
+            return (self.host, self.port)
+        return self._listener.getsockname()[:2]
+
+    @property
+    def remaining(self) -> int:
+        with self._lock:
+            return len(self.tasks) - self._done_count
+
+    def start(self) -> Tuple[str, int]:
+        """Bind, listen and start accepting workers; returns the address."""
+        self._start_time = time.perf_counter()
+        self._listener = socket.create_server(
+            (self.host, self.port), reuse_port=False
+        )
+        self._listener.settimeout(0.2)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="sweep-coordinator-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def wait(self, timeout: Optional[float] = None) -> SweepResult:
+        """Block until every task has an outcome; returns the sweep result.
+
+        With ``timeout``, raises :class:`TimeoutError` if the sweep has not
+        completed in time (the server keeps running; call again to keep
+        waiting).
+        """
+        if not self._done_event.wait(timeout):
+            raise TimeoutError(
+                f"Sweep incomplete after {timeout} s "
+                f"({self.remaining}/{len(self.tasks)} tasks outstanding)"
+            )
+        self._shutdown()
+        duration = (
+            time.perf_counter() - self._start_time if self._start_time else 0.0
+        )
+        return SweepResult(
+            suite=self.suite,
+            buggy=self.buggy,
+            workers=max(1, self._worker_counter),
+            backend=self.backend,
+            outcomes=list(self._outcomes),
+            duration_seconds=duration,
+        )
+
+    def run(self, timeout: Optional[float] = None) -> SweepResult:
+        """:meth:`start` + :meth:`wait` in one call."""
+        self.start()
+        try:
+            return self.wait(timeout)
+        finally:
+            self._shutdown()
+
+    def _shutdown(self) -> None:
+        self._closing = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None and self._accept_thread.is_alive():
+            self._accept_thread.join(timeout=2.0)
+
+    # ------------------------------------------------------------------ #
+    # Accept / connection handling
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed under us during shutdown
+            with self._lock:
+                self._worker_counter += 1
+                worker_number = self._worker_counter
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn, worker_number),
+                name=f"sweep-worker-{worker_number}",
+                daemon=True,
+            )
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket, worker_number: int) -> None:
+        """One worker's request/response loop; requeues its leases on loss."""
+        leases: List[int] = []  # task indices currently leased to this worker
+        worker_info: Dict[str, Any] = {"worker": worker_number}
+        try:
+            with conn:
+                while True:
+                    try:
+                        message = recv_message(conn)
+                    except ProtocolError:
+                        break  # died mid-frame: treat as a lost worker
+                    if message is None:
+                        break  # clean disconnect
+                    mtype = message.get("type")
+                    if mtype == "hello":
+                        worker_info = dict(message.get("worker") or {})
+                        worker_info["worker"] = worker_number
+                        send_message(conn, {
+                            "type": "welcome",
+                            "total": len(self.tasks),
+                            "suite": self.suite,
+                            "buggy": self.buggy,
+                            "backend": self.backend,
+                        })
+                    elif mtype == "request":
+                        send_message(
+                            conn,
+                            self._lease(leases, int(message.get("max_tasks", 1))),
+                        )
+                    elif mtype == "result":
+                        self._record_result(leases, worker_info, message)
+                        send_message(conn, {"type": "ack"})
+                    else:
+                        send_message(conn, {
+                            "type": "error",
+                            "error": f"unknown message type {mtype!r}",
+                        })
+        except (OSError, ProtocolError):
+            pass  # connection-level failure: fall through to requeue
+        finally:
+            self._requeue_lost(leases, worker_info)
+
+    # ------------------------------------------------------------------ #
+    # Task accounting (all under the lock)
+    # ------------------------------------------------------------------ #
+    def _lease(self, leases: List[int], max_tasks: int) -> Dict[str, Any]:
+        """Pop up to ``max_tasks`` pending tasks into a shard lease."""
+        max_tasks = max(1, max_tasks)
+        if self.batch_size > 0:
+            max_tasks = min(max_tasks, self.batch_size)
+        with self._lock:
+            if self._done_count == len(self.tasks):
+                return {"type": "done"}
+            shard: List[Dict[str, Any]] = []
+            while self._pending and len(shard) < max_tasks:
+                index = self._pending.popleft()
+                if self._outcomes[index] is not None:
+                    # Requeued after a lost lease, but the "lost" worker's
+                    # result arrived anyway: already complete, don't re-run.
+                    continue
+                leases.append(index)
+                shard.append({
+                    "index": index,
+                    "task_id": self._task_ids[index],
+                    "task": self.tasks[index].to_dict(),
+                })
+            if not shard:
+                # Everything outstanding is leased elsewhere; the worker
+                # backs off briefly and asks again (its lease might yet be
+                # requeued if the other worker dies).
+                return {"type": "wait"}
+            self._shard_counter += 1
+            return {"type": "tasks", "shard": self._shard_counter, "tasks": shard}
+
+    def _record_result(
+        self,
+        leases: List[int],
+        worker_info: Dict[str, Any],
+        message: Dict[str, Any],
+    ) -> None:
+        task_id = message.get("task_id")
+        index = self._index_of.get(task_id)
+        if index is None:
+            return  # result for a task of some other sweep; drop it
+        outcome = dict(message.get("outcome") or {})
+        outcome["task_id"] = task_id
+        outcome["worker"] = {**worker_info, "shard": message.get("shard")}
+        with self._lock:
+            if index in leases:
+                leases.remove(index)
+            if self._outcomes[index] is not None:
+                return  # late duplicate after a requeue: first result won
+            self._outcomes[index] = outcome
+            self._done_count += 1
+            done, total = self._done_count, len(self.tasks)
+            if self.store is not None:
+                self.store.record(task_id, index, outcome)
+            # Under the lock so concurrent workers cannot interleave
+            # progress lines with out-of-order completed counts.
+            if self.progress_callback is not None:
+                self.progress_callback(index, outcome, done, total)
+        if done == total:
+            self._done_event.set()
+
+    def _requeue_lost(
+        self, leases: List[int], worker_info: Dict[str, Any]
+    ) -> None:
+        """Return a lost worker's in-flight tasks to the queue.
+
+        Each lost lease counts against the task's retry budget; a task
+        exceeding it is completed with a synthetic infrastructure-error
+        outcome so the sweep terminates with the failure on record instead
+        of looping the same poisonous task forever.
+        """
+        with self._lock:
+            for index in leases:
+                if self._outcomes[index] is not None:
+                    continue  # its result arrived before the disconnect
+                self._lost_leases[index] = self._lost_leases.get(index, 0) + 1
+                if self._lost_leases[index] <= self.max_task_retries:
+                    # Requeue at the front: a resumed task is the oldest
+                    # outstanding work and should not starve behind the
+                    # whole remaining queue.
+                    self._pending.appendleft(index)
+                    continue
+                task = self.tasks[index]
+                outcome = {
+                    "suite": task.suite,
+                    "workload": task.workload,
+                    "transformation": task.transformation.name,
+                    "match_index": task.match_index,
+                    "task_id": self._task_ids[index],
+                    "worker": dict(worker_info),
+                    "verdict": Verdict.UNTESTED.value,
+                    "match_description": task.match_description,
+                    "error": (
+                        f"worker connection lost {self._lost_leases[index]} "
+                        f"time(s) while running this task "
+                        f"(retry budget: {self.max_task_retries})"
+                    ),
+                    "report": None,
+                }
+                self._outcomes[index] = outcome
+                self._done_count += 1
+                if self.store is not None:
+                    self.store.record(self._task_ids[index], index, outcome)
+                if self.progress_callback is not None:
+                    self.progress_callback(
+                        index, outcome, self._done_count, len(self.tasks)
+                    )
+            done, total = self._done_count, len(self.tasks)
+            leases.clear()
+        if done == total:
+            self._done_event.set()

@@ -1,0 +1,186 @@
+"""Loopback distributed-sweep smoke check (``make smoke-dist``).
+
+Runs the npbench mini sweep twice -- once through the serial in-process
+runner, once through a loopback coordinator feeding two worker
+*subprocesses* -- and diffs the two reports field by field
+(:meth:`SweepResult.comparable_dict`, i.e. modulo timing and per-outcome
+worker metadata).  The two workers deliberately run *different* execution
+backends (interpreter and compiled), so the diff simultaneously checks:
+
+* the wire protocol and shard accounting deliver every task exactly once,
+* ordered reassembly matches the serial runner bit for bit,
+* backend bitwise-equivalence holds across process boundaries.
+
+The distributed run also journals to a temp file, and the journal is
+re-loaded and reassembled as a second independent cross-check of the
+store-backed path.  Exit status 0 on a clean diff; any mismatch prints the
+first differing outcome and exits 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+from typing import Any, Dict, List, Optional
+
+import repro
+
+from repro.cluster.coordinator import SweepCoordinator
+from repro.cluster.journal import ResultStore
+from repro.pipeline.result import SweepResult
+from repro.pipeline.runner import SweepRunner
+from repro.pipeline.tasks import enumerate_sweep_tasks
+
+__all__ = ["main"]
+
+#: Backends the two loopback workers run (heterogeneous on purpose).
+WORKER_BACKENDS = ("interpreter", "compiled")
+
+
+def _first_difference(a: Dict[str, Any], b: Dict[str, Any], path: str = "") -> Optional[str]:
+    """Human-readable location of the first difference between two docs."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a or key not in b:
+                return f"{path}.{key}: only in {'serial' if key in a else 'distributed'}"
+            found = _first_difference(a[key], b[key], f"{path}.{key}")
+            if found:
+                return found
+        return None
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            return f"{path}: length {len(a)} vs {len(b)}"
+        for i, (x, y) in enumerate(zip(a, b)):
+            found = _first_difference(x, y, f"{path}[{i}]")
+            if found:
+                return found
+        return None
+    if a != b and not (a != a and b != b):  # NaN == NaN for this purpose
+        return f"{path}: {a!r} vs {b!r}"
+    return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.smoke",
+        description="Loopback coordinator + 2 heterogeneous workers vs. the "
+        "serial runner on the npbench mini sweep.",
+    )
+    parser.add_argument("--trials", type=int, default=2)
+    parser.add_argument("--max-instances", type=int, default=1)
+    parser.add_argument(
+        "--kernels", default=None,
+        help="comma-separated kernel subset (default: full npbench suite)",
+    )
+    parser.add_argument(
+        "--buggy", action="store_true",
+        help="sweep the injected-bug transformation variants",
+    )
+    args = parser.parse_args(argv)
+
+    kernels = None
+    if args.kernels:
+        kernels = [k.strip() for k in args.kernels.split(",") if k.strip()]
+    tasks = enumerate_sweep_tasks(
+        suite="npbench",
+        workloads=kernels,
+        buggy=args.buggy,
+        max_instances=args.max_instances,
+        verifier_kwargs=dict(
+            num_trials=args.trials,
+            seed=0,
+            size_max=10,
+            minimize_inputs=False,
+            backend="interpreter",
+        ),
+    )
+    print(f"[smoke-dist] {len(tasks)} task(s); serial reference run ...", flush=True)
+    serial = SweepRunner(workers=1).run(tasks)
+
+    with tempfile.NamedTemporaryFile(
+        mode="w", suffix=".jsonl", prefix="smoke_dist_journal_", delete=False
+    ) as tmp:
+        journal_path = tmp.name
+    store = ResultStore.open(
+        journal_path, tasks, serial.suite, serial.buggy, serial.backend
+    )
+    coordinator = SweepCoordinator(tasks, "127.0.0.1", 0, store=store)
+    host, port = coordinator.start()
+    print(
+        f"[smoke-dist] coordinator on {host}:{port}; spawning workers "
+        f"{' + '.join(WORKER_BACKENDS)} ...",
+        flush=True,
+    )
+    # Workers run in fresh interpreters: make `repro` importable for them
+    # no matter where the smoke check itself was launched from.
+    env = dict(os.environ)
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_dir, env.get("PYTHONPATH")) if p
+    )
+    workers = [
+        subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cluster.worker",
+                "--connect", f"{host}:{port}",
+                "--backend", backend,
+                "--quiet",
+            ],
+            env=env,
+        )
+        for backend in WORKER_BACKENDS
+    ]
+    try:
+        distributed = coordinator.wait(timeout=600.0)
+    finally:
+        # The sweep is complete (or failed) -- workers exit on their own
+        # after their final request is answered with "done"; give them that
+        # round-trip before resorting to SIGTERM.
+        for proc in workers:
+            try:
+                proc.wait(timeout=15.0)
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+        for proc in workers:
+            proc.wait(timeout=30.0)
+        store.close()
+
+    failures = [p.returncode for p in workers if p.returncode != 0]
+    if failures:
+        print(f"[smoke-dist] FAIL: worker exit codes {failures}", file=sys.stderr)
+        return 1
+
+    diff = _first_difference(serial.comparable_dict(), distributed.comparable_dict())
+    if diff:
+        print(f"[smoke-dist] FAIL: serial vs distributed differ at {diff}", file=sys.stderr)
+        return 1
+
+    # Independent check of the journaled path: reload the journal and
+    # reassemble a result from it alone.
+    reloaded_header, completed = ResultStore._load(journal_path)
+    journaled = SweepResult(
+        suite=reloaded_header["suite"],
+        buggy=reloaded_header["buggy"],
+        backend=reloaded_header["backend"],
+        outcomes=[completed[t.task_id] for t in tasks],
+    )
+    diff = _first_difference(serial.comparable_dict(), journaled.comparable_dict())
+    if diff:
+        print(f"[smoke-dist] FAIL: serial vs journal differ at {diff}", file=sys.stderr)
+        return 1
+
+    os.unlink(journal_path)  # keep the journal around only on failure
+    table = distributed.render_text()
+    print(table)
+    print(
+        f"[smoke-dist] OK: {len(tasks)} task(s) identical across serial, "
+        f"distributed ({' + '.join(WORKER_BACKENDS)}) and journal reassembly"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,248 @@
+"""The sweep worker: pulls task shards from a coordinator, streams results.
+
+Run one per machine (or several, they are independent)::
+
+    python -m repro.cluster.worker --connect HOST:PORT --backend compiled --procs 4
+
+The worker connects, introduces itself, and loops: request a shard sized to
+its local process count, execute it, stream each outcome back the moment it
+lands, repeat until the coordinator says ``done``.  Execution reuses the
+pipeline's :func:`~repro.pipeline.runner.execute_task` verbatim, so a
+distributed sweep computes bitwise the same outcome dicts as a local one.
+
+* ``--procs 1`` (the default) executes in-process, which keeps the chosen
+  backend's content-hash program cache warm across all tasks of a shard --
+  repeated (workload x transformation) cutouts compile once per worker, not
+  once per task.
+* ``--procs N`` drives a local fork pool (the same shared-nothing model as
+  ``repro.pipeline --workers N``), streaming results as they complete.
+* ``--backend B`` overrides the sweep's execution backend *for this worker
+  only*.  Backends are bitwise-equivalent, so heterogeneous workers are a
+  free cross-machine cross-check: the aggregated report must be identical
+  no matter which worker ran which shard (``make smoke-dist`` exploits
+  exactly this).
+
+If the coordinator is not up yet, the worker retries the connection for
+``--connect-retry-seconds`` before giving up, so workers may be launched
+first (or supervised and restarted freely -- a reconnecting worker simply
+requests the next shard; any shard it lost is requeued by the coordinator).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.backends import get_backend
+from repro.cluster.protocol import ProtocolError, recv_message, send_message
+from repro.pipeline.runner import _pool_context, execute_task
+from repro.pipeline.tasks import SweepTask
+
+__all__ = ["run_worker", "main", "parse_endpoint"]
+
+
+def parse_endpoint(value: str) -> Tuple[str, int]:
+    """Parse ``HOST:PORT`` (or bare ``PORT``, implying loopback)."""
+    host, sep, port = value.rpartition(":")
+    if not sep:
+        host, port = "127.0.0.1", value
+    try:
+        return (host or "127.0.0.1", int(port))
+    except ValueError:
+        raise ValueError(f"Invalid endpoint {value!r}: expected HOST:PORT") from None
+
+
+def _connect(host: str, port: int, retry_seconds: float) -> socket.socket:
+    deadline = time.monotonic() + retry_seconds
+    delay = 0.05
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=30.0)
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(delay)
+            delay = min(delay * 2, 1.0)
+
+
+def _worker_metadata(backend: Optional[str], procs: int) -> Dict[str, Any]:
+    return {
+        "host": socket.gethostname(),
+        "pid": os.getpid(),
+        "backend": backend,
+        "procs": procs,
+    }
+
+
+def _rebuild_tasks(
+    entries: List[Dict[str, Any]], backend: Optional[str]
+) -> List[Tuple[int, str, SweepTask]]:
+    """Deserialize a shard, applying this worker's backend override.
+
+    The coordinator-issued ``task_id`` travels with each task and is echoed
+    back verbatim in the result message: the coordinator keys its accounting
+    on the IDs *it* issued, so the worker never recomputes them.
+    """
+    out = []
+    for entry in entries:
+        task = SweepTask.from_dict(entry["task"])
+        if backend is not None:
+            task.verifier_kwargs["backend"] = backend
+        out.append((entry["index"], entry["task_id"], task))
+    return out
+
+
+def run_worker(
+    host: str,
+    port: int,
+    backend: Optional[str] = None,
+    procs: int = 1,
+    connect_retry_seconds: float = 10.0,
+    quiet: bool = False,
+) -> int:
+    """Serve one coordinator until it reports the sweep complete.
+
+    Returns the number of tasks this worker executed.
+    """
+    if backend is not None:
+        get_backend(backend)  # fail fast on a typo, before connecting
+    procs = max(1, int(procs))
+
+    def say(text: str) -> None:
+        if not quiet:
+            print(f"[worker {os.getpid()}] {text}", flush=True)
+
+    sock = _connect(host, port, connect_retry_seconds)
+    executed = 0
+    pool = None
+    try:
+        send_message(
+            sock, {"type": "hello", "worker": _worker_metadata(backend, procs)}
+        )
+        welcome = recv_message(sock)
+        if welcome is None or welcome.get("type") != "welcome":
+            raise ProtocolError(f"Expected welcome, got {welcome!r}")
+        say(
+            f"connected to {host}:{port}: sweep of {welcome.get('total')} task(s), "
+            f"backend {backend or welcome.get('backend')!r}, {procs} proc(s)"
+        )
+        if procs > 1:
+            pool = _pool_context().Pool(processes=procs)
+
+        def deliver(
+            shard: Any, index: int, task_id: str, outcome: Dict[str, Any]
+        ) -> None:
+            send_message(sock, {
+                "type": "result",
+                "shard": shard,
+                "index": index,
+                "task_id": task_id,
+                "outcome": outcome,
+            })
+            ack = recv_message(sock)
+            if ack is None or ack.get("type") != "ack":
+                raise ProtocolError(f"Expected ack, got {ack!r}")
+
+        while True:
+            send_message(sock, {"type": "request", "max_tasks": procs})
+            reply = recv_message(sock)
+            if reply is None or reply.get("type") == "done":
+                break
+            if reply.get("type") == "wait":
+                time.sleep(0.05)
+                continue
+            if reply.get("type") != "tasks":
+                raise ProtocolError(f"Expected tasks/wait/done, got {reply!r}")
+            shard = reply.get("shard")
+            indexed = _rebuild_tasks(reply.get("tasks", []), backend)
+            if pool is not None:
+                for index, task_id, outcome in pool.imap_unordered(
+                    _execute_indexed_entry, indexed
+                ):
+                    deliver(shard, index, task_id, outcome)
+                    executed += 1
+            else:
+                for index, task_id, task in indexed:
+                    deliver(shard, index, task_id, execute_task(task))
+                    executed += 1
+        say(f"sweep complete; this worker executed {executed} task(s)")
+    finally:
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        sock.close()
+    return executed
+
+
+def _execute_indexed_entry(
+    item: Tuple[int, str, SweepTask]
+) -> Tuple[int, str, Dict[str, Any]]:
+    index, task_id, task = item
+    return index, task_id, execute_task(task)
+
+
+# ---------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.worker",
+        description="Sweep worker: pulls task shards from a coordinator "
+        "(repro.pipeline --serve) and streams outcomes back.",
+    )
+    parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator endpoint to pull tasks from",
+    )
+    parser.add_argument(
+        "--backend", default=None, metavar="BACKEND",
+        help="override the sweep's execution backend for this worker only "
+        "(backends are bitwise-equivalent; mixing them cross-checks the "
+        "execution layer across machines)",
+    )
+    parser.add_argument(
+        "--procs", type=int, default=1,
+        help="local worker processes; 1 (default) executes in-process and "
+        "shares the backend program cache across a shard's tasks",
+    )
+    parser.add_argument(
+        "--connect-retry-seconds", type=float, default=10.0,
+        help="keep retrying the initial connection this long (workers may "
+        "be launched before the coordinator is listening)",
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress status lines")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        host, port = parse_endpoint(args.connect)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.backend is not None:
+        try:
+            get_backend(args.backend)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    try:
+        run_worker(
+            host,
+            port,
+            backend=args.backend,
+            procs=args.procs,
+            connect_retry_seconds=args.connect_retry_seconds,
+            quiet=args.quiet,
+        )
+    except (OSError, ProtocolError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,9 +21,16 @@ loop, the pipeline
 Serial (``workers=1``) and parallel runs execute the identical task
 function in the identical order, so their verdict tables match exactly.
 
+Every task has a deterministic identity (:attr:`SweepTask.task_id`), and
+any run can journal its outcomes to -- and resume from -- an append-only
+result store; :mod:`repro.cluster` builds the distributed coordinator/
+worker service on exactly these seams.
+
 CLI::
 
     python -m repro.pipeline --suite npbench --buggy --workers 4 --trials 6
+    python -m repro.pipeline --serve :8765 --journal sweep.jsonl [--resume]
+    python -m repro.pipeline --connect HOST:8765 --procs 8
 """
 
 from repro.pipeline.result import SweepResult

@@ -9,20 +9,34 @@ The defaults mirror the historical serial sweep script
 per (kernel, transformation) pair, seed 0, size_max 10, no input
 minimization.  ``--json`` / ``--markdown`` persist the aggregated
 :class:`repro.pipeline.result.SweepResult` for downstream tooling.
+
+Distributed / resumable operation (see :mod:`repro.cluster`):
+
+* ``--serve HOST:PORT`` serves the enumerated tasks to remote workers
+  (``python -m repro.cluster.worker --connect HOST:PORT``) instead of
+  running them locally, requeueing the in-flight shard of any worker that
+  disconnects;
+* ``--connect HOST:PORT`` turns this invocation *into* a worker
+  (``--procs`` drives a local pool; ``--backend`` overrides the sweep's
+  backend for this worker only);
+* ``--journal PATH`` appends every completed outcome to a crash-safe JSONL
+  journal, and ``--resume`` reloads it so a killed sweep (local or served)
+  re-runs only its incomplete tasks.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+import time
+from typing import Any, Dict, List, Optional, TextIO
 
 from repro.backends import get_backend, list_backends
 from repro.pipeline.runner import SweepRunner
 from repro.pipeline.tasks import enumerate_sweep_tasks
 from repro.workloads import list_workload_suites
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "ProgressPrinter", "format_eta"]
 
 
 def _backend_name(value: str) -> str:
@@ -33,6 +47,80 @@ def _backend_name(value: str) -> str:
     except KeyError as exc:
         raise argparse.ArgumentTypeError(str(exc.args[0]))
     return value
+
+
+def format_eta(seconds: float) -> str:
+    """Render a remaining-time estimate compactly (``42s``, ``3m07s``,
+    ``2h05m``); unknown/unbounded estimates render as ``--``."""
+    if seconds != seconds or seconds == float("inf"):
+        return "--"
+    seconds = max(0, int(round(seconds)))
+    if seconds < 60:
+        return f"{seconds}s"
+    if seconds < 3600:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+
+
+class ProgressPrinter:
+    """``--progress`` callback: per-verdict lines with throughput and ETA.
+
+    The rate comes from the *streaming reassembly clock*: tasks this
+    process actually saw land, divided by the time since the printer was
+    armed.  Two properties keep the line truthful under failure:
+
+    * the displayed ``completed`` / ``total`` counts come from the runner
+      or coordinator, which count each task exactly once -- a requeued task
+      (worker died mid-sweep) neither inflates the denominator nor double-
+      counts on redelivery, so ``[k/total]`` never drifts;
+    * restored (journal-resumed) outcomes are excluded from the rate, so a
+      resume's ETA reflects the speed of the tasks actually being re-run,
+      not the instantly-restored prefix.
+
+    With ``arm_on_first_outcome=True`` the clock starts at the first landed
+    task instead of at construction: a served sweep may wait arbitrarily
+    long for its first worker to connect, and that idle prelude must not
+    dilute the rate for the rest of the sweep.  (The anchoring outcome is
+    then excluded from the rate -- its latency was not observed.)
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        clock=time.perf_counter,
+        arm_on_first_outcome: bool = False,
+    ) -> None:
+        self._stream = stream if stream is not None else sys.stdout
+        self._clock = clock
+        self._start: Optional[float] = None if arm_on_first_outcome else clock()
+        self._anchored = 0
+        self._fresh = 0
+
+    def __call__(
+        self, index: int, outcome: Dict[str, Any], completed: int, total: int
+    ) -> None:
+        now = self._clock()
+        if self._start is None:
+            self._start = now
+            self._anchored = 1
+        self._fresh += 1
+        elapsed = now - self._start
+        observed = self._fresh - self._anchored
+        rate = observed / elapsed if elapsed > 0 and observed > 0 else float("inf")
+        remaining = max(total - completed, 0)
+        eta = remaining / rate if rate > 0 else float("inf")
+        line = (
+            f"[{completed}/{total}] {outcome['workload']} / "
+            f"{outcome['transformation']} #{outcome['match_index']}: "
+            f"{outcome['verdict']}"
+            + (f" (error: {outcome['error']})" if outcome.get("error") else "")
+            + (
+                f" | {rate:.2f} task/s, ETA {format_eta(eta)}"
+                if rate != float("inf")
+                else ""
+            )
+        )
+        print(line, file=self._stream, flush=True)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,16 +150,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated subset of suite kernels to sweep (default: all)",
     )
     parser.add_argument(
-        "--backend", default="interpreter", type=_backend_name,
+        "--backend", default=None, type=_backend_name,
         metavar="BACKEND",
         help="execution backend: one of "
         f"{', '.join(list_backends())}, or 'cross:REF,CAND' to cross-check "
         "any backend pair (e.g. 'cross:compiled,interpreter'); any "
-        "divergence fails the sweep as an infrastructure error",
+        "divergence fails the sweep as an infrastructure error "
+        "(default: interpreter; with --connect: the worker-side override)",
     )
     parser.add_argument(
         "--progress", action="store_true",
-        help="print each task's verdict as it completes",
+        help="print each task's verdict as it completes, with tasks/s and ETA",
     )
     parser.add_argument("--seed", type=int, default=0, help="fuzzing seed")
     parser.add_argument("--size-max", type=int, default=10, help="maximum sampled size-symbol value")
@@ -80,12 +169,81 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown", default=None, metavar="PATH", help="write the Markdown report here"
     )
     parser.add_argument("--quiet", action="store_true", help="suppress the stdout table")
+    cluster = parser.add_argument_group("distributed / resumable operation")
+    cluster.add_argument(
+        "--serve", default=None, metavar="HOST:PORT",
+        help="serve tasks to remote workers (repro.cluster.worker --connect) "
+        "instead of executing locally; PORT 0 picks a free port",
+    )
+    cluster.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="act as a worker for a coordinator at HOST:PORT (no local "
+        "task enumeration; --procs sizes the local pool)",
+    )
+    cluster.add_argument(
+        "--procs", type=int, default=1,
+        help="worker-mode process count (with --connect; default 1)",
+    )
+    cluster.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append every completed outcome to this crash-safe JSONL journal",
+    )
+    cluster.add_argument(
+        "--resume", action="store_true",
+        help="reload --journal and re-run only tasks without a journaled "
+        "outcome (safe to pass unconditionally: a missing journal starts fresh)",
+    )
+    cluster.add_argument(
+        "--max-task-retries", type=int, default=2,
+        help="re-leases allowed per task after a lost worker before the "
+        "task is recorded as an infrastructure error (with --serve; default 2)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
 
+    if args.serve and args.connect:
+        parser.error("--serve and --connect are mutually exclusive")
+    if args.resume and not args.journal:
+        parser.error("--resume requires --journal PATH")
+
+    # ------------------------------------------------------------------ #
+    # Worker mode: no enumeration, no report -- serve one coordinator.
+    # ------------------------------------------------------------------ #
+    if args.connect:
+        from repro.cluster.protocol import ProtocolError
+        from repro.cluster.worker import parse_endpoint, run_worker
+
+        # A worker enumerates nothing and writes no report: flags that shape
+        # or persist the sweep belong on the coordinator invocation, and
+        # ignoring them silently would be worse than refusing.
+        for flag, value in (
+            ("--journal", args.journal), ("--resume", args.resume),
+            ("--json", args.json), ("--markdown", args.markdown),
+        ):
+            if value:
+                parser.error(
+                    f"{flag} applies to the sweep owner, not a worker; "
+                    f"pass it to the --serve (or local) invocation instead"
+                )
+        try:
+            host, port = parse_endpoint(args.connect)
+            run_worker(
+                host,
+                port,
+                backend=args.backend,
+                procs=max(args.procs, args.workers),
+                quiet=args.quiet,
+            )
+        except (OSError, ProtocolError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
+
+    backend = args.backend or "interpreter"
     workloads = None
     if args.kernels:
         workloads = [k.strip() for k in args.kernels.split(",") if k.strip()]
@@ -101,39 +259,94 @@ def main(argv: Optional[List[str]] = None) -> int:
                 seed=args.seed,
                 size_max=args.size_max,
                 minimize_inputs=False,
-                backend=args.backend,
+                backend=backend,
             ),
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
-    workers = max(1, args.workers)
-    if not args.quiet:
-        print(
-            f"[pipeline] {len(tasks)} task(s) over suite '{args.suite}' "
-            f"({'buggy' if args.buggy else 'faithful'}), {workers} worker(s), "
-            f"backend '{args.backend}'"
-        )
 
-    progress = None
-    if args.progress:  # independent of --quiet, which only hides the table
-        def progress(index, outcome, completed, total):
+    store = None
+    if args.journal:
+        from repro.cluster.journal import JournalError, ResultStore
+
+        try:
+            store = ResultStore.open(
+                args.journal, tasks, args.suite, args.buggy, backend,
+                resume=args.resume,
+            )
+        except JournalError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not args.quiet and store.completed:
             print(
-                f"[{completed}/{total}] {outcome['workload']} / "
-                f"{outcome['transformation']} #{outcome['match_index']}: "
-                f"{outcome['verdict']}"
-                + (f" (error: {outcome['error']})" if outcome.get("error") else ""),
-                flush=True,
+                f"[pipeline] resuming from {args.journal}: "
+                f"{len(store.completed)}/{len(tasks)} task(s) journaled, "
+                f"{len(tasks) - len(store.completed)} to run"
             )
 
-    runner = SweepRunner(workers=workers)
-    result = runner.run(
-        tasks,
-        suite=args.suite,
-        buggy=args.buggy,
-        backend=args.backend,
-        progress_callback=progress,
-    )
+    progress = None
+    if args.progress:
+        # A served sweep idles until its first worker connects; arm the
+        # rate clock at the first landed outcome so that wait does not
+        # dilute tasks/s and ETA for the whole run.
+        progress = ProgressPrinter(arm_on_first_outcome=bool(args.serve))
+
+    try:
+        if args.serve:
+            from repro.cluster.coordinator import SweepCoordinator
+            from repro.cluster.worker import parse_endpoint
+
+            try:
+                host, port = parse_endpoint(args.serve)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            coordinator = SweepCoordinator(
+                tasks,
+                host,
+                port,
+                store=store,
+                max_task_retries=args.max_task_retries,
+                progress_callback=progress,
+                suite=args.suite,
+                buggy=args.buggy,
+                backend=backend,
+            )
+            bound_host, bound_port = coordinator.start()
+            if not args.quiet:
+                print(
+                    f"[pipeline] serving {coordinator.remaining}/{len(tasks)} "
+                    f"task(s) on {bound_host}:{bound_port} "
+                    f"(suite '{args.suite}', "
+                    f"{'buggy' if args.buggy else 'faithful'}, "
+                    f"backend '{backend}'); waiting for workers: "
+                    f"python -m repro.cluster.worker "
+                    f"--connect {bound_host}:{bound_port}",
+                    flush=True,
+                )
+            result = coordinator.wait()
+        else:
+            workers = max(1, args.workers)
+            if not args.quiet:
+                print(
+                    f"[pipeline] {len(tasks)} task(s) over suite '{args.suite}' "
+                    f"({'buggy' if args.buggy else 'faithful'}), {workers} worker(s), "
+                    f"backend '{backend}'"
+                )
+            runner = SweepRunner(workers=workers)
+            result = runner.run(
+                tasks,
+                suite=args.suite,
+                buggy=args.buggy,
+                backend=backend,
+                progress_callback=progress,
+                store=store,
+                completed=store.completed if store is not None else None,
+            )
+    finally:
+        if store is not None:
+            store.close()
 
     if not args.quiet:
         print(result.render_text())

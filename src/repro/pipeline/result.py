@@ -8,6 +8,7 @@ Table 2 (instances tested, instances failing, verdict histogram).
 
 from __future__ import annotations
 
+import copy
 import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -24,7 +25,17 @@ __all__ = ["SweepResult"]
 #: names (now including ``"compiled"``), it may be a cross-check pair of
 #: the form ``"cross:REF,CAND"`` (the bare ``"cross"`` remains shorthand
 #: for ``"cross:interpreter,vectorized"``).  v2 documents load unchanged.
-SCHEMA_VERSION = 3
+#: Version 4 adds two per-outcome fields for the distributed/resumable
+#: sweep service (``repro.cluster``): ``task_id`` (the deterministic task
+#: identity keying the result journal) and ``worker`` (shard metadata --
+#: host/pid/shard/backend -- for outcomes produced by a remote worker;
+#: ``None`` for local runs).  v1-v3 documents load with both defaulted to
+#: ``None``; no aggregate field changed.
+SCHEMA_VERSION = 4
+
+#: Per-outcome keys introduced by schema version 4, with load-time defaults
+#: applied to documents written by older versions.
+_V4_OUTCOME_DEFAULTS: Dict[str, Any] = {"task_id": None, "worker": None}
 
 
 @dataclass
@@ -91,14 +102,49 @@ class SweepResult:
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "SweepResult":
+        """Load any schema version (1-4), filling defaulted fields.
+
+        v1 documents predate backend selection and load as ``"interpreter"``
+        (what every v1 sweep ran); v1-v3 outcomes gain the v4 ``task_id`` /
+        ``worker`` keys with ``None`` defaults so downstream consumers see a
+        uniform shape.
+        """
+        outcomes = []
+        for o in d.get("outcomes", []):
+            o = dict(o)
+            for key, default in _V4_OUTCOME_DEFAULTS.items():
+                o.setdefault(key, default)
+            outcomes.append(o)
         return cls(
             suite=d["suite"],
             buggy=d.get("buggy", False),
             workers=d.get("workers", 1),
             backend=d.get("backend", "interpreter"),
-            outcomes=list(d.get("outcomes", [])),
+            outcomes=outcomes,
             duration_seconds=d.get("duration_seconds", 0.0),
         )
+
+    def comparable_dict(self) -> Dict[str, Any]:
+        """:meth:`to_dict` minus every timing/host-dependent field.
+
+        Two sweeps over the same tasks must agree on this document no matter
+        how they were executed -- serial, multiprocess, distributed across
+        heterogeneous workers, or resumed from a journal.  Stripped fields:
+        wall-clock durations (sweep, per-report, per-fuzzing-campaign),
+        worker counts, and per-outcome ``worker`` shard metadata.
+        """
+        doc = copy.deepcopy(self.to_dict())
+        doc.pop("duration_seconds", None)
+        doc.pop("workers", None)
+        for outcome in doc.get("outcomes", []):
+            outcome.pop("worker", None)
+            report = outcome.get("report")
+            if report:
+                report.pop("duration_seconds", None)
+                fuzzing = report.get("fuzzing")
+                if fuzzing:
+                    fuzzing.pop("duration_seconds", None)
+        return doc
 
     def to_markdown(self) -> str:
         lines = [

@@ -10,13 +10,19 @@ everything but wall-clock time.
 Outcomes stream back incrementally (``imap_unordered``) and are reassembled
 into task order, so a progress callback sees every verdict as it lands while
 the aggregated :class:`SweepResult` remains identical to a serial run.
+
+Any run -- serial or parallel -- can journal outcomes to a
+:class:`repro.cluster.journal.ResultStore` (``store=``) and resume from one
+(``completed=``): tasks whose deterministic :attr:`SweepTask.task_id` is
+already journaled are restored instead of re-executed, so a killed sweep
+re-runs only its unfinished tail.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.reporting import Verdict
 from repro.core.verifier import FuzzyFlowVerifier
@@ -41,6 +47,8 @@ def execute_task(task: SweepTask) -> Dict[str, Any]:
         "workload": task.workload,
         "transformation": task.transformation.name,
         "match_index": task.match_index,
+        "task_id": task.task_id,
+        "worker": None,
         "error": None,
     }
     try:
@@ -94,6 +102,8 @@ class SweepRunner:
         buggy: Optional[bool] = None,
         backend: Optional[str] = None,
         progress_callback: Optional[ProgressCallback] = None,
+        store: Optional[Any] = None,
+        completed: Optional[Mapping[str, Dict[str, Any]]] = None,
     ) -> SweepResult:
         """Execute all tasks and aggregate them into a :class:`SweepResult`.
 
@@ -104,6 +114,13 @@ class SweepRunner:
         ``buggy`` and ``backend`` label the result; by default they are
         derived from the tasks themselves so the report header cannot
         contradict what was actually run.
+
+        ``store`` (a :class:`repro.cluster.journal.ResultStore`) journals
+        every fresh outcome as it lands; ``completed`` maps task IDs to
+        already-journaled outcomes, which are restored at their task index
+        without re-execution -- the resume path.  The progress callback only
+        fires for freshly executed tasks, but its ``completed`` count
+        includes the restored ones, so ``[k/total]`` lines stay truthful.
         """
         start = time.perf_counter()
         tasks = list(tasks)
@@ -120,27 +137,40 @@ class SweepRunner:
                 if tasks
                 else "interpreter"
             )
-        if self.workers == 1 or total <= 1:
+
+        # Partition into restored (journaled) and pending work.
+        outcomes: List[Optional[Dict[str, Any]]] = [None] * total
+        pending: List[Tuple[int, SweepTask]] = []
+        done = 0
+        for index, task in enumerate(tasks):
+            restored = completed.get(task.task_id) if completed else None
+            if restored is not None:
+                outcomes[index] = restored
+                done += 1
+            else:
+                pending.append((index, task))
+
+        def land(index: int, outcome: Dict[str, Any]) -> None:
+            nonlocal done
+            outcomes[index] = outcome
+            done += 1
+            if store is not None:
+                store.record(outcome["task_id"], index, outcome)
+            if progress_callback is not None:
+                progress_callback(index, outcome, done, total)
+
+        if self.workers == 1 or len(pending) <= 1:
             workers_used = 1
-            outcomes: List[Optional[Dict[str, Any]]] = []
-            for index, task in enumerate(tasks):
-                outcome = execute_task(task)
-                outcomes.append(outcome)
-                if progress_callback is not None:
-                    progress_callback(index, outcome, len(outcomes), total)
+            for index, task in pending:
+                land(index, execute_task(task))
         else:
-            workers_used = min(self.workers, total)
+            workers_used = min(self.workers, len(pending))
             ctx = _pool_context()
-            outcomes = [None] * total
-            completed = 0
             with ctx.Pool(processes=workers_used) as pool:
                 for index, outcome in pool.imap_unordered(
-                    _execute_indexed, list(enumerate(tasks)), chunksize=self.chunksize
+                    _execute_indexed, pending, chunksize=self.chunksize
                 ):
-                    outcomes[index] = outcome
-                    completed += 1
-                    if progress_callback is not None:
-                        progress_callback(index, outcome, completed, total)
+                    land(index, outcome)
         return SweepResult(
             suite=suite,
             buggy=buggy,

@@ -12,6 +12,8 @@ cross the process boundary.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
@@ -80,6 +82,70 @@ class SweepTask:
 
     def describe(self) -> str:
         return f"{self.workload} / {self.transformation.name} #{self.match_index}"
+
+    # ------------------------------------------------------------------ #
+    # Identity and wire format (journal keys + cluster protocol)
+    # ------------------------------------------------------------------ #
+    @property
+    def task_id(self) -> str:
+        """Deterministic identity of this unit of work.
+
+        The hash covers everything that decides the task's *outcome*: its
+        coordinates, the fuzzing configuration and (for custom workloads)
+        the serialized program.  Two fields are deliberately excluded:
+        ``match_description`` (cosmetic, derived from the coordinates) and
+        the ``backend`` entry of ``verifier_kwargs`` -- backends are
+        bitwise-equivalent by contract, so a resumed or distributed sweep
+        may complete a task on a different backend than the one that
+        journaled it (heterogeneous workers are a free cross-check, not a
+        different sweep).
+        """
+        kwargs = {k: v for k, v in self.verifier_kwargs.items() if k != "backend"}
+        basis = {
+            "suite": self.suite,
+            "workload": self.workload,
+            "transformation": {
+                "name": self.transformation.name,
+                "kwargs": dict(self.transformation.kwargs),
+            },
+            "match_index": self.match_index,
+            "symbols": dict(self.symbols),
+            "verifier_kwargs": kwargs,
+            "sdfg_json": self.sdfg_json,
+        }
+        canon = json.dumps(basis, sort_keys=True, default=str)
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe description for the cluster wire protocol."""
+        return {
+            "suite": self.suite,
+            "workload": self.workload,
+            "transformation": {
+                "name": self.transformation.name,
+                "kwargs": dict(self.transformation.kwargs),
+            },
+            "match_index": self.match_index,
+            "match_description": self.match_description,
+            "symbols": dict(self.symbols),
+            "verifier_kwargs": dict(self.verifier_kwargs),
+            "sdfg_json": self.sdfg_json,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "SweepTask":
+        return cls(
+            suite=d["suite"],
+            workload=d["workload"],
+            transformation=TransformationSpec(
+                d["transformation"]["name"], dict(d["transformation"]["kwargs"])
+            ),
+            match_index=d["match_index"],
+            match_description=d.get("match_description", ""),
+            symbols=dict(d.get("symbols", {})),
+            verifier_kwargs=dict(d.get("verifier_kwargs", {})),
+            sdfg_json=d.get("sdfg_json"),
+        )
 
 
 def enumerate_sweep_tasks(

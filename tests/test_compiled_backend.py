@@ -14,6 +14,7 @@ import pytest
 
 from repro.backends import (
     BackendDivergenceError,
+    CompiledExecutor,
     CrossBackend,
     get_backend,
     sdfg_content_hash,
@@ -407,6 +408,42 @@ class TestDivergenceErrorContext:
         assert (clone.reference, clone.candidate, clone.sdfg_hash) == (
             err.reference, err.candidate, err.sdfg_hash
         )
+
+
+class TestStateNamespaceReuse:
+    """The per-transition fast path: no symbol-dict copy per state."""
+
+    def test_toplevel_node_table_built_at_prepare_time(self):
+        sdfg = build_loop_nest()
+        executor = CompiledExecutor(sdfg)
+        assert set(executor._state_toplevel) == {
+            id(s) for s in executor._compiled_states
+        }
+
+    def test_execute_state_passes_live_symbols_without_copy(self):
+        sdfg = build_loop_nest()
+        executor = CompiledExecutor(sdfg)
+        seen = []
+        original = executor._execute_node
+
+        def spying(state, node, bindings):
+            # Identity must be checked at call time: the run contract
+            # rebinds executor._symbols to a fresh dict after each run.
+            seen.append(bindings is executor._symbols)
+            return original(state, node, bindings)
+
+        executor._execute_node = spying
+        executor.run(make_arguments(sdfg, {"N": 6, "T": 3}), {"N": 6, "T": 3})
+        assert seen, "no nodes executed"
+        assert all(seen), "a state execution copied the symbol namespace"
+
+    def test_fast_path_stays_bitwise_identical(self):
+        sdfg = build_loop_nest()
+        symbols = {"N": 8, "T": 4}
+        args = make_arguments(sdfg, symbols)
+        r1, r2, program = run_pair(sdfg, args, symbols)
+        assert program.executor.control_mode == "structured"
+        assert_identical(r1, r2)
 
 
 class TestWorkflowThreading:

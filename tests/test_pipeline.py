@@ -213,7 +213,7 @@ class TestSweepResult:
 
     def test_json_schema_fields(self):
         doc = json.loads(self._result().to_json())
-        assert doc["schema_version"] == 3
+        assert doc["schema_version"] == 4
         assert set(doc) >= {
             "suite", "buggy", "workers", "backend", "duration_seconds",
             "verdict_table", "totals", "outcomes",
@@ -221,25 +221,83 @@ class TestSweepResult:
         assert doc["backend"] == "interpreter"
         for entry in doc["verdict_table"].values():
             assert set(entry) == {"instances", "failing", "verdicts"}
+        # v4: every outcome carries its deterministic task identity plus
+        # shard metadata (None for local runs).
+        for outcome in doc["outcomes"]:
+            assert isinstance(outcome["task_id"], str) and outcome["task_id"]
+            assert outcome["worker"] is None
 
     def test_v1_document_migrates_to_interpreter_backend(self):
         """schema_version 1 documents predate backend selection; every v1
-        sweep ran the interpreter, so they load with that backend label."""
+        sweep ran the interpreter, so they load with that backend label --
+        and their outcomes gain the v4 task_id/worker keys (defaulted)."""
         v1 = json.loads(self._result().to_json())
         v1.pop("backend")
         v1["schema_version"] = 1
+        for outcome in v1["outcomes"]:
+            outcome.pop("task_id")
+            outcome.pop("worker")
         restored = SweepResult.from_dict(v1)
         assert restored.backend == "interpreter"
+        assert all(o["task_id"] is None for o in restored.outcomes)
+        assert all(o["worker"] is None for o in restored.outcomes)
+        assert restored.totals() == self._result().totals()
 
-    def test_v2_document_loads_unchanged(self):
-        """schema_version 3 only records the backend string format
-        (``cross:REF,CAND`` pairs); v2 documents load without migration."""
+    def test_v2_document_loads_with_defaulted_shard_fields(self):
+        """v2 documents have a backend but predate task IDs; they load
+        unchanged except for the defaulted v4 outcome keys."""
         v2 = json.loads(self._result().to_json())
         v2["schema_version"] = 2
         v2["backend"] = "vectorized"
+        for outcome in v2["outcomes"]:
+            outcome.pop("task_id")
+            outcome.pop("worker")
         restored = SweepResult.from_dict(v2)
         assert restored.backend == "vectorized"
         assert restored.totals() == self._result().totals()
+        assert all(o["task_id"] is None for o in restored.outcomes)
+
+    def test_v3_document_loads_with_defaulted_shard_fields(self):
+        """v3 (cross-pair backend strings) loads identically; only the v4
+        outcome keys are filled in."""
+        v3 = json.loads(self._result().to_json())
+        v3["schema_version"] = 3
+        v3["backend"] = "cross:compiled,interpreter"
+        for outcome in v3["outcomes"]:
+            outcome.pop("task_id")
+            outcome.pop("worker")
+        restored = SweepResult.from_dict(v3)
+        assert restored.backend == "cross:compiled,interpreter"
+        assert restored.verdict_table() == self._result().verdict_table()
+        assert all(
+            o["task_id"] is None and o["worker"] is None for o in restored.outcomes
+        )
+
+    def test_v4_journal_roundtrips_to_sweep_result(self, tmp_path):
+        """The v4 path end to end: journal a sweep, reassemble a SweepResult
+        from the journal alone, and compare its to_dict() (modulo timing)
+        against the directly aggregated result."""
+        from repro.cluster.journal import ResultStore
+
+        tasks = _tasks(buggy=True)
+        path = str(tmp_path / "sweep.jsonl")
+        store = ResultStore.open(path, tasks, "npbench", True, "interpreter")
+        direct = SweepRunner(workers=1).run(tasks, store=store)
+        store.close()
+
+        header, completed = ResultStore._load(path)
+        assert header["schema_version"] == 4
+        assert header["total_tasks"] == len(tasks)
+        reassembled = SweepResult(
+            suite=header["suite"],
+            buggy=header["buggy"],
+            backend=header["backend"],
+            outcomes=[completed[t.task_id] for t in tasks],
+        )
+        assert reassembled.comparable_dict() == direct.comparable_dict()
+        # And the reassembled document round-trips through from_dict.
+        restored = SweepResult.from_dict(json.loads(reassembled.to_json()))
+        assert restored.comparable_dict() == direct.comparable_dict()
 
     def test_cross_pair_backend_label_roundtrips(self):
         result = SweepRunner(workers=1).run(
@@ -280,3 +338,111 @@ class TestCLI:
         ])
         assert rc == 0
         assert "buggy sweep" in capsys.readouterr().out
+
+    def test_cli_resume_requires_journal(self, capsys):
+        with pytest.raises(SystemExit):
+            pipeline_main(["--resume"])
+        assert "--journal" in capsys.readouterr().err
+
+    def test_cli_serve_connect_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            pipeline_main(["--serve", ":0", "--connect", "localhost:1"])
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_cli_connect_rejects_sweep_owner_flags(self, capsys, tmp_path):
+        """Report/journal flags on a worker invocation would be silently
+        ignored; refuse them instead."""
+        for flags in (
+            ["--journal", str(tmp_path / "j.jsonl")],
+            ["--json", str(tmp_path / "r.json")],
+            ["--markdown", str(tmp_path / "r.md")],
+        ):
+            with pytest.raises(SystemExit):
+                pipeline_main(["--connect", "localhost:1"] + flags)
+            assert "sweep owner" in capsys.readouterr().err
+
+
+class TestProgressPrinter:
+    """The --progress line: rate + ETA from the streaming reassembly clock."""
+
+    def _printer(self, times):
+        import io
+
+        from repro.pipeline.cli import ProgressPrinter
+
+        ticks = iter(times)
+        stream = io.StringIO()
+        return ProgressPrinter(stream=stream, clock=lambda: next(ticks)), stream
+
+    def _outcome(self, **over):
+        base = {
+            "workload": "gemm", "transformation": "MapTiling", "match_index": 0,
+            "verdict": "pass", "error": None,
+        }
+        base.update(over)
+        return base
+
+    def test_rate_and_eta_printed(self):
+        # Armed at t=0; outcomes land at t=1 and t=2 -> 1 task/s, 2 left.
+        printer, stream = self._printer([0.0, 1.0, 2.0])
+        printer(0, self._outcome(), 1, 4)
+        printer(1, self._outcome(match_index=1), 2, 4)
+        lines = stream.getvalue().splitlines()
+        assert lines[0].startswith("[1/4] gemm / MapTiling #0: pass")
+        assert "1.00 task/s" in lines[0] and "ETA 3s" in lines[0]
+        assert "1.00 task/s" in lines[1] and "ETA 2s" in lines[1]
+
+    def test_error_still_shown(self):
+        printer, stream = self._printer([0.0, 1.0])
+        printer(0, self._outcome(verdict="untested", error="boom"), 1, 2)
+        assert "(error: boom)" in stream.getvalue()
+
+    def test_restored_tasks_excluded_from_rate(self):
+        """On resume, `completed` includes instantly-restored outcomes; the
+        rate must reflect only freshly executed tasks."""
+        printer, stream = self._printer([0.0, 2.0])
+        # First fresh outcome of a resumed sweep: 90 already restored.
+        printer(90, self._outcome(), 91, 100)
+        line = stream.getvalue()
+        assert line.startswith("[91/100]")
+        assert "0.50 task/s" in line  # 1 fresh task / 2 s, not 91 / 2 s
+        assert "ETA 18s" in line  # 9 remaining at 0.5/s
+
+    def test_denominator_stable_across_requeue(self):
+        """A requeued task (worker died) must not inflate the total or
+        double-count: the coordinator reports each task once, so the
+        printed counts reach exactly [total/total]."""
+        printer, stream = self._printer([0.0, 1.0, 2.0, 3.0])
+        for completed in (1, 2, 3):
+            printer(completed - 1, self._outcome(), completed, 3)
+        lines = stream.getvalue().splitlines()
+        assert [l.split()[0] for l in lines] == ["[1/3]", "[2/3]", "[3/3]"]
+
+    def test_arm_on_first_outcome_ignores_idle_prelude(self):
+        """In --serve mode the clock must not start until the first task
+        lands (workers may connect minutes after the coordinator binds)."""
+        import io
+
+        from repro.pipeline.cli import ProgressPrinter
+
+        ticks = iter([100.0, 101.0])  # constructed at t=0 is never observed
+        stream = io.StringIO()
+        printer = ProgressPrinter(
+            stream=stream, clock=lambda: next(ticks), arm_on_first_outcome=True
+        )
+        printer(0, self._outcome(), 1, 3)  # arms the clock; no rate yet
+        printer(1, self._outcome(match_index=1), 2, 3)
+        lines = stream.getvalue().splitlines()
+        assert "task/s" not in lines[0]  # anchoring outcome: unobserved latency
+        # One observed task in one second since arming -- not diluted by the
+        # 100 s of pre-worker idle time.
+        assert "1.00 task/s" in lines[1] and "ETA 1s" in lines[1]
+
+    def test_format_eta(self):
+        from repro.pipeline.cli import format_eta
+
+        assert format_eta(42.4) == "42s"
+        assert format_eta(187) == "3m07s"
+        assert format_eta(7512) == "2h05m"
+        assert format_eta(float("inf")) == "--"
+        assert format_eta(float("nan")) == "--"
