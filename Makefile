@@ -10,13 +10,19 @@ test:
 
 # Exercise the sweep pipeline end to end (2 workers, tiny budget) once per
 # execution backend -- the 'cross' pairs double as backend self-checks --
-# then the distributed loopback check and the tier-1 test suite.
+# then a pooled sweep through the persistent compile cache (cold, then warm
+# from the populated cache), the distributed loopback check and the tier-1
+# test suite.
 smoke:
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend interpreter
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend vectorized
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend compiled
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend cross
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend cross:compiled,interpreter
+	rm -rf .smoke-cache && \
+	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend compiled --cache-dir .smoke-cache && \
+	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend compiled --cache-dir .smoke-cache && \
+	ls .smoke-cache/*.json > /dev/null && rm -rf .smoke-cache
 	$(MAKE) smoke-dist
 	$(PY) -m pytest -x -q
 
@@ -34,6 +40,8 @@ bench-scaling:
 	cd benchmarks && PYTHONPATH=../src $(PY) -m pytest bench_pipeline_scaling.py -q -s
 
 # Interpreter / vectorized / compiled throughput at tiny sizes, including
-# the loop-nest kernel (BENCH_backends.json).
+# the loop-nest kernel and the multi-scope fusion kernel (asserts the >=2x
+# scope-fusion speedup), plus fuzz-trial and compile-cache series
+# (BENCH_backends.json).
 bench-quick:
 	cd benchmarks && PYTHONPATH=../src REPRO_BENCH_QUICK=1 $(PY) -m pytest bench_backend_throughput.py -q -s

@@ -2,20 +2,37 @@
 
 Measures elements/second (map iterations executed per second) and
 trials/second (full program executions per second) for all three execution
-backends on four kernels -- a large affine matmul (``gemm``), a 2-D stencil
+backends on five kernels -- a large affine matmul (``gemm``), a 2-D stencil
 (``jacobi_2d``), an element-wise producer/consumer pipeline
-(``axpy_pipeline``) and a sequential **loop nest** (``loop_smoother``, a
+(``axpy_pipeline``), a sequential **loop nest** (``loop_smoother``, a
 time-stepped smoothing sweep whose state machine takes ``2T + 3`` interstate
-transitions) -- and writes the series to ``BENCH_backends.json``.
+transitions) and a **fusion-stressing multi-scope pipeline**
+(``fused_pipeline``: a loop whose body chains eight elementwise map scopes
+through seven transient intermediates) -- and writes the series to
+``BENCH_backends.json``.
+
+Beyond raw kernel throughput the file also records:
+
+* an **end-to-end fuzz-trial series**: wall-clock time per
+  ``DifferentialFuzzer`` trial (sample + two program executions + system
+  state comparison) per backend -- the unit the Table 2 sweep actually
+  pays per task;
+* a **scope-fusion series**: the compiled backend with fusion enabled vs.
+  disabled on ``fused_pipeline``;
+* a **compile-cache series**: per-program prepare cost for a cold compile,
+  an on-disk artifact hit (``--cache-dir``; the sibling-worker path) and
+  an in-memory cache hit.
 
 The backends must agree bitwise on every measured run (the measurement
-doubles as an equivalence check), and two speedup floors are asserted:
+doubles as an equivalence check), and three speedup floors are asserted:
 
 * the vectorized backend must beat the interpreter by at least 5x on the
-  large affine matmul (the PR 2 margin), and
+  large affine matmul (the PR 2 margin),
 * the compiled whole-program backend must beat the interpreter by at least
   5x on the loop nest -- the workload class where per-transition interpreter
-  re-entry used to swallow the vectorized speedup.
+  re-entry used to swallow the vectorized speedup, and
+* scope fusion must beat the unfused compiled backend by at least 2x on
+  the multi-scope pipeline (the PR 5 margin).
 
 Set ``REPRO_BENCH_QUICK=1`` (the ``make bench-quick`` target) for tiny sizes,
 ``REPRO_PAPER_SCALE=1`` for larger ones.
@@ -25,6 +42,8 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
+import tempfile
 import time
 
 import numpy as np
@@ -32,7 +51,11 @@ import numpy as np
 from conftest import paper_scale
 
 from repro.backends import get_backend
+from repro.backends.compiled import CompiledBackend, CompiledWholeProgram
+from repro.core.fuzzing import DifferentialFuzzer
+from repro.core.sampling import InputSampler
 from repro.sdfg import SDFG, Memlet, float64
+from repro.sdfg.serialize import sdfg_from_json, sdfg_to_json
 from repro.workloads import get_workload
 
 OUTPUT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_backends.json")
@@ -43,6 +66,8 @@ BACKENDS = ("interpreter", "vectorized", "compiled")
 REQUIRED_MATMUL_SPEEDUP = 5.0
 #: Required interpreter-to-compiled speedup on the sequential loop nest.
 REQUIRED_LOOP_NEST_SPEEDUP = 5.0
+#: Required fused-vs-unfused compiled speedup on the multi-scope pipeline.
+REQUIRED_FUSION_SPEEDUP = 2.0
 
 
 def quick_scale() -> bool:
@@ -74,9 +99,50 @@ def build_loop_smoother() -> SDFG:
     return sdfg
 
 
+FUSED_PIPELINE_STAGES = 8
+
+
+def build_fused_pipeline(stages: int = FUSED_PIPELINE_STAGES) -> SDFG:
+    """A loop whose body chains ``stages`` elementwise map scopes.
+
+    Each stage reads its predecessor's output elementwise over the identical
+    domain -- exactly the shape scope fusion collapses into one composed
+    kernel with no intermediate materialization.  The final stage writes
+    back to ``A``, making the chain a time-stepped recurrence."""
+    sdfg = SDFG("fused_pipeline")
+    sdfg.add_array("A", ["N"], float64)
+    init = sdfg.add_state("init", is_start_state=True)
+    body = sdfg.add_state("pipeline")
+    prev, prev_node = "A", None
+    for k in range(stages):
+        out = "A" if k == stages - 1 else f"t{k}"
+        if out != "A":
+            sdfg.add_transient(out, ["N"], float64)
+        _, _, mexit = body.add_mapped_tasklet(
+            f"stage{k}", {"i": "0:N-1"},
+            {"x": Memlet.simple(prev, "i")},
+            "y = 0.5 * x + 0.25",
+            {"y": Memlet.simple(out, "i")},
+            input_nodes={prev: prev_node} if prev_node is not None else None,
+        )
+        prev_node = next(e.dst for e in body.out_edges(mexit))
+        prev = out
+    sdfg.add_loop(init, body, None, "t", "0", "t < T", "t + 1")
+    return sdfg
+
+
 def _suite_builder(kernel):
     spec = get_workload("npbench", kernel)
     return spec.build
+
+
+def _fusion_scale():
+    """(N, T) of the fused_pipeline kernel at the current scale."""
+    if quick_scale():
+        return 1024, 8
+    if paper_scale():
+        return 4096, 24
+    return 1024, 12
 
 
 def _cases():
@@ -87,6 +153,7 @@ def _cases():
         n_mm, n_st, n_ew, n_ln, t_ln = 64, 96, 65536, 2048, 32
     else:
         n_mm, n_st, n_ew, n_ln, t_ln = 40, 64, 16384, 1024, 16
+    n_fp, t_fp = _fusion_scale()
     return [
         # gemm runs NI*NJ*NK matmul iterations plus two NI*NJ element-wise maps.
         ("gemm", _suite_builder("gemm"), {"NI": n_mm, "NJ": n_mm, "NK": n_mm},
@@ -95,6 +162,9 @@ def _cases():
         ("axpy_pipeline", _suite_builder("axpy_pipeline"), {"N": n_ew}, 2 * n_ew),
         ("loop_smoother", build_loop_smoother, {"N": n_ln, "T": t_ln},
          t_ln * 2 * (n_ln - 2)),
+        # range "0:N-1" is inclusive: N points per stage.
+        ("fused_pipeline", build_fused_pipeline, {"N": n_fp, "T": t_fp},
+         t_fp * FUSED_PIPELINE_STAGES * n_fp),
     ]
 
 
@@ -177,6 +247,10 @@ def test_backend_throughput(report_lines):
                 f"{kernel}: interpreter/{backend_name} transition counts diverge"
             )
 
+    fusion = _measure_fusion(report_lines)
+    fuzz_trials = _measure_fuzz_trials(report_lines)
+    compile_cache = _measure_compile_cache(report_lines)
+
     with open(OUTPUT_PATH, "w", encoding="utf-8") as f:
         json.dump(
             dict(
@@ -186,8 +260,12 @@ def test_backend_throughput(report_lines):
                 backends=list(BACKENDS),
                 required_matmul_speedup=REQUIRED_MATMUL_SPEEDUP,
                 required_loop_nest_speedup=REQUIRED_LOOP_NEST_SPEEDUP,
+                required_fusion_speedup=REQUIRED_FUSION_SPEEDUP,
                 speedups=speedups,
                 rows=rows,
+                fusion=fusion,
+                fuzz_trials=fuzz_trials,
+                compile_cache=compile_cache,
             ),
             f,
             indent=2,
@@ -203,4 +281,146 @@ def test_backend_throughput(report_lines):
         f"compiled backend only {speedups['loop_smoother']['compiled']:.1f}x "
         f"faster than the interpreter on the loop nest "
         f"(required: {REQUIRED_LOOP_NEST_SPEEDUP}x)"
+    )
+    assert fusion["speedup"] >= REQUIRED_FUSION_SPEEDUP, (
+        f"scope fusion only {fusion['speedup']:.2f}x faster than the unfused "
+        f"compiled backend on the multi-scope pipeline "
+        f"(required: {REQUIRED_FUSION_SPEEDUP}x)"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Scope fusion: compiled backend with vs. without chain fusion
+# ---------------------------------------------------------------------- #
+def _measure_fusion(report_lines):
+    n_fp, t_fp = _fusion_scale()
+    symbols = {"N": n_fp, "T": t_fp}
+    sdfg = build_fused_pipeline()
+    args = _arguments(sdfg, symbols)
+    results = {}
+    times = {}
+    for fused in (True, False):
+        program = CompiledWholeProgram(sdfg, fuse=fused)
+        results[fused] = program.run(dict(args), symbols)
+        if fused:
+            assert program.stats["fused"] > 0, "fusion never fired on the pipeline"
+        _, trials, elapsed = _measure(program, args, symbols, min_seconds=0.5)
+        times[fused] = elapsed / trials
+    for name in results[True].outputs:
+        assert np.array_equal(results[True].outputs[name], results[False].outputs[name]), (
+            f"fused/unfused outputs diverge on '{name}'"
+        )
+    speedup = times[False] / times[True]
+    report_lines.append(
+        f"\nscope fusion (fused_pipeline, N={n_fp}, T={t_fp}, "
+        f"{FUSED_PIPELINE_STAGES} scopes/iteration): "
+        f"fused {times[True] * 1e3:.3f} ms/run, unfused {times[False] * 1e3:.3f} "
+        f"ms/run -> {speedup:.2f}x"
+    )
+    return dict(
+        kernel="fused_pipeline", symbols=symbols, stages=FUSED_PIPELINE_STAGES,
+        fused_seconds_per_run=times[True], unfused_seconds_per_run=times[False],
+        speedup=speedup,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# End-to-end fuzz trials: time per DifferentialFuzzer trial
+# ---------------------------------------------------------------------- #
+def _measure_fuzz_trials(report_lines):
+    """Seconds per differential trial (the sweep's unit of work) per backend.
+
+    Original and transformed are clones of the same program, so every trial
+    exercises the full path -- sampling, two complete executions, system
+    state comparison -- without depending on a verdict.
+    """
+    n_fp, t_fp = _fusion_scale()
+    trials = 4 if quick_scale() else 8
+    series = {}
+    report_lines.append(f"\nfuzz trials (fused_pipeline, {trials} trials/backend):")
+    original = build_fused_pipeline()
+    transformed = original.clone()
+    for backend_name in BACKENDS:
+        sampler = InputSampler(
+            original, ["A"], ["A"],
+            fixed_symbols={"N": n_fp, "T": t_fp}, vary_sizes=False, seed=0,
+        )
+        fuzzer = DifferentialFuzzer(
+            original, transformed, ["A"], sampler, backend=backend_name
+        )
+        fuzzer.run(num_trials=1)  # warm-up: plans + driver built here
+        start = time.perf_counter()
+        report = fuzzer.run(num_trials=trials)
+        elapsed = time.perf_counter() - start
+        per_trial = elapsed / max(report.trials_attempted, 1)
+        assert report.failures == 0, "identical programs produced a failing trial"
+        series[backend_name] = dict(
+            seconds_per_trial=per_trial,
+            trials=report.trials_attempted,
+        )
+        report_lines.append(
+            f"  {backend_name:<14}{per_trial * 1e3:>10.2f} ms/trial"
+        )
+    return dict(kernel="fused_pipeline", trials=trials, backends=series)
+
+
+# ---------------------------------------------------------------------- #
+# Compile cache: cold prepare vs. disk-artifact hit vs. memory hit
+# ---------------------------------------------------------------------- #
+def _measure_compile_cache(report_lines):
+    """Per-program prepare cost with and without the on-disk artifact tier.
+
+    The 'disk' row is the sibling-worker path: a *fresh* backend instance
+    (as a pool/cluster worker process would construct) preparing programs
+    whose driver artifacts another instance already persisted.
+    """
+    programs = 8 if quick_scale() else 16
+    n_fp, t_fp = _fusion_scale()
+    # Distinct programs (distinct content hashes) from one structural family.
+    blobs = [
+        sdfg_to_json(build_fused_pipeline(stages=2 + (k % 4)))
+        for k in range(programs)
+    ]
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        def prepare_all(backend):
+            # Deserialize outside the clock: every worker pays that cost
+            # identically, cached or not.
+            sdfgs = [sdfg_from_json(blob) for blob in blobs]
+            start = time.perf_counter()
+            for sdfg in sdfgs:
+                backend.prepare(sdfg)
+            return (time.perf_counter() - start) / programs
+
+        nocache = prepare_all(CompiledBackend())
+        cold_backend = CompiledBackend(cache_dir=cache_dir)
+        cold = prepare_all(cold_backend)
+        assert cold_backend.disk_misses == programs
+        warm_backend = CompiledBackend(cache_dir=cache_dir)
+        warm = prepare_all(warm_backend)
+        assert warm_backend.disk_hits == programs, (
+            f"expected {programs} disk hits, got {warm_backend.disk_hits}"
+        )
+        memory = prepare_all(cold_backend)  # same instance: in-memory hits
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    report_lines.append(
+        f"\ncompile cache ({programs} distinct programs): "
+        f"no-cache {nocache * 1e3:.2f} ms/program, cold+store {cold * 1e3:.2f}, "
+        f"disk hit {warm * 1e3:.2f}, memory hit {memory * 1e3:.2f}"
+    )
+    # Disk-hit vs. cold-compile-plus-store compares the two paths a worker
+    # fleet actually takes (first worker vs. every sibling), both touching
+    # the same storage -- so the margin (~2x measured) is robust to machine
+    # speed in a way a zero-margin warm-vs-nocache inequality would not be.
+    assert warm < cold, (
+        f"disk-artifact prepare ({warm * 1e3:.2f} ms/program) not faster than "
+        f"a cold compile+store ({cold * 1e3:.2f} ms/program)"
+    )
+    return dict(
+        programs=programs,
+        no_cache_seconds_per_program=nocache,
+        cold_store_seconds_per_program=cold,
+        disk_hit_seconds_per_program=warm,
+        memory_hit_seconds_per_program=memory,
     )

@@ -18,19 +18,29 @@ SDFG** at preparation time:
   expressions (:func:`repro.symbolic.codegen.emit_interstate_expression`)
   reading program symbols from one shared dict and scalar containers from
   the data store -- no per-transition namespace rebuild, no ``eval``;
+* symbol loads that are *invariant across a structured loop* -- names never
+  assigned by any edge inside the loop (dataflow cannot write symbols) and
+  guaranteed present (free symbols and constants) -- are hoisted into
+  locals computed once before the loop;
+* each state's dataflow is **inlined as a prepared op list**: every
+  top-level node becomes one prebound closure (a tasklet run, a vectorized
+  -- possibly *fused* -- scope execution, an access copy), built once at
+  preparation time; the driver iterates the list directly, with no
+  per-transition node-type dispatch, scope-plan lookup or no-op node visits;
 * irreducible interstate graphs fall back to a generated
   ``while``-over-current-state dispatch loop (still native conditions, just
-  with an explicit state variable);
-* each state's dataflow is executed by the existing vectorized scope
-  machinery (:class:`~repro.backends.vectorized.VectorizedExecutor`), so map
-  scopes run as NumPy array expressions with per-scope interpreter fallback.
+  with an explicit state variable).
 
 Results are bitwise identical to the interpreter, including final symbol
 values, transition counts, coverage maps (transition, condition and tasklet
 features) and the full error taxonomy (``HangError`` on transition-budget
 exhaustion, ``ExecutionError`` wrapping of failing conditions/assignments,
 ``MemoryViolation`` from dataflow).  Compiled programs are cached by SDFG
-content hash exactly like vectorized ones.
+content hash exactly like vectorized ones; with a cache *directory*
+configured the generated driver is additionally persisted as an on-disk
+artifact (keyed by content hash, codegen version and Python build), so
+sibling worker processes -- pool workers, cluster workers -- skip the
+control-flow structuring and code generation entirely.
 
 As a last-resort safety net (e.g. an interstate assignment targeting a name
 that is *also* a scalar container, where static name routing cannot
@@ -41,6 +51,9 @@ verbatim -- dataflow stays vectorized, only transitions stay dynamic.
 
 from __future__ import annotations
 
+import base64
+import marshal
+import sys
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.backends.base import CompiledProgram as _BaseCompiledProgram
@@ -57,9 +70,11 @@ from repro.sdfg.analysis import (
     CFBranch,
     CFExec,
     CFLoop,
+    access_node_is_transparent,
     structured_control_flow,
 )
 from repro.sdfg.data import Scalar
+from repro.sdfg.nodes import AccessNode, MapEntry, MapExit, NestedSDFGNode, Tasklet
 from repro.sdfg.sdfg import SDFG
 from repro.sdfg.state import SDFGState
 from repro.symbolic.codegen import (
@@ -72,7 +87,14 @@ __all__ = [
     "CompiledWholeProgram",
     "CompiledExecutor",
     "compile_driver",
+    "CODEGEN_VERSION",
 ]
+
+#: Version stamp of the driver code generator.  Bump on ANY change to the
+#: emitted driver source, the driver globals, or the runtime services the
+#: driver calls: on-disk artifacts carry it, and a mismatch invalidates the
+#: cached entry (it is recompiled and overwritten).
+CODEGEN_VERSION = 5
 
 #: Globals of the generated driver.  User expressions see exactly the
 #: interpreter's ``_EVAL_GLOBALS`` vocabulary; the dunder-prefixed aliases
@@ -88,6 +110,17 @@ _DRIVER_GLOBALS.update(
         "__Exception": Exception,
     }
 )
+
+
+def _artifact_stamp() -> Dict[str, Any]:
+    """Identity fields every persisted driver artifact must carry."""
+    return {
+        "format": 1,
+        "codegen_version": CODEGEN_VERSION,
+        # marshal'd code objects are only valid for the same Python build.
+        "python": sys.implementation.cache_tag,
+        "backend": "compiled",
+    }
 
 
 # ---------------------------------------------------------------------- #
@@ -107,6 +140,19 @@ class _DriverEmitter:
         self.scalar_names = scalar_names
         self.lines: List[str] = []
         self.indent = 0
+        # Names safe to hoist out of loops: always present after setup
+        # (free symbols and constants), not shadowed by scalar containers,
+        # not part of the builtin vocabulary (whose emission is conditional).
+        from repro.symbolic.codegen import INTERSTATE_GLOBAL_NAMES
+
+        self.hoist_safe: Set[str] = (
+            (set(sdfg.free_symbols) | set(sdfg.constants))
+            - scalar_names
+            - set(INTERSTATE_GLOBAL_NAMES)
+        )
+        #: Active loop-invariant bindings: symbol name -> driver local.
+        self.hoisted: Dict[str, str] = {}
+        self._hoist_counter = 0
 
     # .................................................................. #
     def line(self, text: str) -> None:
@@ -123,8 +169,9 @@ class _DriverEmitter:
         self.line("__store = __rt._store")
         self.line("__cov = __rt._coverage")
         self.line("__max = __rt.max_transitions")
-        self.line("__exec = __rt._execute_state")
-        self.line("__states = __rt._compiled_states")
+        self.line("__allops = __rt._state_ops")
+        for index in range(len(self.state_index)):
+            self.line(f"__ops{index} = __allops[{index}]")
         self.line("__t = 0")
         self.line("__prev = '__start__'")
         body()
@@ -133,12 +180,15 @@ class _DriverEmitter:
 
     def emit_exec(self, state: SDFGState) -> None:
         """One state execution, mirroring the interpreter's per-state steps:
-        hang check, transition coverage, dataflow, transition count."""
+        hang check, transition coverage, dataflow, transition count.  The
+        dataflow is the state's prepared op list, iterated inline."""
         self.line("if __t > __max:")
         self.line("    __rt._hang()")
         self.line("if __cov is not None:")
         self.line(f"    __cov.record_transition(__prev, {state.label!r})")
-        self.line(f"__exec(__states[{self.state_index[state]}])")
+        index = self.state_index[state]
+        self.line(f"for __f in __ops{index}:")
+        self.line("    __f(__sym)")
         self.line(f"__prev = {state.label!r}")
         self.line("__t += 1")
 
@@ -152,7 +202,9 @@ class _DriverEmitter:
             self.line("__c = True")
             return
         try:
-            src = emit_interstate_expression(cond, self.scalar_names)
+            src = emit_interstate_expression(
+                cond, self.scalar_names, hoisted_names=self.hoisted
+            )
             expr = f"__bool({src})"
         except ExpressionCodegenError:
             # Unparseable condition: defer to the interpreter's dynamic
@@ -171,7 +223,9 @@ class _DriverEmitter:
     def emit_assignments(self, edge) -> None:
         for sym, expr in edge.data.assignments.items():
             try:
-                src = emit_interstate_expression(expr, self.scalar_names)
+                src = emit_interstate_expression(
+                    expr, self.scalar_names, hoisted_names=self.hoisted
+                )
             except ExpressionCodegenError:
                 src = f"__rt._eval_raw({expr!r})"
             self.line("try:")
@@ -184,6 +238,58 @@ class _DriverEmitter:
             self.line(f"__sym[{sym!r}] = __v")
 
     # .................................................................. #
+    # Loop-invariant hoisting
+    # .................................................................. #
+    def _loop_invariants(self, item: CFLoop) -> List[str]:
+        """Names read by the loop's interstate expressions that no edge
+        inside the loop assigns.
+
+        Symbols are only ever written by interstate assignments (dataflow
+        writes containers, never symbols), so a name absent from every
+        loop-body assignment holds one value for the whole loop.  Restricted
+        further to :attr:`hoist_safe` names, whose presence in the symbol
+        namespace is guaranteed, hoisting can neither change a lookup
+        failure's timing nor its type.
+        """
+        edges: List[Any] = []
+
+        def collect_block(block: CFBlock) -> None:
+            for it in block.items:
+                if isinstance(it, CFLoop):
+                    collect_branch(it.branch)
+                elif isinstance(it, CFBranch):
+                    collect_branch(it)
+
+        def collect_branch(branch: CFBranch) -> None:
+            for arm in branch.arms:
+                edges.append(arm.edge)
+                if arm.block is not None:
+                    collect_block(arm.block)
+
+        collect_branch(item.branch)
+        assigned: Set[str] = set()
+        used: Set[str] = set()
+        for edge in edges:
+            assigned |= set(edge.data.assignments)
+            # Unparseable expressions contribute regex-scraped names here,
+            # which is harmless: they evaluate through _eval_raw (reading
+            # the live symbol dict), and hoisted names are by construction
+            # never reassigned inside the loop.
+            used |= edge.data.free_symbols
+        return sorted(
+            (used & self.hoist_safe) - assigned - set(self.hoisted)
+        )
+
+    def _emit_loop_hoists(self, item: CFLoop) -> List[str]:
+        names = self._loop_invariants(item)
+        for name in names:
+            local = f"__inv{self._hoist_counter}"
+            self._hoist_counter += 1
+            self.line(f"{local} = __sym[{name!r}]")
+            self.hoisted[name] = local
+        return names
+
+    # .................................................................. #
     # Structured emission
     # .................................................................. #
     def emit_block(self, block: CFBlock, halt: str = "return __t") -> None:
@@ -191,11 +297,14 @@ class _DriverEmitter:
             if isinstance(item, CFExec):
                 self.emit_exec(item.state)
             elif isinstance(item, CFLoop):
+                hoisted_here = self._emit_loop_hoists(item)
                 self.line("while True:")
                 self.indent += 1
                 self.emit_exec(item.loop.guard)
                 self._emit_arms(item.branch.state, item.branch.arms, 0, halt)
                 self.indent -= 1
+                for name in hoisted_here:
+                    del self.hoisted[name]
             elif isinstance(item, CFBranch):
                 arm = item.arms[0] if item.arms else None
                 if (
@@ -291,17 +400,60 @@ def _interpreted_drive(rt: "CompiledExecutor") -> int:
     return SDFGExecutor._run_control_loop(rt)
 
 
+def _load_driver_artifact(
+    sdfg: SDFG, artifact: Dict[str, Any]
+) -> Optional[Tuple[str, Optional[str], Optional[Callable], Optional[Any]]]:
+    """Reconstruct a driver from a persisted artifact, or ``None``."""
+    mode = artifact.get("mode")
+    if mode == "interpreted":
+        return "interpreted", None, _interpreted_drive, None
+    if mode not in ("structured", "dispatch"):
+        return None
+    source = artifact.get("source")
+    code = None
+    blob = artifact.get("code")
+    if blob:
+        try:
+            code = marshal.loads(base64.b64decode(blob))
+        except Exception:  # noqa: BLE001 - any corruption degrades to source
+            code = None
+    if code is None and source:
+        try:
+            code = compile(source, f"<compiled-sdfg:{sdfg.name}>", "exec")
+        except SyntaxError:
+            code = None
+    if code is None:
+        return None
+    try:
+        namespace: Dict[str, Any] = {}
+        exec(code, dict(_DRIVER_GLOBALS), namespace)  # noqa: S102
+        return mode, source, namespace["__drive"], code
+    except Exception:  # noqa: BLE001 - unusable artifact: recompile fresh
+        return None
+
+
 def compile_driver(
-    sdfg: SDFG, state_index: Dict[SDFGState, int]
-) -> Tuple[str, Optional[str], Optional[Callable]]:
+    sdfg: SDFG,
+    state_index: Dict[SDFGState, int],
+    artifact: Optional[Dict[str, Any]] = None,
+) -> Tuple[str, Optional[str], Optional[Callable], Optional[Any]]:
     """Generate the whole-program driver for ``sdfg``.
 
-    Returns ``(mode, source, fn)`` where mode is ``"structured"``,
+    Returns ``(mode, source, fn, code)`` where mode is ``"structured"``,
     ``"dispatch"``, ``"interpreted"`` (dynamic-transition safety net) or
     ``"empty"`` (stateless program; running it raises like the interpreter).
+    ``code`` is the compiled module code object backing ``fn`` (marshalable
+    for the on-disk artifact cache).  With a valid ``artifact`` (a previously
+    persisted driver for the *same* content hash), structuring and emission
+    are skipped entirely.
     """
     if not sdfg.states():
-        return "empty", None, None
+        return "empty", None, None, None
+
+    if artifact is not None:
+        loaded = _load_driver_artifact(sdfg, artifact)
+        if loaded is not None:
+            return loaded
 
     scalar_names = {
         name for name, desc in sdfg.arrays.items() if isinstance(desc, Scalar)
@@ -313,7 +465,7 @@ def compile_driver(
         # An interstate assignment shadowing a scalar container cannot be
         # routed statically (the interpreter's namespace lets the assigned
         # value win within a transition, the scalar win on the next one).
-        return "interpreted", None, _interpreted_drive
+        return "interpreted", None, _interpreted_drive, None
 
     try:
         tree = structured_control_flow(sdfg)
@@ -328,9 +480,9 @@ def compile_driver(
         namespace: Dict[str, Any] = {}
         code = compile(source, f"<compiled-sdfg:{sdfg.name}>", "exec")
         exec(code, dict(_DRIVER_GLOBALS), namespace)  # noqa: S102
-        return mode, source, namespace["__drive"]
+        return mode, source, namespace["__drive"], code
     except Exception:  # noqa: BLE001 - never fail prepare; degrade instead
-        return "interpreted", None, _interpreted_drive
+        return "interpreted", None, _interpreted_drive, None
 
 
 # ---------------------------------------------------------------------- #
@@ -338,27 +490,107 @@ def compile_driver(
 # ---------------------------------------------------------------------- #
 class CompiledExecutor(VectorizedExecutor):
     """A :class:`VectorizedExecutor` whose control flow is one generated
-    Python function instead of the generic interpretation loop."""
+    Python function and whose per-state dataflow is a prepared op list."""
 
-    def __init__(self, sdfg: SDFG, max_transitions: int = 100_000, **kwargs) -> None:
+    def __init__(
+        self,
+        sdfg: SDFG,
+        max_transitions: int = 100_000,
+        artifact: Optional[Dict[str, Any]] = None,
+        **kwargs,
+    ) -> None:
         super().__init__(sdfg, max_transitions=max_transitions, **kwargs)
         self._compiled_states: List[SDFGState] = list(sdfg.states())
         state_index = {s: i for i, s in enumerate(self._compiled_states)}
-        # Per-state top-level (scope-free) node lists, fixed at prepare
-        # time: the generic ``_execute_state`` re-derives them -- and copies
-        # the full symbol dict into a fresh bindings namespace -- on every
-        # transition, which costs ~25 us per tiny state and dominates
-        # transition-heavy loop nests.
-        self._state_toplevel: Dict[int, List[Any]] = {}
+        # Per-state op lists, fixed at prepare time: one prebound closure
+        # per executable top-level node.  The generic ``_execute_state``
+        # re-derives node lists, re-dispatches on node type and re-looks-up
+        # scope plans -- and formerly copied the full symbol dict -- on
+        # every transition, which dominates transition-heavy loop nests.
+        # Fused-chain members and no-op access nodes are dropped statically.
+        self._state_ops: List[List[Callable[[Dict[str, Any]], None]]] = []
+        self._state_ops_by_id: Dict[int, List[Callable[[Dict[str, Any]], None]]] = {}
         for state in self._compiled_states:
-            order = self._state_order(state)
-            scopes = self._scope_cache[id(state)]
-            self._state_toplevel[id(state)] = [
-                n for n in order if scopes.get(n) is None
-            ]
-        self.control_mode, self.driver_source, self._drive = compile_driver(
-            sdfg, state_index
+            ops = self._build_state_ops(state)
+            self._state_ops.append(ops)
+            self._state_ops_by_id[id(state)] = ops
+        self.control_mode, self.driver_source, self._drive, self._driver_code = (
+            compile_driver(sdfg, state_index, artifact=artifact)
         )
+
+    # Op-list construction ............................................. #
+    def _build_state_ops(
+        self, state: SDFGState
+    ) -> List[Callable[[Dict[str, Any]], None]]:
+        table = self._table_for(state)
+        order = self._state_order(state)
+        scopes = self._scope_cache[id(state)]
+        ops: List[Callable[[Dict[str, Any]], None]] = []
+        for node in order:
+            if scopes.get(node) is not None or isinstance(node, MapExit):
+                continue
+            if isinstance(node, MapEntry):
+                if node.guid in table.members:
+                    continue  # covered by its chain head's fused op
+                fused = table.heads.get(node.guid)
+                if fused is not None:
+                    ops.append(self._make_fused_op(state, fused, table))
+                else:
+                    ops.append(
+                        self._make_scope_op(state, node, table.plans.get(node.guid))
+                    )
+            elif isinstance(node, Tasklet):
+
+                def op(symbols, _state=state, _node=node):
+                    self._execute_tasklet(_state, _node, symbols)
+
+                ops.append(op)
+            elif isinstance(node, AccessNode):
+                if access_node_is_transparent(state, node):
+                    continue  # executing it is a no-op: drop statically
+
+                def op(symbols, _state=state, _node=node):
+                    self._execute_copies_into(_state, _node, symbols)
+
+                ops.append(op)
+            elif isinstance(node, NestedSDFGNode):
+
+                def op(symbols, _state=state, _node=node):
+                    self._execute_nested(_state, _node, symbols)
+
+                ops.append(op)
+            else:
+
+                def op(symbols, _state=state, _node=node):
+                    self._execute_node(_state, _node, symbols)
+
+                ops.append(op)
+        return ops
+
+    def _make_scope_op(
+        self, state: SDFGState, entry: MapEntry, plan
+    ) -> Callable[[Dict[str, Any]], None]:
+        def op(symbols, _state=state, _entry=entry, _plan=plan):
+            self._run_single_scope(_state, _entry, _plan, symbols)
+
+        return op
+
+    def _make_fused_op(
+        self, state: SDFGState, fused, table
+    ) -> Callable[[Dict[str, Any]], None]:
+        members = [(e, table.plans.get(e.guid)) for e in fused.member_entries]
+
+        def op(symbols, _state=state, _fused=fused, _members=members):
+            if self._try_fused(_fused, symbols):
+                return
+            # The chain did not survive contact with runtime values: run the
+            # members individually at the head's position.  The nodes between
+            # them were transparent (that made them a chain), so chain order
+            # here equals per-position execution order.
+            for entry, plan in _members:
+                self._run_single_scope(_state, entry, plan, symbols)
+
+        return op
 
     # Runtime services the generated driver calls ...................... #
     def _hang(self) -> None:
@@ -381,18 +613,18 @@ class CompiledExecutor(VectorizedExecutor):
         )
 
     def _execute_state(self, state: SDFGState) -> None:
-        """Per-state dataflow without the per-transition namespace copy.
+        """Per-state dataflow through the prepared op list.
 
-        The generic executor snapshots ``dict(self._symbols)`` into a fresh
-        bindings dict on every state execution.  Nothing below mutates the
-        top-level bindings (tasklets run in their own namespaces, map scopes
-        copy bindings before adding parameters, reads/writes only evaluate
-        against them), so the live symbol dict is passed directly and the
-        node list comes from the table built at prepare time.
+        Nothing below mutates the top-level symbol dict (tasklets run in
+        their own namespaces, map scopes copy bindings before adding
+        parameters, reads/writes only evaluate against them), so the live
+        symbol dict is passed directly -- no per-transition copy.  Used by
+        the ``interpreted`` fallback mode; the generated driver iterates
+        the op lists inline without even this method call.
         """
         symbols = self._symbols
-        for node in self._state_toplevel[id(state)]:
-            self._execute_node(state, node, symbols)
+        for op in self._state_ops_by_id[id(state)]:
+            op(symbols)
 
     # .................................................................. #
     def _run_control_loop(self) -> int:
@@ -408,11 +640,19 @@ class CompiledExecutor(VectorizedExecutor):
 class CompiledWholeProgram(VectorizedProgram):
     """A program bound to a reusable :class:`CompiledExecutor`."""
 
-    def __init__(self, sdfg: SDFG, max_transitions: int = 100_000) -> None:
+    def __init__(
+        self,
+        sdfg: SDFG,
+        max_transitions: int = 100_000,
+        fuse: bool = True,
+        artifact: Optional[Dict[str, Any]] = None,
+    ) -> None:
         # Deliberately skip VectorizedProgram.__init__: same shape, but the
         # executor is the compiled one.
         _BaseCompiledProgram.__init__(self, sdfg)
-        self.executor = CompiledExecutor(sdfg, max_transitions=max_transitions)
+        self.executor = CompiledExecutor(
+            sdfg, max_transitions=max_transitions, fuse=fuse, artifact=artifact
+        )
 
     @property
     def control_mode(self) -> str:
@@ -422,10 +662,39 @@ class CompiledWholeProgram(VectorizedProgram):
     def driver_source(self) -> Optional[str]:
         return self.executor.driver_source
 
+    persists_artifacts = True
+
+    @classmethod
+    def check_artifact(cls, artifact: Dict[str, Any]) -> bool:
+        """Whether a disk artifact was produced by this exact generator
+        (format, codegen version, Python build) and names a known mode."""
+        stamp = _artifact_stamp()
+        return all(artifact.get(k) == v for k, v in stamp.items()) and artifact.get(
+            "mode"
+        ) in ("structured", "dispatch", "interpreted")
+
+    def artifact(self) -> Optional[Dict[str, Any]]:
+        """The persistable driver artifact (mode + source + marshaled code)."""
+        executor = self.executor
+        mode = executor.control_mode
+        if mode == "empty":
+            return None
+        art = _artifact_stamp()
+        art["mode"] = mode
+        if mode in ("structured", "dispatch"):
+            if executor.driver_source is None or executor._driver_code is None:
+                return None
+            art["source"] = executor.driver_source
+            art["code"] = base64.b64encode(
+                marshal.dumps(executor._driver_code)
+            ).decode("ascii")
+        return art
+
 
 class CompiledBackend(VectorizedBackend):
     """Whole-program compilation: structured interstate control flow plus
-    vectorized state dataflow, cached by SDFG content hash."""
+    vectorized (and fused) state dataflow, cached by SDFG content hash with
+    an optional on-disk artifact tier shared across worker processes."""
 
     name = "compiled"
     program_class = CompiledWholeProgram

@@ -16,6 +16,22 @@ outside the vectorizable subset of Python -- falls back node-by-node to the
 interpreter for exactly that scope, keeping the two backends semantically
 interchangeable.
 
+Three further layers keep the hot loop tight (PR 5):
+
+* **scope fusion** -- chains of elementwise scopes (producer writes B over
+  domain D, consumer reads B over the identical D) compose into *one*
+  straight-line code object with member-unique locals; values flow between
+  members as arrays (dtype-cast at each handoff, reproducing the store
+  round-trip) and chain-private intermediates are never materialized;
+* **loop-hoisted setup** -- iteration grids, gather indices and write
+  geometry are cached per plan, keyed by the values of exactly the symbols
+  they read, so every iteration of an enclosing interstate loop reuses
+  them; arithmetic index sequences use basic slicing instead of advanced
+  indexing;
+* an optional **on-disk cache tier** (``cache_dir`` /
+  :data:`CACHE_DIR_ENV`) shares compile artifacts across worker processes
+  (used by the compiled whole-program backend for its generated drivers).
+
 Bitwise fidelity to the interpreter is a design goal (the ``cross`` backend
 and the backend-equivalence test suite assert it):
 
@@ -41,10 +57,13 @@ from __future__ import annotations
 
 import ast
 import hashlib
+import json
 import math
+import os
+import tempfile
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
@@ -56,8 +75,9 @@ from repro.interpreter.errors import (
 )
 from repro.interpreter.executor import _EVAL_GLOBALS, ExecutionResult, SDFGExecutor
 from repro.interpreter.tasklet_exec import _SAFE_BUILTINS, compile_expression
+from repro.sdfg.analysis import elementwise_scope_chains
 from repro.sdfg.memlet import Memlet
-from repro.sdfg.nodes import MapEntry, MapExit, Tasklet
+from repro.sdfg.nodes import AccessNode, MapEntry, MapExit, Tasklet
 from repro.sdfg.sdfg import SDFG
 from repro.sdfg.serialize import sdfg_to_json
 from repro.sdfg.state import SDFGState
@@ -66,8 +86,16 @@ __all__ = [
     "VectorizedBackend",
     "VectorizedProgram",
     "VectorizedExecutor",
+    "ProgramDiskCache",
     "sdfg_content_hash",
+    "CACHE_DIR_ENV",
 ]
+
+#: Environment variable naming the on-disk compiled-program cache directory.
+#: Read dynamically at each :meth:`VectorizedBackend.prepare`, so setting it
+#: (e.g. via ``--cache-dir``) affects already-constructed backend instances
+#: and survives ``fork``/``spawn`` into pool and cluster workers.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 
 def sdfg_content_hash(sdfg: SDFG) -> str:
@@ -274,6 +302,13 @@ class _ScopePlan:
     code_obj: Any
     inputs: List[_InputSpec]
     outputs: List[_OutputSpec]
+    #: Names (beyond the map parameters) whose values the scope's *setup* --
+    #: iteration grids, gather indices, write geometry, bounds checks --
+    #: depends on.  Within one run, executions whose values for these names
+    #: are unchanged (e.g. every iteration of an enclosing interstate loop)
+    #: reuse the cached setup: the loop-invariant part of the scope is
+    #: hoisted out of the loop.
+    setup_deps: Tuple[str, ...] = ()
     #: Cleared permanently if vectorized execution fails at runtime
     #: (e.g. an index expression that does not evaluate on index grids).
     usable: bool = True
@@ -404,16 +439,397 @@ class _PlanBuilder:
             code_obj = compile(tasklet.code, "<vectorized-tasklet>", "exec")
         except SyntaxError:
             return None
-        return _ScopePlan(entry, tasklet, code_obj, inputs, outputs)
+
+        # Setup dependencies: every non-parameter name the iteration grids,
+        # gather indices and write geometry read.  Executions with unchanged
+        # values for these names reuse the cached setup (loop hoisting).
+        deps: Set[str] = set()
+        for rng in entry.map.ranges:
+            deps |= rng.free_symbols
+        for edge in state.in_edges(tasklet):
+            if edge.data is not None and not edge.data.is_empty and edge.data.subset is not None:
+                deps |= edge.data.subset.free_symbols
+        for edge in state.out_edges(tasklet):
+            if edge.data is not None and not edge.data.is_empty and edge.data.subset is not None:
+                deps |= edge.data.subset.free_symbols
+        deps -= set(params)
+        return _ScopePlan(
+            entry, tasklet, code_obj, inputs, outputs, tuple(sorted(deps))
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Scope fusion
+# ---------------------------------------------------------------------- #
+#
+# A chain of elementwise map scopes (producer writes B over domain D,
+# consumer reads B over the same D) executes as ONE fused vectorized kernel:
+# iteration grids are built once, external inputs are gathered once, each
+# member tasklet runs back to back on whole arrays, values flowing between
+# members stay in registers (well, arrays) instead of being scattered to and
+# re-gathered from their intermediate containers, and intermediates whose
+# only uses live inside the chain are never materialized at all.
+#
+# Bitwise parity rules the design:
+#
+# * values handed from producer to consumer are cast to the intermediate
+#   container's dtype first -- exactly the store round-trip the interpreter
+#   performs;
+# * every member's write indices are still bounds-checked (in member order),
+#   so a chain raises the same MemoryViolation whether or not it is fused;
+# * a read of an intra-chain-written container is only legal when its subset
+#   is textually identical to the *latest* write of that container (and that
+#   write is not a reduction) -- anything else (stencil reads of an
+#   intermediate, WCR-fed reads, overlapping-subset hazards) truncates the
+#   chain, and the remaining scopes execute individually;
+# * external gathers read the pre-chain store and all container writes are
+#   deferred, which matches the interpreter because a chain member never
+#   reads an earlier member's external write (such reads are either routed
+#   through the chain or reject fusion).
+
+
+@dataclass
+class _FusedMember:
+    """One scope's role inside a fused chain."""
+
+    plan: _ScopePlan
+    #: Store reads this member performs: (input spec, composed-code name the
+    #: gathered value is bound under).  Values an earlier member produced
+    #: need no runtime binding at all -- the composed code reads them as
+    #: plain locals.
+    gathers: List[Tuple[_InputSpec, str]]
+    #: (kind, spec, composed-code name of the produced value).  ``"write"``
+    #: materializes via the usual deferred write; ``"internal"`` only
+    #: bounds-checks (the container is private to the chain and never
+    #: observed).
+    outputs: List[Tuple[str, _OutputSpec, str]]
+
+
+@dataclass
+class _FusedPlan:
+    """A fused execution recipe for a chain of elementwise map scopes.
+
+    The member tasklets are composed into **one** code object: every member
+    local is renamed to a member-unique name, consumer input connectors are
+    bound directly to the (dtype-cast) producer values, and the whole chain
+    executes as a single straight-line NumPy expression sequence -- no
+    per-member namespaces, no intermediate materialization.
+    """
+
+    entry: MapEntry  # the head scope: grids/domain are built from its map
+    members: List[_FusedMember]
+    member_entries: List[MapEntry]
+    member_guids: Tuple[int, ...]
+    #: The composed chain program (and its source, for debuggability).
+    code_obj: Any
+    source: str
+    code_filename: str
+    #: Cast callables the composed code calls at producer/consumer handoffs
+    #: (``name -> callable``); injected into the execution namespace.
+    cast_bindings: Dict[str, Callable]
+    #: (first source line, tasklet label) per member, for attributing a
+    #: composed-execution exception to the member that raised it.
+    line_labels: List[Tuple[int, str]]
+    setup_deps: Tuple[str, ...]
+    usable: bool = True
+
+    def label_for(self, exc: BaseException) -> str:
+        """The tasklet label owning the composed-code line that raised."""
+        lineno = None
+        tb = exc.__traceback__
+        while tb is not None:
+            if tb.tb_frame.f_code.co_filename == self.code_filename:
+                lineno = tb.tb_lineno
+            tb = tb.tb_next
+        label = self.line_labels[0][1]
+        if lineno is not None:
+            for start, candidate in self.line_labels:
+                if start <= lineno:
+                    label = candidate
+        return label
+
+
+def _make_cast(np_dtype) -> Callable:
+    """A callable reproducing the store round-trip's dtype cast."""
+    dt = np.dtype(np_dtype)
+
+    def cast(value, _dt=dt):
+        arr = np.asarray(value)
+        return arr if arr.dtype == _dt else arr.astype(_dt)
+
+    return cast
+
+
+class _LoadRenamer(ast.NodeTransformer):
+    """Renames name *loads* through a live mapping (member-local scoping)."""
+
+    def __init__(self, mapping: Dict[str, str]) -> None:
+        self.mapping = mapping
+
+    def visit_Name(self, node: ast.Name) -> ast.AST:
+        if isinstance(node.ctx, ast.Load) and node.id in self.mapping:
+            return ast.copy_location(
+                ast.Name(id=self.mapping[node.id], ctx=ast.Load()), node
+            )
+        return node
+
+
+def _container_private_to_chain(
+    sdfg: SDFG, state: SDFGState, data: str, chain_nodes: Set[Any]
+) -> bool:
+    """Whether every use of ``data`` in the whole program is inside the chain.
+
+    Only then may the fused kernel skip materializing the container: nothing
+    else -- no other state, no non-chain node in this state, no final-output
+    copy -- can observe the missing write.
+    """
+    for other in sdfg.states():
+        for node in other.nodes():
+            if not isinstance(node, AccessNode) or node.data != data:
+                continue
+            if other is not state:
+                return False
+            for edge in other.in_edges(node):
+                if edge.src not in chain_nodes:
+                    return False
+            for edge in other.out_edges(node):
+                if edge.dst not in chain_nodes:
+                    return False
+    return True
+
+
+def _build_fused_plan(
+    sdfg: SDFG,
+    state: SDFGState,
+    entries: List[MapEntry],
+    plans: Dict[int, Optional[_ScopePlan]],
+) -> Optional[_FusedPlan]:
+    """Fuse the longest legal prefix of a candidate chain (or refuse).
+
+    ``entries`` is a structural candidate from
+    :func:`repro.sdfg.analysis.elementwise_scope_chains`; members without a
+    vectorized plan, or whose memlets violate the fusion preconditions
+    (mismatched intermediate subsets, reads of WCR-written containers,
+    overlapping-write hazards), truncate the chain at that point.
+    """
+    from repro.sdfg.data import Array
+
+    planned: List[Tuple[MapEntry, _ScopePlan]] = []
+    for entry in entries:
+        plan = plans.get(entry.guid)
+        if plan is None:
+            break
+        planned.append((entry, plan))
+
+    # Pass 1 -- legality walk: route each input either to the store (gather)
+    # or to an earlier member's value (chain); any read of an intra-chain
+    # write that is not an exact elementwise match truncates the chain.
+    accepted: List[Tuple[MapEntry, _ScopePlan, List[Tuple[str, Any]]]] = []
+    written: Dict[str, _OutputSpec] = {}
+    consumed: Set[Tuple[str, str]] = set()
+    gathered: Set[str] = set()
+    deps: Set[str] = set()
+    for entry, plan in planned:
+        routes: List[Tuple[str, Any]] = []
+        legal = True
+        for spec in plan.inputs:
+            prev = written.get(spec.data)
+            if prev is None:
+                routes.append(("gather", spec))
+                gathered.add(spec.data)
+            elif prev.wcr is None and prev.subset_str == spec.subset_str:
+                key = (spec.data, spec.subset_str)
+                routes.append(("chain", (spec, key)))
+                consumed.add(key)
+            else:
+                legal = False  # WCR-fed or subset-mismatched intermediate read
+                break
+        if not legal:
+            break
+        accepted.append((entry, plan, routes))
+        deps.update(plan.setup_deps)
+        for spec in plan.outputs:
+            written[spec.data] = spec
+    if len(accepted) < 2:
+        return None
+    member_entries = [entry for entry, _, _ in accepted]
+
+    # Intermediates used nowhere outside the chain are never materialized.
+    chain_nodes: Set[Any] = set()
+    for entry, plan, _ in accepted:
+        chain_nodes.add(entry)
+        chain_nodes.add(plan.tasklet)
+    for node in state.nodes():
+        if isinstance(node, MapExit) and any(
+            node.map is e.map for e in member_entries
+        ):
+            chain_nodes.add(node)
+    internal: Set[str] = set()
+    for data in written:
+        desc = sdfg.arrays.get(data)
+        if (
+            desc is not None
+            and desc.transient
+            and isinstance(desc, Array)
+            # A container the chain also *gathers* (reads before any chain
+            # write) carries a loop-borne dependence: the next execution of
+            # this state must see the materialized value, so the write
+            # cannot be skipped even when every use site is in the chain.
+            and data not in gathered
+            and _container_private_to_chain(sdfg, state, data, chain_nodes)
+        ):
+            internal.add(data)
+
+    # Pass 2 -- composition: rename every member-local to a member-unique
+    # name, bind consumer connectors directly to the (dtype-cast) producer
+    # values, and emit one straight-line program for the whole chain.
+    lines: List[str] = []
+    line_labels: List[Tuple[int, str]] = []
+    cast_bindings: Dict[str, Callable] = {}
+    chain_var: Dict[Tuple[str, str], str] = {}
+    members: List[_FusedMember] = []
+    cast_counter = 0
+    try:
+        for k, (entry, plan, routes) in enumerate(accepted):
+            mapping: Dict[str, str] = {}
+            gathers: List[Tuple[_InputSpec, str]] = []
+            for kind, payload in routes:
+                if kind == "gather":
+                    spec = payload
+                    name = f"__g{k}_{spec.conn}"
+                    mapping[spec.conn] = name
+                    gathers.append((spec, name))
+                else:
+                    spec, key = payload
+                    mapping[spec.conn] = chain_var[key]
+            start = len(lines) + 1
+            renamer = _LoadRenamer(mapping)
+            tree = ast.parse(plan.tasklet.code)
+            for stmt in tree.body:
+                # Straight-line single-target assignments are guaranteed by
+                # _code_is_vectorizable; rename the loads first (against the
+                # *pre-assignment* mapping), then bind the target.
+                value = ast.fix_missing_locations(renamer.visit(stmt.value))
+                target = stmt.targets[0].id
+                local = f"__v{k}_{target}"
+                lines.append(f"{local} = {ast.unparse(value)}")
+                mapping[target] = local
+            outputs: List[Tuple[str, _OutputSpec, str]] = []
+            for spec in plan.outputs:
+                out_name = mapping.get(spec.conn, f"__v{k}_{spec.conn}")
+                kind = "internal" if spec.data in internal else "write"
+                outputs.append((kind, spec, out_name))
+                key = (spec.data, spec.subset_str)
+                if key in consumed:
+                    # Producer/consumer handoff: the value a later member
+                    # reads back, cast to the container dtype exactly as the
+                    # interpreter's store write would.
+                    cast_name = f"__cast{cast_counter}"
+                    var = f"__chain{cast_counter}"
+                    cast_counter += 1
+                    cast_bindings[cast_name] = _make_cast(
+                        sdfg.arrays[spec.data].dtype.as_numpy()
+                    )
+                    lines.append(f"{var} = {cast_name}({out_name})")
+                    chain_var[key] = var
+            line_labels.append((start, plan.tasklet.label))
+            members.append(_FusedMember(plan, gathers, outputs))
+        source = "\n".join(lines) + "\n"
+        filename = f"<fused-chain:{member_entries[0].label}>"
+        code_obj = compile(source, filename, "exec")
+    except Exception:  # noqa: BLE001 - never fail planning; fall back
+        return None
+
+    return _FusedPlan(
+        entry=member_entries[0],
+        members=members,
+        member_entries=member_entries,
+        member_guids=tuple(e.guid for e in member_entries),
+        code_obj=code_obj,
+        source=source,
+        code_filename=filename,
+        cast_bindings=cast_bindings,
+        line_labels=line_labels,
+        setup_deps=tuple(sorted(deps)),
+    )
+
+
+@dataclass
+class _StateTable:
+    """Per-state vectorization decisions, built once per program."""
+
+    #: Plan (or ``None`` for planner-rejected scopes) per map-entry guid,
+    #: covering top-level *and* nested map entries.
+    plans: Dict[int, Optional[_ScopePlan]]
+    #: Fused chains by head-entry guid.
+    heads: Dict[int, _FusedPlan]
+    #: Non-head member guids (statically skippable when their chain runs).
+    members: Set[int] = field(default_factory=set)
 
 
 # ---------------------------------------------------------------------- #
 # Executor
 # ---------------------------------------------------------------------- #
+@dataclass
+class _WriteGeom:
+    """Precomputed geometry of one vectorized container write."""
+
+    spec: _OutputSpec
+    arr: np.ndarray
+    mesh: Tuple
+    perm: List[int]
+    target_shape: Tuple[int, ...]
+    red_axes: List[int]
+    kept_shape: Tuple[int, ...]
+    #: True when the slab already has the output's dimension order and
+    #: shape, so the per-write transpose/reshape can be skipped.
+    identity_shape: bool = False
+
+
+@dataclass
+class _ScopeSetup:
+    """The symbol-dependent (but value-independent) part of one scope
+    execution: iteration grids, bounds-checked gather indices and write
+    geometry.  Reused across executions whose ``setup_deps`` values are
+    unchanged -- i.e. hoisted out of enclosing interstate loops."""
+
+    shape_full: Tuple[int, ...]
+    iterations: int
+    grids: Dict[str, np.ndarray]
+    #: (connector, container array, index, needs_copy) per input.  ``index``
+    #: is a slice tuple on the fast path (``needs_copy=True``: basic
+    #: indexing views must be copied to keep gather-copy semantics) or an
+    #: advanced-indexing tuple (which copies implicitly).
+    gathers: List[Tuple[str, np.ndarray, Tuple, bool]]
+    geoms: List[_WriteGeom]
+
+
+@dataclass
+class _FusedSetup:
+    """Loop-hoistable setup of a fused chain (shared grids, flattened
+    gathers and per-member write geometry)."""
+
+    shape_full: Tuple[int, ...]
+    iterations: int
+    grids: Dict[str, np.ndarray]
+    #: (composed-code name, container array, index, needs_copy), flattened
+    #: across all members (values bound before the single composed exec).
+    gathers: List[Tuple[str, np.ndarray, Tuple, bool]]
+    #: Per member, aligned with its ``outputs``: the write geometry.
+    member_geoms: List[List[_WriteGeom]]
+
+
 class VectorizedExecutor(SDFGExecutor):
     """An :class:`SDFGExecutor` that executes vectorizable map scopes as
     NumPy array expressions and falls back to element-wise interpretation
-    for everything else."""
+    for everything else.
+
+    Chains of elementwise scopes are additionally *fused* (one gather /
+    compute / scatter pass per chain instead of per scope; see
+    :class:`_FusedPlan`), and scope setup -- iteration grids, gather
+    indices, write geometry -- is cached per plan and reused while the
+    symbols it depends on are unchanged, hoisting that work out of
+    interstate loops."""
 
     _VEC_GLOBALS = {
         "__builtins__": _SAFE_BUILTINS,
@@ -422,42 +838,119 @@ class VectorizedExecutor(SDFGExecutor):
         "math": _MATH_SHIM,
     }
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args, fuse: bool = True, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        #: Plans per (state id, map-entry guid); ``None`` marks scopes the
-        #: planner rejected so they are not re-analyzed every execution.
-        self._plans: Dict[Tuple[int, int], Optional[_ScopePlan]] = {}
-        #: Scope-execution counters (vectorized vs. interpreter fallback).
-        self.stats: Dict[str, int] = {"vectorized": 0, "fallback": 0}
+        #: Whether elementwise scope chains are fused (disable to measure
+        #: the fusion win, or to bisect a suspected fusion bug).
+        self.fuse = fuse
+        #: Per-state vectorization decisions (plans + fused chains), built
+        #: once per state on first execution.
+        self._tables: Dict[int, _StateTable] = {}
+        #: Per-plan setup cache: ``id(plan) -> (dep-values key, setup)``.
+        #: Valid within one run only (it captures store arrays).
+        self._setup_cache: Dict[int, Tuple[Tuple, Any]] = {}
+        #: Member-scope guids already covered by a fused execution in the
+        #: current state execution.
+        self._fused_done: Set[int] = set()
+        #: Scope-execution counters (vectorized vs. interpreter fallback;
+        #: ``fused`` counts whole-chain executions).
+        self.stats: Dict[str, int] = {"vectorized": 0, "fallback": 0, "fused": 0}
 
     def run(self, *args, **kwargs) -> ExecutionResult:
         try:
             return super().run(*args, **kwargs)
         finally:
             # Programs prepared by the vectorized backend outlive their runs
-            # in the content-hash cache; drop the per-run data store so a
-            # cached program does not pin its last trial's arrays.
+            # in the content-hash cache; drop the per-run data store (and the
+            # setup cache, which captures store arrays) so a cached program
+            # does not pin its last trial's arrays.
             self._store = {}
             self._symbols = {}
+            self._setup_cache = {}
+
+    def _setup(self, arguments: Dict[str, Any], symbols: Dict[str, Any]) -> None:
+        super()._setup(arguments, symbols)
+        # Setup caches capture per-run store arrays; never reuse across runs.
+        self._setup_cache.clear()
+        self._fused_done.clear()
 
     # .................................................................. #
-    def _plan_for(self, state: SDFGState, entry: MapEntry) -> Optional[_ScopePlan]:
-        key = (id(state), entry.guid)
-        if key not in self._plans:
-            order = self._state_order(state)
-            scopes = self._scope_cache[id(state)]
-            children = [
-                n for n in order if scopes.get(n) is entry and not isinstance(n, MapExit)
-            ]
-            self._plans[key] = _PlanBuilder(state, entry, children).build()
-        plan = self._plans[key]
-        if plan is not None and not plan.usable:
-            return None
-        return plan
+    # Per-state decision tables
+    # .................................................................. #
+    def _table_for(self, state: SDFGState) -> _StateTable:
+        table = self._tables.get(id(state))
+        if table is None:
+            table = self._build_state_table(state)
+            self._tables[id(state)] = table
+        return table
 
+    def _build_state_table(self, state: SDFGState) -> _StateTable:
+        order = self._state_order(state)
+        scopes = self._scope_cache[id(state)]
+        plans: Dict[int, Optional[_ScopePlan]] = {}
+        for node in order:
+            if not isinstance(node, MapEntry):
+                continue
+            children = [
+                n for n in order if scopes.get(n) is node and not isinstance(n, MapExit)
+            ]
+            plans[node.guid] = _PlanBuilder(state, node, children).build()
+        heads: Dict[int, _FusedPlan] = {}
+        members: Set[int] = set()
+        if self.fuse:
+            for chain in elementwise_scope_chains(state, order, scopes):
+                fused = _build_fused_plan(self.sdfg, state, chain, plans)
+                if fused is not None:
+                    heads[fused.member_guids[0]] = fused
+                    members.update(fused.member_guids[1:])
+        return _StateTable(plans, heads, members)
+
+    # .................................................................. #
+    # Scope execution
+    # .................................................................. #
     def _execute_map_scope(self, state, entry, bindings) -> None:
-        plan = self._plan_for(state, entry)
-        if plan is not None:
+        guid = entry.guid
+        if guid in self._fused_done:
+            # Covered by the fused execution of this chain's head earlier in
+            # the same state execution.
+            self._fused_done.discard(guid)
+            return
+        table = self._table_for(state)
+        fused = table.heads.get(guid)
+        if fused is not None and self._try_fused(fused, bindings):
+            self._fused_done.update(fused.member_guids[1:])
+            return
+        self._run_single_scope(state, entry, table.plans.get(guid), bindings)
+
+    def _try_fused(self, fused: _FusedPlan, bindings: Dict[str, Any]) -> bool:
+        """Execute a fused chain; ``False`` defers to per-scope execution."""
+        if not fused.usable:
+            return False
+        try:
+            writes, counts = self._compute_fused(fused, bindings)
+        except ExecutionError:
+            raise
+        except Exception:  # noqa: BLE001 - chain did not survive contact
+            fused.usable = False
+            return False
+        for apply_write in writes:
+            apply_write()
+        for tasklet_guid, n in counts:
+            self._tasklet_counts[tasklet_guid] = (
+                self._tasklet_counts.get(tasklet_guid, 0) + n
+            )
+        self.stats["vectorized"] += len(fused.members)
+        self.stats["fused"] += 1
+        return True
+
+    def _run_single_scope(
+        self,
+        state: SDFGState,
+        entry: MapEntry,
+        plan: Optional[_ScopePlan],
+        bindings: Dict[str, Any],
+    ) -> None:
+        if plan is not None and plan.usable:
             try:
                 writes, iterations = self._compute_vectorized(plan, bindings)
             except ExecutionError:
@@ -476,8 +969,224 @@ class VectorizedExecutor(SDFGExecutor):
                 self.stats["vectorized"] += 1
                 return
         self.stats["fallback"] += 1
-        super()._execute_map_scope(state, entry, bindings)
+        SDFGExecutor._execute_map_scope(self, state, entry, bindings)
 
+    # .................................................................. #
+    # Setup (loop-hoisted per dependent-symbol values)
+    # .................................................................. #
+    def _resolve_domain(
+        self, entry: MapEntry, bindings: Dict[str, Any]
+    ) -> Tuple[List[np.ndarray], Tuple[int, ...], int, Dict[str, np.ndarray]]:
+        """Concrete iteration axes and broadcast grids for a map."""
+        axes: List[np.ndarray] = []
+        for rng in entry.map.ranges:
+            b, e, s = rng.evaluate(bindings)
+            if s == 0:
+                raise ExecutionError(f"Map '{entry.label}' has a zero step")
+            axes.append(np.arange(b, e + 1 if s > 0 else e - 1, s, dtype=np.int64))
+        shape_full = tuple(len(a) for a in axes)
+        iterations = int(np.prod(shape_full, dtype=np.int64))
+        nparams = len(axes)
+        grids: Dict[str, np.ndarray] = {}
+        for axis, (param, vals) in enumerate(zip(entry.map.params, axes)):
+            gshape = [1] * nparams
+            gshape[axis] = len(vals)
+            grids[param] = vals.reshape(gshape)
+        return axes, shape_full, iterations, grids
+
+    @staticmethod
+    def _seq_slice(flat: np.ndarray, trusted: bool = False) -> Optional[slice]:
+        """A slice indexing the same 1-D positions as ``flat``, or ``None``.
+
+        Only arithmetic sequences (the shape every map-parameter axis and
+        every unit-slope affine index takes) qualify; basic indexing is
+        several times faster than advanced indexing with an index array.
+        The caller has already bounds-checked the values, so non-negative
+        starts are guaranteed.  ``trusted`` skips the O(n) element check for
+        sequences constructed from ``np.arange`` by this module itself --
+        the endpoints check still guards against accidental misuse.
+        """
+        n = flat.size
+        first = int(flat[0])
+        if n == 1:
+            return slice(first, first + 1)
+        step = int(flat[1]) - first
+        if step == 0:
+            return None
+        last = first + step * (n - 1)
+        if int(flat[-1]) != last:
+            return None
+        if not trusted and not np.array_equal(
+            flat, np.arange(first, last + (1 if step > 0 else -1), step, dtype=flat.dtype)
+        ):
+            return None
+        if step > 0:
+            return slice(first, last + 1, step)
+        stop = last - 1
+        return slice(first, None if stop < 0 else stop, step)
+
+    @classmethod
+    def _gather_slices(
+        cls, idx: List[Any], arr: np.ndarray, nparams: int
+    ) -> Optional[Tuple]:
+        """A basic-indexing equivalent of a broadcast gather, or ``None``.
+
+        Legal exactly when the slice result has the gather's shape: the
+        ranks must agree (``arr.ndim == nparams``) and every index array
+        must vary only along its *own* dimension's axis (so dimension order
+        and parameter-axis order coincide).  Constant dimensions become
+        length-1 slices, matching the broadcast's length-1 axes.
+        """
+        if arr.ndim != nparams:
+            return None
+        out: List[Any] = []
+        saw_array = False
+        for d, v in enumerate(idx):
+            if isinstance(v, np.ndarray):
+                if any(s != 1 for a, s in enumerate(v.shape) if a != d):
+                    return None
+                sl = cls._seq_slice(v.ravel())
+                if sl is None:
+                    return None
+                saw_array = True
+                out.append(sl)
+            else:
+                if int(v) < 0:
+                    return None
+                out.append(slice(int(v), int(v) + 1))
+        # All-constant gathers yield a NumPy scalar; slices would yield a
+        # (1, ..., 1) array.  Leave those on the advanced path.
+        return tuple(out) if saw_array else None
+
+    def _resolve_gather(
+        self, spec: _InputSpec, idx_ns: Dict[str, Any], nparams: int
+    ) -> Tuple[str, np.ndarray, Tuple, bool]:
+        arr = self._store.get(spec.data)
+        if arr is None:
+            raise ExecutionError(f"Read from unknown container '{spec.data}'")
+        idx = self._index_arrays(spec.idx_code, idx_ns)
+        self._check_vector_bounds(spec.data, spec.subset_str, idx, arr.shape)
+        fast = self._gather_slices(idx, arr, nparams)
+        if fast is not None:
+            # Basic indexing returns a view; the copy preserves the
+            # gather-copy semantics (readers must see pre-scope values even
+            # after deferred writes mutate the container).
+            return spec.conn, arr, fast, True
+        return spec.conn, arr, tuple(idx), False
+
+    def _resolve_write(
+        self,
+        spec: _OutputSpec,
+        axes: List[np.ndarray],
+        shape_full: Tuple[int, ...],
+        bindings: Dict[str, Any],
+    ) -> _WriteGeom:
+        arr = self._store.get(spec.data)
+        if arr is None:
+            raise ExecutionError(f"Write to unknown container '{spec.data}'")
+        if len(spec.dims) != arr.ndim:
+            raise MemoryViolation(
+                spec.data, spec.subset_str, arr.shape, "dimensionality mismatch"
+            )
+        index_1d: List[np.ndarray] = []
+        param_axes: List[int] = []
+        for kind, payload in spec.dims:
+            if kind == "param":
+                axis, offset = payload
+                param_axes.append(axis)
+                index_1d.append(axes[axis] + offset if offset else axes[axis])
+            else:
+                c = int(eval(payload, _EVAL_GLOBALS, bindings))  # noqa: S307
+                index_1d.append(np.asarray([c], dtype=np.int64))
+        self._check_vector_bounds(spec.data, spec.subset_str, index_1d, arr.shape)
+        nparams = len(shape_full)
+        red_axes = [a for a in range(nparams) if a not in param_axes]
+        kept_sorted = sorted(param_axes)
+        kept_shape = tuple(shape_full[a] for a in kept_sorted)
+        # Value axes end up in ascending-parameter order; ``perm`` reorders
+        # them to the output's dimension order, ``target_shape`` re-inserts
+        # length-1 axes for constant-indexed dimensions.
+        perm = [kept_sorted.index(a) for a in param_axes]
+        target_shape = tuple(
+            shape_full[payload[0]] if kind == "param" else 1
+            for kind, payload in spec.dims
+        )
+        # Every per-dimension index is an arithmetic sequence (map axes plus
+        # a constant offset, or a single constant), so the scatter target is
+        # expressible with basic slicing -- several times faster than the
+        # ``np.ix_`` advanced-indexing mesh, which stays as the fallback.
+        # ``trusted``: these arrays are arange-built by _resolve_domain.
+        slices = [self._seq_slice(v, trusted=True) for v in index_1d]
+        if index_1d and all(s is not None for s in slices):
+            mesh: Tuple = tuple(slices)
+        else:
+            mesh = np.ix_(*index_1d) if index_1d else ()
+        identity_shape = perm == sorted(perm) and target_shape == kept_shape
+        return _WriteGeom(
+            spec, arr, mesh, perm, target_shape, red_axes, kept_shape,
+            identity_shape,
+        )
+
+    def _scope_setup(self, plan: _ScopePlan, bindings: Dict[str, Any]) -> _ScopeSetup:
+        key = tuple(bindings.get(name) for name in plan.setup_deps)
+        cached = self._setup_cache.get(id(plan))
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        axes, shape_full, iterations, grids = self._resolve_domain(plan.entry, bindings)
+        if iterations == 0:
+            # The interpreter executes nothing for an empty domain -- in
+            # particular it never bounds-checks the memlets -- so neither
+            # may the setup.
+            setup = _ScopeSetup(shape_full, 0, grids, [], [])
+        else:
+            idx_ns = dict(bindings)
+            idx_ns.update(grids)
+            nparams = len(axes)
+            gathers = [
+                self._resolve_gather(spec, idx_ns, nparams) for spec in plan.inputs
+            ]
+            geoms = [
+                self._resolve_write(spec, axes, shape_full, bindings)
+                for spec in plan.outputs
+            ]
+            setup = _ScopeSetup(shape_full, iterations, grids, gathers, geoms)
+        self._setup_cache[id(plan)] = (key, setup)
+        return setup
+
+    def _fused_setup(self, fused: _FusedPlan, bindings: Dict[str, Any]) -> _FusedSetup:
+        key = tuple(bindings.get(name) for name in fused.setup_deps)
+        cached = self._setup_cache.get(id(fused))
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        axes, shape_full, iterations, grids = self._resolve_domain(
+            fused.entry, bindings
+        )
+        if iterations == 0:
+            setup = _FusedSetup(shape_full, 0, grids, [], [])
+        else:
+            idx_ns = dict(bindings)
+            idx_ns.update(grids)
+            nparams = len(axes)
+            gathers: List[Tuple[str, np.ndarray, Tuple, bool]] = []
+            member_geoms: List[List[_WriteGeom]] = []
+            for member in fused.members:
+                for spec, name in member.gathers:
+                    _, arr, idx, needs_copy = self._resolve_gather(
+                        spec, idx_ns, nparams
+                    )
+                    gathers.append((name, arr, idx, needs_copy))
+                member_geoms.append(
+                    [
+                        self._resolve_write(spec, axes, shape_full, bindings)
+                        for _, spec, _ in member.outputs
+                    ]
+                )
+            setup = _FusedSetup(shape_full, iterations, grids, gathers, member_geoms)
+        self._setup_cache[id(fused)] = (key, setup)
+        return setup
+
+    # .................................................................. #
+    # Vectorized evaluation
     # .................................................................. #
     def _compute_vectorized(
         self, plan: _ScopePlan, bindings: Dict[str, Any]
@@ -488,85 +1197,95 @@ class VectorizedExecutor(SDFGExecutor):
         first, container writes are returned as closures so a mid-flight
         failure can safely fall back to the interpreter.
         """
-        entry = plan.entry
-        # Concrete iteration grids, one axis per map parameter.
-        axes: List[np.ndarray] = []
-        for rng in entry.map.ranges:
-            b, e, s = rng.evaluate(bindings)
-            if s == 0:
-                raise ExecutionError(f"Map '{entry.label}' has a zero step")
-            axes.append(np.arange(b, e + 1 if s > 0 else e - 1, s, dtype=np.int64))
-        shape_full = tuple(len(a) for a in axes)
-        iterations = int(np.prod(shape_full, dtype=np.int64))
-        if iterations == 0:
+        setup = self._scope_setup(plan, bindings)
+        if setup.iterations == 0:
             return [], 0
-        nparams = len(axes)
-        grids: Dict[str, np.ndarray] = {}
-        for axis, (param, vals) in enumerate(zip(entry.map.params, axes)):
-            gshape = [1] * nparams
-            gshape[axis] = len(vals)
-            grids[param] = vals.reshape(gshape)
-
-        idx_ns = dict(bindings)
-        idx_ns.update(grids)
-
-        # Gather inputs (advanced indexing copies, so in-scope element-wise
-        # self-updates see the pre-scope values, as each iteration does).
-        values: Dict[str, Any] = {}
-        for spec in plan.inputs:
-            arr = self._store.get(spec.data)
-            if arr is None:
-                raise ExecutionError(f"Read from unknown container '{spec.data}'")
-            idx = self._index_arrays(spec.idx_code, idx_ns)
-            self._check_vector_bounds(spec.data, spec.subset_str, idx, arr.shape)
-            values[spec.conn] = arr[tuple(idx)]
-
-        # Resolve output targets (and check their bounds) before executing.
-        out_targets = []
-        for spec in plan.outputs:
-            arr = self._store.get(spec.data)
-            if arr is None:
-                raise ExecutionError(f"Write to unknown container '{spec.data}'")
-            if len(spec.dims) != arr.ndim:
-                raise MemoryViolation(
-                    spec.data, spec.subset_str, arr.shape, "dimensionality mismatch"
-                )
-            index_1d: List[np.ndarray] = []
-            param_axes: List[int] = []
-            for kind, payload in spec.dims:
-                if kind == "param":
-                    axis, offset = payload
-                    param_axes.append(axis)
-                    index_1d.append(axes[axis] + offset if offset else axes[axis])
-                else:
-                    c = int(eval(payload, _EVAL_GLOBALS, dict(bindings)))  # noqa: S307
-                    index_1d.append(np.asarray([c], dtype=np.int64))
-            self._check_vector_bounds(spec.data, spec.subset_str, index_1d, arr.shape)
-            out_targets.append((spec, arr, index_1d, param_axes))
 
         # Run the tasklet once on whole arrays.  Map parameters are visible
         # as index grids, program symbols as scalars -- mirroring the
-        # interpreter's per-iteration namespace.
+        # interpreter's per-iteration namespace.  Gathers read the live
+        # store (advanced indexing copies, so in-scope element-wise
+        # self-updates see the pre-scope values, as each iteration does).
         ns: Dict[str, Any] = dict(bindings)
-        ns.update(grids)
-        ns.update(values)
+        ns.update(setup.grids)
+        for conn, arr, idx, needs_copy in setup.gathers:
+            value = arr[idx]
+            ns[conn] = value.copy() if needs_copy else value
         try:
             exec(plan.code_obj, self._VEC_GLOBALS, ns)  # noqa: S102
         except Exception as exc:  # noqa: BLE001 - same typed error as TaskletRunner
             raise TaskletExecutionError(plan.tasklet.label, exc) from exc
 
         writes: List[Callable[[], None]] = []
-        for spec, arr, index_1d, param_axes in out_targets:
-            if spec.conn not in ns:
-                raise TaskletExecutionError(
-                    plan.tasklet.label,
-                    KeyError(f"tasklet did not assign output connector '{spec.conn}'"),
-                )
-            value = np.broadcast_to(np.asarray(ns[spec.conn]), shape_full)
+        for geom in setup.geoms:
             writes.append(
-                self._make_write(spec, arr, index_1d, param_axes, value, shape_full)
+                self._make_write(
+                    geom,
+                    self._output_value(plan.tasklet, geom.spec.conn, ns, setup.shape_full),
+                    setup.shape_full,
+                )
             )
-        return writes, iterations
+        return writes, setup.iterations
+
+    def _compute_fused(
+        self, fused: _FusedPlan, bindings: Dict[str, Any]
+    ) -> Tuple[List[Callable[[], None]], List[Tuple[int, int]]]:
+        """Evaluate a fused scope chain; returns deferred writes + counts.
+
+        The whole chain is **one** ``exec`` of the composed code object:
+        member locals are pre-renamed to unique names, consumer connectors
+        read the producers' values directly (dtype-cast at the handoff,
+        reproducing the interpreter's store round-trip bit for bit), and
+        intermediate containers are never touched.  All container writes
+        are deferred to the caller, like :meth:`_compute_vectorized`.
+        """
+        setup = self._fused_setup(fused, bindings)
+        if setup.iterations == 0:
+            return [], []
+        ns: Dict[str, Any] = dict(bindings)
+        ns.update(setup.grids)
+        for name, arr, idx, needs_copy in setup.gathers:
+            value = arr[idx]
+            ns[name] = value.copy() if needs_copy else value
+        ns.update(fused.cast_bindings)
+        try:
+            exec(fused.code_obj, self._VEC_GLOBALS, ns)  # noqa: S102
+        except Exception as exc:  # noqa: BLE001 - attributed by source line
+            raise TaskletExecutionError(fused.label_for(exc), exc) from exc
+
+        writes: List[Callable[[], None]] = []
+        counts: List[Tuple[int, int]] = []
+        for member, geoms in zip(fused.members, setup.member_geoms):
+            for (kind, spec, out_name), geom in zip(member.outputs, geoms):
+                value = self._output_value(
+                    member.plan.tasklet, out_name, ns, setup.shape_full,
+                    display_conn=spec.conn,
+                )
+                if kind == "write":
+                    writes.append(self._make_write(geom, value, setup.shape_full))
+            counts.append((member.plan.tasklet.guid, setup.iterations))
+        return writes, counts
+
+    @staticmethod
+    def _output_value(
+        tasklet: Tasklet,
+        conn: str,
+        ns: Dict[str, Any],
+        shape_full: Tuple[int, ...],
+        display_conn: Optional[str] = None,
+    ) -> np.ndarray:
+        if conn not in ns:
+            raise TaskletExecutionError(
+                tasklet.label,
+                KeyError(
+                    f"tasklet did not assign output connector "
+                    f"'{display_conn or conn}'"
+                ),
+            )
+        value = np.asarray(ns[conn])
+        if value.shape == shape_full:
+            return value  # the common case: broadcast_to would be a no-op
+        return np.broadcast_to(value, shape_full)
 
     # .................................................................. #
     @staticmethod
@@ -593,35 +1312,37 @@ class VectorizedExecutor(SDFGExecutor):
 
     def _make_write(
         self,
-        spec: _OutputSpec,
-        arr: np.ndarray,
-        index_1d: List[np.ndarray],
-        param_axes: List[int],
+        geom: _WriteGeom,
         value: np.ndarray,
         shape_full: Tuple[int, ...],
     ) -> Callable[[], None]:
         from repro.sdfg.dtypes import reduction_function
 
-        nparams = len(shape_full)
-        red_axes = [a for a in range(nparams) if a not in param_axes]
-        kept_sorted = sorted(param_axes)
-        kept_shape = tuple(shape_full[a] for a in kept_sorted)
-        # Value axes end up in ascending-parameter order; ``perm`` reorders
-        # them to the output's dimension order, ``target_shape`` re-inserts
-        # length-1 axes for constant-indexed dimensions.
-        perm = [kept_sorted.index(a) for a in param_axes]
-        target_shape = tuple(
-            shape_full[payload[0]] if kind == "param" else 1
-            for kind, payload in spec.dims
-        )
-        mesh = np.ix_(*index_1d) if index_1d else ()
+        spec, arr = geom.spec, geom.arr
+        perm, target_shape, mesh = geom.perm, geom.target_shape, geom.mesh
+
+        if spec.wcr is None and geom.identity_shape and not geom.red_axes:
+            # Bijective write whose value already has the output's layout
+            # (the overwhelmingly common case): one basic-index assignment.
+            def apply_direct() -> None:
+                arr[mesh] = value
+
+            return apply_direct
+
         # Reduction slabs, flattened in iteration (lexicographic) order.
-        slabs = np.moveaxis(value, red_axes, range(len(red_axes))).reshape(
-            (-1,) + kept_shape
+        slabs = np.moveaxis(value, geom.red_axes, range(len(geom.red_axes))).reshape(
+            (-1,) + geom.kept_shape
         )
 
-        def shape_for_write(a: np.ndarray) -> np.ndarray:
-            return a.transpose(perm).reshape(target_shape)
+        if geom.identity_shape:
+
+            def shape_for_write(a: np.ndarray) -> np.ndarray:
+                return a
+
+        else:
+
+            def shape_for_write(a: np.ndarray) -> np.ndarray:
+                return a.transpose(perm).reshape(target_shape)
 
         if spec.wcr is None:
 
@@ -650,18 +1371,100 @@ class VectorizedExecutor(SDFGExecutor):
 
 
 # ---------------------------------------------------------------------- #
+# On-disk compiled-program cache
+# ---------------------------------------------------------------------- #
+class ProgramDiskCache:
+    """A directory of compile *artifacts* keyed by SDFG content hash.
+
+    Pool and cluster workers are separate processes: each one pays the full
+    per-program compilation cost (control-flow structuring, driver code
+    generation, plan analysis) even when every sibling already compiled the
+    exact same program.  The disk tier shares those artifacts across
+    processes -- and across sweep invocations -- so a program cluster-wide
+    compiles once.
+
+    Entries are JSON documents written atomically (temp file + ``rename``),
+    so concurrent workers may race freely: the loser of a race simply
+    overwrites the winner with identical content.  A corrupt, truncated or
+    stale-versioned entry is treated as a miss (and rewritten), never an
+    error -- the cache can always be rebuilt from source programs.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+
+    def _path(self, content_hash: str, max_transitions: int) -> str:
+        return os.path.join(
+            self.directory, f"{content_hash}-{max_transitions}.json"
+        )
+
+    def load(self, content_hash: str, max_transitions: int) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self._path(content_hash, max_transitions), "r", encoding="utf-8") as f:
+                artifact = json.load(f)
+        except (OSError, ValueError):
+            return None
+        return artifact if isinstance(artifact, dict) else None
+
+    def store(
+        self, content_hash: str, max_transitions: int, artifact: Dict[str, Any]
+    ) -> None:
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=".tmp-", suffix=".json", dir=self.directory
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as f:
+                    json.dump(artifact, f)
+                os.replace(tmp, self._path(content_hash, max_transitions))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass  # a read-only or full cache directory degrades to no cache
+
+
+# ---------------------------------------------------------------------- #
 # Backend
 # ---------------------------------------------------------------------- #
 class VectorizedProgram(CompiledProgram):
     """A program bound to a reusable :class:`VectorizedExecutor`."""
 
-    def __init__(self, sdfg: SDFG, max_transitions: int = 100_000) -> None:
+    def __init__(
+        self,
+        sdfg: SDFG,
+        max_transitions: int = 100_000,
+        fuse: bool = True,
+        artifact: Optional[Dict[str, Any]] = None,
+    ) -> None:
         super().__init__(sdfg)
-        self.executor = VectorizedExecutor(sdfg, max_transitions=max_transitions)
+        self.executor = VectorizedExecutor(
+            sdfg, max_transitions=max_transitions, fuse=fuse
+        )
 
     @property
     def stats(self) -> Dict[str, int]:
         return self.executor.stats
+
+    #: Whether this program class produces persistable compile artifacts at
+    #: all; ``False`` short-circuits the disk tier (no loads, no stores) so
+    #: e.g. cross-backend workers sharing a cache directory with compiled
+    #: siblings never parse artifacts they cannot use.
+    persists_artifacts = False
+
+    @classmethod
+    def check_artifact(cls, artifact: Dict[str, Any]) -> bool:
+        """Whether a disk artifact is usable by this program class (the
+        vectorized program has no persistent compile artifact)."""
+        return False
+
+    def artifact(self) -> Optional[Dict[str, Any]]:
+        """The JSON-safe compile artifact to persist, if any."""
+        return None
 
     def run(
         self,
@@ -681,6 +1484,14 @@ class VectorizedBackend(ExecutionBackend):
     deserializations -- while two independent builds of the same kernel,
     whose coverage features are keyed by their distinct guids, correctly
     compile separately.
+
+    With a cache *directory* configured (the ``cache_dir`` argument, the
+    ``--cache-dir`` CLI option, or the ``REPRO_CACHE_DIR`` environment
+    variable -- read dynamically so it reaches forked pool workers), the
+    in-memory cache gains an on-disk tier: program classes with a
+    persistable compile artifact (the compiled whole-program backend's
+    generated driver) store it keyed by content hash and codegen version,
+    and sibling worker processes skip recompilation.
     """
 
     name = "vectorized"
@@ -688,21 +1499,57 @@ class VectorizedBackend(ExecutionBackend):
     #: whole-program backend) swap it while inheriting the cache policy.
     program_class = VectorizedProgram
 
-    def __init__(self, cache_size: int = 64) -> None:
+    def __init__(
+        self,
+        cache_size: int = 64,
+        cache_dir: Optional[str] = None,
+        fuse: bool = True,
+    ) -> None:
         self.cache_size = cache_size
+        self.fuse = fuse
+        self._explicit_cache_dir = cache_dir
         self._cache: "OrderedDict[Tuple[str, int], VectorizedProgram]" = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
+        self.disk_hits = 0
+        self.disk_misses = 0
+
+    @property
+    def cache_dir(self) -> Optional[str]:
+        """The active on-disk cache directory (explicit or environment)."""
+        return self._explicit_cache_dir or os.environ.get(CACHE_DIR_ENV) or None
 
     def prepare(self, sdfg: SDFG, max_transitions: int = 100_000) -> VectorizedProgram:
-        key = (sdfg_content_hash(sdfg), max_transitions)
+        content_hash = sdfg_content_hash(sdfg)
+        key = (content_hash, max_transitions)
         program = self._cache.get(key)
         if program is not None:
             self._cache.move_to_end(key)
             self.cache_hits += 1
             return program
         self.cache_misses += 1
-        program = self.program_class(sdfg, max_transitions=max_transitions)
+
+        disk: Optional[ProgramDiskCache] = None
+        artifact: Optional[Dict[str, Any]] = None
+        directory = self.cache_dir if self.program_class.persists_artifacts else None
+        if directory is not None:
+            disk = ProgramDiskCache(directory)
+            artifact = disk.load(content_hash, max_transitions)
+            if artifact is not None and not self.program_class.check_artifact(artifact):
+                artifact = None  # stale version / wrong class / corrupt
+            if artifact is not None:
+                self.disk_hits += 1
+            else:
+                self.disk_misses += 1
+
+        program = self.program_class(
+            sdfg, max_transitions=max_transitions, fuse=self.fuse, artifact=artifact
+        )
+        if disk is not None and artifact is None:
+            fresh = program.artifact()
+            if fresh is not None:
+                disk.store(content_hash, max_transitions, fresh)
+
         self._cache[key] = program
         while len(self._cache) > self.cache_size:
             self._cache.popitem(last=False)

@@ -17,6 +17,14 @@ coordinator:
   result (network flake rather than crash), the late duplicate of an
   already-completed task is acknowledged and dropped, so progress counts
   never drift and the journal stays last-wins-consistent;
+* **adapts shard sizes to the sweep tail**: a lease never exceeds
+  ``ceil(pending / (2 * active_workers))``, so early shards amortize
+  round-trips while late shards shrink toward single tasks -- one slow
+  worker can no longer strand a large final batch while its siblings idle;
+* **times out hung workers** (``worker_timeout``): workers ping between
+  tasks, and a connection silent for longer than the timeout is closed,
+  requeueing its in-flight shard exactly like a disconnect -- covering
+  workers that are wedged rather than dead;
 * **reassembles** outcomes into task-enumeration order, producing a
   :class:`~repro.pipeline.result.SweepResult` identical (modulo timing and
   per-outcome ``worker`` metadata) to a serial in-process run.
@@ -65,6 +73,7 @@ class SweepCoordinator:
         completed: Optional[Dict[str, Dict[str, Any]]] = None,
         max_task_retries: int = 2,
         batch_size: int = 0,
+        worker_timeout: float = 0.0,
         progress_callback: Optional[ProgressCallback] = None,
         suite: Optional[str] = None,
         buggy: Optional[bool] = None,
@@ -78,8 +87,13 @@ class SweepCoordinator:
         #: recorded as an infrastructure error.
         self.max_task_retries = max_task_retries
         #: Upper bound on tasks per shard; 0 lets the worker's requested
-        #: ``max_tasks`` (its process count) decide.
+        #: ``max_tasks`` (its process count) decide (both further capped by
+        #: the adaptive tail-leveling bound).
         self.batch_size = batch_size
+        #: Seconds of connection silence after which a worker is declared
+        #: hung and its leases requeued; 0 disables.  Enable only when every
+        #: worker sends heartbeat pings, or long tasks will be misdeclared.
+        self.worker_timeout = worker_timeout
         self.progress_callback = progress_callback
         self.suite = suite if suite is not None else (
             self.tasks[0].suite if self.tasks else "npbench"
@@ -107,6 +121,14 @@ class SweepCoordinator:
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._closing = False
+        #: Live connections and the monotonic time of their last message.
+        self._conns: Dict[socket.socket, float] = {}
+        #: Connections that completed the hello handshake (real workers);
+        #: the adaptive shard sizing divides by these, not raw connections,
+        #: so probes and not-yet-introduced peers cannot shrink shards.
+        self._active_workers = 0
+        #: Shard sizes issued, in lease order (observability + tests).
+        self.shard_sizes: List[int] = []
 
         # Preload journaled outcomes (the resume path).
         completed = completed if completed is not None else (
@@ -198,6 +220,7 @@ class SweepCoordinator:
     # ------------------------------------------------------------------ #
     def _accept_loop(self) -> None:
         while not self._closing:
+            self._reap_hung_workers()
             try:
                 conn, _addr = self._listener.accept()
             except socket.timeout:
@@ -207,6 +230,7 @@ class SweepCoordinator:
             with self._lock:
                 self._worker_counter += 1
                 worker_number = self._worker_counter
+                self._conns[conn] = time.monotonic()
             thread = threading.Thread(
                 target=self._serve_connection,
                 args=(conn, worker_number),
@@ -215,10 +239,35 @@ class SweepCoordinator:
             )
             thread.start()
 
+    def _reap_hung_workers(self) -> None:
+        """Force-close connections silent for longer than ``worker_timeout``.
+
+        A *hung* worker (wedged process, dead-but-undetected TCP peer) holds
+        its leases forever without ever failing the socket; closing the
+        connection from this side makes its serve thread unwind through the
+        ordinary lost-worker path, requeueing the in-flight shard.  Healthy
+        workers never trip this: they ping between tasks.
+        """
+        if self.worker_timeout <= 0:
+            return
+        deadline = time.monotonic() - self.worker_timeout
+        with self._lock:
+            stale = [c for c, seen in self._conns.items() if seen < deadline]
+        for conn in stale:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
     def _serve_connection(self, conn: socket.socket, worker_number: int) -> None:
         """One worker's request/response loop; requeues its leases on loss."""
         leases: List[int] = []  # task indices currently leased to this worker
         worker_info: Dict[str, Any] = {"worker": worker_number}
+        introduced = False
         try:
             with conn:
                 while True:
@@ -228,8 +277,14 @@ class SweepCoordinator:
                         break  # died mid-frame: treat as a lost worker
                     if message is None:
                         break  # clean disconnect
+                    with self._lock:
+                        self._conns[conn] = time.monotonic()
                     mtype = message.get("type")
                     if mtype == "hello":
+                        if not introduced:
+                            introduced = True
+                            with self._lock:
+                                self._active_workers += 1
                         worker_info = dict(message.get("worker") or {})
                         worker_info["worker"] = worker_number
                         send_message(conn, {
@@ -247,6 +302,10 @@ class SweepCoordinator:
                     elif mtype == "result":
                         self._record_result(leases, worker_info, message)
                         send_message(conn, {"type": "ack"})
+                    elif mtype == "ping":
+                        # Heartbeat: the last-seen update above is the point;
+                        # the reply keeps the strict request/response rhythm.
+                        send_message(conn, {"type": "pong"})
                     else:
                         send_message(conn, {
                             "type": "error",
@@ -255,19 +314,38 @@ class SweepCoordinator:
         except (OSError, ProtocolError):
             pass  # connection-level failure: fall through to requeue
         finally:
+            with self._lock:
+                self._conns.pop(conn, None)
+                if introduced:
+                    self._active_workers -= 1
             self._requeue_lost(leases, worker_info)
 
     # ------------------------------------------------------------------ #
     # Task accounting (all under the lock)
     # ------------------------------------------------------------------ #
     def _lease(self, leases: List[int], max_tasks: int) -> Dict[str, Any]:
-        """Pop up to ``max_tasks`` pending tasks into a shard lease."""
+        """Pop up to ``max_tasks`` pending tasks into a shard lease.
+
+        With several workers connected, the requested size (the worker's
+        process count) is additionally capped by
+        ``ceil(pending / (2 * active_workers))`` -- guided self-scheduling.
+        Early in the sweep the cap is far above any request and shards
+        amortize round-trips; near the tail it falls to one, so the last
+        tasks spread across all workers instead of stranding in one
+        straggler's final batch.  A lone worker is never capped: there is
+        nobody to level against, only round-trips to waste.
+        """
         max_tasks = max(1, max_tasks)
         if self.batch_size > 0:
             max_tasks = min(max_tasks, self.batch_size)
         with self._lock:
             if self._done_count == len(self.tasks):
                 return {"type": "done"}
+            active = self._active_workers
+            if active > 1:
+                pending = len(self._pending)
+                adaptive = max(1, -(-pending // (2 * active)))  # ceil division
+                max_tasks = min(max_tasks, adaptive)
             shard: List[Dict[str, Any]] = []
             while self._pending and len(shard) < max_tasks:
                 index = self._pending.popleft()
@@ -287,6 +365,7 @@ class SweepCoordinator:
                 # requeued if the other worker dies).
                 return {"type": "wait"}
             self._shard_counter += 1
+            self.shard_sizes.append(len(shard))
             return {"type": "tasks", "shard": self._shard_counter, "tasks": shard}
 
     def _record_result(

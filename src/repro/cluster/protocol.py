@@ -18,6 +18,9 @@ worker sends              coordinator replies
                           | ``done`` {}
 ``result`` {index,        ``ack`` {}
   task_id, outcome}
+``ping`` {}               ``pong`` {} (heartbeat; proves a busy worker is
+                          alive so a ``worker_timeout`` coordinator does
+                          not requeue its in-flight shard)
 ========================  ===========================================
 
 A clean EOF between messages returns ``None`` from :func:`recv_message`

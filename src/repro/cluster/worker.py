@@ -22,6 +22,13 @@ distributed sweep computes bitwise the same outcome dicts as a local one.
   no matter which worker ran which shard (``make smoke-dist`` exploits
   exactly this).
 
+While executing tasks the worker keeps a *heartbeat* thread that pings the
+coordinator every ``--heartbeat-seconds`` (default 5; 0 disables).  All
+socket transactions -- requests, result deliveries, pings -- are serialized
+behind one lock, so the strict request/response protocol is preserved; the
+heartbeat lets a coordinator running with ``--worker-timeout`` distinguish
+a *hung* worker (silent, leases wedged forever) from a merely *busy* one.
+
 If the coordinator is not up yet, the worker retries the connection for
 ``--connect-retry-seconds`` before giving up, so workers may be launched
 first (or supervised and restarted freely -- a reconnecting worker simply
@@ -34,10 +41,12 @@ import argparse
 import os
 import socket
 import sys
+import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.backends import get_backend
+from repro.backends.vectorized import CACHE_DIR_ENV
 from repro.cluster.protocol import ProtocolError, recv_message, send_message
 from repro.pipeline.runner import _pool_context, execute_task
 from repro.pipeline.tasks import SweepTask
@@ -96,12 +105,57 @@ def _rebuild_tasks(
     return out
 
 
+class _Heartbeat:
+    """Pings the coordinator periodically from a background thread.
+
+    All transactions on the shared socket (the main loop's requests and
+    deliveries, and these pings) are serialized behind ``lock``, so every
+    request still receives exactly its own response.  A failed ping stops
+    the heartbeat silently: the main loop will hit the same broken socket
+    and raise with full context.
+    """
+
+    def __init__(self, sock: socket.socket, lock: threading.Lock, interval: float) -> None:
+        self._sock = sock
+        self._lock = lock
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        if self._interval <= 0:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="worker-heartbeat", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                with self._lock:
+                    if self._stop.is_set():
+                        return
+                    send_message(self._sock, {"type": "ping"})
+                    reply = recv_message(self._sock)
+                if reply is None or reply.get("type") != "pong":
+                    return
+            except (OSError, ProtocolError):
+                return
+
+
 def run_worker(
     host: str,
     port: int,
     backend: Optional[str] = None,
     procs: int = 1,
     connect_retry_seconds: float = 10.0,
+    heartbeat_seconds: float = 5.0,
     quiet: bool = False,
 ) -> int:
     """Serve one coordinator until it reports the sweep complete.
@@ -117,39 +171,45 @@ def run_worker(
             print(f"[worker {os.getpid()}] {text}", flush=True)
 
     sock = _connect(host, port, connect_retry_seconds)
+    sock_lock = threading.Lock()
+    heartbeat = _Heartbeat(sock, sock_lock, heartbeat_seconds)
     executed = 0
     pool = None
     try:
-        send_message(
-            sock, {"type": "hello", "worker": _worker_metadata(backend, procs)}
-        )
-        welcome = recv_message(sock)
+        with sock_lock:
+            send_message(
+                sock, {"type": "hello", "worker": _worker_metadata(backend, procs)}
+            )
+            welcome = recv_message(sock)
         if welcome is None or welcome.get("type") != "welcome":
             raise ProtocolError(f"Expected welcome, got {welcome!r}")
         say(
             f"connected to {host}:{port}: sweep of {welcome.get('total')} task(s), "
             f"backend {backend or welcome.get('backend')!r}, {procs} proc(s)"
         )
+        heartbeat.start()
         if procs > 1:
             pool = _pool_context().Pool(processes=procs)
 
         def deliver(
             shard: Any, index: int, task_id: str, outcome: Dict[str, Any]
         ) -> None:
-            send_message(sock, {
-                "type": "result",
-                "shard": shard,
-                "index": index,
-                "task_id": task_id,
-                "outcome": outcome,
-            })
-            ack = recv_message(sock)
+            with sock_lock:
+                send_message(sock, {
+                    "type": "result",
+                    "shard": shard,
+                    "index": index,
+                    "task_id": task_id,
+                    "outcome": outcome,
+                })
+                ack = recv_message(sock)
             if ack is None or ack.get("type") != "ack":
                 raise ProtocolError(f"Expected ack, got {ack!r}")
 
         while True:
-            send_message(sock, {"type": "request", "max_tasks": procs})
-            reply = recv_message(sock)
+            with sock_lock:
+                send_message(sock, {"type": "request", "max_tasks": procs})
+                reply = recv_message(sock)
             if reply is None or reply.get("type") == "done":
                 break
             if reply.get("type") == "wait":
@@ -171,6 +231,7 @@ def run_worker(
                     executed += 1
         say(f"sweep complete; this worker executed {executed} task(s)")
     finally:
+        heartbeat.stop()
         if pool is not None:
             pool.terminate()
             pool.join()
@@ -212,6 +273,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep retrying the initial connection this long (workers may "
         "be launched before the coordinator is listening)",
     )
+    parser.add_argument(
+        "--heartbeat-seconds", type=float, default=5.0,
+        help="ping the coordinator this often from a background thread so a "
+        "--worker-timeout coordinator can tell busy from hung; 0 disables",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="persistent compiled-program cache directory (sets "
+        f"{CACHE_DIR_ENV}); share it between workers on one machine to "
+        "compile each distinct program once",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress status lines")
     return parser
 
@@ -229,6 +301,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
+    if args.cache_dir:
+        os.environ[CACHE_DIR_ENV] = os.path.abspath(args.cache_dir)
     try:
         run_worker(
             host,
@@ -236,6 +310,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             backend=args.backend,
             procs=args.procs,
             connect_retry_seconds=args.connect_retry_seconds,
+            heartbeat_seconds=args.heartbeat_seconds,
             quiet=args.quiet,
         )
     except (OSError, ProtocolError) as exc:

@@ -103,6 +103,7 @@ class SDFGExecutor:
         self._topo_cache: Dict[int, List[Node]] = {}
         self._scope_cache: Dict[int, Dict[Node, Optional[MapEntry]]] = {}
         self._subset_code_cache: Dict[int, List[Tuple[Any, Any, Any]]] = {}
+        self._free_symbols_cache: Optional[Set[str]] = None
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -175,7 +176,13 @@ class SDFGExecutor:
             ):
                 self._symbols[name] = self._as_symbol_value(arguments.pop(name))
 
-        missing_syms = self.sdfg.free_symbols - set(self._symbols)
+        # free_symbols walks every memlet subset and interstate expression;
+        # cache it across runs (like the topological orders, this assumes
+        # the program is not mutated after preparation -- the repeated-trial
+        # contract every backend already relies on).
+        if self._free_symbols_cache is None:
+            self._free_symbols_cache = self.sdfg.free_symbols
+        missing_syms = self._free_symbols_cache - set(self._symbols)
         if missing_syms:
             raise MissingArgumentError(
                 f"Missing values for symbols: {sorted(missing_syms)}"

@@ -27,11 +27,13 @@ Distributed / resumable operation (see :mod:`repro.cluster`):
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Any, Dict, List, Optional, TextIO
 
 from repro.backends import get_backend, list_backends
+from repro.backends.vectorized import CACHE_DIR_ENV
 from repro.pipeline.runner import SweepRunner
 from repro.pipeline.tasks import enumerate_sweep_tasks
 from repro.workloads import list_workload_suites
@@ -159,6 +161,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: interpreter; with --connect: the worker-side override)",
     )
     parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="persistent compiled-program cache directory (sets "
+        f"{CACHE_DIR_ENV}): pool workers and cluster workers share compile "
+        "artifacts across processes and sweep invocations instead of "
+        "recompiling the same programs per process",
+    )
+    parser.add_argument(
         "--progress", action="store_true",
         help="print each task's verdict as it completes, with tasks/s and ETA",
     )
@@ -198,6 +207,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-leases allowed per task after a lost worker before the "
         "task is recorded as an infrastructure error (with --serve; default 2)",
     )
+    cluster.add_argument(
+        "--worker-timeout", type=float, default=0.0,
+        help="with --serve: seconds of worker silence (no request, result "
+        "or heartbeat ping) before the worker is declared hung and its "
+        "in-flight tasks are requeued; 0 disables (default; only enable "
+        "when every worker sends heartbeats)",
+    )
     return parser
 
 
@@ -209,6 +225,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--serve and --connect are mutually exclusive")
     if args.resume and not args.journal:
         parser.error("--resume requires --journal PATH")
+
+    if args.cache_dir:
+        # Through the environment so forked/spawned pool workers (and any
+        # backend instance, whenever constructed) pick it up.
+        os.environ[CACHE_DIR_ENV] = os.path.abspath(args.cache_dir)
 
     # ------------------------------------------------------------------ #
     # Worker mode: no enumeration, no report -- serve one coordinator.
@@ -308,6 +329,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 port,
                 store=store,
                 max_task_retries=args.max_task_retries,
+                worker_timeout=args.worker_timeout,
                 progress_callback=progress,
                 suite=args.suite,
                 buggy=args.buggy,

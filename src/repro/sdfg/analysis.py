@@ -7,7 +7,10 @@ Currently provides:
   transformation and by the gray-box constraint analysis (loop bounds
   constrain the values a loop variable can take, Sec. 5.1),
 * state reachability helpers used by the side-effect analyses (Sec. 3.1),
-* map-scope enumeration across the program.
+* map-scope enumeration across the program,
+* structured-control-flow recovery for the compiled whole-program backend,
+* elementwise scope-chain discovery (candidate producer/consumer map scopes
+  for the vectorized backend's scope fusion).
 """
 
 from __future__ import annotations
@@ -17,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.sdfg.graph import Edge
-from repro.sdfg.nodes import MapEntry
+from repro.sdfg.nodes import AccessNode, MapEntry, MapExit
 from repro.sdfg.sdfg import SDFG, InterstateEdge
 from repro.sdfg.state import SDFGState
 
@@ -34,6 +37,8 @@ __all__ = [
     "CFLoop",
     "CFBlock",
     "structured_control_flow",
+    "elementwise_scope_chains",
+    "access_node_is_transparent",
 ]
 
 
@@ -412,3 +417,90 @@ def _structure_arm(
     return CFArm(
         edge, block=_structure_chain(sdfg, edge.dst, loops, actions, path, budget)
     )
+
+
+# ---------------------------------------------------------------------- #
+# Elementwise scope chains (scope-fusion candidates)
+# ---------------------------------------------------------------------- #
+#
+# The vectorized backend executes each map scope as a handful of whole-array
+# operations; a *chain* of elementwise scopes (producer writes B, consumer
+# reads B over the same iteration domain) still pays one gather, one scatter
+# and one grid construction per scope, plus the materialization of every
+# intermediate array.  Scope fusion collapses such a chain into a single
+# vectorized execution.  This pass finds the *structural* candidates; the
+# data-dependence legality checks (matching subsets, no WCR-feeding reads,
+# no cross-iteration hazards) live with the vectorized planner, which has
+# the per-scope memlet plans in hand.
+
+
+def access_node_is_transparent(state: SDFGState, node: AccessNode) -> bool:
+    """Whether executing this top-level access node is a no-op.
+
+    The interpreter only performs work for an access node when it has an
+    incoming copy edge from *another access node* with a non-empty memlet;
+    plain pass-through nodes between a map exit and the next map entry do
+    nothing and therefore cannot order-separate two fused scopes.
+    """
+    for edge in state.in_edges(node):
+        if isinstance(edge.src, AccessNode) and edge.data is not None and not edge.data.is_empty:
+            return False
+    return True
+
+
+def elementwise_scope_chains(
+    state: SDFGState,
+    order: Optional[List] = None,
+    scopes: Optional[Dict] = None,
+) -> List[List[MapEntry]]:
+    """Runs of fusable-candidate top-level map scopes in execution order.
+
+    A chain is a maximal sequence of two or more top-level map entries such
+    that
+
+    * consecutive members are separated only by *transparent* nodes in the
+      state's topological execution order (map exits, and access nodes whose
+      execution is a no-op) -- any other node (a top-level tasklet, a nested
+      SDFG, an access-to-access copy) executes between the scopes and breaks
+      the chain, and
+    * every member has the same map parameter names and textually identical
+      iteration ranges, so their iteration domains coincide point for point.
+
+    Whether a candidate chain is actually *legal* to fuse additionally
+    depends on its memlets (the vectorized planner's job); this pass is
+    purely structural and safe to call on any state.
+    """
+    if order is None:
+        order = state.topological_sort()
+    if scopes is None:
+        scopes = state.scope_dict()
+
+    def signature(entry: MapEntry) -> Tuple:
+        return (
+            tuple(entry.map.params),
+            tuple((str(r.begin), str(r.end), str(r.step)) for r in entry.map.ranges),
+        )
+
+    chains: List[List[MapEntry]] = []
+    run: List[MapEntry] = []
+
+    def close() -> None:
+        if len(run) >= 2:
+            chains.append(list(run))
+        run.clear()
+
+    for node in order:
+        if scopes.get(node) is not None:
+            continue  # inside some scope: ordered by its entry, not here
+        if isinstance(node, MapEntry):
+            if run and signature(node) != signature(run[0]):
+                close()
+            run.append(node)
+        elif isinstance(node, MapExit):
+            continue  # paired with an entry already in (or before) the run
+        elif isinstance(node, AccessNode) and access_node_is_transparent(state, node):
+            continue
+        else:
+            close()
+    close()
+    return chains

@@ -18,6 +18,10 @@ The emitted source reproduces that lookup order statically:
   ... -- the interpreter's ``_EVAL_GLOBALS``) becomes
   ``__sym['name'] if 'name' in __sym else name``: ``eval`` resolves locals
   before globals, so a program symbol may shadow the builtin,
+* a name in ``hoisted_names`` becomes that plain local -- the compiled
+  driver binds loop-invariant symbols to locals before entering a loop, and
+  the caller guarantees the name is present and unassigned for the binding's
+  whole lifetime,
 * every other name becomes ``__sym['name']`` -- symbols, loop counters,
   and anything unknown, whose ``KeyError`` the driver wraps into the same
   :class:`~repro.interpreter.errors.ExecutionError` the interpreter raises
@@ -29,7 +33,7 @@ Only name *loads* are rewritten; the expression language has no stores.
 from __future__ import annotations
 
 import ast
-from typing import AbstractSet, FrozenSet
+from typing import AbstractSet, FrozenSet, Mapping, Optional
 
 __all__ = [
     "ExpressionCodegenError",
@@ -60,11 +64,13 @@ class _NameRouter(ast.NodeTransformer):
         global_names: AbstractSet[str],
         symbols_var: str,
         store_var: str,
+        hoisted_names: Optional[Mapping[str, str]] = None,
     ) -> None:
         self.scalar_names = scalar_names
         self.global_names = global_names
         self.symbols_var = symbols_var
         self.store_var = store_var
+        self.hoisted_names = dict(hoisted_names or {})
 
     def _symbol_lookup(self, name: str) -> ast.Subscript:
         return ast.Subscript(
@@ -89,6 +95,10 @@ class _NameRouter(ast.NodeTransformer):
             return ast.Subscript(
                 value=container, slice=ast.Constant(value=0), ctx=ast.Load()
             )
+        if node.id in self.hoisted_names:
+            # A loop-invariant symbol prebound to a driver local; the caller
+            # guarantees presence and immutability for the binding's scope.
+            return ast.Name(id=self.hoisted_names[node.id], ctx=ast.Load())
         if node.id in self.global_names:
             # eval() resolves locals (the symbol namespace) before globals,
             # so a symbol may shadow the builtin vocabulary at runtime.
@@ -110,11 +120,14 @@ def emit_interstate_expression(
     global_names: AbstractSet[str] = INTERSTATE_GLOBAL_NAMES,
     symbols_var: str = "__sym",
     store_var: str = "__store",
+    hoisted_names: Optional[Mapping[str, str]] = None,
 ) -> str:
     """Emit Python source evaluating ``expr`` with routed name lookups.
 
-    Raises :class:`ExpressionCodegenError` when the expression does not
-    parse as a single Python expression; callers fall back to the
+    ``hoisted_names`` maps symbol names to plain driver locals the caller
+    has prebound (loop-invariant hoisting); such names skip the symbol-dict
+    lookup.  Raises :class:`ExpressionCodegenError` when the expression does
+    not parse as a single Python expression; callers fall back to the
     interpreter's dynamic evaluation path for exact error parity.
     """
     try:
@@ -123,7 +136,9 @@ def emit_interstate_expression(
         raise ExpressionCodegenError(
             f"Cannot parse interstate expression {expr!r}: {exc}"
         ) from exc
-    router = _NameRouter(scalar_names, global_names, symbols_var, store_var)
+    router = _NameRouter(
+        scalar_names, global_names, symbols_var, store_var, hoisted_names
+    )
     rewritten = ast.fix_missing_locations(router.visit(tree))
     return ast.unparse(rewritten)
 

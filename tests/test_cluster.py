@@ -523,6 +523,143 @@ class TestCoordinator:
         assert result.outcomes == []
 
 
+def _fake_outcome(entry):
+    return {
+        "task_id": entry["task_id"], "verdict": "untested",
+        "transformation": "MapTiling", "error": None,
+    }
+
+
+def _complete_shard(sock, reply):
+    for entry in reply["tasks"]:
+        send_message(sock, {
+            "type": "result", "shard": reply["shard"], "index": entry["index"],
+            "task_id": entry["task_id"], "outcome": _fake_outcome(entry),
+        })
+        assert recv_message(sock)["type"] == "ack"
+
+
+class TestAdaptiveSharding:
+    def test_tail_shards_shrink_with_multiple_workers(self):
+        """Guided self-scheduling: shards start at the requested size and
+        fall toward one as the remaining work approaches the worker count."""
+        tasks = cheap_tasks(12)
+        coordinator = SweepCoordinator(tasks, "127.0.0.1", 0)
+        host, port = coordinator.start()
+        idle = socket.create_connection((host, port))
+        send_message(idle, {"type": "hello", "worker": {"host": "idle"}})
+        recv_message(idle)
+        busy = socket.create_connection((host, port))
+        send_message(busy, {"type": "hello", "worker": {"host": "busy"}})
+        recv_message(busy)
+        sizes = []
+        while True:
+            send_message(busy, {"type": "request", "max_tasks": 4})
+            reply = recv_message(busy)
+            if reply["type"] == "done":
+                break
+            assert reply["type"] == "tasks"
+            sizes.append(len(reply["tasks"]))
+            _complete_shard(busy, reply)
+        idle.close()
+        busy.close()
+        result = coordinator.wait(timeout=30.0)
+        assert all(o is not None for o in result.outcomes)
+        assert sum(sizes) == len(tasks)
+        # 2 active workers, requests of 4: ceil(pending / 4) caps the tail.
+        assert sizes[0] > sizes[-1], f"tail shards never shrank: {sizes}"
+        assert sizes == sorted(sizes, reverse=True), f"non-monotone: {sizes}"
+        assert sizes[-1] == 1
+        assert coordinator.shard_sizes == sizes
+
+    def test_lone_worker_is_never_capped(self):
+        """With nobody to level against, a single worker gets what it asks
+        for -- capping would only multiply request round-trips."""
+        tasks = cheap_tasks(6)
+        coordinator = SweepCoordinator(tasks, "127.0.0.1", 0)
+        host, port = coordinator.start()
+        w = socket.create_connection((host, port))
+        send_message(w, {"type": "hello", "worker": {"host": "solo"}})
+        recv_message(w)
+        send_message(w, {"type": "request", "max_tasks": 6})
+        reply = recv_message(w)
+        assert len(reply["tasks"]) == 6
+        _complete_shard(w, reply)
+        w.close()
+        result = coordinator.wait(timeout=30.0)
+        assert all(o is not None for o in result.outcomes)
+
+
+class TestHeartbeats:
+    def test_ping_gets_pong(self):
+        coordinator = SweepCoordinator(cheap_tasks(1), "127.0.0.1", 0)
+        host, port = coordinator.start()
+        w = socket.create_connection((host, port))
+        try:
+            send_message(w, {"type": "ping"})
+            assert recv_message(w)["type"] == "pong"
+        finally:
+            w.close()
+            coordinator._shutdown()
+
+    def test_hung_worker_times_out_and_tasks_requeue(self):
+        """A worker that leases tasks and then goes silent (no pings, no
+        results) is reaped after ``worker_timeout``; its in-flight shard is
+        requeued and completed by a healthy worker."""
+        tasks = cheap_tasks(2)
+        coordinator = SweepCoordinator(
+            tasks, "127.0.0.1", 0, worker_timeout=0.5
+        )
+        host, port = coordinator.start()
+        hung = socket.create_connection((host, port))
+        send_message(hung, {"type": "hello", "worker": {"host": "hung"}})
+        recv_message(hung)
+        send_message(hung, {"type": "request", "max_tasks": 2})
+        lease = recv_message(hung)
+        assert len(lease["tasks"]) == 2
+        # The hung worker never speaks again.  A healthy heartbeat-enabled
+        # worker joins and must end up executing the requeued tasks.
+        executed = run_worker(
+            host, port, heartbeat_seconds=0.1, quiet=True
+        )
+        assert executed == 2
+        result = coordinator.wait(timeout=30.0)
+        hung.close()
+        for outcome in result.outcomes:
+            assert outcome is not None
+            assert "connection lost" not in (outcome.get("error") or "")
+
+    def test_pinging_busy_worker_is_not_reaped(self):
+        """Heartbeats prove liveness: a worker 'executing' for several
+        timeout periods while pinging keeps its lease and delivers."""
+        import time as _time
+
+        tasks = cheap_tasks(1)
+        coordinator = SweepCoordinator(
+            tasks, "127.0.0.1", 0, worker_timeout=0.4
+        )
+        host, port = coordinator.start()
+        w = socket.create_connection((host, port))
+        send_message(w, {"type": "hello", "worker": {"host": "slow"}})
+        recv_message(w)
+        send_message(w, {"type": "request", "max_tasks": 1})
+        reply = recv_message(w)
+        assert reply["type"] == "tasks" and len(reply["tasks"]) == 1
+        # "Execute" for ~3x the timeout, pinging the whole while.
+        for _ in range(12):
+            send_message(w, {"type": "ping"})
+            assert recv_message(w)["type"] == "pong"
+            _time.sleep(0.1)
+        _complete_shard(w, reply)  # the ack proves we were never reaped
+        send_message(w, {"type": "request", "max_tasks": 1})
+        assert recv_message(w)["type"] == "done"
+        w.close()
+        result = coordinator.wait(timeout=30.0)
+        outcome = result.outcomes[0]
+        assert outcome["verdict"] == "untested"
+        assert "connection lost" not in (outcome.get("error") or "")
+
+
 # ---------------------------------------------------------------------- #
 # End-to-end loopback smoke (subprocess workers), small scale
 # ---------------------------------------------------------------------- #

@@ -411,30 +411,42 @@ class TestDivergenceErrorContext:
 
 
 class TestStateNamespaceReuse:
-    """The per-transition fast path: no symbol-dict copy per state."""
+    """The per-transition fast path: prepared op lists, no symbol-dict copy."""
 
-    def test_toplevel_node_table_built_at_prepare_time(self):
+    def test_state_op_lists_built_at_prepare_time(self):
         sdfg = build_loop_nest()
         executor = CompiledExecutor(sdfg)
-        assert set(executor._state_toplevel) == {
+        assert set(executor._state_ops_by_id) == {
             id(s) for s in executor._compiled_states
         }
+        assert len(executor._state_ops) == len(executor._compiled_states)
+        # Every op list holds prebound closures taking only the symbol dict.
+        assert all(
+            callable(op) for ops in executor._state_ops for op in ops
+        )
 
-    def test_execute_state_passes_live_symbols_without_copy(self):
+    def test_state_ops_receive_live_symbols_without_copy(self):
         sdfg = build_loop_nest()
         executor = CompiledExecutor(sdfg)
         seen = []
-        original = executor._execute_node
+        for state_id, ops in executor._state_ops_by_id.items():
 
-        def spying(state, node, bindings):
-            # Identity must be checked at call time: the run contract
-            # rebinds executor._symbols to a fresh dict after each run.
-            seen.append(bindings is executor._symbols)
-            return original(state, node, bindings)
+            def wrap(op):
+                def spying(symbols):
+                    # Identity must be checked at call time: the run contract
+                    # rebinds executor._symbols to a fresh dict after each run.
+                    seen.append(symbols is executor._symbols)
+                    return op(symbols)
 
-        executor._execute_node = spying
+                return spying
+
+            executor._state_ops_by_id[state_id] = [wrap(op) for op in ops]
+        # The driver captured executor._state_ops at prepare time; patch the
+        # shared lists in place so the generated code sees the spies too.
+        for index, state in enumerate(executor._compiled_states):
+            executor._state_ops[index][:] = executor._state_ops_by_id[id(state)]
         executor.run(make_arguments(sdfg, {"N": 6, "T": 3}), {"N": 6, "T": 3})
-        assert seen, "no nodes executed"
+        assert seen, "no ops executed"
         assert all(seen), "a state execution copied the symbol namespace"
 
     def test_fast_path_stays_bitwise_identical(self):
