@@ -3,7 +3,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke smoke-dist sweep bench-scaling bench-quick
+.PHONY: test smoke smoke-dist sweep bench-scaling bench-quick lint-arch
 
 test:
 	$(PY) -m pytest -x -q
@@ -14,11 +14,13 @@ test:
 # from the populated cache), the distributed loopback check and the tier-1
 # test suite.
 smoke:
+	$(MAKE) lint-arch
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend interpreter
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend vectorized
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend compiled
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend cross
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend cross:compiled,interpreter
+	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend cross:batched,interpreter --trial-batch 4
 	rm -rf .smoke-cache && \
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend compiled --cache-dir .smoke-cache && \
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend compiled --cache-dir .smoke-cache && \
@@ -45,3 +47,8 @@ bench-scaling:
 # (BENCH_backends.json).
 bench-quick:
 	cd benchmarks && PYTHONPATH=../src REPRO_BENCH_QUICK=1 $(PY) -m pytest bench_backend_throughput.py -q -s
+
+# Structural invariants of src/repro/backends/: module-size cap and the
+# codegen -> execute layering rule (emitters never import the runtime).
+lint-arch:
+	$(PY) tools/lint_arch.py

@@ -21,18 +21,26 @@ Beyond raw kernel throughput the file also records:
   disabled on ``fused_pipeline``;
 * a **compile-cache series**: per-program prepare cost for a cold compile,
   an on-disk artifact hit (``--cache-dir``; the sibling-worker path) and
-  an in-memory cache hit.
+  an in-memory cache hit;
+* a **batched-trials series**: trials/second for ``K = 32`` trials through
+  the ``batched`` backend's batch-axis execution vs. the same trials run
+  one at a time through the compiled backend, on an affine stencil at
+  fuzzing-cutout sizes.
 
 The backends must agree bitwise on every measured run (the measurement
-doubles as an equivalence check), and three speedup floors are asserted:
+doubles as an equivalence check), and four speedup floors are asserted:
 
 * the vectorized backend must beat the interpreter by at least 5x on the
   large affine matmul (the PR 2 margin),
 * the compiled whole-program backend must beat the interpreter by at least
   5x on the loop nest -- the workload class where per-transition interpreter
-  re-entry used to swallow the vectorized speedup, and
+  re-entry used to swallow the vectorized speedup,
 * scope fusion must beat the unfused compiled backend by at least 2x on
-  the multi-scope pipeline (the PR 5 margin).
+  the multi-scope pipeline (the PR 5 margin), and
+* batch-axis execution must beat per-trial compiled execution by at least
+  5x in trials/second on the affine stencil (the PR 6 margin) -- small
+  cutouts pay NumPy's per-call fixed costs ``K`` times serially but once
+  per scope when batched.
 
 Set ``REPRO_BENCH_QUICK=1`` (the ``make bench-quick`` target) for tiny sizes,
 ``REPRO_PAPER_SCALE=1`` for larger ones.
@@ -68,6 +76,11 @@ REQUIRED_MATMUL_SPEEDUP = 5.0
 REQUIRED_LOOP_NEST_SPEEDUP = 5.0
 #: Required fused-vs-unfused compiled speedup on the multi-scope pipeline.
 REQUIRED_FUSION_SPEEDUP = 2.0
+#: Required batch-axis vs. per-trial compiled speedup (trials/s) on the
+#: affine stencil.
+REQUIRED_BATCHED_SPEEDUP = 5.0
+#: Trials per batch in the batched-trials series.
+BATCH_TRIALS = 32
 
 
 def quick_scale() -> bool:
@@ -250,6 +263,7 @@ def test_backend_throughput(report_lines):
     fusion = _measure_fusion(report_lines)
     fuzz_trials = _measure_fuzz_trials(report_lines)
     compile_cache = _measure_compile_cache(report_lines)
+    batched_trials = _measure_batched_trials(report_lines)
 
     with open(OUTPUT_PATH, "w", encoding="utf-8") as f:
         json.dump(
@@ -261,11 +275,13 @@ def test_backend_throughput(report_lines):
                 required_matmul_speedup=REQUIRED_MATMUL_SPEEDUP,
                 required_loop_nest_speedup=REQUIRED_LOOP_NEST_SPEEDUP,
                 required_fusion_speedup=REQUIRED_FUSION_SPEEDUP,
+                required_batched_speedup=REQUIRED_BATCHED_SPEEDUP,
                 speedups=speedups,
                 rows=rows,
                 fusion=fusion,
                 fuzz_trials=fuzz_trials,
                 compile_cache=compile_cache,
+                batched_trials=batched_trials,
             ),
             f,
             indent=2,
@@ -286,6 +302,11 @@ def test_backend_throughput(report_lines):
         f"scope fusion only {fusion['speedup']:.2f}x faster than the unfused "
         f"compiled backend on the multi-scope pipeline "
         f"(required: {REQUIRED_FUSION_SPEEDUP}x)"
+    )
+    assert batched_trials["speedup"] >= REQUIRED_BATCHED_SPEEDUP, (
+        f"batch-axis execution only {batched_trials['speedup']:.2f}x faster "
+        f"than per-trial compiled execution on the affine stencil "
+        f"(required: {REQUIRED_BATCHED_SPEEDUP}x)"
     )
 
 
@@ -362,6 +383,71 @@ def _measure_fuzz_trials(report_lines):
             f"  {backend_name:<14}{per_trial * 1e3:>10.2f} ms/trial"
         )
     return dict(kernel="fused_pipeline", trials=trials, backends=series)
+
+
+# ---------------------------------------------------------------------- #
+# Batched trials: batch-axis execution vs. per-trial compiled
+# ---------------------------------------------------------------------- #
+def _measure_batched_trials(report_lines):
+    """Trials/second for K trials batched along the leading axis vs. run
+    one at a time through the compiled backend.
+
+    The kernel is the affine 2-D stencil at fuzzing-cutout sizes, where
+    NumPy's per-call fixed costs dominate the per-trial arithmetic -- the
+    regime the batched backend exists for.  Outcomes must be bitwise
+    identical (and the batch-axis path is exercised directly through
+    ``run_batched``, which has no serial fallback of its own).
+    """
+    from repro.backends.batched import BatchedProgram
+
+    n = 16 if quick_scale() else (32 if paper_scale() else 24)
+    symbols = {"N": n}
+    builder = _suite_builder("jacobi_2d")
+    sdfg = builder()
+    args_list = [_arguments(sdfg, symbols, seed=k) for k in range(BATCH_TRIALS)]
+
+    serial_program = CompiledWholeProgram(builder())
+    batched_program = BatchedProgram(builder())
+    assert batched_program.executor._batchable, "stencil must admit batching"
+
+    # Warm-up doubles as the equivalence check.
+    ref = serial_program.run_batch([dict(a) for a in args_list], symbols)
+    got = batched_program.executor.run_batched(
+        [dict(a) for a in args_list], symbols
+    )
+    for k, (a, b) in enumerate(zip(ref, got)):
+        for name in a.outputs:
+            assert np.array_equal(a.outputs[name], b.outputs[name]), (
+                f"trial {k}: batched/serial outputs diverge on '{name}'"
+            )
+        assert a.transitions == b.transitions, f"trial {k}: transitions diverge"
+
+    def trials_per_second(run_batch):
+        reps = 0
+        elapsed = 0.0
+        while reps < 2 or elapsed < 0.3:
+            start = time.perf_counter()
+            run_batch([dict(a) for a in args_list], symbols)
+            elapsed += time.perf_counter() - start
+            reps += 1
+            if reps >= 64:
+                break
+        return BATCH_TRIALS * reps / elapsed
+
+    serial_rate = trials_per_second(serial_program.run_batch)
+    batched_rate = trials_per_second(batched_program.run_batch)
+    speedup = batched_rate / serial_rate
+    report_lines.append(
+        f"\nbatched trials (jacobi_2d, N={n}, K={BATCH_TRIALS}): "
+        f"per-trial {serial_rate:.1f} trials/s, batched {batched_rate:.1f} "
+        f"trials/s -> {speedup:.2f}x"
+    )
+    return dict(
+        kernel="jacobi_2d", symbols=symbols, batch=BATCH_TRIALS,
+        serial_trials_per_second=serial_rate,
+        batched_trials_per_second=batched_rate,
+        speedup=speedup,
+    )
 
 
 # ---------------------------------------------------------------------- #

@@ -18,6 +18,12 @@ Execution of dataflow programs is a swappable layer behind the
   loops and ``if`` chains, with a state-dispatch loop for irreducible
   graphs) with inline interstate conditions/assignments, and executes each
   state's dataflow through the vectorized scope kernels.
+* ``"batched"`` -- the trial-batched backend (:mod:`repro.backends.batched`):
+  the compiled backend plus batch execution: ``K`` fuzzing trials stack
+  along a leading batch axis and every batchable scope executes once per
+  batch; WCR/order-dependent scopes run per trial, and any batched failure
+  reruns the batch serially so verdicts stay bitwise identical to ``K``
+  serial runs.
 * ``"cross"`` -- the self-checking backend (:mod:`repro.backends.cross`):
   runs two backends in lockstep and raises
   :class:`~repro.backends.cross.BackendDivergenceError` on any bitwise
@@ -26,9 +32,15 @@ Execution of dataflow programs is a swappable layer behind the
   ``cross:REF,CAND`` (e.g. ``cross:compiled,interpreter``) pairs any two
   registered backends.
 
-``get_backend(name).prepare(sdfg).run(args, symbols)`` is the whole API; the
-differential fuzzer, verifier and sweep pipeline all thread a backend name
-through to this registry.
+``get_backend(name).prepare(sdfg).run(args, symbols)`` is the whole API (plus
+``run_batch`` for multi-trial execution); the differential fuzzer, verifier
+and sweep pipeline all thread a backend name through to this registry.
+
+Internally the compiled backends share a four-stage lowering pipeline --
+**analyze** (:mod:`repro.backends.analysis`) -> **plan**
+(:mod:`repro.backends.plan`) -> **codegen**
+(:mod:`repro.backends.codegen`, a registry of emitters) -> **execute**
+(:mod:`repro.backends.execute`) -- see each stage's module docstring.
 """
 
 from repro.backends.base import (
@@ -38,6 +50,11 @@ from repro.backends.base import (
     get_backend,
     list_backends,
     register_backend,
+)
+from repro.backends.batched import (
+    BatchedBackend,
+    BatchedExecutor,
+    BatchedProgram,
 )
 from repro.backends.compiled import (
     CompiledBackend,
@@ -69,6 +86,9 @@ __all__ = [
     "CompiledBackend",
     "CompiledExecutor",
     "CompiledWholeProgram",
+    "BatchedBackend",
+    "BatchedExecutor",
+    "BatchedProgram",
     "CrossBackend",
     "CrossProgram",
     "BackendDivergenceError",
@@ -77,4 +97,5 @@ __all__ = [
 register_backend("interpreter", InterpreterBackend)
 register_backend("vectorized", VectorizedBackend)
 register_backend("compiled", CompiledBackend)
+register_backend("batched", BatchedBackend)
 register_backend("cross", CrossBackend)

@@ -1,0 +1,508 @@
+"""Scope legality and fusion analysis (the *analyze* layer).
+
+First stage of the backend lowering pipeline (analyze -> plan -> codegen ->
+execute): decides, per map scope, whether the scope can execute as whole-
+array NumPy operations -- and per elementwise scope chain (discovered
+structurally by :func:`repro.sdfg.analysis.elementwise_scope_chains`),
+whether the chain can fuse into one straight-line kernel.  The result is
+the typed plan IR of :mod:`repro.backends.plan`; no code is generated and
+nothing is executed here.
+
+Rejections carry a *reason* string (recorded in
+:attr:`repro.backends.plan.StatePlan.fallback_reasons`) so a sweep can
+report why a scope interprets instead of vectorizing.
+
+Fusion legality (pass 1 of the old fused-plan builder) routes each member
+input either to the pre-chain store (``gather``) or to an earlier member's
+in-flight value (``chain``); reads of WCR-written or subset-mismatched
+intermediates truncate the chain.  A member that *writes* with WCR is legal
+-- accumulate-into-chain -- but terminates the chain: deferred writes and
+pre-chain gathers only reproduce the interpreter when no later member can
+observe (or race with) the accumulation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.backends.plan import (
+    ChainPlan,
+    InputPlan,
+    OutputPlan,
+    PLAN_FORMAT_VERSION,
+    ProgramPlan,
+    ScopePlan,
+    StatePlan,
+)
+from repro.sdfg.analysis import elementwise_scope_chains
+from repro.sdfg.memlet import Memlet
+from repro.sdfg.nodes import AccessNode, MapEntry, MapExit, Tasklet
+from repro.sdfg.sdfg import SDFG
+from repro.sdfg.state import SDFGState
+
+__all__ = [
+    "code_is_vectorizable",
+    "unit_affine_offset",
+    "point_index_exprs",
+    "analyze_scope",
+    "analyze_chain",
+    "analyze_state",
+    "analyze_program",
+    "container_private_to_chain",
+    "ALLOWED_NP_FUNCS",
+]
+
+#: Element-wise NumPy functions allowed inside vectorized tasklet code.
+ALLOWED_NP_FUNCS = frozenset(
+    {
+        "exp", "expm1", "log", "log1p", "log2", "log10", "sqrt", "cbrt",
+        "abs", "absolute", "fabs", "sign", "floor", "ceil", "trunc", "rint",
+        "sin", "cos", "tan", "arcsin", "arccos", "arctan", "arctan2",
+        "sinh", "cosh", "tanh", "power", "maximum", "minimum", "fmod",
+        "hypot", "copysign", "where",
+    }
+)
+
+_ALLOWED_BINOPS = (
+    ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow,
+)
+_ALLOWED_UNARYOPS = (ast.USub, ast.UAdd)
+
+_RAISING_BINOPS = (ast.Div, ast.FloorDiv, ast.Mod, ast.Pow)
+
+
+def code_is_vectorizable(code: str, np_names: frozenset) -> bool:
+    """Whether tasklet code stays element-wise under array substitution.
+
+    Accepts straight-line assignments built from arithmetic, ``abs``,
+    ``math.*`` (via the shim) and a whitelist of element-wise ``np`` / ``numpy``
+    functions.  Control flow, comparisons, subscripts and anything else that
+    changes meaning between scalars and arrays is rejected -- the scope then
+    falls back to the interpreter.  Augmented assignment is rejected too:
+    after ``b = a``, ``b += c`` would mutate the *aliased* gathered input
+    array in place, whereas the scalar path rebinds ``b``.
+
+    ``np_names`` are the names bound to NumPy values in the interpreter's
+    scalar path (the input connectors).  ``/ // % **`` are only accepted
+    when an operand is NumPy-typed there as well: with pure-Python operands
+    (map parameters, constants, ``math.*`` results) the interpreter raises
+    (``ZeroDivisionError``, ...) where NumPy arrays would warn and continue,
+    so such scopes must fall back to keep crash classification identical.
+    """
+    try:
+        tree = ast.parse(code)
+    except SyntaxError:
+        return False
+    np_locals = set(np_names)
+
+    def np_typed(node: ast.AST) -> bool:
+        """Whether the interpreter's scalar path yields a NumPy value here."""
+        if isinstance(node, ast.Name):
+            return node.id in np_locals
+        if isinstance(node, ast.BinOp):
+            return np_typed(node.left) or np_typed(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return np_typed(node.operand)
+        if isinstance(node, ast.Call):
+            fn = node.func
+            if isinstance(fn, ast.Name) and fn.id == "abs":
+                return any(np_typed(a) for a in node.args)
+            if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name):
+                # np.* returns NumPy scalars even for Python inputs;
+                # math.* returns plain Python floats.
+                return fn.value.id in ("np", "numpy")
+        return False
+
+    def expr_ok(node: ast.AST) -> bool:
+        if isinstance(node, ast.BinOp):
+            if not (
+                isinstance(node.op, _ALLOWED_BINOPS)
+                and expr_ok(node.left)
+                and expr_ok(node.right)
+            ):
+                return False
+            if isinstance(node.op, _RAISING_BINOPS):
+                return np_typed(node.left) or np_typed(node.right)
+            return True
+        if isinstance(node, ast.UnaryOp):
+            return isinstance(node.op, _ALLOWED_UNARYOPS) and expr_ok(node.operand)
+        if isinstance(node, ast.Name):
+            return True
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, (int, float, bool))
+        if isinstance(node, ast.Call):
+            if node.keywords:
+                return False
+            if not all(expr_ok(a) for a in node.args):
+                return False
+            fn = node.func
+            if isinstance(fn, ast.Name):
+                return fn.id == "abs"
+            if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name):
+                if fn.value.id == "math":
+                    return True
+                if fn.value.id in ("np", "numpy"):
+                    return fn.attr in ALLOWED_NP_FUNCS
+            return False
+        return False
+
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.Assign):
+            return False
+        if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
+            return False
+        if not expr_ok(stmt.value):
+            return False
+        if np_typed(stmt.value):
+            np_locals.add(stmt.targets[0].id)
+        else:
+            np_locals.discard(stmt.targets[0].id)
+    return True
+
+
+def unit_affine_offset(expr, param: str) -> Optional[int]:
+    """Integer ``c`` such that ``expr == param + c``, else ``None``.
+
+    The match is *structural* -- ``Symbol(param)`` or a two-term sum of
+    ``Symbol(param)`` and an integer constant (what ``i + 1`` / ``i - 1`` /
+    ``1 + i`` parse and fold to).  Probing concrete points instead would
+    accept piecewise expressions (``i % 4096``, ``Min(i, C)``) that agree
+    with ``param + c`` on the probe set but wrap elsewhere, silently
+    corrupting vectorized writes.
+    """
+    from repro.symbolic.expressions import Add, Integer, Symbol
+
+    if isinstance(expr, Symbol):
+        return 0 if expr.name == param else None
+    if isinstance(expr, Add) and len(expr.args) == 2:
+        a, b = expr.args
+        if isinstance(b, Symbol):
+            a, b = b, a
+        if isinstance(a, Symbol) and a.name == param and isinstance(b, Integer):
+            return b.value
+    return None
+
+
+def point_index_exprs(memlet: Memlet) -> Optional[List[str]]:
+    """Per-dimension index expression strings, or None if not all points."""
+    if memlet.subset is None:
+        return None
+    exprs = []
+    for r in memlet.subset.ranges:
+        if not r.is_point():
+            return None
+        exprs.append(str(r.begin))
+    return exprs
+
+
+# ---------------------------------------------------------------------- #
+# Scope analysis
+# ---------------------------------------------------------------------- #
+def analyze_scope(
+    state: SDFGState, entry: MapEntry, children: List[Any]
+) -> Tuple[Optional[ScopePlan], Optional[str]]:
+    """Build the vectorized plan for one map scope, or explain the refusal.
+
+    Returns ``(plan, None)`` on success and ``(None, reason)`` otherwise;
+    the reason slug names the first legality rule that failed.
+    """
+    # Exactly one tasklet in the scope: nested maps, nested SDFGs and
+    # in-scope access nodes all fall back to the interpreter.
+    if len(children) != 1 or not isinstance(children[0], Tasklet):
+        return None, "scope-not-single-tasklet"
+    tasklet = children[0]
+    if tasklet.side_effect_callback:
+        return None, "side-effect-tasklet"
+    params = entry.map.params
+
+    inputs: List[InputPlan] = []
+    for edge in state.in_edges(tasklet):
+        memlet: Memlet = edge.data
+        if memlet is None or memlet.is_empty:
+            if edge.src is not entry:
+                return None, "non-entry-dependency-edge"
+            continue
+        if edge.src is not entry or edge.dst_conn is None:
+            return None, "input-not-from-map-entry"
+        if memlet.dynamic or memlet.other_subset is not None:
+            return None, "dynamic-or-copy-input-subset"
+        exprs = point_index_exprs(memlet)
+        if exprs is None:
+            return None, "non-point-input-subset"
+        inputs.append(
+            InputPlan(edge.dst_conn, memlet.data, exprs, str(memlet.subset))
+        )
+
+    outputs: List[OutputPlan] = []
+    for edge in state.out_edges(tasklet):
+        memlet = edge.data
+        if memlet is None or memlet.is_empty:
+            if isinstance(edge.dst, MapExit) and edge.dst.map is entry.map:
+                continue
+            return None, "empty-output-not-to-map-exit"
+        if not isinstance(edge.dst, MapExit) or edge.dst.map is not entry.map:
+            return None, "output-not-to-own-map-exit"
+        if edge.src_conn is None or memlet.dynamic or memlet.other_subset is not None:
+            return None, "dynamic-or-copy-output-subset"
+        if memlet.subset is None:
+            return None, "missing-output-subset"
+        dims: List[Tuple[str, Any]] = []
+        used_params: List[str] = []
+        for r in memlet.subset.ranges:
+            if not r.is_point():
+                return None, "non-point-output-subset"
+            text = str(r.begin).strip()
+            if text in params:
+                if text in used_params:
+                    # Same parameter indexing two dimensions.
+                    return None, "parameter-reused-across-dims"
+                used_params.append(text)
+                dims.append(("param", (params.index(text), 0)))
+            elif not (r.begin.free_symbols & set(params)):
+                dims.append(("const", text))
+            else:
+                # Affine-but-not-bare (e.g. ``i + 1``): lower to a slice
+                # offset when the index is unit-slope in one parameter;
+                # the shift keeps the write a bijection, so the plain /
+                # WCR write paths apply unchanged.
+                candidates = r.begin.free_symbols & set(params)
+                if len(candidates) != 1:
+                    return None, "non-affine-output-index"
+                p = next(iter(candidates))
+                offset = unit_affine_offset(r.begin, p)
+                if offset is None or p in used_params:
+                    return None, "non-affine-output-index"
+                used_params.append(p)
+                dims.append(("param", (params.index(p), offset)))
+        if memlet.wcr is None:
+            # Without a reduction, the write must be a bijection on the
+            # iteration space (every parameter appears as its own
+            # dimension), otherwise iteration order would matter.
+            if set(used_params) != set(params):
+                return None, "non-bijective-write"
+        elif memlet.wcr not in ("sum", "prod", "min", "max"):
+            return None, "unsupported-wcr"
+        outputs.append(
+            OutputPlan(edge.src_conn, memlet.data, dims, memlet.wcr, str(memlet.subset))
+        )
+
+    # Two output edges into the same container interleave their writes
+    # per iteration in the interpreter but would run as two full-array
+    # passes here; only vectorize single-writer containers.
+    out_data = [o.data for o in outputs]
+    if len(out_data) != len(set(out_data)):
+        return None, "multi-writer-container"
+    # An iteration must never observe another iteration's write: reading
+    # a container that the scope also writes is only safe when read and
+    # write subsets are textually identical (pure element-wise update).
+    for spec in inputs:
+        for other in outputs:
+            if other.data != spec.data:
+                continue
+            if other.wcr is not None or spec.subset_str != other.subset_str:
+                return None, "read-write-overlap"
+
+    if not code_is_vectorizable(tasklet.code, frozenset(s.conn for s in inputs)):
+        return None, "non-vectorizable-code"
+
+    # Setup dependencies: every non-parameter name the iteration grids,
+    # gather indices and write geometry read.  Executions with unchanged
+    # values for these names reuse the cached setup (loop hoisting).
+    deps: Set[str] = set()
+    for rng in entry.map.ranges:
+        deps |= rng.free_symbols
+    for edge in state.in_edges(tasklet):
+        if edge.data is not None and not edge.data.is_empty and edge.data.subset is not None:
+            deps |= edge.data.subset.free_symbols
+    for edge in state.out_edges(tasklet):
+        if edge.data is not None and not edge.data.is_empty and edge.data.subset is not None:
+            deps |= edge.data.subset.free_symbols
+    deps -= set(params)
+    return (
+        ScopePlan(
+            entry_guid=entry.guid,
+            entry_label=entry.label,
+            tasklet_guid=tasklet.guid,
+            tasklet_label=tasklet.label,
+            code=tasklet.code,
+            inputs=inputs,
+            outputs=outputs,
+            setup_deps=tuple(sorted(deps)),
+        ),
+        None,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Fusion analysis
+# ---------------------------------------------------------------------- #
+def container_private_to_chain(
+    sdfg: SDFG, state: SDFGState, data: str, chain_nodes: Set[Any]
+) -> bool:
+    """Whether every use of ``data`` in the whole program is inside the chain.
+
+    Only then may the fused kernel skip materializing the container: nothing
+    else -- no other state, no non-chain node in this state, no final-output
+    copy -- can observe the missing write.
+    """
+    for other in sdfg.states():
+        for node in other.nodes():
+            if not isinstance(node, AccessNode) or node.data != data:
+                continue
+            if other is not state:
+                return False
+            for edge in other.in_edges(node):
+                if edge.src not in chain_nodes:
+                    return False
+            for edge in other.out_edges(node):
+                if edge.dst not in chain_nodes:
+                    return False
+    return True
+
+
+def analyze_chain(
+    sdfg: SDFG,
+    state: SDFGState,
+    entries: List[MapEntry],
+    plans: Dict[int, Optional[ScopePlan]],
+) -> Optional[ChainPlan]:
+    """Fuse the longest legal prefix of a candidate chain (or refuse).
+
+    ``entries`` is a structural candidate from
+    :func:`repro.sdfg.analysis.elementwise_scope_chains`; members without a
+    vectorized plan, or whose memlets violate the fusion preconditions
+    (mismatched intermediate subsets, reads of WCR-written containers,
+    overlapping-write hazards), truncate the chain at that point.  A member
+    writing with WCR may join -- but only as the chain's *tail*: with the
+    accumulation target unread inside the chain, the deferred write is
+    indistinguishable from the interpreter's, while any later member would
+    reorder against the accumulation.
+    """
+    from repro.sdfg.data import Array
+
+    planned: List[Tuple[MapEntry, ScopePlan]] = []
+    for entry in entries:
+        plan = plans.get(entry.guid)
+        if plan is None:
+            break
+        planned.append((entry, plan))
+
+    # Legality walk: route each input either to the store (gather) or to an
+    # earlier member's value (chain); any read of an intra-chain write that
+    # is not an exact elementwise match truncates the chain.
+    accepted: List[Tuple[MapEntry, ScopePlan, List[str]]] = []
+    written: Dict[str, OutputPlan] = {}
+    gathered: Set[str] = set()
+    deps: Set[str] = set()
+    for entry, plan in planned:
+        routes: List[str] = []
+        legal = True
+        for spec in plan.inputs:
+            prev = written.get(spec.data)
+            if prev is None:
+                routes.append("gather")
+                gathered.add(spec.data)
+            elif prev.wcr is None and prev.subset_str == spec.subset_str:
+                routes.append("chain")
+            else:
+                legal = False  # WCR-fed or subset-mismatched intermediate read
+                break
+        if not legal:
+            break
+        accepted.append((entry, plan, routes))
+        deps.update(plan.setup_deps)
+        for spec in plan.outputs:
+            written[spec.data] = spec
+        if any(spec.wcr is not None for spec in plan.outputs):
+            # Accumulate-into-chain: a WCR writer is only legal as the tail.
+            break
+    if len(accepted) < 2:
+        return None
+    member_entries = [entry for entry, _, _ in accepted]
+
+    # Intermediates used nowhere outside the chain are never materialized.
+    chain_nodes: Set[Any] = set()
+    tasklets_by_guid = {n.guid: n for n in state.nodes()}
+    for entry, plan, _ in accepted:
+        chain_nodes.add(entry)
+        chain_nodes.add(tasklets_by_guid[plan.tasklet_guid])
+    for node in state.nodes():
+        if isinstance(node, MapExit) and any(
+            node.map is e.map for e in member_entries
+        ):
+            chain_nodes.add(node)
+    internal: Set[str] = set()
+    for data in written:
+        desc = sdfg.arrays.get(data)
+        if (
+            desc is not None
+            and desc.transient
+            and isinstance(desc, Array)
+            # A container the chain also *gathers* (reads before any chain
+            # write) carries a loop-borne dependence: the next execution of
+            # this state must see the materialized value, so the write
+            # cannot be skipped even when every use site is in the chain.
+            and data not in gathered
+            and container_private_to_chain(sdfg, state, data, chain_nodes)
+        ):
+            internal.add(data)
+
+    return ChainPlan(
+        member_guids=tuple(e.guid for e in member_entries),
+        routes=[routes for _, _, routes in accepted],
+        internal=tuple(sorted(internal)),
+        setup_deps=tuple(sorted(deps)),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# State / program analysis
+# ---------------------------------------------------------------------- #
+def analyze_state(
+    sdfg: SDFG,
+    state: SDFGState,
+    order: List[Any],
+    scopes: Dict[Any, Any],
+    fuse: bool = True,
+) -> StatePlan:
+    """Analyze one state: every map scope, then every fusable chain."""
+    plans: Dict[int, Optional[ScopePlan]] = {}
+    reasons: Dict[int, str] = {}
+    for node in order:
+        if not isinstance(node, MapEntry):
+            continue
+        children = [
+            n for n in order if scopes.get(n) is node and not isinstance(n, MapExit)
+        ]
+        plan, reason = analyze_scope(state, node, children)
+        plans[node.guid] = plan
+        if reason is not None:
+            reasons[node.guid] = reason
+    chains: List[ChainPlan] = []
+    if fuse:
+        for chain in elementwise_scope_chains(state, order, scopes):
+            chain_plan = analyze_chain(sdfg, state, chain, plans)
+            if chain_plan is not None:
+                chains.append(chain_plan)
+    return StatePlan(
+        state_label=state.label,
+        scopes=plans,
+        fallback_reasons=reasons,
+        chains=chains,
+    )
+
+
+def analyze_program(sdfg: SDFG, fuse: bool = True) -> ProgramPlan:
+    """Analyze every state of a program into one :class:`ProgramPlan`."""
+    states: List[StatePlan] = []
+    for state in sdfg.states():
+        order = state.topological_sort()
+        scopes = state.scope_dict()
+        states.append(analyze_state(sdfg, state, order, scopes, fuse=fuse))
+    return ProgramPlan(
+        format=PLAN_FORMAT_VERSION,
+        sdfg_name=sdfg.name,
+        states=states,
+        hoisted_symbols=(),
+    )

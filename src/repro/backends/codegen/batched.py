@@ -1,0 +1,83 @@
+"""The ``batched`` emitter: trial-batched NumPy scope kernels.
+
+Binds plans exactly like :class:`~repro.backends.codegen.numpy_eager.\
+NumpyEagerEmitter` (the bound structures are identical -- the batched
+runtime reinterprets them with a leading batch axis), and adds the *static*
+batchability predicates the execute layer consults:
+
+* a scope or chain is batchable when it performs no WCR accumulation
+  (WCR applies slabs sequentially in iteration order; with a batch axis the
+  per-trial regions would interleave) -- order-dependent scopes run
+  per-trial instead;
+* a program's control flow is batchable when the driver is structured or
+  dispatched (one generated control path) and no interstate expression
+  reads a scalar container: scalars live in the (batched) store, so a
+  condition reading one could steer trial ``k`` by trial ``0``'s value.
+  Such programs run entirely per-trial.
+
+Per-trial fallback and the batch-axis runtime live in the execute layer;
+this module only classifies.  Layer direction (codegen never imports
+execute) is enforced by ``make lint-arch``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.backends.codegen.numpy_eager import (
+    BoundChain,
+    BoundScope,
+    NumpyEagerEmitter,
+)
+from repro.sdfg.data import Scalar
+from repro.sdfg.sdfg import SDFG
+
+__all__ = ["BatchedEmitter"]
+
+
+class BatchedEmitter(NumpyEagerEmitter):
+    """Binds plans for batched execution (``"batched"`` in the registry)."""
+
+    name = "batched"
+
+    # .................................................................. #
+    # Static batchability predicates
+    # .................................................................. #
+    @staticmethod
+    def scope_is_batchable(plan: Optional[BoundScope]) -> bool:
+        """A vectorized scope batches unless it accumulates via WCR."""
+        return plan is not None and all(
+            spec.wcr is None for spec in plan.outputs
+        )
+
+    @staticmethod
+    def chain_is_batchable(chain: BoundChain) -> bool:
+        """A fused chain batches unless any member accumulates via WCR."""
+        return all(
+            spec.wcr is None
+            for member in chain.members
+            for _kind, spec, _name in member.outputs
+        )
+
+    @staticmethod
+    def control_is_static(sdfg: SDFG, control_mode: str) -> bool:
+        """Whether one generated control path serves every trial.
+
+        Requires a generated driver (``structured``/``dispatch``) and that
+        no interstate expression reads a scalar container -- scalar values
+        live in the batched store, and conditions must not steer all trials
+        by trial 0's data.
+        """
+        if control_mode not in ("structured", "dispatch"):
+            return False
+        scalar_names = {
+            name
+            for name, desc in sdfg.arrays.items()
+            if isinstance(desc, Scalar)
+        }
+        if not scalar_names:
+            return True
+        for edge in sdfg.edges():
+            if edge.data.free_symbols & scalar_names:
+                return False
+        return True

@@ -1,0 +1,475 @@
+"""The ``python-driver`` emitter: whole-program Python control-flow codegen.
+
+Third stage of the lowering pipeline (analyze -> plan -> codegen ->
+execute), covering *interstate* control flow where the ``numpy-eager``
+emitter covers per-state dataflow.  The state machine is lowered to one
+generated Python function:
+
+* natural loops (the guard pattern) become native ``while`` loops,
+  if-diamonds become ``if`` chains, linear chains stay flat
+  (:func:`repro.sdfg.analysis.structured_control_flow`);
+* interstate edge conditions and symbol assignments become inline Python
+  expressions (:func:`repro.symbolic.codegen.emit_interstate_expression`)
+  reading program symbols from one shared dict and scalar containers from
+  the data store -- no per-transition namespace rebuild, no ``eval``;
+* symbol loads invariant across a structured loop are hoisted into locals
+  computed once before the loop;
+* irreducible interstate graphs fall back to a generated
+  ``while``-over-current-state dispatch loop.
+
+The generated driver calls back into runtime services (``__rt._hang`` and
+friends) supplied by the execute layer, but this module never imports it --
+the driver receives the runtime as a parameter.  Layer direction is
+enforced by ``make lint-arch``.
+"""
+
+from __future__ import annotations
+
+import base64
+import marshal
+import sys
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.interpreter.executor import _EVAL_GLOBALS
+from repro.interpreter.executor import SDFGExecutor as _SDFGExecutor
+from repro.sdfg.analysis import (
+    CFBlock,
+    CFBranch,
+    CFExec,
+    CFLoop,
+    structured_control_flow,
+)
+from repro.sdfg.data import Scalar
+from repro.sdfg.sdfg import SDFG
+from repro.sdfg.state import SDFGState
+from repro.symbolic.codegen import (
+    ExpressionCodegenError,
+    emit_interstate_expression,
+)
+
+__all__ = [
+    "CODEGEN_VERSION",
+    "PythonDriverEmitter",
+    "compile_driver",
+]
+
+#: Version stamp of the driver code generator.  Bump on ANY change to the
+#: emitted driver source, the driver globals, or the runtime services the
+#: driver calls: on-disk artifacts carry it, and a mismatch invalidates the
+#: cached entry (it is recompiled and overwritten).
+#: 6: lowering split into analyze/plan/codegen/execute; artifacts carry the
+#: serialized program plan next to the driver.
+CODEGEN_VERSION = 6
+
+#: Globals of the generated driver.  User expressions see exactly the
+#: interpreter's ``_EVAL_GLOBALS`` vocabulary; the dunder-prefixed aliases
+#: are infrastructure used by *emitted* statements only, so they cannot
+#: widen what a program's own conditions can resolve.
+_DRIVER_GLOBALS: Dict[str, Any] = dict(_EVAL_GLOBALS)
+_DRIVER_GLOBALS.update(
+    {
+        "__bool": bool,
+        "__isinstance": isinstance,
+        "__float": float,
+        "__int": int,
+        "__Exception": Exception,
+    }
+)
+
+
+def _artifact_stamp() -> Dict[str, Any]:
+    """Identity fields every persisted driver artifact must carry.
+
+    The ``backend`` field stays ``"compiled"``: every backend built on this
+    emitter (compiled, batched) shares one artifact per content hash.
+    """
+    return {
+        "format": 1,
+        "codegen_version": CODEGEN_VERSION,
+        # marshal'd code objects are only valid for the same Python build.
+        "python": sys.implementation.cache_tag,
+        "backend": "compiled",
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Driver code generation
+# ---------------------------------------------------------------------- #
+class _DriverEmitter:
+    """Emits the Python source of one whole-program driver function."""
+
+    def __init__(
+        self,
+        sdfg: SDFG,
+        state_index: Dict[SDFGState, int],
+        scalar_names: Set[str],
+    ) -> None:
+        self.sdfg = sdfg
+        self.state_index = state_index
+        self.scalar_names = scalar_names
+        self.lines: List[str] = []
+        self.indent = 0
+        # Names safe to hoist out of loops: always present after setup
+        # (free symbols and constants), not shadowed by scalar containers,
+        # not part of the builtin vocabulary (whose emission is conditional).
+        from repro.symbolic.codegen import INTERSTATE_GLOBAL_NAMES
+
+        self.hoist_safe: Set[str] = (
+            (set(sdfg.free_symbols) | set(sdfg.constants))
+            - scalar_names
+            - set(INTERSTATE_GLOBAL_NAMES)
+        )
+        #: Active loop-invariant bindings: symbol name -> driver local.
+        self.hoisted: Dict[str, str] = {}
+        #: Every symbol ever hoisted (reported in the program plan).
+        self.all_hoisted: Set[str] = set()
+        self._hoist_counter = 0
+
+    # .................................................................. #
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+    # .................................................................. #
+    def emit_driver(self, body: Callable[[], None]) -> None:
+        self.line("def __drive(__rt):")
+        self.indent += 1
+        self.line("__sym = __rt._symbols")
+        self.line("__store = __rt._store")
+        self.line("__cov = __rt._coverage")
+        self.line("__max = __rt.max_transitions")
+        self.line("__allops = __rt._state_ops")
+        for index in range(len(self.state_index)):
+            self.line(f"__ops{index} = __allops[{index}]")
+        self.line("__t = 0")
+        self.line("__prev = '__start__'")
+        body()
+        self.line("return __t")
+        self.indent -= 1
+
+    def emit_exec(self, state: SDFGState) -> None:
+        """One state execution, mirroring the interpreter's per-state steps:
+        hang check, transition coverage, dataflow, transition count.  The
+        dataflow is the state's prepared op list, iterated inline."""
+        self.line("if __t > __max:")
+        self.line("    __rt._hang()")
+        self.line("if __cov is not None:")
+        self.line(f"    __cov.record_transition(__prev, {state.label!r})")
+        index = self.state_index[state]
+        self.line(f"for __f in __ops{index}:")
+        self.line("    __f(__sym)")
+        self.line(f"__prev = {state.label!r}")
+        self.line("__t += 1")
+
+    # .................................................................. #
+    def emit_condition(self, edge) -> None:
+        """Sets ``__c`` to the edge condition's truth value (or raises the
+        interpreter's :class:`ExecutionError` wrapper)."""
+        cond = edge.data.condition
+        if cond.strip() in ("True", "1"):
+            # The interpreter evaluates these to True; skip the try block.
+            self.line("__c = True")
+            return
+        try:
+            src = emit_interstate_expression(
+                cond, self.scalar_names, hoisted_names=self.hoisted
+            )
+            expr = f"__bool({src})"
+        except ExpressionCodegenError:
+            # Unparseable condition: defer to the interpreter's dynamic
+            # evaluation so the failure mode (and message) is identical.
+            expr = f"__bool(__rt._eval_raw({cond!r}))"
+        self.line("try:")
+        self.line(f"    __c = {expr}")
+        self.line("except __Exception as __exc:")
+        self.line(f"    __rt._cond_fail({cond!r}, __exc)")
+
+    def emit_record_condition(self, state: SDFGState, edge) -> None:
+        location = f"{state.label}->{edge.dst.label}"
+        self.line("if __cov is not None:")
+        self.line(f"    __cov.record_condition({location!r}, __c)")
+
+    def emit_assignments(self, edge) -> None:
+        for sym, expr in edge.data.assignments.items():
+            try:
+                src = emit_interstate_expression(
+                    expr, self.scalar_names, hoisted_names=self.hoisted
+                )
+            except ExpressionCodegenError:
+                src = f"__rt._eval_raw({expr!r})"
+            self.line("try:")
+            self.line(f"    __v = {src}")
+            self.line("except __Exception as __exc:")
+            self.line(f"    __rt._assign_fail({sym!r}, {expr!r}, __exc)")
+            # Interpreter parity: integral floats become Python ints.
+            self.line("if __isinstance(__v, __float) and __v.is_integer():")
+            self.line("    __v = __int(__v)")
+            self.line(f"__sym[{sym!r}] = __v")
+
+    # .................................................................. #
+    # Loop-invariant hoisting
+    # .................................................................. #
+    def _loop_invariants(self, item: CFLoop) -> List[str]:
+        """Names read by the loop's interstate expressions that no edge
+        inside the loop assigns.
+
+        Symbols are only ever written by interstate assignments (dataflow
+        writes containers, never symbols), so a name absent from every
+        loop-body assignment holds one value for the whole loop.  Restricted
+        further to :attr:`hoist_safe` names, whose presence in the symbol
+        namespace is guaranteed, hoisting can neither change a lookup
+        failure's timing nor its type.
+        """
+        edges: List[Any] = []
+
+        def collect_block(block: CFBlock) -> None:
+            for it in block.items:
+                if isinstance(it, CFLoop):
+                    collect_branch(it.branch)
+                elif isinstance(it, CFBranch):
+                    collect_branch(it)
+
+        def collect_branch(branch: CFBranch) -> None:
+            for arm in branch.arms:
+                edges.append(arm.edge)
+                if arm.block is not None:
+                    collect_block(arm.block)
+
+        collect_branch(item.branch)
+        assigned: Set[str] = set()
+        used: Set[str] = set()
+        for edge in edges:
+            assigned |= set(edge.data.assignments)
+            # Unparseable expressions contribute regex-scraped names here,
+            # which is harmless: they evaluate through _eval_raw (reading
+            # the live symbol dict), and hoisted names are by construction
+            # never reassigned inside the loop.
+            used |= edge.data.free_symbols
+        return sorted(
+            (used & self.hoist_safe) - assigned - set(self.hoisted)
+        )
+
+    def _emit_loop_hoists(self, item: CFLoop) -> List[str]:
+        names = self._loop_invariants(item)
+        for name in names:
+            local = f"__inv{self._hoist_counter}"
+            self._hoist_counter += 1
+            self.line(f"{local} = __sym[{name!r}]")
+            self.hoisted[name] = local
+            self.all_hoisted.add(name)
+        return names
+
+    # .................................................................. #
+    # Structured emission
+    # .................................................................. #
+    def emit_block(self, block: CFBlock, halt: str = "return __t") -> None:
+        for item in block.items:
+            if isinstance(item, CFExec):
+                self.emit_exec(item.state)
+            elif isinstance(item, CFLoop):
+                hoisted_here = self._emit_loop_hoists(item)
+                self.line("while True:")
+                self.indent += 1
+                self.emit_exec(item.loop.guard)
+                self._emit_arms(item.branch.state, item.branch.arms, 0, halt)
+                self.indent -= 1
+                for name in hoisted_here:
+                    del self.hoisted[name]
+            elif isinstance(item, CFBranch):
+                arm = item.arms[0] if item.arms else None
+                if (
+                    len(item.arms) == 1
+                    and arm.terminal == "fallthrough"
+                ):
+                    # Linear-chain edge: stay flat instead of nesting.
+                    self.emit_condition(arm.edge)
+                    self.emit_record_condition(item.state, arm.edge)
+                    if arm.edge.data.condition.strip() not in ("True", "1"):
+                        self.line("if not __c:")
+                        self.line(f"    {halt}")
+                    self.emit_assignments(arm.edge)
+                else:
+                    self._emit_arms(item.state, item.arms, 0, halt)
+            else:  # pragma: no cover - exhaustive over CF node kinds
+                raise ExpressionCodegenError(f"Unknown CF item {item!r}")
+        # Defensive terminator: blocks ending in a terminal state (no
+        # out-edges) fall through to here; after an exhaustive branch this
+        # line is simply unreachable.
+        self.line(halt)
+
+    def _emit_arms(self, state: SDFGState, arms, i: int, halt: str) -> None:
+        """Evaluate out-edges in order; the first true condition wins, no
+        true condition terminates the program -- the interpreter's
+        ``_next_state`` contract."""
+        if i == len(arms):
+            self.line(halt)
+            return
+        arm = arms[i]
+        self.emit_condition(arm.edge)
+        self.emit_record_condition(state, arm.edge)
+        self.line("if __c:")
+        self.indent += 1
+        self.emit_assignments(arm.edge)
+        if arm.terminal in ("continue", "break"):
+            self.line(arm.terminal)
+        elif arm.block is not None:
+            self.emit_block(arm.block, halt)
+        else:  # pragma: no cover - structurer emits no other terminals here
+            self.line(halt)
+        self.indent -= 1
+        if i + 1 < len(arms):
+            self.line("else:")
+            self.indent += 1
+            self._emit_arms(state, arms, i + 1, halt)
+            self.indent -= 1
+        else:
+            self.line("else:")
+            self.line(f"    {halt}")
+
+    # .................................................................. #
+    # Dispatch emission (irreducible graphs)
+    # .................................................................. #
+    def emit_dispatch(self) -> None:
+        start = self.state_index[self.sdfg.start_state]
+        self.line(f"__s = {start}")
+        self.line("while __s >= 0:")
+        self.indent += 1
+        keyword = "if"
+        for state, idx in self.state_index.items():
+            self.line(f"{keyword} __s == {idx}:")
+            keyword = "elif"
+            self.indent += 1
+            self.emit_exec(state)
+            self._emit_dispatch_arms(state, self.sdfg.out_edges(state), 0)
+            self.indent -= 1
+        self.indent -= 1
+
+    def _emit_dispatch_arms(self, state: SDFGState, edges, i: int) -> None:
+        if i == len(edges):
+            self.line("__s = -1")
+            return
+        edge = edges[i]
+        self.emit_condition(edge)
+        self.emit_record_condition(state, edge)
+        self.line("if __c:")
+        self.indent += 1
+        self.emit_assignments(edge)
+        self.line(f"__s = {self.state_index[edge.dst]}")
+        self.indent -= 1
+        self.line("else:")
+        self.indent += 1
+        self._emit_dispatch_arms(state, edges, i + 1)
+        self.indent -= 1
+
+
+def _interpreted_drive(rt) -> int:
+    """Fallback control loop: the interpreter's transition machinery verbatim
+    (dataflow still runs through the vectorized scope kernels)."""
+    return _SDFGExecutor._run_control_loop(rt)
+
+
+def _load_driver_artifact(
+    sdfg: SDFG, artifact: Dict[str, Any]
+) -> Optional[Tuple[str, Optional[str], Optional[Callable], Optional[Any]]]:
+    """Reconstruct a driver from a persisted artifact, or ``None``."""
+    mode = artifact.get("mode")
+    if mode == "interpreted":
+        return "interpreted", None, _interpreted_drive, None
+    if mode not in ("structured", "dispatch"):
+        return None
+    source = artifact.get("source")
+    code = None
+    blob = artifact.get("code")
+    if blob:
+        try:
+            code = marshal.loads(base64.b64decode(blob))
+        except Exception:  # noqa: BLE001 - any corruption degrades to source
+            code = None
+    if code is None and source:
+        try:
+            code = compile(source, f"<compiled-sdfg:{sdfg.name}>", "exec")
+        except SyntaxError:
+            code = None
+    if code is None:
+        return None
+    try:
+        namespace: Dict[str, Any] = {}
+        exec(code, dict(_DRIVER_GLOBALS), namespace)  # noqa: S102
+        return mode, source, namespace["__drive"], code
+    except Exception:  # noqa: BLE001 - unusable artifact: recompile fresh
+        return None
+
+
+def compile_driver(
+    sdfg: SDFG,
+    state_index: Dict[SDFGState, int],
+    artifact: Optional[Dict[str, Any]] = None,
+    info: Optional[Dict[str, Any]] = None,
+) -> Tuple[str, Optional[str], Optional[Callable], Optional[Any]]:
+    """Generate the whole-program driver for ``sdfg``.
+
+    Returns ``(mode, source, fn, code)`` where mode is ``"structured"``,
+    ``"dispatch"``, ``"interpreted"`` (dynamic-transition safety net) or
+    ``"empty"`` (stateless program; running it raises like the interpreter).
+    ``code`` is the compiled module code object backing ``fn`` (marshalable
+    for the on-disk artifact cache).  With a valid ``artifact`` (a previously
+    persisted driver for the *same* content hash), structuring and emission
+    are skipped entirely.  ``info``, when given, receives emission metadata
+    (currently ``"hoisted"``: the loop-invariant symbols hoisted into driver
+    locals) on a fresh structured/dispatch emission.
+    """
+    if not sdfg.states():
+        return "empty", None, None, None
+
+    if artifact is not None:
+        loaded = _load_driver_artifact(sdfg, artifact)
+        if loaded is not None:
+            return loaded
+
+    scalar_names = {
+        name for name, desc in sdfg.arrays.items() if isinstance(desc, Scalar)
+    }
+    assigned: Set[str] = set()
+    for e in sdfg.edges():
+        assigned |= set(e.data.assignments)
+    if assigned & scalar_names:
+        # An interstate assignment shadowing a scalar container cannot be
+        # routed statically (the interpreter's namespace lets the assigned
+        # value win within a transition, the scalar win on the next one).
+        return "interpreted", None, _interpreted_drive, None
+
+    try:
+        tree = structured_control_flow(sdfg)
+        emitter = _DriverEmitter(sdfg, state_index, scalar_names)
+        if tree is not None:
+            mode = "structured"
+            emitter.emit_driver(lambda: emitter.emit_block(tree))
+        else:
+            mode = "dispatch"
+            emitter.emit_driver(emitter.emit_dispatch)
+        source = emitter.source()
+        namespace: Dict[str, Any] = {}
+        code = compile(source, f"<compiled-sdfg:{sdfg.name}>", "exec")
+        exec(code, dict(_DRIVER_GLOBALS), namespace)  # noqa: S102
+        if info is not None:
+            info["hoisted"] = sorted(emitter.all_hoisted)
+        return mode, source, namespace["__drive"], code
+    except Exception:  # noqa: BLE001 - never fail prepare; degrade instead
+        return "interpreted", None, _interpreted_drive, None
+
+
+class PythonDriverEmitter:
+    """Registry face of the driver generator (``"python-driver"``)."""
+
+    name = "python-driver"
+
+    @staticmethod
+    def compile_driver(
+        sdfg: SDFG,
+        state_index: Dict[SDFGState, int],
+        artifact: Optional[Dict[str, Any]] = None,
+        info: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[str, Optional[str], Optional[Callable], Optional[Any]]:
+        return compile_driver(sdfg, state_index, artifact=artifact, info=info)

@@ -7,8 +7,9 @@ interpreter's generic transition loop -- rebuild the interstate namespace,
 For loop-nest programs that transition loop dominates, so ``cloudsc``- and
 ``bert``-shaped workloads saw almost none of the vectorized speedup.
 
-This backend code-generates **one Python driver function for the entire
-SDFG** at preparation time:
+This backend binds **one Python driver function for the entire SDFG** at
+preparation time, through the ``python-driver`` emitter
+(:mod:`repro.backends.codegen.python_driver`):
 
 * the state machine is lowered to *structured* control flow
   (:func:`repro.sdfg.analysis.structured_control_flow`): natural loops (the
@@ -38,9 +39,11 @@ exhaustion, ``ExecutionError`` wrapping of failing conditions/assignments,
 ``MemoryViolation`` from dataflow).  Compiled programs are cached by SDFG
 content hash exactly like vectorized ones; with a cache *directory*
 configured the generated driver is additionally persisted as an on-disk
-artifact (keyed by content hash, codegen version and Python build), so
-sibling worker processes -- pool workers, cluster workers -- skip the
-control-flow structuring and code generation entirely.
+artifact (keyed by content hash, codegen version, plan-format version and
+Python build) **together with the serialized lowering plan**
+(:class:`~repro.backends.plan.ProgramPlan`), so sibling worker processes --
+pool workers, cluster workers -- skip control-flow structuring, code
+generation *and* scope analysis entirely.
 
 As a last-resort safety net (e.g. an interstate assignment targeting a name
 that is *also* a scalar container, where static name routing cannot
@@ -53,10 +56,15 @@ from __future__ import annotations
 
 import base64
 import marshal
-import sys
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.backends.base import CompiledProgram as _BaseCompiledProgram
+from repro.backends.codegen.python_driver import (
+    CODEGEN_VERSION,
+    _artifact_stamp,
+    compile_driver,
+)
+from repro.backends.plan import PLAN_FORMAT_VERSION, ProgramPlan
 from repro.backends.vectorized import (
     VectorizedBackend,
     VectorizedExecutor,
@@ -65,22 +73,10 @@ from repro.backends.vectorized import (
 from repro.interpreter.errors import ExecutionError, HangError
 from repro.interpreter.executor import _EVAL_GLOBALS
 from repro.interpreter.tasklet_exec import compile_expression
-from repro.sdfg.analysis import (
-    CFBlock,
-    CFBranch,
-    CFExec,
-    CFLoop,
-    access_node_is_transparent,
-    structured_control_flow,
-)
-from repro.sdfg.data import Scalar
+from repro.sdfg.analysis import access_node_is_transparent
 from repro.sdfg.nodes import AccessNode, MapEntry, MapExit, NestedSDFGNode, Tasklet
 from repro.sdfg.sdfg import SDFG
 from repro.sdfg.state import SDFGState
-from repro.symbolic.codegen import (
-    ExpressionCodegenError,
-    emit_interstate_expression,
-)
 
 __all__ = [
     "CompiledBackend",
@@ -90,404 +86,7 @@ __all__ = [
     "CODEGEN_VERSION",
 ]
 
-#: Version stamp of the driver code generator.  Bump on ANY change to the
-#: emitted driver source, the driver globals, or the runtime services the
-#: driver calls: on-disk artifacts carry it, and a mismatch invalidates the
-#: cached entry (it is recompiled and overwritten).
-CODEGEN_VERSION = 5
 
-#: Globals of the generated driver.  User expressions see exactly the
-#: interpreter's ``_EVAL_GLOBALS`` vocabulary; the dunder-prefixed aliases
-#: are infrastructure used by *emitted* statements only, so they cannot
-#: widen what a program's own conditions can resolve.
-_DRIVER_GLOBALS: Dict[str, Any] = dict(_EVAL_GLOBALS)
-_DRIVER_GLOBALS.update(
-    {
-        "__bool": bool,
-        "__isinstance": isinstance,
-        "__float": float,
-        "__int": int,
-        "__Exception": Exception,
-    }
-)
-
-
-def _artifact_stamp() -> Dict[str, Any]:
-    """Identity fields every persisted driver artifact must carry."""
-    return {
-        "format": 1,
-        "codegen_version": CODEGEN_VERSION,
-        # marshal'd code objects are only valid for the same Python build.
-        "python": sys.implementation.cache_tag,
-        "backend": "compiled",
-    }
-
-
-# ---------------------------------------------------------------------- #
-# Driver code generation
-# ---------------------------------------------------------------------- #
-class _DriverEmitter:
-    """Emits the Python source of one whole-program driver function."""
-
-    def __init__(
-        self,
-        sdfg: SDFG,
-        state_index: Dict[SDFGState, int],
-        scalar_names: Set[str],
-    ) -> None:
-        self.sdfg = sdfg
-        self.state_index = state_index
-        self.scalar_names = scalar_names
-        self.lines: List[str] = []
-        self.indent = 0
-        # Names safe to hoist out of loops: always present after setup
-        # (free symbols and constants), not shadowed by scalar containers,
-        # not part of the builtin vocabulary (whose emission is conditional).
-        from repro.symbolic.codegen import INTERSTATE_GLOBAL_NAMES
-
-        self.hoist_safe: Set[str] = (
-            (set(sdfg.free_symbols) | set(sdfg.constants))
-            - scalar_names
-            - set(INTERSTATE_GLOBAL_NAMES)
-        )
-        #: Active loop-invariant bindings: symbol name -> driver local.
-        self.hoisted: Dict[str, str] = {}
-        self._hoist_counter = 0
-
-    # .................................................................. #
-    def line(self, text: str) -> None:
-        self.lines.append("    " * self.indent + text)
-
-    def source(self) -> str:
-        return "\n".join(self.lines) + "\n"
-
-    # .................................................................. #
-    def emit_driver(self, body: Callable[[], None]) -> None:
-        self.line("def __drive(__rt):")
-        self.indent += 1
-        self.line("__sym = __rt._symbols")
-        self.line("__store = __rt._store")
-        self.line("__cov = __rt._coverage")
-        self.line("__max = __rt.max_transitions")
-        self.line("__allops = __rt._state_ops")
-        for index in range(len(self.state_index)):
-            self.line(f"__ops{index} = __allops[{index}]")
-        self.line("__t = 0")
-        self.line("__prev = '__start__'")
-        body()
-        self.line("return __t")
-        self.indent -= 1
-
-    def emit_exec(self, state: SDFGState) -> None:
-        """One state execution, mirroring the interpreter's per-state steps:
-        hang check, transition coverage, dataflow, transition count.  The
-        dataflow is the state's prepared op list, iterated inline."""
-        self.line("if __t > __max:")
-        self.line("    __rt._hang()")
-        self.line("if __cov is not None:")
-        self.line(f"    __cov.record_transition(__prev, {state.label!r})")
-        index = self.state_index[state]
-        self.line(f"for __f in __ops{index}:")
-        self.line("    __f(__sym)")
-        self.line(f"__prev = {state.label!r}")
-        self.line("__t += 1")
-
-    # .................................................................. #
-    def emit_condition(self, edge) -> None:
-        """Sets ``__c`` to the edge condition's truth value (or raises the
-        interpreter's :class:`ExecutionError` wrapper)."""
-        cond = edge.data.condition
-        if cond.strip() in ("True", "1"):
-            # The interpreter evaluates these to True; skip the try block.
-            self.line("__c = True")
-            return
-        try:
-            src = emit_interstate_expression(
-                cond, self.scalar_names, hoisted_names=self.hoisted
-            )
-            expr = f"__bool({src})"
-        except ExpressionCodegenError:
-            # Unparseable condition: defer to the interpreter's dynamic
-            # evaluation so the failure mode (and message) is identical.
-            expr = f"__bool(__rt._eval_raw({cond!r}))"
-        self.line("try:")
-        self.line(f"    __c = {expr}")
-        self.line("except __Exception as __exc:")
-        self.line(f"    __rt._cond_fail({cond!r}, __exc)")
-
-    def emit_record_condition(self, state: SDFGState, edge) -> None:
-        location = f"{state.label}->{edge.dst.label}"
-        self.line("if __cov is not None:")
-        self.line(f"    __cov.record_condition({location!r}, __c)")
-
-    def emit_assignments(self, edge) -> None:
-        for sym, expr in edge.data.assignments.items():
-            try:
-                src = emit_interstate_expression(
-                    expr, self.scalar_names, hoisted_names=self.hoisted
-                )
-            except ExpressionCodegenError:
-                src = f"__rt._eval_raw({expr!r})"
-            self.line("try:")
-            self.line(f"    __v = {src}")
-            self.line("except __Exception as __exc:")
-            self.line(f"    __rt._assign_fail({sym!r}, {expr!r}, __exc)")
-            # Interpreter parity: integral floats become Python ints.
-            self.line("if __isinstance(__v, __float) and __v.is_integer():")
-            self.line("    __v = __int(__v)")
-            self.line(f"__sym[{sym!r}] = __v")
-
-    # .................................................................. #
-    # Loop-invariant hoisting
-    # .................................................................. #
-    def _loop_invariants(self, item: CFLoop) -> List[str]:
-        """Names read by the loop's interstate expressions that no edge
-        inside the loop assigns.
-
-        Symbols are only ever written by interstate assignments (dataflow
-        writes containers, never symbols), so a name absent from every
-        loop-body assignment holds one value for the whole loop.  Restricted
-        further to :attr:`hoist_safe` names, whose presence in the symbol
-        namespace is guaranteed, hoisting can neither change a lookup
-        failure's timing nor its type.
-        """
-        edges: List[Any] = []
-
-        def collect_block(block: CFBlock) -> None:
-            for it in block.items:
-                if isinstance(it, CFLoop):
-                    collect_branch(it.branch)
-                elif isinstance(it, CFBranch):
-                    collect_branch(it)
-
-        def collect_branch(branch: CFBranch) -> None:
-            for arm in branch.arms:
-                edges.append(arm.edge)
-                if arm.block is not None:
-                    collect_block(arm.block)
-
-        collect_branch(item.branch)
-        assigned: Set[str] = set()
-        used: Set[str] = set()
-        for edge in edges:
-            assigned |= set(edge.data.assignments)
-            # Unparseable expressions contribute regex-scraped names here,
-            # which is harmless: they evaluate through _eval_raw (reading
-            # the live symbol dict), and hoisted names are by construction
-            # never reassigned inside the loop.
-            used |= edge.data.free_symbols
-        return sorted(
-            (used & self.hoist_safe) - assigned - set(self.hoisted)
-        )
-
-    def _emit_loop_hoists(self, item: CFLoop) -> List[str]:
-        names = self._loop_invariants(item)
-        for name in names:
-            local = f"__inv{self._hoist_counter}"
-            self._hoist_counter += 1
-            self.line(f"{local} = __sym[{name!r}]")
-            self.hoisted[name] = local
-        return names
-
-    # .................................................................. #
-    # Structured emission
-    # .................................................................. #
-    def emit_block(self, block: CFBlock, halt: str = "return __t") -> None:
-        for item in block.items:
-            if isinstance(item, CFExec):
-                self.emit_exec(item.state)
-            elif isinstance(item, CFLoop):
-                hoisted_here = self._emit_loop_hoists(item)
-                self.line("while True:")
-                self.indent += 1
-                self.emit_exec(item.loop.guard)
-                self._emit_arms(item.branch.state, item.branch.arms, 0, halt)
-                self.indent -= 1
-                for name in hoisted_here:
-                    del self.hoisted[name]
-            elif isinstance(item, CFBranch):
-                arm = item.arms[0] if item.arms else None
-                if (
-                    len(item.arms) == 1
-                    and arm.terminal == "fallthrough"
-                ):
-                    # Linear-chain edge: stay flat instead of nesting.
-                    self.emit_condition(arm.edge)
-                    self.emit_record_condition(item.state, arm.edge)
-                    if arm.edge.data.condition.strip() not in ("True", "1"):
-                        self.line("if not __c:")
-                        self.line(f"    {halt}")
-                    self.emit_assignments(arm.edge)
-                else:
-                    self._emit_arms(item.state, item.arms, 0, halt)
-            else:  # pragma: no cover - exhaustive over CF node kinds
-                raise ExpressionCodegenError(f"Unknown CF item {item!r}")
-        # Defensive terminator: blocks ending in a terminal state (no
-        # out-edges) fall through to here; after an exhaustive branch this
-        # line is simply unreachable.
-        self.line(halt)
-
-    def _emit_arms(self, state: SDFGState, arms, i: int, halt: str) -> None:
-        """Evaluate out-edges in order; the first true condition wins, no
-        true condition terminates the program -- the interpreter's
-        ``_next_state`` contract."""
-        if i == len(arms):
-            self.line(halt)
-            return
-        arm = arms[i]
-        self.emit_condition(arm.edge)
-        self.emit_record_condition(state, arm.edge)
-        self.line("if __c:")
-        self.indent += 1
-        self.emit_assignments(arm.edge)
-        if arm.terminal in ("continue", "break"):
-            self.line(arm.terminal)
-        elif arm.block is not None:
-            self.emit_block(arm.block, halt)
-        else:  # pragma: no cover - structurer emits no other terminals here
-            self.line(halt)
-        self.indent -= 1
-        if i + 1 < len(arms):
-            self.line("else:")
-            self.indent += 1
-            self._emit_arms(state, arms, i + 1, halt)
-            self.indent -= 1
-        else:
-            self.line("else:")
-            self.line(f"    {halt}")
-
-    # .................................................................. #
-    # Dispatch emission (irreducible graphs)
-    # .................................................................. #
-    def emit_dispatch(self) -> None:
-        start = self.state_index[self.sdfg.start_state]
-        self.line(f"__s = {start}")
-        self.line("while __s >= 0:")
-        self.indent += 1
-        keyword = "if"
-        for state, idx in self.state_index.items():
-            self.line(f"{keyword} __s == {idx}:")
-            keyword = "elif"
-            self.indent += 1
-            self.emit_exec(state)
-            self._emit_dispatch_arms(state, self.sdfg.out_edges(state), 0)
-            self.indent -= 1
-        self.indent -= 1
-
-    def _emit_dispatch_arms(self, state: SDFGState, edges, i: int) -> None:
-        if i == len(edges):
-            self.line("__s = -1")
-            return
-        edge = edges[i]
-        self.emit_condition(edge)
-        self.emit_record_condition(state, edge)
-        self.line("if __c:")
-        self.indent += 1
-        self.emit_assignments(edge)
-        self.line(f"__s = {self.state_index[edge.dst]}")
-        self.indent -= 1
-        self.line("else:")
-        self.indent += 1
-        self._emit_dispatch_arms(state, edges, i + 1)
-        self.indent -= 1
-
-
-def _interpreted_drive(rt: "CompiledExecutor") -> int:
-    """Fallback control loop: the interpreter's transition machinery verbatim
-    (dataflow still runs through the vectorized scope kernels)."""
-    from repro.interpreter.executor import SDFGExecutor
-
-    return SDFGExecutor._run_control_loop(rt)
-
-
-def _load_driver_artifact(
-    sdfg: SDFG, artifact: Dict[str, Any]
-) -> Optional[Tuple[str, Optional[str], Optional[Callable], Optional[Any]]]:
-    """Reconstruct a driver from a persisted artifact, or ``None``."""
-    mode = artifact.get("mode")
-    if mode == "interpreted":
-        return "interpreted", None, _interpreted_drive, None
-    if mode not in ("structured", "dispatch"):
-        return None
-    source = artifact.get("source")
-    code = None
-    blob = artifact.get("code")
-    if blob:
-        try:
-            code = marshal.loads(base64.b64decode(blob))
-        except Exception:  # noqa: BLE001 - any corruption degrades to source
-            code = None
-    if code is None and source:
-        try:
-            code = compile(source, f"<compiled-sdfg:{sdfg.name}>", "exec")
-        except SyntaxError:
-            code = None
-    if code is None:
-        return None
-    try:
-        namespace: Dict[str, Any] = {}
-        exec(code, dict(_DRIVER_GLOBALS), namespace)  # noqa: S102
-        return mode, source, namespace["__drive"], code
-    except Exception:  # noqa: BLE001 - unusable artifact: recompile fresh
-        return None
-
-
-def compile_driver(
-    sdfg: SDFG,
-    state_index: Dict[SDFGState, int],
-    artifact: Optional[Dict[str, Any]] = None,
-) -> Tuple[str, Optional[str], Optional[Callable], Optional[Any]]:
-    """Generate the whole-program driver for ``sdfg``.
-
-    Returns ``(mode, source, fn, code)`` where mode is ``"structured"``,
-    ``"dispatch"``, ``"interpreted"`` (dynamic-transition safety net) or
-    ``"empty"`` (stateless program; running it raises like the interpreter).
-    ``code`` is the compiled module code object backing ``fn`` (marshalable
-    for the on-disk artifact cache).  With a valid ``artifact`` (a previously
-    persisted driver for the *same* content hash), structuring and emission
-    are skipped entirely.
-    """
-    if not sdfg.states():
-        return "empty", None, None, None
-
-    if artifact is not None:
-        loaded = _load_driver_artifact(sdfg, artifact)
-        if loaded is not None:
-            return loaded
-
-    scalar_names = {
-        name for name, desc in sdfg.arrays.items() if isinstance(desc, Scalar)
-    }
-    assigned: Set[str] = set()
-    for e in sdfg.edges():
-        assigned |= set(e.data.assignments)
-    if assigned & scalar_names:
-        # An interstate assignment shadowing a scalar container cannot be
-        # routed statically (the interpreter's namespace lets the assigned
-        # value win within a transition, the scalar win on the next one).
-        return "interpreted", None, _interpreted_drive, None
-
-    try:
-        tree = structured_control_flow(sdfg)
-        emitter = _DriverEmitter(sdfg, state_index, scalar_names)
-        if tree is not None:
-            mode = "structured"
-            emitter.emit_driver(lambda: emitter.emit_block(tree))
-        else:
-            mode = "dispatch"
-            emitter.emit_driver(emitter.emit_dispatch)
-        source = emitter.source()
-        namespace: Dict[str, Any] = {}
-        code = compile(source, f"<compiled-sdfg:{sdfg.name}>", "exec")
-        exec(code, dict(_DRIVER_GLOBALS), namespace)  # noqa: S102
-        return mode, source, namespace["__drive"], code
-    except Exception:  # noqa: BLE001 - never fail prepare; degrade instead
-        return "interpreted", None, _interpreted_drive, None
-
-
-# ---------------------------------------------------------------------- #
-# Executor / program / backend
-# ---------------------------------------------------------------------- #
 class CompiledExecutor(VectorizedExecutor):
     """A :class:`VectorizedExecutor` whose control flow is one generated
     Python function and whose per-state dataflow is a prepared op list."""
@@ -502,6 +101,7 @@ class CompiledExecutor(VectorizedExecutor):
         super().__init__(sdfg, max_transitions=max_transitions, **kwargs)
         self._compiled_states: List[SDFGState] = list(sdfg.states())
         state_index = {s: i for i, s in enumerate(self._compiled_states)}
+        artifact_hoisted = self._seed_state_plans(artifact)
         # Per-state op lists, fixed at prepare time: one prebound closure
         # per executable top-level node.  The generic ``_execute_state``
         # re-derives node lists, re-dispatches on node type and re-looks-up
@@ -514,8 +114,49 @@ class CompiledExecutor(VectorizedExecutor):
             ops = self._build_state_ops(state)
             self._state_ops.append(ops)
             self._state_ops_by_id[id(state)] = ops
+        info: Dict[str, Any] = {}
         self.control_mode, self.driver_source, self._drive, self._driver_code = (
-            compile_driver(sdfg, state_index, artifact=artifact)
+            compile_driver(sdfg, state_index, artifact=artifact, info=info)
+        )
+        #: Loop-invariant symbol loads the driver hoisted (fresh compiles
+        #: report them via ``info``; artifact-seeded drivers carry them in
+        #: the persisted plan).
+        self.hoisted_symbols: Tuple[str, ...] = tuple(
+            info.get("hoisted") or artifact_hoisted or ()
+        )
+
+    def _seed_state_plans(
+        self, artifact: Optional[Dict[str, Any]]
+    ) -> Tuple[str, ...]:
+        """Pre-populate per-state lowering plans from a disk artifact.
+
+        Node guids are covered by the content hash, so an artifact plan
+        always resolves against this program; any inconsistency (format
+        drift, state-count mismatch, malformed payload) simply discards the
+        seed and re-analysis runs.  Returns the plan's hoisted symbols.
+        """
+        if not artifact or "plan" not in artifact:
+            return ()
+        try:
+            plan = ProgramPlan.from_dict(artifact["plan"])
+            if len(plan.states) != len(self._compiled_states):
+                raise ValueError("state count mismatch")
+            for state, splan in zip(self._compiled_states, plan.states):
+                self._state_plans[id(state)] = splan
+            return tuple(plan.hoisted_symbols)
+        except Exception:  # noqa: BLE001 - any bad seed degrades to re-analysis
+            self._state_plans.clear()
+            return ()
+
+    @property
+    def program_plan(self) -> ProgramPlan:
+        """The complete lowering plan (every state is bound at prepare
+        time, so the per-state plans are always populated here)."""
+        return ProgramPlan(
+            format=PLAN_FORMAT_VERSION,
+            sdfg_name=self.sdfg.name,
+            states=[self._state_plans[id(s)] for s in self._compiled_states],
+            hoisted_symbols=tuple(self.hoisted_symbols),
         )
 
     # Op-list construction ............................................. #
@@ -539,33 +180,42 @@ class CompiledExecutor(VectorizedExecutor):
                     ops.append(
                         self._make_scope_op(state, node, table.plans.get(node.guid))
                     )
-            elif isinstance(node, Tasklet):
-
-                def op(symbols, _state=state, _node=node):
-                    self._execute_tasklet(_state, _node, symbols)
-
-                ops.append(op)
-            elif isinstance(node, AccessNode):
-                if access_node_is_transparent(state, node):
-                    continue  # executing it is a no-op: drop statically
-
-                def op(symbols, _state=state, _node=node):
-                    self._execute_copies_into(_state, _node, symbols)
-
-                ops.append(op)
-            elif isinstance(node, NestedSDFGNode):
-
-                def op(symbols, _state=state, _node=node):
-                    self._execute_nested(_state, _node, symbols)
-
-                ops.append(op)
             else:
-
-                def op(symbols, _state=state, _node=node):
-                    self._execute_node(_state, _node, symbols)
-
-                ops.append(op)
+                op = self._make_node_op(state, node)
+                if op is not None:
+                    ops.append(op)
         return ops
+
+    def _make_node_op(
+        self, state: SDFGState, node
+    ) -> Optional[Callable[[Dict[str, Any]], None]]:
+        """The prebound closure for one non-scope top-level node (``None``
+        for statically droppable no-ops)."""
+        if isinstance(node, Tasklet):
+
+            def op(symbols, _state=state, _node=node):
+                self._execute_tasklet(_state, _node, symbols)
+
+            return op
+        if isinstance(node, AccessNode):
+            if access_node_is_transparent(state, node):
+                return None  # executing it is a no-op: drop statically
+
+            def op(symbols, _state=state, _node=node):
+                self._execute_copies_into(_state, _node, symbols)
+
+            return op
+        if isinstance(node, NestedSDFGNode):
+
+            def op(symbols, _state=state, _node=node):
+                self._execute_nested(_state, _node, symbols)
+
+            return op
+
+        def op(symbols, _state=state, _node=node):
+            self._execute_node(_state, _node, symbols)
+
+        return op
 
     def _make_scope_op(
         self, state: SDFGState, entry: MapEntry, plan
@@ -640,6 +290,10 @@ class CompiledExecutor(VectorizedExecutor):
 class CompiledWholeProgram(VectorizedProgram):
     """A program bound to a reusable :class:`CompiledExecutor`."""
 
+    #: Executor type this program binds; the batched backend swaps it while
+    #: inheriting the artifact contract.
+    executor_class = CompiledExecutor
+
     def __init__(
         self,
         sdfg: SDFG,
@@ -650,7 +304,7 @@ class CompiledWholeProgram(VectorizedProgram):
         # Deliberately skip VectorizedProgram.__init__: same shape, but the
         # executor is the compiled one.
         _BaseCompiledProgram.__init__(self, sdfg)
-        self.executor = CompiledExecutor(
+        self.executor = self.executor_class(
             sdfg, max_transitions=max_transitions, fuse=fuse, artifact=artifact
         )
 
@@ -667,14 +321,18 @@ class CompiledWholeProgram(VectorizedProgram):
     @classmethod
     def check_artifact(cls, artifact: Dict[str, Any]) -> bool:
         """Whether a disk artifact was produced by this exact generator
-        (format, codegen version, Python build) and names a known mode."""
+        (format, codegen version, plan format, Python build) and names a
+        known mode."""
         stamp = _artifact_stamp()
-        return all(artifact.get(k) == v for k, v in stamp.items()) and artifact.get(
-            "mode"
-        ) in ("structured", "dispatch", "interpreted")
+        return (
+            all(artifact.get(k) == v for k, v in stamp.items())
+            and artifact.get("plan_format") == PLAN_FORMAT_VERSION
+            and artifact.get("mode") in ("structured", "dispatch", "interpreted")
+        )
 
     def artifact(self) -> Optional[Dict[str, Any]]:
-        """The persistable driver artifact (mode + source + marshaled code)."""
+        """The persistable artifact: driver (mode + source + marshaled
+        code) plus the serialized lowering plan."""
         executor = self.executor
         mode = executor.control_mode
         if mode == "empty":
@@ -688,6 +346,11 @@ class CompiledWholeProgram(VectorizedProgram):
             art["code"] = base64.b64encode(
                 marshal.dumps(executor._driver_code)
             ).decode("ascii")
+        art["plan_format"] = PLAN_FORMAT_VERSION
+        try:
+            art["plan"] = executor.program_plan.to_dict()
+        except Exception:  # noqa: BLE001 - a plan that cannot serialize is
+            return None  # not worth persisting a partial artifact for
         return art
 
 

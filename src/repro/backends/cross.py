@@ -128,7 +128,61 @@ class CrossProgram(CompiledProgram):
             )
         except ExecutionError as exc:
             cand_error = exc
+        return self._check_pair(
+            ref_result, ref_error, cand_result, cand_error, collect_coverage
+        )
 
+    def run_batch(
+        self,
+        arguments_list: List[Mapping[str, Any]],
+        symbols: Optional[Mapping[str, Any]] = None,
+        collect_coverage: bool = False,
+    ) -> List[Any]:
+        """Cross-check a whole batch, pairing outcomes index by index.
+
+        Both sides run their own :meth:`run_batch` (so e.g. a batched
+        candidate keeps its batch-axis execution), then every trial's pair
+        is checked exactly like :meth:`run`: agreeing outcomes yield the
+        reference result or error, any disagreement raises
+        :class:`BackendDivergenceError` for the whole batch.
+        """
+        ref_outcomes = self.reference.run_batch(
+            arguments_list, symbols, collect_coverage=collect_coverage
+        )
+        cand_outcomes = self.candidate.run_batch(
+            arguments_list, symbols, collect_coverage=collect_coverage
+        )
+        outcomes: List[Any] = []
+        for ref_out, cand_out in zip(ref_outcomes, cand_outcomes):
+            ref_error = ref_out if isinstance(ref_out, ExecutionError) else None
+            ref_result = ref_out if ref_error is None else None
+            cand_error = cand_out if isinstance(cand_out, ExecutionError) else None
+            cand_result = cand_out if cand_error is None else None
+            try:
+                outcomes.append(
+                    self._check_pair(
+                        ref_result, ref_error, cand_result, cand_error,
+                        collect_coverage,
+                    )
+                )
+            except ExecutionError as exc:
+                outcomes.append(exc)
+        return outcomes
+
+    def _check_pair(
+        self,
+        ref_result: Optional[ExecutionResult],
+        ref_error: Optional[ExecutionError],
+        cand_result: Optional[ExecutionResult],
+        cand_error: Optional[ExecutionError],
+        collect_coverage: bool,
+    ) -> ExecutionResult:
+        """Judge one (reference, candidate) outcome pair.
+
+        Returns the reference result when the pair agrees, re-raises the
+        reference error on agreeing failures, raises
+        :class:`BackendDivergenceError` otherwise.
+        """
         if ref_error is not None or cand_error is not None:
             if ref_error is None or cand_error is None:
                 raise self._diverged(

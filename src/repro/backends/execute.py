@@ -1,0 +1,753 @@
+"""The vectorized scope runtime (the *execute* layer of backend lowering).
+
+Last stage of the pipeline (analyze -> plan -> codegen -> execute): one
+runtime that consumes emitter-bound programs.  A vectorizable scope is
+executed as a handful of whole-array operations -- gather the inputs with
+broadcast index grids, run the tasklet code once on arrays, scatter/reduce
+the outputs -- instead of expanding the iteration space one element at a
+time (the interpreter's hot loop).  Anything the analyzer rejected falls
+back node-by-node to the interpreter for exactly that scope, keeping the
+backends semantically interchangeable.
+
+Three layers keep the hot loop tight:
+
+* **scope fusion** -- bound chains (see
+  :class:`repro.backends.codegen.numpy_eager.BoundChain`) execute as one
+  gather / compute / scatter pass per chain instead of per scope;
+* **loop-hoisted setup** -- iteration grids, gather indices and write
+  geometry are cached per plan, keyed by the values of exactly the symbols
+  they read, so every iteration of an enclosing interstate loop reuses
+  them; arithmetic index sequences use basic slicing instead of advanced
+  indexing, including *permuted-axis* gathers (a transpose of a basic
+  slice where the dimension order and parameter-axis order differ);
+* the state tables bind lazily through the configured emitter
+  (:attr:`VectorizedExecutor.EMITTER_NAME`), reusing a plan seeded from a
+  disk artifact when one resolves and re-analyzing otherwise.
+
+Bitwise fidelity to the interpreter is a design goal (the ``cross`` backend
+and the backend-equivalence test suite assert it):
+
+* write-conflict reductions accumulate **sequentially in iteration order**
+  (one vector operation per reduction index) rather than with NumPy's
+  pairwise ``reduce``, so floating-point results match the interpreter bit
+  for bit,
+* ``math.*`` calls are routed through a shim that applies the *scalar*
+  :mod:`math` function element-wise (libm and NumPy's SIMD transcendentals
+  may differ in the last ulp),
+* scopes where an iteration could read an element written by a *different*
+  iteration of the same scope are not vectorized (analyzer rule).
+
+On an out-of-bounds access the backend raises the same
+:class:`~repro.interpreter.errors.MemoryViolation` the interpreter raises;
+the only observable difference is that the vectorized backend detects the
+violation before mutating any container (the interpreter stops mid-scope).
+Since results are only returned for successful runs, differential verdicts
+are unaffected.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.backends.analysis import analyze_state
+from repro.backends.codegen import get_emitter
+from repro.backends.codegen.numpy_eager import (
+    BoundChain,
+    BoundInput,
+    BoundOutput,
+    BoundScope,
+    StateTable,
+)
+from repro.backends.plan import StatePlan
+from repro.interpreter.errors import (
+    ExecutionError,
+    MemoryViolation,
+    TaskletExecutionError,
+)
+from repro.interpreter.executor import _EVAL_GLOBALS, ExecutionResult, SDFGExecutor
+from repro.interpreter.tasklet_exec import _SAFE_BUILTINS
+from repro.sdfg.nodes import MapEntry, Tasklet
+from repro.sdfg.state import SDFGState
+
+__all__ = ["VectorizedExecutor"]
+
+
+# ---------------------------------------------------------------------- #
+# math shim: scalar-identical element-wise transcendentals
+# ---------------------------------------------------------------------- #
+class _MathShim:
+    """``math`` stand-in whose functions also accept arrays.
+
+    Array inputs are processed element-wise with the *scalar* ``math``
+    function, keeping results bitwise identical to the interpreter's
+    per-iteration execution (libm vs. NumPy SIMD transcendentals can differ
+    in the last ulp)."""
+
+    def __init__(self) -> None:
+        self._wrappers: Dict[str, Callable] = {}
+
+    def __getattr__(self, name: str):
+        attr = getattr(math, name)
+        if not callable(attr):
+            return attr
+        fn = self._wrappers.get(name)
+        if fn is None:
+
+            def fn(*args, _scalar=attr):
+                if any(isinstance(a, np.ndarray) and a.ndim > 0 for a in args):
+                    ufn = np.frompyfunc(_scalar, len(args), 1)
+                    return ufn(*args).astype(np.float64)
+                return _scalar(*args)
+
+            self._wrappers[name] = fn
+        return fn
+
+
+_MATH_SHIM = _MathShim()
+
+
+# ---------------------------------------------------------------------- #
+# Setup structures (loop-hoisted per dependent-symbol values)
+# ---------------------------------------------------------------------- #
+@dataclass
+class _WriteGeom:
+    """Precomputed geometry of one vectorized container write."""
+
+    spec: BoundOutput
+    arr: np.ndarray
+    mesh: Tuple
+    perm: List[int]
+    target_shape: Tuple[int, ...]
+    red_axes: List[int]
+    kept_shape: Tuple[int, ...]
+    #: True when the slab already has the output's dimension order and
+    #: shape, so the per-write transpose/reshape can be skipped.
+    identity_shape: bool = False
+
+
+@dataclass
+class _ScopeSetup:
+    """The symbol-dependent (but value-independent) part of one scope
+    execution: iteration grids, bounds-checked gather indices and write
+    geometry.  Reused across executions whose ``setup_deps`` values are
+    unchanged -- i.e. hoisted out of enclosing interstate loops."""
+
+    shape_full: Tuple[int, ...]
+    iterations: int
+    grids: Dict[str, np.ndarray]
+    #: (connector, fetch) per input.  ``fetch`` reads the *live* container
+    #: (captured by reference; store arrays are mutated in place, never
+    #: rebound) with gather-copy semantics -- basic-slice views are copied,
+    #: advanced indexing copies implicitly.
+    gathers: List[Tuple[str, Callable[[], np.ndarray]]]
+    geoms: List[_WriteGeom]
+
+
+@dataclass
+class _FusedSetup:
+    """Loop-hoistable setup of a fused chain (shared grids, flattened
+    gathers and per-member write geometry)."""
+
+    shape_full: Tuple[int, ...]
+    iterations: int
+    grids: Dict[str, np.ndarray]
+    #: (composed-code name, fetch), flattened across all members (values
+    #: bound before the single composed exec).
+    gathers: List[Tuple[str, Callable[[], np.ndarray]]]
+    #: Per member, aligned with its ``outputs``: the write geometry.
+    member_geoms: List[List[_WriteGeom]]
+
+
+class VectorizedExecutor(SDFGExecutor):
+    """An :class:`SDFGExecutor` that executes vectorizable map scopes as
+    NumPy array expressions and falls back to element-wise interpretation
+    for everything else.
+
+    Chains of elementwise scopes are additionally *fused* (one gather /
+    compute / scatter pass per chain instead of per scope), and scope setup
+    -- iteration grids, gather indices, write geometry -- is cached per
+    plan and reused while the symbols it depends on are unchanged, hoisting
+    that work out of interstate loops."""
+
+    _VEC_GLOBALS = {
+        "__builtins__": _SAFE_BUILTINS,
+        "np": np,
+        "numpy": np,
+        "math": _MATH_SHIM,
+    }
+
+    #: Registry name of the emitter binding this executor's state tables.
+    EMITTER_NAME = "numpy-eager"
+
+    def __init__(self, *args, fuse: bool = True, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: Whether elementwise scope chains are fused (disable to measure
+        #: the fusion win, or to bisect a suspected fusion bug).
+        self.fuse = fuse
+        self.emitter = get_emitter(self.EMITTER_NAME)()
+        #: Per-state lowering plans (serializable IR), by ``id(state)``.
+        #: Pre-seeded from a disk artifact by the compiled backend; filled
+        #: by :func:`repro.backends.analysis.analyze_state` otherwise.
+        self._state_plans: Dict[int, StatePlan] = {}
+        #: Per-state bound tables (plans + fused chains), built once per
+        #: state on first execution.
+        self._tables: Dict[int, StateTable] = {}
+        #: Per-plan setup cache: ``(id(plan), epoch) -> (dep-key, setup)``.
+        #: Valid within one run only (it captures store arrays).  The epoch
+        #: is 0 except in the batched executor's per-trial fallback, where
+        #: trial ``k`` uses epoch ``k + 1`` so per-trial and batched setups
+        #: never collide.
+        self._setup_cache: Dict[Tuple[int, int], Tuple[Tuple, Any]] = {}
+        self._setup_epoch = 0
+        #: Member-scope guids already covered by a fused execution in the
+        #: current state execution.
+        self._fused_done: Set[int] = set()
+        #: Scope-execution counters (vectorized vs. interpreter fallback;
+        #: ``fused`` counts whole-chain executions).
+        self.stats: Dict[str, int] = {"vectorized": 0, "fallback": 0, "fused": 0}
+
+    def run(self, *args, **kwargs) -> ExecutionResult:
+        try:
+            return super().run(*args, **kwargs)
+        finally:
+            # Programs prepared by the vectorized backend outlive their runs
+            # in the content-hash cache; drop the per-run data store (and the
+            # setup cache, which captures store arrays) so a cached program
+            # does not pin its last trial's arrays.
+            self._store = {}
+            self._symbols = {}
+            self._setup_cache = {}
+
+    def _setup(self, arguments: Dict[str, Any], symbols: Dict[str, Any]) -> None:
+        super()._setup(arguments, symbols)
+        # Setup caches capture per-run store arrays; never reuse across runs.
+        self._setup_cache.clear()
+        self._fused_done.clear()
+
+    # .................................................................. #
+    # Per-state decision tables
+    # .................................................................. #
+    def _table_for(self, state: SDFGState) -> StateTable:
+        table = self._tables.get(id(state))
+        if table is None:
+            table = self._build_state_table(state)
+            self._tables[id(state)] = table
+        return table
+
+    def _build_state_table(self, state: SDFGState) -> StateTable:
+        splan = self._state_plans.get(id(state))
+        if splan is not None:
+            try:
+                return self.emitter.bind_state(self.sdfg, state, splan)
+            except Exception:  # noqa: BLE001 - stale seeded plan: re-analyze
+                pass
+        order = self._state_order(state)
+        scopes = self._scope_cache[id(state)]
+        splan = analyze_state(self.sdfg, state, order, scopes, fuse=self.fuse)
+        self._state_plans[id(state)] = splan
+        return self.emitter.bind_state(self.sdfg, state, splan)
+
+    # .................................................................. #
+    # Scope execution
+    # .................................................................. #
+    def _execute_map_scope(self, state, entry, bindings) -> None:
+        guid = entry.guid
+        if guid in self._fused_done:
+            # Covered by the fused execution of this chain's head earlier in
+            # the same state execution.
+            self._fused_done.discard(guid)
+            return
+        table = self._table_for(state)
+        fused = table.heads.get(guid)
+        if fused is not None and self._try_fused(fused, bindings):
+            self._fused_done.update(fused.member_guids[1:])
+            return
+        self._run_single_scope(state, entry, table.plans.get(guid), bindings)
+
+    def _try_fused(self, fused: BoundChain, bindings: Dict[str, Any]) -> bool:
+        """Execute a fused chain; ``False`` defers to per-scope execution."""
+        if not fused.usable:
+            return False
+        try:
+            writes, counts = self._compute_fused(fused, bindings)
+        except ExecutionError:
+            raise
+        except Exception:  # noqa: BLE001 - chain did not survive contact
+            fused.usable = False
+            return False
+        for apply_write in writes:
+            apply_write()
+        for tasklet_guid, n in counts:
+            self._tasklet_counts[tasklet_guid] = (
+                self._tasklet_counts.get(tasklet_guid, 0) + n
+            )
+        self.stats["vectorized"] += len(fused.members)
+        self.stats["fused"] += 1
+        return True
+
+    def _run_single_scope(
+        self,
+        state: SDFGState,
+        entry: MapEntry,
+        plan: Optional[BoundScope],
+        bindings: Dict[str, Any],
+    ) -> None:
+        if plan is not None and plan.usable:
+            try:
+                writes, iterations = self._compute_vectorized(plan, bindings)
+            except ExecutionError:
+                raise
+            except Exception:  # noqa: BLE001 - plan did not survive contact
+                plan.usable = False
+            else:
+                for apply_write in writes:
+                    apply_write()
+                if iterations:
+                    # One logical tasklet execution per iteration, exactly as
+                    # the interpreter counts them (coverage-map parity).
+                    self._tasklet_counts[plan.tasklet.guid] = (
+                        self._tasklet_counts.get(plan.tasklet.guid, 0) + iterations
+                    )
+                self.stats["vectorized"] += 1
+                return
+        self.stats["fallback"] += 1
+        SDFGExecutor._execute_map_scope(self, state, entry, bindings)
+
+    # .................................................................. #
+    # Setup (loop-hoisted per dependent-symbol values)
+    # .................................................................. #
+    def _resolve_domain(
+        self, entry: MapEntry, bindings: Dict[str, Any]
+    ) -> Tuple[List[np.ndarray], Tuple[int, ...], int, Dict[str, np.ndarray]]:
+        """Concrete iteration axes and broadcast grids for a map."""
+        axes: List[np.ndarray] = []
+        for rng in entry.map.ranges:
+            b, e, s = rng.evaluate(bindings)
+            if s == 0:
+                raise ExecutionError(f"Map '{entry.label}' has a zero step")
+            axes.append(np.arange(b, e + 1 if s > 0 else e - 1, s, dtype=np.int64))
+        shape_full = tuple(len(a) for a in axes)
+        iterations = int(np.prod(shape_full, dtype=np.int64))
+        nparams = len(axes)
+        grids: Dict[str, np.ndarray] = {}
+        for axis, (param, vals) in enumerate(zip(entry.map.params, axes)):
+            gshape = [1] * nparams
+            gshape[axis] = len(vals)
+            grids[param] = vals.reshape(gshape)
+        return axes, shape_full, iterations, grids
+
+    @staticmethod
+    def _seq_slice(flat: np.ndarray, trusted: bool = False) -> Optional[slice]:
+        """A slice indexing the same 1-D positions as ``flat``, or ``None``.
+
+        Only arithmetic sequences (the shape every map-parameter axis and
+        every unit-slope affine index takes) qualify; basic indexing is
+        several times faster than advanced indexing with an index array.
+        The caller has already bounds-checked the values, so non-negative
+        starts are guaranteed.  ``trusted`` skips the O(n) element check for
+        sequences constructed from ``np.arange`` by this module itself --
+        the endpoints check still guards against accidental misuse.
+        """
+        n = flat.size
+        first = int(flat[0])
+        if n == 1:
+            return slice(first, first + 1)
+        step = int(flat[1]) - first
+        if step == 0:
+            return None
+        last = first + step * (n - 1)
+        if int(flat[-1]) != last:
+            return None
+        if not trusted and not np.array_equal(
+            flat, np.arange(first, last + (1 if step > 0 else -1), step, dtype=flat.dtype)
+        ):
+            return None
+        if step > 0:
+            return slice(first, last + 1, step)
+        stop = last - 1
+        return slice(first, None if stop < 0 else stop, step)
+
+    @classmethod
+    def _gather_slices(
+        cls, idx: List[Any], ndim: int, nparams: int
+    ) -> Optional[Tuple[Tuple, Optional[Tuple[int, ...]]]]:
+        """A basic-indexing equivalent of a broadcast gather, or ``None``.
+
+        Returns ``(slices, taxes)`` where ``slices`` indexes the container
+        and ``taxes`` is a transpose permutation aligning the sliced block
+        with the gather's broadcast layout (``None`` when the dimension
+        order already matches).  Legal when the ranks agree (``ndim ==
+        nparams``) and every index array is an arithmetic sequence varying
+        along a *single* parameter axis; constant dimensions become
+        length-1 slices.  Unlike the aligned-only fast path this also
+        covers *permuted* gathers (``A[j, i]`` under an ``i, j`` map):
+        a transpose of a basic-slice view replaces advanced indexing.
+        """
+        if ndim != nparams:
+            return None
+        sls: List[Any] = []
+        axis_of: List[Optional[int]] = []
+        saw_array = False
+        for v in idx:
+            if isinstance(v, np.ndarray):
+                varying = [a for a, s in enumerate(v.shape) if s != 1]
+                if len(varying) > 1:
+                    return None
+                sl = cls._seq_slice(v.ravel())
+                if sl is None:
+                    return None
+                saw_array = True
+                sls.append(sl)
+                axis_of.append(varying[0] if varying else None)
+            else:
+                if int(v) < 0:
+                    return None
+                sls.append(slice(int(v), int(v) + 1))
+                axis_of.append(None)
+        # All-constant gathers yield a NumPy scalar; slices would yield a
+        # (1, ..., 1) array.  Leave those on the advanced path.
+        if not saw_array:
+            return None
+        assigned = [a for a in axis_of if a is not None]
+        if len(assigned) != len(set(assigned)):
+            return None  # two dimensions riding the same parameter axis
+        free = iter(a for a in range(ndim) if a not in assigned)
+        axes = [a if a is not None else next(free) for a in axis_of]
+        if axes == list(range(ndim)):
+            return tuple(sls), None
+        # Dimension d of the sliced block carries parameter axis axes[d];
+        # transposing with taxes[axes[d]] = d puts every axis in place.
+        taxes = [0] * ndim
+        for d, a in enumerate(axes):
+            taxes[a] = d
+        return tuple(sls), tuple(taxes)
+
+    def _resolve_gather(
+        self, spec: BoundInput, idx_ns: Dict[str, Any], nparams: int
+    ) -> Tuple[str, Callable[[], np.ndarray]]:
+        arr = self._store.get(spec.data)
+        if arr is None:
+            raise ExecutionError(f"Read from unknown container '{spec.data}'")
+        idx = self._index_arrays(spec.idx_code, idx_ns)
+        self._check_vector_bounds(spec.data, spec.subset_str, idx, arr.shape)
+        fast = self._gather_slices(idx, arr.ndim, nparams)
+        if fast is not None:
+            sls, taxes = fast
+            # Basic indexing returns a view; the copy preserves the
+            # gather-copy semantics (readers must see pre-scope values even
+            # after deferred writes mutate the container).
+            if taxes is None:
+
+                def fetch(_arr=arr, _sls=sls):
+                    return _arr[_sls].copy()
+
+            else:
+
+                def fetch(_arr=arr, _sls=sls, _t=taxes):
+                    return _arr[_sls].transpose(_t).copy()
+
+            return spec.conn, fetch
+
+        adv = tuple(idx)
+
+        def fetch(_arr=arr, _idx=adv):
+            return _arr[_idx]
+
+        return spec.conn, fetch
+
+    def _resolve_write(
+        self,
+        spec: BoundOutput,
+        axes: List[np.ndarray],
+        shape_full: Tuple[int, ...],
+        bindings: Dict[str, Any],
+    ) -> _WriteGeom:
+        arr = self._store.get(spec.data)
+        if arr is None:
+            raise ExecutionError(f"Write to unknown container '{spec.data}'")
+        if len(spec.dims) != arr.ndim:
+            raise MemoryViolation(
+                spec.data, spec.subset_str, arr.shape, "dimensionality mismatch"
+            )
+        index_1d: List[np.ndarray] = []
+        param_axes: List[int] = []
+        for kind, payload in spec.dims:
+            if kind == "param":
+                axis, offset = payload
+                param_axes.append(axis)
+                index_1d.append(axes[axis] + offset if offset else axes[axis])
+            else:
+                c = int(eval(payload, _EVAL_GLOBALS, bindings))  # noqa: S307
+                index_1d.append(np.asarray([c], dtype=np.int64))
+        self._check_vector_bounds(spec.data, spec.subset_str, index_1d, arr.shape)
+        nparams = len(shape_full)
+        red_axes = [a for a in range(nparams) if a not in param_axes]
+        kept_sorted = sorted(param_axes)
+        kept_shape = tuple(shape_full[a] for a in kept_sorted)
+        # Value axes end up in ascending-parameter order; ``perm`` reorders
+        # them to the output's dimension order, ``target_shape`` re-inserts
+        # length-1 axes for constant-indexed dimensions.
+        perm = [kept_sorted.index(a) for a in param_axes]
+        target_shape = tuple(
+            shape_full[payload[0]] if kind == "param" else 1
+            for kind, payload in spec.dims
+        )
+        # Every per-dimension index is an arithmetic sequence (map axes plus
+        # a constant offset, or a single constant), so the scatter target is
+        # expressible with basic slicing -- several times faster than the
+        # ``np.ix_`` advanced-indexing mesh, which stays as the fallback.
+        # ``trusted``: these arrays are arange-built by _resolve_domain.
+        slices = [self._seq_slice(v, trusted=True) for v in index_1d]
+        if index_1d and all(s is not None for s in slices):
+            mesh: Tuple = tuple(slices)
+        else:
+            mesh = np.ix_(*index_1d) if index_1d else ()
+        identity_shape = perm == sorted(perm) and target_shape == kept_shape
+        return _WriteGeom(
+            spec, arr, mesh, perm, target_shape, red_axes, kept_shape,
+            identity_shape,
+        )
+
+    def _scope_setup(self, plan: BoundScope, bindings: Dict[str, Any]) -> _ScopeSetup:
+        key = tuple(bindings.get(name) for name in plan.setup_deps)
+        cache_key = (id(plan), self._setup_epoch)
+        cached = self._setup_cache.get(cache_key)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        axes, shape_full, iterations, grids = self._resolve_domain(plan.entry, bindings)
+        if iterations == 0:
+            # The interpreter executes nothing for an empty domain -- in
+            # particular it never bounds-checks the memlets -- so neither
+            # may the setup.
+            setup = _ScopeSetup(shape_full, 0, grids, [], [])
+        else:
+            idx_ns = dict(bindings)
+            idx_ns.update(grids)
+            nparams = len(axes)
+            gathers = [
+                self._resolve_gather(spec, idx_ns, nparams) for spec in plan.inputs
+            ]
+            geoms = [
+                self._resolve_write(spec, axes, shape_full, bindings)
+                for spec in plan.outputs
+            ]
+            setup = _ScopeSetup(shape_full, iterations, grids, gathers, geoms)
+        self._setup_cache[cache_key] = (key, setup)
+        return setup
+
+    def _fused_setup(self, fused: BoundChain, bindings: Dict[str, Any]) -> _FusedSetup:
+        key = tuple(bindings.get(name) for name in fused.setup_deps)
+        cache_key = (id(fused), self._setup_epoch)
+        cached = self._setup_cache.get(cache_key)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        axes, shape_full, iterations, grids = self._resolve_domain(
+            fused.entry, bindings
+        )
+        if iterations == 0:
+            setup = _FusedSetup(shape_full, 0, grids, [], [])
+        else:
+            idx_ns = dict(bindings)
+            idx_ns.update(grids)
+            nparams = len(axes)
+            gathers: List[Tuple[str, Callable[[], np.ndarray]]] = []
+            member_geoms: List[List[_WriteGeom]] = []
+            for member in fused.members:
+                for spec, name in member.gathers:
+                    _, fetch = self._resolve_gather(spec, idx_ns, nparams)
+                    gathers.append((name, fetch))
+                member_geoms.append(
+                    [
+                        self._resolve_write(spec, axes, shape_full, bindings)
+                        for _, spec, _ in member.outputs
+                    ]
+                )
+            setup = _FusedSetup(shape_full, iterations, grids, gathers, member_geoms)
+        self._setup_cache[cache_key] = (key, setup)
+        return setup
+
+    # .................................................................. #
+    # Vectorized evaluation
+    # .................................................................. #
+    def _compute_vectorized(
+        self, plan: BoundScope, bindings: Dict[str, Any]
+    ) -> Tuple[List[Callable[[], None]], int]:
+        """Evaluate a vectorized scope; returns deferred writes.
+
+        Nothing is mutated here: bounds checks and tasklet execution happen
+        first, container writes are returned as closures so a mid-flight
+        failure can safely fall back to the interpreter.
+        """
+        setup = self._scope_setup(plan, bindings)
+        if setup.iterations == 0:
+            return [], 0
+
+        # Run the tasklet once on whole arrays.  Map parameters are visible
+        # as index grids, program symbols as scalars -- mirroring the
+        # interpreter's per-iteration namespace.  Gathers read the live
+        # store (the fetch closures copy, so in-scope element-wise
+        # self-updates see the pre-scope values, as each iteration does).
+        ns: Dict[str, Any] = dict(bindings)
+        ns.update(setup.grids)
+        for conn, fetch in setup.gathers:
+            ns[conn] = fetch()
+        try:
+            exec(plan.code_obj, self._VEC_GLOBALS, ns)  # noqa: S102
+        except Exception as exc:  # noqa: BLE001 - same typed error as TaskletRunner
+            raise TaskletExecutionError(plan.tasklet.label, exc) from exc
+
+        writes: List[Callable[[], None]] = []
+        for geom in setup.geoms:
+            writes.append(
+                self._make_write(
+                    geom,
+                    self._output_value(plan.tasklet, geom.spec.conn, ns, setup.shape_full),
+                    setup.shape_full,
+                )
+            )
+        return writes, setup.iterations
+
+    def _compute_fused(
+        self, fused: BoundChain, bindings: Dict[str, Any]
+    ) -> Tuple[List[Callable[[], None]], List[Tuple[int, int]]]:
+        """Evaluate a fused scope chain; returns deferred writes + counts.
+
+        The whole chain is **one** ``exec`` of the composed code object:
+        member locals are pre-renamed to unique names, consumer connectors
+        read the producers' values directly (dtype-cast at the handoff,
+        reproducing the interpreter's store round-trip bit for bit), and
+        intermediate containers are never touched.  All container writes
+        are deferred to the caller, like :meth:`_compute_vectorized`.
+        """
+        setup = self._fused_setup(fused, bindings)
+        if setup.iterations == 0:
+            return [], []
+        ns: Dict[str, Any] = dict(bindings)
+        ns.update(setup.grids)
+        for name, fetch in setup.gathers:
+            ns[name] = fetch()
+        ns.update(fused.cast_bindings)
+        try:
+            exec(fused.code_obj, self._VEC_GLOBALS, ns)  # noqa: S102
+        except Exception as exc:  # noqa: BLE001 - attributed by source line
+            raise TaskletExecutionError(fused.label_for(exc), exc) from exc
+
+        writes: List[Callable[[], None]] = []
+        counts: List[Tuple[int, int]] = []
+        for member, geoms in zip(fused.members, setup.member_geoms):
+            for (kind, spec, out_name), geom in zip(member.outputs, geoms):
+                value = self._output_value(
+                    member.plan.tasklet, out_name, ns, setup.shape_full,
+                    display_conn=spec.conn,
+                )
+                if kind == "write":
+                    writes.append(self._make_write(geom, value, setup.shape_full))
+            counts.append((member.plan.tasklet.guid, setup.iterations))
+        return writes, counts
+
+    @staticmethod
+    def _output_value(
+        tasklet: Tasklet,
+        conn: str,
+        ns: Dict[str, Any],
+        shape_full: Tuple[int, ...],
+        display_conn: Optional[str] = None,
+    ) -> np.ndarray:
+        if conn not in ns:
+            raise TaskletExecutionError(
+                tasklet.label,
+                KeyError(
+                    f"tasklet did not assign output connector "
+                    f"'{display_conn or conn}'"
+                ),
+            )
+        value = np.asarray(ns[conn])
+        if value.shape == shape_full:
+            return value  # the common case: broadcast_to would be a no-op
+        return np.broadcast_to(value, shape_full)
+
+    # .................................................................. #
+    @staticmethod
+    def _index_arrays(idx_code: List[Any], idx_ns: Dict[str, Any]) -> List[Any]:
+        out = []
+        for code in idx_code:
+            v = eval(code, _EVAL_GLOBALS, idx_ns)  # noqa: S307
+            out.append(v if isinstance(v, np.ndarray) else int(v))
+        return out
+
+    @staticmethod
+    def _check_vector_bounds(
+        data: str, subset_str: str, idx: List[Any], shape: Tuple[int, ...]
+    ) -> None:
+        if len(idx) != len(shape):
+            raise MemoryViolation(data, subset_str, shape, "dimensionality mismatch")
+        for v, dim in zip(idx, shape):
+            arr = np.asarray(v)
+            if arr.size == 0:
+                continue
+            lo, hi = int(arr.min()), int(arr.max())
+            if lo < 0 or hi >= dim:
+                raise MemoryViolation(data, subset_str, shape)
+
+    def _make_write(
+        self,
+        geom: _WriteGeom,
+        value: np.ndarray,
+        shape_full: Tuple[int, ...],
+    ) -> Callable[[], None]:
+        from repro.sdfg.dtypes import reduction_function
+
+        spec, arr = geom.spec, geom.arr
+        perm, target_shape, mesh = geom.perm, geom.target_shape, geom.mesh
+
+        if spec.wcr is None and geom.identity_shape and not geom.red_axes:
+            # Bijective write whose value already has the output's layout
+            # (the overwhelmingly common case): one basic-index assignment.
+            def apply_direct() -> None:
+                arr[mesh] = value
+
+            return apply_direct
+
+        # Reduction slabs, flattened in iteration (lexicographic) order.
+        slabs = np.moveaxis(value, geom.red_axes, range(len(geom.red_axes))).reshape(
+            (-1,) + geom.kept_shape
+        )
+
+        if geom.identity_shape:
+
+            def shape_for_write(a: np.ndarray) -> np.ndarray:
+                return a
+
+        else:
+
+            def shape_for_write(a: np.ndarray) -> np.ndarray:
+                return a.transpose(perm).reshape(target_shape)
+
+        if spec.wcr is None:
+
+            def apply_plain() -> None:
+                arr[mesh] = shape_for_write(slabs[0])
+
+            return apply_plain
+
+        func = reduction_function(spec.wcr)
+
+        def apply_wcr() -> None:
+            # Sequential accumulation in iteration order: bitwise identical
+            # to the interpreter's per-element read-modify-write loop
+            # (NumPy's pairwise reduce would round differently).  Each step
+            # casts back to the container dtype, mirroring the interpreter's
+            # per-iteration store (accumulating in the promoted dtype would
+            # round non-float64 containers differently).
+            region = np.array(arr[mesh], copy=True)
+            for k in range(slabs.shape[0]):
+                region = np.asarray(func(region, shape_for_write(slabs[k]))).astype(
+                    arr.dtype, copy=False
+                )
+            arr[mesh] = region
+
+        return apply_wcr

@@ -1,0 +1,271 @@
+"""The typed lowering-plan IR (the *plan* layer of backend lowering).
+
+Backend lowering is a four-stage pipeline (see :mod:`repro.backends`):
+
+    analyze  ->  plan  ->  codegen  ->  execute
+
+This module is the contract between the stages: every lowering decision the
+analyzer makes -- which scopes vectorize and why the others do not, which
+scopes fuse into which chains, which intermediates are chain-private, which
+gather/write geometry each memlet lowers to, which symbols the driver
+hoists -- is captured in plain, serializable dataclasses.  Emitters
+(:mod:`repro.backends.codegen`) consume plans and bind them to a concrete
+program's nodes; the execute layer never re-derives a decision.
+
+Plans are JSON round-trippable (:meth:`ProgramPlan.to_dict` /
+:meth:`ProgramPlan.from_dict`), so the compiled backend persists them in its
+on-disk artifacts next to the generated driver: a sibling worker process
+skips scope analysis and fusion legality entirely.  The format is versioned
+by :data:`PLAN_FORMAT_VERSION`; a mismatch is a cache *miss* (the plan is
+re-derived and the artifact rewritten), never an error.
+
+Expressions are stored as *source strings* (per-dimension point indices,
+constant output dimensions), not compiled code objects -- compilation is the
+emitters' job, which keeps the IR picklable and diffable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "PLAN_FORMAT_VERSION",
+    "InputPlan",
+    "OutputPlan",
+    "ScopePlan",
+    "ChainPlan",
+    "StatePlan",
+    "ProgramPlan",
+]
+
+#: Version of the serialized plan format.  Bump on ANY structural change to
+#: the dataclasses below: persisted artifacts carry it, and a mismatch
+#: invalidates the cached entry.
+PLAN_FORMAT_VERSION = 1
+
+
+@dataclass
+class InputPlan:
+    """One gathered tasklet input (a point-subset read)."""
+
+    conn: str
+    data: str
+    #: One index expression (source text) per container dimension.
+    index_exprs: List[str]
+    subset_str: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "conn": self.conn,
+            "data": self.data,
+            "index_exprs": list(self.index_exprs),
+            "subset_str": self.subset_str,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "InputPlan":
+        return cls(
+            conn=d["conn"],
+            data=d["data"],
+            index_exprs=[str(e) for e in d["index_exprs"]],
+            subset_str=d["subset_str"],
+        )
+
+
+@dataclass
+class OutputPlan:
+    """One scattered tasklet output (a point-subset write, possibly WCR)."""
+
+    conn: str
+    data: str
+    #: Per dimension: ``("param", (axis, offset))`` for a unit-slope affine
+    #: index in one map parameter, or ``("const", expr)`` for an index
+    #: expression (source text) free of map parameters.
+    dims: List[Tuple[str, Any]]
+    wcr: Optional[str]
+    subset_str: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "conn": self.conn,
+            "data": self.data,
+            "dims": [list(dim) for dim in self.dims],
+            "wcr": self.wcr,
+            "subset_str": self.subset_str,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "OutputPlan":
+        dims: List[Tuple[str, Any]] = []
+        for kind, payload in d["dims"]:
+            if kind == "param":
+                axis, offset = payload
+                dims.append(("param", (int(axis), int(offset))))
+            else:
+                dims.append(("const", str(payload)))
+        return cls(
+            conn=d["conn"],
+            data=d["data"],
+            dims=dims,
+            wcr=d.get("wcr"),
+            subset_str=d["subset_str"],
+        )
+
+
+@dataclass
+class ScopePlan:
+    """The vectorized-lowering recipe for one map scope.
+
+    Nodes are referenced by guid (stable across clone and JSON round-trip,
+    and covered by the SDFG content hash, so an artifact plan always
+    resolves against the program it was derived from).
+    """
+
+    entry_guid: int
+    entry_label: str
+    tasklet_guid: int
+    tasklet_label: str
+    #: The tasklet source (straight-line, vectorizable; see analysis).
+    code: str
+    inputs: List[InputPlan]
+    outputs: List[OutputPlan]
+    #: Non-parameter names the scope's setup (grids, gather indices, write
+    #: geometry) reads; executions with unchanged values reuse the setup.
+    setup_deps: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "entry_guid": self.entry_guid,
+            "entry_label": self.entry_label,
+            "tasklet_guid": self.tasklet_guid,
+            "tasklet_label": self.tasklet_label,
+            "code": self.code,
+            "inputs": [i.to_dict() for i in self.inputs],
+            "outputs": [o.to_dict() for o in self.outputs],
+            "setup_deps": list(self.setup_deps),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ScopePlan":
+        return cls(
+            entry_guid=int(d["entry_guid"]),
+            entry_label=d["entry_label"],
+            tasklet_guid=int(d["tasklet_guid"]),
+            tasklet_label=d["tasklet_label"],
+            code=d["code"],
+            inputs=[InputPlan.from_dict(i) for i in d["inputs"]],
+            outputs=[OutputPlan.from_dict(o) for o in d["outputs"]],
+            setup_deps=tuple(d.get("setup_deps", ())),
+        )
+
+
+@dataclass
+class ChainPlan:
+    """Fusion membership and input routing of one elementwise scope chain.
+
+    ``routes`` parallels each member's :attr:`ScopePlan.inputs`: every
+    input either reads the pre-chain store (``"gather"``) or an earlier
+    member's in-flight value (``"chain"``).  ``internal`` names containers
+    private to the chain, whose writes are never materialized.
+    """
+
+    member_guids: Tuple[int, ...]
+    routes: List[List[str]]
+    internal: Tuple[str, ...] = ()
+    setup_deps: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "member_guids": list(self.member_guids),
+            "routes": [list(r) for r in self.routes],
+            "internal": list(self.internal),
+            "setup_deps": list(self.setup_deps),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ChainPlan":
+        return cls(
+            member_guids=tuple(int(g) for g in d["member_guids"]),
+            routes=[[str(step) for step in r] for r in d["routes"]],
+            internal=tuple(d.get("internal", ())),
+            setup_deps=tuple(d.get("setup_deps", ())),
+        )
+
+
+@dataclass
+class StatePlan:
+    """Every lowering decision for one state's dataflow."""
+
+    state_label: str
+    #: Plan (or ``None`` for analyzer-rejected scopes) per map-entry guid.
+    scopes: Dict[int, Optional[ScopePlan]] = field(default_factory=dict)
+    #: Why each rejected scope falls back to the interpreter (per guid).
+    fallback_reasons: Dict[int, str] = field(default_factory=dict)
+    chains: List[ChainPlan] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "state_label": self.state_label,
+            "scopes": {
+                str(guid): (plan.to_dict() if plan is not None else None)
+                for guid, plan in self.scopes.items()
+            },
+            "fallback_reasons": {
+                str(guid): reason for guid, reason in self.fallback_reasons.items()
+            },
+            "chains": [c.to_dict() for c in self.chains],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "StatePlan":
+        return cls(
+            state_label=d["state_label"],
+            scopes={
+                int(guid): (ScopePlan.from_dict(p) if p is not None else None)
+                for guid, p in d.get("scopes", {}).items()
+            },
+            fallback_reasons={
+                int(guid): str(reason)
+                for guid, reason in d.get("fallback_reasons", {}).items()
+            },
+            chains=[ChainPlan.from_dict(c) for c in d.get("chains", [])],
+        )
+
+
+@dataclass
+class ProgramPlan:
+    """The complete lowering plan of one program.
+
+    ``states`` follows the order of ``sdfg.states()`` (the artifact and the
+    rebuilt program enumerate identically -- the content hash pins the
+    serialization).  ``hoisted_symbols`` records the loop-invariant symbol
+    loads the driver emitter hoisted, for inspection and reporting.
+    """
+
+    format: int
+    sdfg_name: str
+    states: List[StatePlan] = field(default_factory=list)
+    hoisted_symbols: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": self.format,
+            "sdfg_name": self.sdfg_name,
+            "states": [s.to_dict() for s in self.states],
+            "hoisted_symbols": list(self.hoisted_symbols),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ProgramPlan":
+        fmt = d.get("format")
+        if fmt != PLAN_FORMAT_VERSION:
+            raise ValueError(
+                f"Plan format {fmt!r} does not match {PLAN_FORMAT_VERSION}"
+            )
+        return cls(
+            format=int(fmt),
+            sdfg_name=d.get("sdfg_name", ""),
+            states=[StatePlan.from_dict(s) for s in d.get("states", [])],
+            hoisted_symbols=tuple(d.get("hoisted_symbols", ())),
+        )

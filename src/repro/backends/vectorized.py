@@ -1,86 +1,44 @@
-"""The vectorized compiled backend.
+"""The vectorized compiled backend (cache + program/backend classes).
 
 Lowers map scopes whose memlets are affine in the map parameters to NumPy
-array expressions: instead of expanding the iteration space one element at a
-time (the interpreter's hot loop), a vectorizable scope is executed as a
-handful of whole-array operations -- gather the inputs with broadcast index
-grids, run the tasklet code once on arrays, scatter/reduce the outputs.
+array expressions.  The lowering itself is the four-stage pipeline shared by
+all compiled backends (see :mod:`repro.backends`):
 
-Scope *plans* are code-generated once per (program, scope) at preparation
-time and reused across runs; whole compiled programs are cached by SDFG
-content hash, so preparing the same cutout twice (e.g. repeated sweep tasks)
-is free.  Any construct the planner cannot express -- nested SDFGs or nested
-maps inside a scope, data-dependent (``dynamic``) subsets, non-affine output
-indices, write-conflict patterns it cannot prove race-free, tasklet code
-outside the vectorizable subset of Python -- falls back node-by-node to the
-interpreter for exactly that scope, keeping the two backends semantically
-interchangeable.
+* :mod:`repro.backends.analysis` decides *legality* and produces the
+  serializable plan IR (:mod:`repro.backends.plan`);
+* the ``numpy-eager`` emitter (:mod:`repro.backends.codegen.numpy_eager`)
+  binds plans to compiled code objects, composing fused chains;
+* :mod:`repro.backends.execute` hosts the runtime
+  (:class:`~repro.backends.execute.VectorizedExecutor`, re-exported here).
 
-Three further layers keep the hot loop tight (PR 5):
-
-* **scope fusion** -- chains of elementwise scopes (producer writes B over
-  domain D, consumer reads B over the identical D) compose into *one*
-  straight-line code object with member-unique locals; values flow between
-  members as arrays (dtype-cast at each handoff, reproducing the store
-  round-trip) and chain-private intermediates are never materialized;
-* **loop-hoisted setup** -- iteration grids, gather indices and write
-  geometry are cached per plan, keyed by the values of exactly the symbols
-  they read, so every iteration of an enclosing interstate loop reuses
-  them; arithmetic index sequences use basic slicing instead of advanced
-  indexing;
-* an optional **on-disk cache tier** (``cache_dir`` /
-  :data:`CACHE_DIR_ENV`) shares compile artifacts across worker processes
-  (used by the compiled whole-program backend for its generated drivers).
-
-Bitwise fidelity to the interpreter is a design goal (the ``cross`` backend
-and the backend-equivalence test suite assert it):
-
-* write-conflict reductions accumulate **sequentially in iteration order**
-  (one vector operation per reduction index) rather than with NumPy's
-  pairwise ``reduce``, so floating-point results match the interpreter bit
-  for bit,
-* ``math.*`` calls are routed through a shim that applies the *scalar*
-  :mod:`math` function element-wise (libm and NumPy's SIMD transcendentals
-  may differ in the last ulp),
-* scopes where an iteration could read an element written by a *different*
-  iteration of the same scope are not vectorized.
-
-On an out-of-bounds access the backend raises the same
-:class:`~repro.interpreter.errors.MemoryViolation` the interpreter raises;
-the only observable difference is that the vectorized backend detects the
-violation before mutating any container (the interpreter stops mid-scope).
-Since results are only returned for successful runs, differential verdicts
-are unaffected.
+This module keeps the backend surface: the per-process program cache keyed
+by SDFG content hash, the optional on-disk artifact tier (``cache_dir`` /
+:data:`CACHE_DIR_ENV`) shared across worker processes, and the
+program/backend classes the registry exposes.  Scope plans are built once
+per (program, scope) and reused across runs; preparing the same cutout
+twice (e.g. repeated sweep tasks) is free.  Any construct the analyzer
+cannot express -- nested SDFGs or nested maps inside a scope, data-dependent
+(``dynamic``) subsets, non-affine output indices, write-conflict patterns it
+cannot prove race-free, tasklet code outside the vectorizable subset of
+Python -- falls back node-by-node to the interpreter for exactly that scope,
+keeping the backends semantically interchangeable (bitwise fidelity notes
+live with the runtime in :mod:`repro.backends.execute`).
 """
 
 from __future__ import annotations
 
-import ast
 import hashlib
 import json
-import math
 import os
 import tempfile
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
-
-import numpy as np
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.backends.base import CompiledProgram, ExecutionBackend
-from repro.interpreter.errors import (
-    ExecutionError,
-    MemoryViolation,
-    TaskletExecutionError,
-)
-from repro.interpreter.executor import _EVAL_GLOBALS, ExecutionResult, SDFGExecutor
-from repro.interpreter.tasklet_exec import _SAFE_BUILTINS, compile_expression
-from repro.sdfg.analysis import elementwise_scope_chains
-from repro.sdfg.memlet import Memlet
-from repro.sdfg.nodes import AccessNode, MapEntry, MapExit, Tasklet
+from repro.backends.execute import VectorizedExecutor
+from repro.interpreter.executor import ExecutionResult
 from repro.sdfg.sdfg import SDFG
 from repro.sdfg.serialize import sdfg_to_json
-from repro.sdfg.state import SDFGState
 
 __all__ = [
     "VectorizedBackend",
@@ -103,1276 +61,6 @@ def sdfg_content_hash(sdfg: SDFG) -> str:
     return hashlib.sha256(sdfg_to_json(sdfg).encode("utf-8")).hexdigest()
 
 
-# ---------------------------------------------------------------------- #
-# math shim: scalar-identical element-wise transcendentals
-# ---------------------------------------------------------------------- #
-class _MathShim:
-    """``math`` stand-in whose functions also accept arrays.
-
-    Array inputs are processed element-wise with the *scalar* ``math``
-    function, keeping results bitwise identical to the interpreter's
-    per-iteration execution (libm vs. NumPy SIMD transcendentals can differ
-    in the last ulp)."""
-
-    def __init__(self) -> None:
-        self._wrappers: Dict[str, Callable] = {}
-
-    def __getattr__(self, name: str):
-        attr = getattr(math, name)
-        if not callable(attr):
-            return attr
-        fn = self._wrappers.get(name)
-        if fn is None:
-
-            def fn(*args, _scalar=attr):
-                if any(isinstance(a, np.ndarray) and a.ndim > 0 for a in args):
-                    ufn = np.frompyfunc(_scalar, len(args), 1)
-                    return ufn(*args).astype(np.float64)
-                return _scalar(*args)
-
-            self._wrappers[name] = fn
-        return fn
-
-
-_MATH_SHIM = _MathShim()
-
-#: Element-wise NumPy functions allowed inside vectorized tasklet code.
-_ALLOWED_NP_FUNCS = frozenset(
-    {
-        "exp", "expm1", "log", "log1p", "log2", "log10", "sqrt", "cbrt",
-        "abs", "absolute", "fabs", "sign", "floor", "ceil", "trunc", "rint",
-        "sin", "cos", "tan", "arcsin", "arccos", "arctan", "arctan2",
-        "sinh", "cosh", "tanh", "power", "maximum", "minimum", "fmod",
-        "hypot", "copysign", "where",
-    }
-)
-
-_ALLOWED_BINOPS = (
-    ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow,
-)
-_ALLOWED_UNARYOPS = (ast.USub, ast.UAdd)
-
-
-_RAISING_BINOPS = (ast.Div, ast.FloorDiv, ast.Mod, ast.Pow)
-
-
-def _code_is_vectorizable(code: str, np_names: frozenset) -> bool:
-    """Whether tasklet code stays element-wise under array substitution.
-
-    Accepts straight-line assignments built from arithmetic, ``abs``,
-    ``math.*`` (via the shim) and a whitelist of element-wise ``np`` / ``numpy``
-    functions.  Control flow, comparisons, subscripts and anything else that
-    changes meaning between scalars and arrays is rejected -- the scope then
-    falls back to the interpreter.  Augmented assignment is rejected too:
-    after ``b = a``, ``b += c`` would mutate the *aliased* gathered input
-    array in place, whereas the scalar path rebinds ``b``.
-
-    ``np_names`` are the names bound to NumPy values in the interpreter's
-    scalar path (the input connectors).  ``/ // % **`` are only accepted
-    when an operand is NumPy-typed there as well: with pure-Python operands
-    (map parameters, constants, ``math.*`` results) the interpreter raises
-    (``ZeroDivisionError``, ...) where NumPy arrays would warn and continue,
-    so such scopes must fall back to keep crash classification identical.
-    """
-    try:
-        tree = ast.parse(code)
-    except SyntaxError:
-        return False
-    np_locals = set(np_names)
-
-    def np_typed(node: ast.AST) -> bool:
-        """Whether the interpreter's scalar path yields a NumPy value here."""
-        if isinstance(node, ast.Name):
-            return node.id in np_locals
-        if isinstance(node, ast.BinOp):
-            return np_typed(node.left) or np_typed(node.right)
-        if isinstance(node, ast.UnaryOp):
-            return np_typed(node.operand)
-        if isinstance(node, ast.Call):
-            fn = node.func
-            if isinstance(fn, ast.Name) and fn.id == "abs":
-                return any(np_typed(a) for a in node.args)
-            if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name):
-                # np.* returns NumPy scalars even for Python inputs;
-                # math.* returns plain Python floats.
-                return fn.value.id in ("np", "numpy")
-        return False
-
-    def expr_ok(node: ast.AST) -> bool:
-        if isinstance(node, ast.BinOp):
-            if not (
-                isinstance(node.op, _ALLOWED_BINOPS)
-                and expr_ok(node.left)
-                and expr_ok(node.right)
-            ):
-                return False
-            if isinstance(node.op, _RAISING_BINOPS):
-                return np_typed(node.left) or np_typed(node.right)
-            return True
-        if isinstance(node, ast.UnaryOp):
-            return isinstance(node.op, _ALLOWED_UNARYOPS) and expr_ok(node.operand)
-        if isinstance(node, ast.Name):
-            return True
-        if isinstance(node, ast.Constant):
-            return isinstance(node.value, (int, float, bool))
-        if isinstance(node, ast.Call):
-            if node.keywords:
-                return False
-            if not all(expr_ok(a) for a in node.args):
-                return False
-            fn = node.func
-            if isinstance(fn, ast.Name):
-                return fn.id == "abs"
-            if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name):
-                if fn.value.id == "math":
-                    return True
-                if fn.value.id in ("np", "numpy"):
-                    return fn.attr in _ALLOWED_NP_FUNCS
-            return False
-        return False
-
-    for stmt in tree.body:
-        if not isinstance(stmt, ast.Assign):
-            return False
-        if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
-            return False
-        if not expr_ok(stmt.value):
-            return False
-        if np_typed(stmt.value):
-            np_locals.add(stmt.targets[0].id)
-        else:
-            np_locals.discard(stmt.targets[0].id)
-    return True
-
-
-# ---------------------------------------------------------------------- #
-# Scope plans
-# ---------------------------------------------------------------------- #
-@dataclass
-class _InputSpec:
-    conn: str
-    data: str
-    #: One compiled index expression per dimension (point subsets only).
-    idx_code: List[Any]
-    subset_str: str
-
-
-@dataclass
-class _OutputSpec:
-    conn: str
-    data: str
-    #: Per dimension: ``("param", (axis, offset))`` for a unit-slope affine
-    #: expression in one map parameter (``i`` -> offset 0, ``i + 1`` ->
-    #: offset 1, ``i - 1`` -> offset -1) or ``("const", code)`` for an
-    #: expression free of map parameters.
-    dims: List[Tuple[str, Any]]
-    wcr: Optional[str]
-    subset_str: str
-
-
-def _unit_affine_offset(expr, param: str) -> Optional[int]:
-    """Integer ``c`` such that ``expr == param + c``, else ``None``.
-
-    The match is *structural* -- ``Symbol(param)`` or a two-term sum of
-    ``Symbol(param)`` and an integer constant (what ``i + 1`` / ``i - 1`` /
-    ``1 + i`` parse and fold to).  Probing concrete points instead would
-    accept piecewise expressions (``i % 4096``, ``Min(i, C)``) that agree
-    with ``param + c`` on the probe set but wrap elsewhere, silently
-    corrupting vectorized writes.
-    """
-    from repro.symbolic.expressions import Add, Integer, Symbol
-
-    if isinstance(expr, Symbol):
-        return 0 if expr.name == param else None
-    if isinstance(expr, Add) and len(expr.args) == 2:
-        a, b = expr.args
-        if isinstance(b, Symbol):
-            a, b = b, a
-        if isinstance(a, Symbol) and a.name == param and isinstance(b, Integer):
-            return b.value
-    return None
-
-
-@dataclass
-class _ScopePlan:
-    """A vectorized execution recipe for one map scope."""
-
-    entry: MapEntry
-    tasklet: Tasklet
-    code_obj: Any
-    inputs: List[_InputSpec]
-    outputs: List[_OutputSpec]
-    #: Names (beyond the map parameters) whose values the scope's *setup* --
-    #: iteration grids, gather indices, write geometry, bounds checks --
-    #: depends on.  Within one run, executions whose values for these names
-    #: are unchanged (e.g. every iteration of an enclosing interstate loop)
-    #: reuse the cached setup: the loop-invariant part of the scope is
-    #: hoisted out of the loop.
-    setup_deps: Tuple[str, ...] = ()
-    #: Cleared permanently if vectorized execution fails at runtime
-    #: (e.g. an index expression that does not evaluate on index grids).
-    usable: bool = True
-
-
-def _point_index_codes(memlet: Memlet) -> Optional[List[Any]]:
-    """Compiled per-dimension index expressions, or None if not all points."""
-    if memlet.subset is None:
-        return None
-    codes = []
-    for r in memlet.subset.ranges:
-        if not r.is_point():
-            return None
-        codes.append(compile_expression(str(r.begin)))
-    return codes
-
-
-class _PlanBuilder:
-    """Builds (or refuses to build) a vectorized plan for a map scope."""
-
-    def __init__(self, state: SDFGState, entry: MapEntry, children: List[Any]) -> None:
-        self.state = state
-        self.entry = entry
-        self.children = children
-
-    def build(self) -> Optional[_ScopePlan]:
-        entry, state = self.entry, self.state
-        # Exactly one tasklet in the scope: nested maps, nested SDFGs and
-        # in-scope access nodes all fall back to the interpreter.
-        if len(self.children) != 1 or not isinstance(self.children[0], Tasklet):
-            return None
-        tasklet = self.children[0]
-        if tasklet.side_effect_callback:
-            return None
-        params = entry.map.params
-
-        inputs: List[_InputSpec] = []
-        for edge in state.in_edges(tasklet):
-            memlet: Memlet = edge.data
-            if memlet is None or memlet.is_empty:
-                if edge.src is not entry:
-                    return None
-                continue
-            if edge.src is not entry or edge.dst_conn is None:
-                return None
-            if memlet.dynamic or memlet.other_subset is not None:
-                return None  # data-dependent subset or copy annotation
-            codes = _point_index_codes(memlet)
-            if codes is None:
-                return None
-            inputs.append(
-                _InputSpec(edge.dst_conn, memlet.data, codes, str(memlet.subset))
-            )
-
-        outputs: List[_OutputSpec] = []
-        for edge in state.out_edges(tasklet):
-            memlet = edge.data
-            if memlet is None or memlet.is_empty:
-                if isinstance(edge.dst, MapExit) and edge.dst.map is entry.map:
-                    continue
-                return None
-            if not isinstance(edge.dst, MapExit) or edge.dst.map is not entry.map:
-                return None
-            if edge.src_conn is None or memlet.dynamic or memlet.other_subset is not None:
-                return None
-            if memlet.subset is None:
-                return None
-            dims: List[Tuple[str, Any]] = []
-            used_params: List[str] = []
-            for r in memlet.subset.ranges:
-                if not r.is_point():
-                    return None
-                text = str(r.begin).strip()
-                if text in params:
-                    if text in used_params:
-                        return None  # same parameter indexing two dimensions
-                    used_params.append(text)
-                    dims.append(("param", (params.index(text), 0)))
-                elif not (r.begin.free_symbols & set(params)):
-                    dims.append(("const", compile_expression(text)))
-                else:
-                    # Affine-but-not-bare (e.g. ``i + 1``): lower to a slice
-                    # offset when the index is unit-slope in one parameter;
-                    # the shift keeps the write a bijection, so the plain /
-                    # WCR write paths below apply unchanged.
-                    candidates = r.begin.free_symbols & set(params)
-                    if len(candidates) != 1:
-                        return None
-                    p = next(iter(candidates))
-                    offset = _unit_affine_offset(r.begin, p)
-                    if offset is None or p in used_params:
-                        return None
-                    used_params.append(p)
-                    dims.append(("param", (params.index(p), offset)))
-            if memlet.wcr is None:
-                # Without a reduction, the write must be a bijection on the
-                # iteration space (every parameter appears as its own
-                # dimension), otherwise iteration order would matter.
-                if set(used_params) != set(params):
-                    return None
-            elif memlet.wcr not in ("sum", "prod", "min", "max"):
-                return None
-            outputs.append(
-                _OutputSpec(edge.src_conn, memlet.data, dims, memlet.wcr, str(memlet.subset))
-            )
-
-        # Two output edges into the same container interleave their writes
-        # per iteration in the interpreter but would run as two full-array
-        # passes here; only vectorize single-writer containers.
-        out_data = [o.data for o in outputs]
-        if len(out_data) != len(set(out_data)):
-            return None
-        # An iteration must never observe another iteration's write: reading
-        # a container that the scope also writes is only safe when read and
-        # write subsets are textually identical (pure element-wise update).
-        for spec in inputs:
-            for other in outputs:
-                if other.data != spec.data:
-                    continue
-                if other.wcr is not None or spec.subset_str != other.subset_str:
-                    return None
-
-        if not _code_is_vectorizable(
-            tasklet.code, frozenset(s.conn for s in inputs)
-        ):
-            return None
-        try:
-            code_obj = compile(tasklet.code, "<vectorized-tasklet>", "exec")
-        except SyntaxError:
-            return None
-
-        # Setup dependencies: every non-parameter name the iteration grids,
-        # gather indices and write geometry read.  Executions with unchanged
-        # values for these names reuse the cached setup (loop hoisting).
-        deps: Set[str] = set()
-        for rng in entry.map.ranges:
-            deps |= rng.free_symbols
-        for edge in state.in_edges(tasklet):
-            if edge.data is not None and not edge.data.is_empty and edge.data.subset is not None:
-                deps |= edge.data.subset.free_symbols
-        for edge in state.out_edges(tasklet):
-            if edge.data is not None and not edge.data.is_empty and edge.data.subset is not None:
-                deps |= edge.data.subset.free_symbols
-        deps -= set(params)
-        return _ScopePlan(
-            entry, tasklet, code_obj, inputs, outputs, tuple(sorted(deps))
-        )
-
-
-# ---------------------------------------------------------------------- #
-# Scope fusion
-# ---------------------------------------------------------------------- #
-#
-# A chain of elementwise map scopes (producer writes B over domain D,
-# consumer reads B over the same D) executes as ONE fused vectorized kernel:
-# iteration grids are built once, external inputs are gathered once, each
-# member tasklet runs back to back on whole arrays, values flowing between
-# members stay in registers (well, arrays) instead of being scattered to and
-# re-gathered from their intermediate containers, and intermediates whose
-# only uses live inside the chain are never materialized at all.
-#
-# Bitwise parity rules the design:
-#
-# * values handed from producer to consumer are cast to the intermediate
-#   container's dtype first -- exactly the store round-trip the interpreter
-#   performs;
-# * every member's write indices are still bounds-checked (in member order),
-#   so a chain raises the same MemoryViolation whether or not it is fused;
-# * a read of an intra-chain-written container is only legal when its subset
-#   is textually identical to the *latest* write of that container (and that
-#   write is not a reduction) -- anything else (stencil reads of an
-#   intermediate, WCR-fed reads, overlapping-subset hazards) truncates the
-#   chain, and the remaining scopes execute individually;
-# * external gathers read the pre-chain store and all container writes are
-#   deferred, which matches the interpreter because a chain member never
-#   reads an earlier member's external write (such reads are either routed
-#   through the chain or reject fusion).
-
-
-@dataclass
-class _FusedMember:
-    """One scope's role inside a fused chain."""
-
-    plan: _ScopePlan
-    #: Store reads this member performs: (input spec, composed-code name the
-    #: gathered value is bound under).  Values an earlier member produced
-    #: need no runtime binding at all -- the composed code reads them as
-    #: plain locals.
-    gathers: List[Tuple[_InputSpec, str]]
-    #: (kind, spec, composed-code name of the produced value).  ``"write"``
-    #: materializes via the usual deferred write; ``"internal"`` only
-    #: bounds-checks (the container is private to the chain and never
-    #: observed).
-    outputs: List[Tuple[str, _OutputSpec, str]]
-
-
-@dataclass
-class _FusedPlan:
-    """A fused execution recipe for a chain of elementwise map scopes.
-
-    The member tasklets are composed into **one** code object: every member
-    local is renamed to a member-unique name, consumer input connectors are
-    bound directly to the (dtype-cast) producer values, and the whole chain
-    executes as a single straight-line NumPy expression sequence -- no
-    per-member namespaces, no intermediate materialization.
-    """
-
-    entry: MapEntry  # the head scope: grids/domain are built from its map
-    members: List[_FusedMember]
-    member_entries: List[MapEntry]
-    member_guids: Tuple[int, ...]
-    #: The composed chain program (and its source, for debuggability).
-    code_obj: Any
-    source: str
-    code_filename: str
-    #: Cast callables the composed code calls at producer/consumer handoffs
-    #: (``name -> callable``); injected into the execution namespace.
-    cast_bindings: Dict[str, Callable]
-    #: (first source line, tasklet label) per member, for attributing a
-    #: composed-execution exception to the member that raised it.
-    line_labels: List[Tuple[int, str]]
-    setup_deps: Tuple[str, ...]
-    usable: bool = True
-
-    def label_for(self, exc: BaseException) -> str:
-        """The tasklet label owning the composed-code line that raised."""
-        lineno = None
-        tb = exc.__traceback__
-        while tb is not None:
-            if tb.tb_frame.f_code.co_filename == self.code_filename:
-                lineno = tb.tb_lineno
-            tb = tb.tb_next
-        label = self.line_labels[0][1]
-        if lineno is not None:
-            for start, candidate in self.line_labels:
-                if start <= lineno:
-                    label = candidate
-        return label
-
-
-def _make_cast(np_dtype) -> Callable:
-    """A callable reproducing the store round-trip's dtype cast."""
-    dt = np.dtype(np_dtype)
-
-    def cast(value, _dt=dt):
-        arr = np.asarray(value)
-        return arr if arr.dtype == _dt else arr.astype(_dt)
-
-    return cast
-
-
-class _LoadRenamer(ast.NodeTransformer):
-    """Renames name *loads* through a live mapping (member-local scoping)."""
-
-    def __init__(self, mapping: Dict[str, str]) -> None:
-        self.mapping = mapping
-
-    def visit_Name(self, node: ast.Name) -> ast.AST:
-        if isinstance(node.ctx, ast.Load) and node.id in self.mapping:
-            return ast.copy_location(
-                ast.Name(id=self.mapping[node.id], ctx=ast.Load()), node
-            )
-        return node
-
-
-def _container_private_to_chain(
-    sdfg: SDFG, state: SDFGState, data: str, chain_nodes: Set[Any]
-) -> bool:
-    """Whether every use of ``data`` in the whole program is inside the chain.
-
-    Only then may the fused kernel skip materializing the container: nothing
-    else -- no other state, no non-chain node in this state, no final-output
-    copy -- can observe the missing write.
-    """
-    for other in sdfg.states():
-        for node in other.nodes():
-            if not isinstance(node, AccessNode) or node.data != data:
-                continue
-            if other is not state:
-                return False
-            for edge in other.in_edges(node):
-                if edge.src not in chain_nodes:
-                    return False
-            for edge in other.out_edges(node):
-                if edge.dst not in chain_nodes:
-                    return False
-    return True
-
-
-def _build_fused_plan(
-    sdfg: SDFG,
-    state: SDFGState,
-    entries: List[MapEntry],
-    plans: Dict[int, Optional[_ScopePlan]],
-) -> Optional[_FusedPlan]:
-    """Fuse the longest legal prefix of a candidate chain (or refuse).
-
-    ``entries`` is a structural candidate from
-    :func:`repro.sdfg.analysis.elementwise_scope_chains`; members without a
-    vectorized plan, or whose memlets violate the fusion preconditions
-    (mismatched intermediate subsets, reads of WCR-written containers,
-    overlapping-write hazards), truncate the chain at that point.
-    """
-    from repro.sdfg.data import Array
-
-    planned: List[Tuple[MapEntry, _ScopePlan]] = []
-    for entry in entries:
-        plan = plans.get(entry.guid)
-        if plan is None:
-            break
-        planned.append((entry, plan))
-
-    # Pass 1 -- legality walk: route each input either to the store (gather)
-    # or to an earlier member's value (chain); any read of an intra-chain
-    # write that is not an exact elementwise match truncates the chain.
-    accepted: List[Tuple[MapEntry, _ScopePlan, List[Tuple[str, Any]]]] = []
-    written: Dict[str, _OutputSpec] = {}
-    consumed: Set[Tuple[str, str]] = set()
-    gathered: Set[str] = set()
-    deps: Set[str] = set()
-    for entry, plan in planned:
-        routes: List[Tuple[str, Any]] = []
-        legal = True
-        for spec in plan.inputs:
-            prev = written.get(spec.data)
-            if prev is None:
-                routes.append(("gather", spec))
-                gathered.add(spec.data)
-            elif prev.wcr is None and prev.subset_str == spec.subset_str:
-                key = (spec.data, spec.subset_str)
-                routes.append(("chain", (spec, key)))
-                consumed.add(key)
-            else:
-                legal = False  # WCR-fed or subset-mismatched intermediate read
-                break
-        if not legal:
-            break
-        accepted.append((entry, plan, routes))
-        deps.update(plan.setup_deps)
-        for spec in plan.outputs:
-            written[spec.data] = spec
-    if len(accepted) < 2:
-        return None
-    member_entries = [entry for entry, _, _ in accepted]
-
-    # Intermediates used nowhere outside the chain are never materialized.
-    chain_nodes: Set[Any] = set()
-    for entry, plan, _ in accepted:
-        chain_nodes.add(entry)
-        chain_nodes.add(plan.tasklet)
-    for node in state.nodes():
-        if isinstance(node, MapExit) and any(
-            node.map is e.map for e in member_entries
-        ):
-            chain_nodes.add(node)
-    internal: Set[str] = set()
-    for data in written:
-        desc = sdfg.arrays.get(data)
-        if (
-            desc is not None
-            and desc.transient
-            and isinstance(desc, Array)
-            # A container the chain also *gathers* (reads before any chain
-            # write) carries a loop-borne dependence: the next execution of
-            # this state must see the materialized value, so the write
-            # cannot be skipped even when every use site is in the chain.
-            and data not in gathered
-            and _container_private_to_chain(sdfg, state, data, chain_nodes)
-        ):
-            internal.add(data)
-
-    # Pass 2 -- composition: rename every member-local to a member-unique
-    # name, bind consumer connectors directly to the (dtype-cast) producer
-    # values, and emit one straight-line program for the whole chain.
-    lines: List[str] = []
-    line_labels: List[Tuple[int, str]] = []
-    cast_bindings: Dict[str, Callable] = {}
-    chain_var: Dict[Tuple[str, str], str] = {}
-    members: List[_FusedMember] = []
-    cast_counter = 0
-    try:
-        for k, (entry, plan, routes) in enumerate(accepted):
-            mapping: Dict[str, str] = {}
-            gathers: List[Tuple[_InputSpec, str]] = []
-            for kind, payload in routes:
-                if kind == "gather":
-                    spec = payload
-                    name = f"__g{k}_{spec.conn}"
-                    mapping[spec.conn] = name
-                    gathers.append((spec, name))
-                else:
-                    spec, key = payload
-                    mapping[spec.conn] = chain_var[key]
-            start = len(lines) + 1
-            renamer = _LoadRenamer(mapping)
-            tree = ast.parse(plan.tasklet.code)
-            for stmt in tree.body:
-                # Straight-line single-target assignments are guaranteed by
-                # _code_is_vectorizable; rename the loads first (against the
-                # *pre-assignment* mapping), then bind the target.
-                value = ast.fix_missing_locations(renamer.visit(stmt.value))
-                target = stmt.targets[0].id
-                local = f"__v{k}_{target}"
-                lines.append(f"{local} = {ast.unparse(value)}")
-                mapping[target] = local
-            outputs: List[Tuple[str, _OutputSpec, str]] = []
-            for spec in plan.outputs:
-                out_name = mapping.get(spec.conn, f"__v{k}_{spec.conn}")
-                kind = "internal" if spec.data in internal else "write"
-                outputs.append((kind, spec, out_name))
-                key = (spec.data, spec.subset_str)
-                if key in consumed:
-                    # Producer/consumer handoff: the value a later member
-                    # reads back, cast to the container dtype exactly as the
-                    # interpreter's store write would.
-                    cast_name = f"__cast{cast_counter}"
-                    var = f"__chain{cast_counter}"
-                    cast_counter += 1
-                    cast_bindings[cast_name] = _make_cast(
-                        sdfg.arrays[spec.data].dtype.as_numpy()
-                    )
-                    lines.append(f"{var} = {cast_name}({out_name})")
-                    chain_var[key] = var
-            line_labels.append((start, plan.tasklet.label))
-            members.append(_FusedMember(plan, gathers, outputs))
-        source = "\n".join(lines) + "\n"
-        filename = f"<fused-chain:{member_entries[0].label}>"
-        code_obj = compile(source, filename, "exec")
-    except Exception:  # noqa: BLE001 - never fail planning; fall back
-        return None
-
-    return _FusedPlan(
-        entry=member_entries[0],
-        members=members,
-        member_entries=member_entries,
-        member_guids=tuple(e.guid for e in member_entries),
-        code_obj=code_obj,
-        source=source,
-        code_filename=filename,
-        cast_bindings=cast_bindings,
-        line_labels=line_labels,
-        setup_deps=tuple(sorted(deps)),
-    )
-
-
-@dataclass
-class _StateTable:
-    """Per-state vectorization decisions, built once per program."""
-
-    #: Plan (or ``None`` for planner-rejected scopes) per map-entry guid,
-    #: covering top-level *and* nested map entries.
-    plans: Dict[int, Optional[_ScopePlan]]
-    #: Fused chains by head-entry guid.
-    heads: Dict[int, _FusedPlan]
-    #: Non-head member guids (statically skippable when their chain runs).
-    members: Set[int] = field(default_factory=set)
-
-
-# ---------------------------------------------------------------------- #
-# Executor
-# ---------------------------------------------------------------------- #
-@dataclass
-class _WriteGeom:
-    """Precomputed geometry of one vectorized container write."""
-
-    spec: _OutputSpec
-    arr: np.ndarray
-    mesh: Tuple
-    perm: List[int]
-    target_shape: Tuple[int, ...]
-    red_axes: List[int]
-    kept_shape: Tuple[int, ...]
-    #: True when the slab already has the output's dimension order and
-    #: shape, so the per-write transpose/reshape can be skipped.
-    identity_shape: bool = False
-
-
-@dataclass
-class _ScopeSetup:
-    """The symbol-dependent (but value-independent) part of one scope
-    execution: iteration grids, bounds-checked gather indices and write
-    geometry.  Reused across executions whose ``setup_deps`` values are
-    unchanged -- i.e. hoisted out of enclosing interstate loops."""
-
-    shape_full: Tuple[int, ...]
-    iterations: int
-    grids: Dict[str, np.ndarray]
-    #: (connector, container array, index, needs_copy) per input.  ``index``
-    #: is a slice tuple on the fast path (``needs_copy=True``: basic
-    #: indexing views must be copied to keep gather-copy semantics) or an
-    #: advanced-indexing tuple (which copies implicitly).
-    gathers: List[Tuple[str, np.ndarray, Tuple, bool]]
-    geoms: List[_WriteGeom]
-
-
-@dataclass
-class _FusedSetup:
-    """Loop-hoistable setup of a fused chain (shared grids, flattened
-    gathers and per-member write geometry)."""
-
-    shape_full: Tuple[int, ...]
-    iterations: int
-    grids: Dict[str, np.ndarray]
-    #: (composed-code name, container array, index, needs_copy), flattened
-    #: across all members (values bound before the single composed exec).
-    gathers: List[Tuple[str, np.ndarray, Tuple, bool]]
-    #: Per member, aligned with its ``outputs``: the write geometry.
-    member_geoms: List[List[_WriteGeom]]
-
-
-class VectorizedExecutor(SDFGExecutor):
-    """An :class:`SDFGExecutor` that executes vectorizable map scopes as
-    NumPy array expressions and falls back to element-wise interpretation
-    for everything else.
-
-    Chains of elementwise scopes are additionally *fused* (one gather /
-    compute / scatter pass per chain instead of per scope; see
-    :class:`_FusedPlan`), and scope setup -- iteration grids, gather
-    indices, write geometry -- is cached per plan and reused while the
-    symbols it depends on are unchanged, hoisting that work out of
-    interstate loops."""
-
-    _VEC_GLOBALS = {
-        "__builtins__": _SAFE_BUILTINS,
-        "np": np,
-        "numpy": np,
-        "math": _MATH_SHIM,
-    }
-
-    def __init__(self, *args, fuse: bool = True, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        #: Whether elementwise scope chains are fused (disable to measure
-        #: the fusion win, or to bisect a suspected fusion bug).
-        self.fuse = fuse
-        #: Per-state vectorization decisions (plans + fused chains), built
-        #: once per state on first execution.
-        self._tables: Dict[int, _StateTable] = {}
-        #: Per-plan setup cache: ``id(plan) -> (dep-values key, setup)``.
-        #: Valid within one run only (it captures store arrays).
-        self._setup_cache: Dict[int, Tuple[Tuple, Any]] = {}
-        #: Member-scope guids already covered by a fused execution in the
-        #: current state execution.
-        self._fused_done: Set[int] = set()
-        #: Scope-execution counters (vectorized vs. interpreter fallback;
-        #: ``fused`` counts whole-chain executions).
-        self.stats: Dict[str, int] = {"vectorized": 0, "fallback": 0, "fused": 0}
-
-    def run(self, *args, **kwargs) -> ExecutionResult:
-        try:
-            return super().run(*args, **kwargs)
-        finally:
-            # Programs prepared by the vectorized backend outlive their runs
-            # in the content-hash cache; drop the per-run data store (and the
-            # setup cache, which captures store arrays) so a cached program
-            # does not pin its last trial's arrays.
-            self._store = {}
-            self._symbols = {}
-            self._setup_cache = {}
-
-    def _setup(self, arguments: Dict[str, Any], symbols: Dict[str, Any]) -> None:
-        super()._setup(arguments, symbols)
-        # Setup caches capture per-run store arrays; never reuse across runs.
-        self._setup_cache.clear()
-        self._fused_done.clear()
-
-    # .................................................................. #
-    # Per-state decision tables
-    # .................................................................. #
-    def _table_for(self, state: SDFGState) -> _StateTable:
-        table = self._tables.get(id(state))
-        if table is None:
-            table = self._build_state_table(state)
-            self._tables[id(state)] = table
-        return table
-
-    def _build_state_table(self, state: SDFGState) -> _StateTable:
-        order = self._state_order(state)
-        scopes = self._scope_cache[id(state)]
-        plans: Dict[int, Optional[_ScopePlan]] = {}
-        for node in order:
-            if not isinstance(node, MapEntry):
-                continue
-            children = [
-                n for n in order if scopes.get(n) is node and not isinstance(n, MapExit)
-            ]
-            plans[node.guid] = _PlanBuilder(state, node, children).build()
-        heads: Dict[int, _FusedPlan] = {}
-        members: Set[int] = set()
-        if self.fuse:
-            for chain in elementwise_scope_chains(state, order, scopes):
-                fused = _build_fused_plan(self.sdfg, state, chain, plans)
-                if fused is not None:
-                    heads[fused.member_guids[0]] = fused
-                    members.update(fused.member_guids[1:])
-        return _StateTable(plans, heads, members)
-
-    # .................................................................. #
-    # Scope execution
-    # .................................................................. #
-    def _execute_map_scope(self, state, entry, bindings) -> None:
-        guid = entry.guid
-        if guid in self._fused_done:
-            # Covered by the fused execution of this chain's head earlier in
-            # the same state execution.
-            self._fused_done.discard(guid)
-            return
-        table = self._table_for(state)
-        fused = table.heads.get(guid)
-        if fused is not None and self._try_fused(fused, bindings):
-            self._fused_done.update(fused.member_guids[1:])
-            return
-        self._run_single_scope(state, entry, table.plans.get(guid), bindings)
-
-    def _try_fused(self, fused: _FusedPlan, bindings: Dict[str, Any]) -> bool:
-        """Execute a fused chain; ``False`` defers to per-scope execution."""
-        if not fused.usable:
-            return False
-        try:
-            writes, counts = self._compute_fused(fused, bindings)
-        except ExecutionError:
-            raise
-        except Exception:  # noqa: BLE001 - chain did not survive contact
-            fused.usable = False
-            return False
-        for apply_write in writes:
-            apply_write()
-        for tasklet_guid, n in counts:
-            self._tasklet_counts[tasklet_guid] = (
-                self._tasklet_counts.get(tasklet_guid, 0) + n
-            )
-        self.stats["vectorized"] += len(fused.members)
-        self.stats["fused"] += 1
-        return True
-
-    def _run_single_scope(
-        self,
-        state: SDFGState,
-        entry: MapEntry,
-        plan: Optional[_ScopePlan],
-        bindings: Dict[str, Any],
-    ) -> None:
-        if plan is not None and plan.usable:
-            try:
-                writes, iterations = self._compute_vectorized(plan, bindings)
-            except ExecutionError:
-                raise
-            except Exception:  # noqa: BLE001 - plan did not survive contact
-                plan.usable = False
-            else:
-                for apply_write in writes:
-                    apply_write()
-                if iterations:
-                    # One logical tasklet execution per iteration, exactly as
-                    # the interpreter counts them (coverage-map parity).
-                    self._tasklet_counts[plan.tasklet.guid] = (
-                        self._tasklet_counts.get(plan.tasklet.guid, 0) + iterations
-                    )
-                self.stats["vectorized"] += 1
-                return
-        self.stats["fallback"] += 1
-        SDFGExecutor._execute_map_scope(self, state, entry, bindings)
-
-    # .................................................................. #
-    # Setup (loop-hoisted per dependent-symbol values)
-    # .................................................................. #
-    def _resolve_domain(
-        self, entry: MapEntry, bindings: Dict[str, Any]
-    ) -> Tuple[List[np.ndarray], Tuple[int, ...], int, Dict[str, np.ndarray]]:
-        """Concrete iteration axes and broadcast grids for a map."""
-        axes: List[np.ndarray] = []
-        for rng in entry.map.ranges:
-            b, e, s = rng.evaluate(bindings)
-            if s == 0:
-                raise ExecutionError(f"Map '{entry.label}' has a zero step")
-            axes.append(np.arange(b, e + 1 if s > 0 else e - 1, s, dtype=np.int64))
-        shape_full = tuple(len(a) for a in axes)
-        iterations = int(np.prod(shape_full, dtype=np.int64))
-        nparams = len(axes)
-        grids: Dict[str, np.ndarray] = {}
-        for axis, (param, vals) in enumerate(zip(entry.map.params, axes)):
-            gshape = [1] * nparams
-            gshape[axis] = len(vals)
-            grids[param] = vals.reshape(gshape)
-        return axes, shape_full, iterations, grids
-
-    @staticmethod
-    def _seq_slice(flat: np.ndarray, trusted: bool = False) -> Optional[slice]:
-        """A slice indexing the same 1-D positions as ``flat``, or ``None``.
-
-        Only arithmetic sequences (the shape every map-parameter axis and
-        every unit-slope affine index takes) qualify; basic indexing is
-        several times faster than advanced indexing with an index array.
-        The caller has already bounds-checked the values, so non-negative
-        starts are guaranteed.  ``trusted`` skips the O(n) element check for
-        sequences constructed from ``np.arange`` by this module itself --
-        the endpoints check still guards against accidental misuse.
-        """
-        n = flat.size
-        first = int(flat[0])
-        if n == 1:
-            return slice(first, first + 1)
-        step = int(flat[1]) - first
-        if step == 0:
-            return None
-        last = first + step * (n - 1)
-        if int(flat[-1]) != last:
-            return None
-        if not trusted and not np.array_equal(
-            flat, np.arange(first, last + (1 if step > 0 else -1), step, dtype=flat.dtype)
-        ):
-            return None
-        if step > 0:
-            return slice(first, last + 1, step)
-        stop = last - 1
-        return slice(first, None if stop < 0 else stop, step)
-
-    @classmethod
-    def _gather_slices(
-        cls, idx: List[Any], arr: np.ndarray, nparams: int
-    ) -> Optional[Tuple]:
-        """A basic-indexing equivalent of a broadcast gather, or ``None``.
-
-        Legal exactly when the slice result has the gather's shape: the
-        ranks must agree (``arr.ndim == nparams``) and every index array
-        must vary only along its *own* dimension's axis (so dimension order
-        and parameter-axis order coincide).  Constant dimensions become
-        length-1 slices, matching the broadcast's length-1 axes.
-        """
-        if arr.ndim != nparams:
-            return None
-        out: List[Any] = []
-        saw_array = False
-        for d, v in enumerate(idx):
-            if isinstance(v, np.ndarray):
-                if any(s != 1 for a, s in enumerate(v.shape) if a != d):
-                    return None
-                sl = cls._seq_slice(v.ravel())
-                if sl is None:
-                    return None
-                saw_array = True
-                out.append(sl)
-            else:
-                if int(v) < 0:
-                    return None
-                out.append(slice(int(v), int(v) + 1))
-        # All-constant gathers yield a NumPy scalar; slices would yield a
-        # (1, ..., 1) array.  Leave those on the advanced path.
-        return tuple(out) if saw_array else None
-
-    def _resolve_gather(
-        self, spec: _InputSpec, idx_ns: Dict[str, Any], nparams: int
-    ) -> Tuple[str, np.ndarray, Tuple, bool]:
-        arr = self._store.get(spec.data)
-        if arr is None:
-            raise ExecutionError(f"Read from unknown container '{spec.data}'")
-        idx = self._index_arrays(spec.idx_code, idx_ns)
-        self._check_vector_bounds(spec.data, spec.subset_str, idx, arr.shape)
-        fast = self._gather_slices(idx, arr, nparams)
-        if fast is not None:
-            # Basic indexing returns a view; the copy preserves the
-            # gather-copy semantics (readers must see pre-scope values even
-            # after deferred writes mutate the container).
-            return spec.conn, arr, fast, True
-        return spec.conn, arr, tuple(idx), False
-
-    def _resolve_write(
-        self,
-        spec: _OutputSpec,
-        axes: List[np.ndarray],
-        shape_full: Tuple[int, ...],
-        bindings: Dict[str, Any],
-    ) -> _WriteGeom:
-        arr = self._store.get(spec.data)
-        if arr is None:
-            raise ExecutionError(f"Write to unknown container '{spec.data}'")
-        if len(spec.dims) != arr.ndim:
-            raise MemoryViolation(
-                spec.data, spec.subset_str, arr.shape, "dimensionality mismatch"
-            )
-        index_1d: List[np.ndarray] = []
-        param_axes: List[int] = []
-        for kind, payload in spec.dims:
-            if kind == "param":
-                axis, offset = payload
-                param_axes.append(axis)
-                index_1d.append(axes[axis] + offset if offset else axes[axis])
-            else:
-                c = int(eval(payload, _EVAL_GLOBALS, bindings))  # noqa: S307
-                index_1d.append(np.asarray([c], dtype=np.int64))
-        self._check_vector_bounds(spec.data, spec.subset_str, index_1d, arr.shape)
-        nparams = len(shape_full)
-        red_axes = [a for a in range(nparams) if a not in param_axes]
-        kept_sorted = sorted(param_axes)
-        kept_shape = tuple(shape_full[a] for a in kept_sorted)
-        # Value axes end up in ascending-parameter order; ``perm`` reorders
-        # them to the output's dimension order, ``target_shape`` re-inserts
-        # length-1 axes for constant-indexed dimensions.
-        perm = [kept_sorted.index(a) for a in param_axes]
-        target_shape = tuple(
-            shape_full[payload[0]] if kind == "param" else 1
-            for kind, payload in spec.dims
-        )
-        # Every per-dimension index is an arithmetic sequence (map axes plus
-        # a constant offset, or a single constant), so the scatter target is
-        # expressible with basic slicing -- several times faster than the
-        # ``np.ix_`` advanced-indexing mesh, which stays as the fallback.
-        # ``trusted``: these arrays are arange-built by _resolve_domain.
-        slices = [self._seq_slice(v, trusted=True) for v in index_1d]
-        if index_1d and all(s is not None for s in slices):
-            mesh: Tuple = tuple(slices)
-        else:
-            mesh = np.ix_(*index_1d) if index_1d else ()
-        identity_shape = perm == sorted(perm) and target_shape == kept_shape
-        return _WriteGeom(
-            spec, arr, mesh, perm, target_shape, red_axes, kept_shape,
-            identity_shape,
-        )
-
-    def _scope_setup(self, plan: _ScopePlan, bindings: Dict[str, Any]) -> _ScopeSetup:
-        key = tuple(bindings.get(name) for name in plan.setup_deps)
-        cached = self._setup_cache.get(id(plan))
-        if cached is not None and cached[0] == key:
-            return cached[1]
-        axes, shape_full, iterations, grids = self._resolve_domain(plan.entry, bindings)
-        if iterations == 0:
-            # The interpreter executes nothing for an empty domain -- in
-            # particular it never bounds-checks the memlets -- so neither
-            # may the setup.
-            setup = _ScopeSetup(shape_full, 0, grids, [], [])
-        else:
-            idx_ns = dict(bindings)
-            idx_ns.update(grids)
-            nparams = len(axes)
-            gathers = [
-                self._resolve_gather(spec, idx_ns, nparams) for spec in plan.inputs
-            ]
-            geoms = [
-                self._resolve_write(spec, axes, shape_full, bindings)
-                for spec in plan.outputs
-            ]
-            setup = _ScopeSetup(shape_full, iterations, grids, gathers, geoms)
-        self._setup_cache[id(plan)] = (key, setup)
-        return setup
-
-    def _fused_setup(self, fused: _FusedPlan, bindings: Dict[str, Any]) -> _FusedSetup:
-        key = tuple(bindings.get(name) for name in fused.setup_deps)
-        cached = self._setup_cache.get(id(fused))
-        if cached is not None and cached[0] == key:
-            return cached[1]
-        axes, shape_full, iterations, grids = self._resolve_domain(
-            fused.entry, bindings
-        )
-        if iterations == 0:
-            setup = _FusedSetup(shape_full, 0, grids, [], [])
-        else:
-            idx_ns = dict(bindings)
-            idx_ns.update(grids)
-            nparams = len(axes)
-            gathers: List[Tuple[str, np.ndarray, Tuple, bool]] = []
-            member_geoms: List[List[_WriteGeom]] = []
-            for member in fused.members:
-                for spec, name in member.gathers:
-                    _, arr, idx, needs_copy = self._resolve_gather(
-                        spec, idx_ns, nparams
-                    )
-                    gathers.append((name, arr, idx, needs_copy))
-                member_geoms.append(
-                    [
-                        self._resolve_write(spec, axes, shape_full, bindings)
-                        for _, spec, _ in member.outputs
-                    ]
-                )
-            setup = _FusedSetup(shape_full, iterations, grids, gathers, member_geoms)
-        self._setup_cache[id(fused)] = (key, setup)
-        return setup
-
-    # .................................................................. #
-    # Vectorized evaluation
-    # .................................................................. #
-    def _compute_vectorized(
-        self, plan: _ScopePlan, bindings: Dict[str, Any]
-    ) -> Tuple[List[Callable[[], None]], int]:
-        """Evaluate a vectorized scope; returns deferred writes.
-
-        Nothing is mutated here: bounds checks and tasklet execution happen
-        first, container writes are returned as closures so a mid-flight
-        failure can safely fall back to the interpreter.
-        """
-        setup = self._scope_setup(plan, bindings)
-        if setup.iterations == 0:
-            return [], 0
-
-        # Run the tasklet once on whole arrays.  Map parameters are visible
-        # as index grids, program symbols as scalars -- mirroring the
-        # interpreter's per-iteration namespace.  Gathers read the live
-        # store (advanced indexing copies, so in-scope element-wise
-        # self-updates see the pre-scope values, as each iteration does).
-        ns: Dict[str, Any] = dict(bindings)
-        ns.update(setup.grids)
-        for conn, arr, idx, needs_copy in setup.gathers:
-            value = arr[idx]
-            ns[conn] = value.copy() if needs_copy else value
-        try:
-            exec(plan.code_obj, self._VEC_GLOBALS, ns)  # noqa: S102
-        except Exception as exc:  # noqa: BLE001 - same typed error as TaskletRunner
-            raise TaskletExecutionError(plan.tasklet.label, exc) from exc
-
-        writes: List[Callable[[], None]] = []
-        for geom in setup.geoms:
-            writes.append(
-                self._make_write(
-                    geom,
-                    self._output_value(plan.tasklet, geom.spec.conn, ns, setup.shape_full),
-                    setup.shape_full,
-                )
-            )
-        return writes, setup.iterations
-
-    def _compute_fused(
-        self, fused: _FusedPlan, bindings: Dict[str, Any]
-    ) -> Tuple[List[Callable[[], None]], List[Tuple[int, int]]]:
-        """Evaluate a fused scope chain; returns deferred writes + counts.
-
-        The whole chain is **one** ``exec`` of the composed code object:
-        member locals are pre-renamed to unique names, consumer connectors
-        read the producers' values directly (dtype-cast at the handoff,
-        reproducing the interpreter's store round-trip bit for bit), and
-        intermediate containers are never touched.  All container writes
-        are deferred to the caller, like :meth:`_compute_vectorized`.
-        """
-        setup = self._fused_setup(fused, bindings)
-        if setup.iterations == 0:
-            return [], []
-        ns: Dict[str, Any] = dict(bindings)
-        ns.update(setup.grids)
-        for name, arr, idx, needs_copy in setup.gathers:
-            value = arr[idx]
-            ns[name] = value.copy() if needs_copy else value
-        ns.update(fused.cast_bindings)
-        try:
-            exec(fused.code_obj, self._VEC_GLOBALS, ns)  # noqa: S102
-        except Exception as exc:  # noqa: BLE001 - attributed by source line
-            raise TaskletExecutionError(fused.label_for(exc), exc) from exc
-
-        writes: List[Callable[[], None]] = []
-        counts: List[Tuple[int, int]] = []
-        for member, geoms in zip(fused.members, setup.member_geoms):
-            for (kind, spec, out_name), geom in zip(member.outputs, geoms):
-                value = self._output_value(
-                    member.plan.tasklet, out_name, ns, setup.shape_full,
-                    display_conn=spec.conn,
-                )
-                if kind == "write":
-                    writes.append(self._make_write(geom, value, setup.shape_full))
-            counts.append((member.plan.tasklet.guid, setup.iterations))
-        return writes, counts
-
-    @staticmethod
-    def _output_value(
-        tasklet: Tasklet,
-        conn: str,
-        ns: Dict[str, Any],
-        shape_full: Tuple[int, ...],
-        display_conn: Optional[str] = None,
-    ) -> np.ndarray:
-        if conn not in ns:
-            raise TaskletExecutionError(
-                tasklet.label,
-                KeyError(
-                    f"tasklet did not assign output connector "
-                    f"'{display_conn or conn}'"
-                ),
-            )
-        value = np.asarray(ns[conn])
-        if value.shape == shape_full:
-            return value  # the common case: broadcast_to would be a no-op
-        return np.broadcast_to(value, shape_full)
-
-    # .................................................................. #
-    @staticmethod
-    def _index_arrays(idx_code: List[Any], idx_ns: Dict[str, Any]) -> List[Any]:
-        out = []
-        for code in idx_code:
-            v = eval(code, _EVAL_GLOBALS, idx_ns)  # noqa: S307
-            out.append(v if isinstance(v, np.ndarray) else int(v))
-        return out
-
-    @staticmethod
-    def _check_vector_bounds(
-        data: str, subset_str: str, idx: List[Any], shape: Tuple[int, ...]
-    ) -> None:
-        if len(idx) != len(shape):
-            raise MemoryViolation(data, subset_str, shape, "dimensionality mismatch")
-        for v, dim in zip(idx, shape):
-            arr = np.asarray(v)
-            if arr.size == 0:
-                continue
-            lo, hi = int(arr.min()), int(arr.max())
-            if lo < 0 or hi >= dim:
-                raise MemoryViolation(data, subset_str, shape)
-
-    def _make_write(
-        self,
-        geom: _WriteGeom,
-        value: np.ndarray,
-        shape_full: Tuple[int, ...],
-    ) -> Callable[[], None]:
-        from repro.sdfg.dtypes import reduction_function
-
-        spec, arr = geom.spec, geom.arr
-        perm, target_shape, mesh = geom.perm, geom.target_shape, geom.mesh
-
-        if spec.wcr is None and geom.identity_shape and not geom.red_axes:
-            # Bijective write whose value already has the output's layout
-            # (the overwhelmingly common case): one basic-index assignment.
-            def apply_direct() -> None:
-                arr[mesh] = value
-
-            return apply_direct
-
-        # Reduction slabs, flattened in iteration (lexicographic) order.
-        slabs = np.moveaxis(value, geom.red_axes, range(len(geom.red_axes))).reshape(
-            (-1,) + geom.kept_shape
-        )
-
-        if geom.identity_shape:
-
-            def shape_for_write(a: np.ndarray) -> np.ndarray:
-                return a
-
-        else:
-
-            def shape_for_write(a: np.ndarray) -> np.ndarray:
-                return a.transpose(perm).reshape(target_shape)
-
-        if spec.wcr is None:
-
-            def apply_plain() -> None:
-                arr[mesh] = shape_for_write(slabs[0])
-
-            return apply_plain
-
-        func = reduction_function(spec.wcr)
-
-        def apply_wcr() -> None:
-            # Sequential accumulation in iteration order: bitwise identical
-            # to the interpreter's per-element read-modify-write loop
-            # (NumPy's pairwise reduce would round differently).  Each step
-            # casts back to the container dtype, mirroring the interpreter's
-            # per-iteration store (accumulating in the promoted dtype would
-            # round non-float64 containers differently).
-            region = np.array(arr[mesh], copy=True)
-            for k in range(slabs.shape[0]):
-                region = np.asarray(func(region, shape_for_write(slabs[k]))).astype(
-                    arr.dtype, copy=False
-                )
-            arr[mesh] = region
-
-        return apply_wcr
-
-
-# ---------------------------------------------------------------------- #
-# On-disk compiled-program cache
-# ---------------------------------------------------------------------- #
 class ProgramDiskCache:
     """A directory of compile *artifacts* keyed by SDFG content hash.
 

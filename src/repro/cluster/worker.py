@@ -88,9 +88,13 @@ def _worker_metadata(backend: Optional[str], procs: int) -> Dict[str, Any]:
 
 
 def _rebuild_tasks(
-    entries: List[Dict[str, Any]], backend: Optional[str]
+    entries: List[Dict[str, Any]],
+    backend: Optional[str],
+    trial_batch: Optional[int] = None,
 ) -> List[Tuple[int, str, SweepTask]]:
-    """Deserialize a shard, applying this worker's backend override.
+    """Deserialize a shard, applying this worker's backend and
+    trial-batch overrides (both excluded from task identity, so overriding
+    them never forks the sweep's accounting).
 
     The coordinator-issued ``task_id`` travels with each task and is echoed
     back verbatim in the result message: the coordinator keys its accounting
@@ -101,6 +105,8 @@ def _rebuild_tasks(
         task = SweepTask.from_dict(entry["task"])
         if backend is not None:
             task.verifier_kwargs["backend"] = backend
+        if trial_batch is not None:
+            task.verifier_kwargs["trial_batch"] = trial_batch
         out.append((entry["index"], entry["task_id"], task))
     return out
 
@@ -153,6 +159,7 @@ def run_worker(
     host: str,
     port: int,
     backend: Optional[str] = None,
+    trial_batch: Optional[int] = None,
     procs: int = 1,
     connect_retry_seconds: float = 10.0,
     heartbeat_seconds: float = 5.0,
@@ -218,7 +225,7 @@ def run_worker(
             if reply.get("type") != "tasks":
                 raise ProtocolError(f"Expected tasks/wait/done, got {reply!r}")
             shard = reply.get("shard")
-            indexed = _rebuild_tasks(reply.get("tasks", []), backend)
+            indexed = _rebuild_tasks(reply.get("tasks", []), backend, trial_batch)
             if pool is not None:
                 for index, task_id, outcome in pool.imap_unordered(
                     _execute_indexed_entry, indexed
@@ -262,6 +269,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the sweep's execution backend for this worker only "
         "(backends are bitwise-equivalent; mixing them cross-checks the "
         "execution layer across machines)",
+    )
+    parser.add_argument(
+        "--trial-batch", type=int, default=None, metavar="K",
+        help="override the sweep's trials-per-batch for this worker only "
+        "(batch-capable backends execute K trials along a leading batch "
+        "axis; verdicts are serial-identical, so this never forks task "
+        "identity)",
     )
     parser.add_argument(
         "--procs", type=int, default=1,
@@ -308,6 +322,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             host,
             port,
             backend=args.backend,
+            trial_batch=args.trial_batch,
             procs=args.procs,
             connect_retry_seconds=args.connect_retry_seconds,
             heartbeat_seconds=args.heartbeat_seconds,

@@ -64,6 +64,7 @@ class FuzzyFlowVerifier:
         test_case_dir: Optional[str] = None,
         use_coverage_guidance: bool = False,
         backend: str = "interpreter",
+        trial_batch: int = 1,
     ) -> None:
         self.num_trials = num_trials
         self.tolerance = tolerance
@@ -79,6 +80,9 @@ class FuzzyFlowVerifier:
         #: Execution backend for differential fuzzing ("interpreter",
         #: "vectorized" or the self-checking "cross"; see repro.backends).
         self.backend = backend
+        #: Trials per run_batch call (1 = serial; >1 enables batch-axis
+        #: execution on batch-capable backends such as "batched").
+        self.trial_batch = trial_batch
 
     # ------------------------------------------------------------------ #
     def _executable(self, cutout: Cutout, sdfg: SDFG) -> SDFG:
@@ -217,6 +221,7 @@ class FuzzyFlowVerifier:
             tolerance=self.tolerance,
             max_transitions=self.max_transitions,
             backend=self.backend,
+            trial_batch=self.trial_batch,
         )
         if self.use_coverage_guidance:
             cg = CoverageGuidedFuzzer(fuzzer, sampler, seed=self.seed)
@@ -431,6 +436,7 @@ class FuzzyFlowVerifier:
             tolerance=self.tolerance,
             max_transitions=self.max_transitions,
             backend=self.backend,
+            trial_batch=self.trial_batch,
         )
         fuzzing_report = fuzzer.run(
             num_trials=num_trials if num_trials is not None else self.num_trials,

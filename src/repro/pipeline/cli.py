@@ -161,6 +161,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: interpreter; with --connect: the worker-side override)",
     )
     parser.add_argument(
+        "--trial-batch", default=1, type=int, metavar="K",
+        help="trials per run_batch call (default: 1): batch-capable "
+        "backends (batched, or cross pairs wrapping it) stack K trial "
+        "inputs along a leading batch axis and execute each scope once "
+        "per batch; verdicts are bitwise identical to serial trials",
+    )
+    parser.add_argument(
         "--cache-dir", default=None, metavar="PATH",
         help="persistent compiled-program cache directory (sets "
         f"{CACHE_DIR_ENV}): pool workers and cluster workers share compile "
@@ -281,6 +288,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 size_max=args.size_max,
                 minimize_inputs=False,
                 backend=backend,
+                trial_batch=args.trial_batch,
             ),
         )
     except KeyError as exc:

@@ -722,3 +722,131 @@ class TestSuiteParityWithFusion:
         spec = get_workload("npbench", kernel)
         sdfg = spec.build()
         run_all_backends(sdfg, dict(spec.symbols))
+
+
+# ---------------------------------------------------------------------- #
+# Fusion across WCR producers (accumulate-into-chain)
+# ---------------------------------------------------------------------- #
+class TestWcrTailFusion:
+    """A member that *writes* with WCR may join a chain -- but only as its
+    tail: the accumulation target is unread inside the chain, so the
+    deferred WCR write is indistinguishable from per-scope execution,
+    while any later member would reorder against it."""
+
+    def elementwise_then_wcr(self, wcr="sum"):
+        """Stage 0 squares A into t0; stage 1 accumulates t0 into Out[i]."""
+        sdfg = SDFG("wcr_tail")
+        sdfg.add_array("A", ["N"], float64)
+        sdfg.add_transient("t0", ["N"], float64)
+        sdfg.add_array("Out", ["N"], float64)
+        state = sdfg.add_state("s", is_start_state=True)
+        _, _, mexit = state.add_mapped_tasklet(
+            "square", {"i": "0:N-1"}, {"x": Memlet.simple("A", "i")},
+            "y = x * x", {"y": Memlet.simple("t0", "i")},
+        )
+        t0_node = next(e.dst for e in state.out_edges(mexit))
+        state.add_mapped_tasklet(
+            "acc", {"i": "0:N-1"}, {"x": Memlet.simple("t0", "i")},
+            "y = x + 1.0", {"y": Memlet.simple("Out", "i", wcr=wcr)},
+            input_nodes={"t0": t0_node},
+        )
+        return sdfg
+
+    def reduction_tail(self):
+        """Stage 1 is a true reduction: every t0[i] accumulates into
+        Out[0] -- the canonical fuse-across-WCR-producer shape."""
+        sdfg = SDFG("wcr_reduce_tail")
+        sdfg.add_array("A", ["N"], float64)
+        sdfg.add_transient("t0", ["N"], float64)
+        sdfg.add_array("Out", [1], float64)
+        state = sdfg.add_state("s", is_start_state=True)
+        _, _, mexit = state.add_mapped_tasklet(
+            "shift", {"i": "0:N-1"}, {"x": Memlet.simple("A", "i")},
+            "y = x + 2.0", {"y": Memlet.simple("t0", "i")},
+        )
+        t0_node = next(e.dst for e in state.out_edges(mexit))
+        state.add_mapped_tasklet(
+            "acc", {"i": "0:N-1"}, {"x": Memlet.simple("t0", "i")},
+            "y = x * x", {"y": Memlet.simple("Out", "0", wcr="sum")},
+            input_nodes={"t0": t0_node},
+        )
+        return sdfg
+
+    @pytest.mark.parametrize("wcr", ["sum", "prod", "min", "max"])
+    def test_wcr_tail_fuses(self, wcr):
+        programs = run_all_backends(self.elementwise_then_wcr(wcr), {"N": 9})
+        for program in programs.values():
+            assert program.stats["fused"] == 1
+            assert program.stats["fallback"] == 0
+
+    def test_reduction_tail_fuses(self):
+        programs = run_all_backends(self.reduction_tail(), {"N": 13})
+        for program in programs.values():
+            assert program.stats["fused"] == 1
+
+    def test_wcr_member_terminates_the_chain(self):
+        """Three matching scopes with a WCR writer in the middle: the
+        chain must stop *at* the WCR member, and the reader of the
+        accumulated container runs as its own scope (the read is
+        WCR-fed, so it could never have joined anyway)."""
+        sdfg = SDFG("wcr_mid")
+        sdfg.add_array("A", ["N"], float64)
+        sdfg.add_transient("t0", ["N"], float64)
+        sdfg.add_transient("t1", ["N"], float64)
+        sdfg.add_array("Out", ["N"], float64)
+        state = sdfg.add_state("s", is_start_state=True)
+        _, _, x0 = state.add_mapped_tasklet(
+            "stage0", {"i": "0:N-1"}, {"x": Memlet.simple("A", "i")},
+            "y = x + 1.0", {"y": Memlet.simple("t0", "i")},
+        )
+        t0_node = next(e.dst for e in state.out_edges(x0))
+        _, _, x1 = state.add_mapped_tasklet(
+            "stage1", {"i": "0:N-1"}, {"x": Memlet.simple("t0", "i")},
+            "y = x * 2.0", {"y": Memlet.simple("t1", "i", wcr="sum")},
+            input_nodes={"t0": t0_node},
+        )
+        t1_node = next(e.dst for e in state.out_edges(x1))
+        state.add_mapped_tasklet(
+            "stage2", {"i": "0:N-1"}, {"x": Memlet.simple("t1", "i")},
+            "y = x - 3.0", {"y": Memlet.simple("Out", "i")},
+            input_nodes={"t1": t1_node},
+        )
+        programs = run_all_backends(sdfg, {"N": 8})
+        for program in programs.values():
+            # stage0+stage1 fuse (WCR tail); stage2 vectorizes alone.
+            assert program.stats["fused"] == 1
+            assert program.stats["vectorized"] == 3
+
+    def test_wcr_first_member_cannot_anchor_a_chain(self):
+        """A WCR writer terminates the chain immediately; as member 0 that
+        leaves a single-member 'chain', which is no chain at all."""
+        sdfg = SDFG("wcr_head")
+        sdfg.add_array("A", ["N"], float64)
+        sdfg.add_transient("t0", ["N"], float64)
+        sdfg.add_array("Out", ["N"], float64)
+        state = sdfg.add_state("s", is_start_state=True)
+        _, _, x0 = state.add_mapped_tasklet(
+            "acc", {"i": "0:N-1"}, {"x": Memlet.simple("A", "i")},
+            "y = x + 1.0", {"y": Memlet.simple("t0", "i", wcr="sum")},
+        )
+        t0_node = next(e.dst for e in state.out_edges(x0))
+        state.add_mapped_tasklet(
+            "use", {"i": "0:N-1"}, {"x": Memlet.simple("t0", "i")},
+            "y = x * 2.0", {"y": Memlet.simple("Out", "i")},
+            input_nodes={"t0": t0_node},
+        )
+        programs = run_all_backends(sdfg, {"N": 9})
+        for program in programs.values():
+            assert program.stats["fused"] == 0
+            assert program.stats["vectorized"] == 2
+
+    def test_unsupported_wcr_operator_rejects_the_member(self):
+        """A reduction outside the supported set keeps the member
+        unplannable: no scope plan, no chain, an explicit fallback
+        reason.  (Analysis-level check -- the interpreter rejects the
+        operator at runtime too, so there is no parity run to make.)"""
+        sdfg = self.elementwise_then_wcr(wcr="xor")
+        plan = CompiledWholeProgram(sdfg).executor.program_plan
+        (splan,) = plan.states
+        assert not splan.chains
+        assert "unsupported-wcr" in splan.fallback_reasons.values()

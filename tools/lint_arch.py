@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Architecture lint for the backend lowering pipeline.
+
+Enforces two structural invariants of ``src/repro/backends/`` (see the
+package docstring for the analyze -> plan -> codegen -> execute pipeline):
+
+1. **Module size** -- no module under ``src/repro/backends/`` may exceed
+   800 lines.  The pre-split backend grew monolithic modules where legality
+   analysis, code generation and runtime execution interleaved; the cap
+   keeps each layer's modules reviewable and the layers honest.
+
+2. **Layer direction** -- codegen emitters (``repro/backends/codegen/``)
+   must not import from the execute layer (``repro.backends.execute``), in
+   any spelling: absolute imports, ``from repro.backends import execute``,
+   or relative forms (``from ..execute import ...``, ``from .. import
+   execute``).  The execute layer consumes emitters, never the reverse;
+   a back-edge would let runtime state leak into code generation and make
+   plans non-serializable.
+
+Exits non-zero listing every violation.  Wired into ``make lint-arch`` and
+``make smoke``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List
+
+ROOT = Path(__file__).resolve().parent.parent
+BACKENDS = ROOT / "src" / "repro" / "backends"
+CODEGEN = BACKENDS / "codegen"
+MAX_LINES = 800
+EXECUTE_MODULE = "repro.backends.execute"
+
+
+def _module_package(path: Path) -> List[str]:
+    """Dotted package path of the module at ``path`` (under ``src/``)."""
+    parts = list(path.relative_to(ROOT / "src").with_suffix("").parts)
+    parts.pop()  # the module (or __init__) itself; what remains is the package
+    return parts
+
+
+def _targets_execute(module: str) -> bool:
+    return module == EXECUTE_MODULE or module.startswith(EXECUTE_MODULE + ".")
+
+
+def _check_imports(path: Path) -> List[str]:
+    """Violations of the codegen -> execute layering rule in one module."""
+    violations: List[str] = []
+    rel = path.relative_to(ROOT)
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    package = _module_package(path)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _targets_execute(alias.name):
+                    violations.append(
+                        f"{rel}:{node.lineno}: codegen imports the execute "
+                        f"layer ('import {alias.name}')"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                # Resolve the relative import against this module's package:
+                # level 1 is the package itself, each extra level one parent.
+                anchor = package[: len(package) - (node.level - 1)]
+                base = ".".join(anchor + (node.module or "").split("."))
+                base = base.rstrip(".")
+            if _targets_execute(base):
+                violations.append(
+                    f"{rel}:{node.lineno}: codegen imports the execute "
+                    f"layer ('from {node.module or '.' * node.level} import ...')"
+                )
+            elif base == "repro.backends" and any(
+                alias.name == "execute" for alias in node.names
+            ):
+                violations.append(
+                    f"{rel}:{node.lineno}: codegen imports the execute "
+                    f"layer ('from repro.backends import execute')"
+                )
+    return violations
+
+
+def main() -> int:
+    failures: List[str] = []
+    for path in sorted(BACKENDS.rglob("*.py")):
+        lines = path.read_text(encoding="utf-8").count("\n") + 1
+        if lines > MAX_LINES:
+            failures.append(
+                f"{path.relative_to(ROOT)}: {lines} lines exceeds the "
+                f"{MAX_LINES}-line backend-module cap"
+            )
+    for path in sorted(CODEGEN.rglob("*.py")):
+        failures.extend(_check_imports(path))
+    if failures:
+        print("Architecture lint FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("Architecture lint OK (module sizes, codegen->execute layering).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
