@@ -21,6 +21,7 @@ smoke:
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend cross
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend cross:compiled,interpreter
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend cross:batched,interpreter --trial-batch 4
+	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend cross:native,interpreter --trial-batch 4
 	rm -rf .smoke-cache && \
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend compiled --cache-dir .smoke-cache && \
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend compiled --cache-dir .smoke-cache && \
@@ -48,7 +49,8 @@ bench-scaling:
 bench-quick:
 	cd benchmarks && PYTHONPATH=../src REPRO_BENCH_QUICK=1 $(PY) -m pytest bench_backend_throughput.py -q -s
 
-# Structural invariants of src/repro/backends/: module-size cap and the
-# codegen -> execute layering rule (emitters never import the runtime).
+# Structural invariants of src/repro/backends/: module-size cap, the
+# codegen -> execute layering rule (emitters never import the runtime), and
+# FFI containment (only the native bridge imports ctypes).
 lint-arch:
 	$(PY) tools/lint_arch.py

@@ -24,6 +24,13 @@ Execution of dataflow programs is a swappable layer behind the
   batch; WCR/order-dependent scopes run per trial, and any batched failure
   reruns the batch serially so verdicts stay bitwise identical to ``K``
   serial runs.
+* ``"native"`` -- the native C tier (:mod:`repro.backends.native`): the
+  batched backend plus compiled kernels: fused elementwise chains and
+  fixed-trip affine loop nests are emitted as C, built once per program by
+  the system toolchain (``cc``/``gcc``/``clang``, overridable via
+  ``REPRO_NATIVE_CC``) and invoked through zero-copy buffer pointers.
+  Scopes the legality walk rejects -- and machines with no C compiler at
+  all -- run the batched backend's Python path bitwise identically.
 * ``"cross"`` -- the self-checking backend (:mod:`repro.backends.cross`):
   runs two backends in lockstep and raises
   :class:`~repro.backends.cross.BackendDivergenceError` on any bitwise
@@ -63,6 +70,7 @@ from repro.backends.compiled import (
 )
 from repro.backends.cross import BackendDivergenceError, CrossBackend, CrossProgram
 from repro.backends.interpreter import InterpreterBackend, InterpreterProgram
+from repro.backends.native import NativeBackend, NativeExecutor, NativeProgram
 from repro.backends.vectorized import (
     VectorizedBackend,
     VectorizedExecutor,
@@ -89,6 +97,9 @@ __all__ = [
     "BatchedBackend",
     "BatchedExecutor",
     "BatchedProgram",
+    "NativeBackend",
+    "NativeExecutor",
+    "NativeProgram",
     "CrossBackend",
     "CrossProgram",
     "BackendDivergenceError",
@@ -98,4 +109,5 @@ register_backend("interpreter", InterpreterBackend)
 register_backend("vectorized", VectorizedBackend)
 register_backend("compiled", CompiledBackend)
 register_backend("batched", BatchedBackend)
+register_backend("native", NativeBackend)
 register_backend("cross", CrossBackend)

@@ -14,11 +14,17 @@ by name so backends select a lowering strategy without forking the runtime:
 * ``python-driver`` -- whole-program Python control-flow driver (compiled
   backend's interstate tier);
 * ``batched`` -- NumPy scope kernels over a leading trial-batch axis, plus
-  the static batchability predicates (batched backend).
+  the static batchability predicates (batched backend);
+* ``native-c`` -- the batched emitter plus C source generation: fused
+  chains and fixed-trip affine loop nests lower to explicit C loop nests
+  (native backend; compilation and loading happen in
+  :mod:`repro.backends.native`, never here).
 
 Layering rule (enforced by ``make lint-arch``): emitters never import from
-:mod:`repro.backends.execute`.  The execute layer imports emitters, binds
-plans through them, and runs the result.
+:mod:`repro.backends.execute`, and no codegen module touches ``ctypes`` or
+shared objects -- the native emitter produces *source text only*.  The
+execute layer imports emitters, binds plans through them, and runs the
+result.
 """
 
 from __future__ import annotations
@@ -60,6 +66,7 @@ def list_emitters() -> List[str]:
 
 # Built-in emitters. Imported at the bottom so the registry exists first.
 from repro.backends.codegen.batched import BatchedEmitter  # noqa: E402
+from repro.backends.codegen.native_c import NativeCEmitter  # noqa: E402
 from repro.backends.codegen.numpy_eager import NumpyEagerEmitter  # noqa: E402
 from repro.backends.codegen.python_driver import (  # noqa: E402
     PythonDriverEmitter,
@@ -68,3 +75,4 @@ from repro.backends.codegen.python_driver import (  # noqa: E402
 register_emitter(NumpyEagerEmitter.name, NumpyEagerEmitter)
 register_emitter(PythonDriverEmitter.name, PythonDriverEmitter)
 register_emitter(BatchedEmitter.name, BatchedEmitter)
+register_emitter(NativeCEmitter.name, NativeCEmitter)

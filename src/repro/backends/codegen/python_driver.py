@@ -59,7 +59,9 @@ __all__ = [
 #: cached entry (it is recompiled and overwritten).
 #: 6: lowering split into analyze/plan/codegen/execute; artifacts carry the
 #: serialized program plan next to the driver.
-CODEGEN_VERSION = 6
+#: 7: artifact stamps carry a ``toolchain`` field (``None`` for pure-Python
+#: artifacts; a compiler fingerprint for the native backend's variant).
+CODEGEN_VERSION = 7
 
 #: Globals of the generated driver.  User expressions see exactly the
 #: interpreter's ``_EVAL_GLOBALS`` vocabulary; the dunder-prefixed aliases
@@ -81,7 +83,10 @@ def _artifact_stamp() -> Dict[str, Any]:
     """Identity fields every persisted driver artifact must carry.
 
     The ``backend`` field stays ``"compiled"``: every backend built on this
-    emitter (compiled, batched) shares one artifact per content hash.
+    emitter (compiled, batched) shares one artifact per content hash.  The
+    ``toolchain`` field is ``None`` for pure-Python artifacts; the native
+    backend overrides it with its compiler fingerprint (and a stale or
+    missing toolchain makes the entry a miss, so it is rewritten).
     """
     return {
         "format": 1,
@@ -89,6 +94,7 @@ def _artifact_stamp() -> Dict[str, Any]:
         # marshal'd code objects are only valid for the same Python build.
         "python": sys.implementation.cache_tag,
         "backend": "compiled",
+        "toolchain": None,
     }
 
 

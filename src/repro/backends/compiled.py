@@ -324,8 +324,12 @@ class CompiledWholeProgram(VectorizedProgram):
         (format, codegen version, plan format, Python build) and names a
         known mode."""
         stamp = _artifact_stamp()
+        # Presence-required comparison: a stamp field whose expected value
+        # is None (e.g. ``toolchain``) must still *exist* in the artifact --
+        # ``artifact.get(k) == None`` would accept entries predating the
+        # field entirely.
         return (
-            all(artifact.get(k) == v for k, v in stamp.items())
+            all(k in artifact and artifact[k] == v for k, v in stamp.items())
             and artifact.get("plan_format") == PLAN_FORMAT_VERSION
             and artifact.get("mode") in ("structured", "dispatch", "interpreted")
         )

@@ -1,0 +1,137 @@
+"""The ctypes bridge: the only module in the backends tree that loads
+shared objects (``tools/lint_arch.py`` enforces this).
+
+Keeping every ``dlopen`` and foreign-function detail here gives the rest of
+the native tier a tiny, auditable surface: the emitter produces C source and
+a manifest, the toolchain module produces ``.so`` bytes, and this module
+turns those bytes into per-kernel invocation closures over zero-copy NumPy
+buffer pointers.
+
+Every generated kernel shares one signature::
+
+    int64_t kernel(double **bufs, const int64_t *counts,
+                   const int64_t *geom, const double *scalars,
+                   int64_t nbatch, const int64_t *bstrides);
+
+returning ``0`` on success or ``1 + guard_index`` when a math-domain guard
+fired (the caller maps the index back to the exception the interpreter
+would have raised).  All geometry lives in caller-owned ``int64`` /
+``double`` NumPy arrays; :meth:`KernelHandle.bind` captures their pointers
+(and the arrays themselves, keeping the memory alive) so the per-call cost
+is a single foreign call with one varying integer argument.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import tempfile
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["KernelHandle", "LoadedLibrary", "load_shared_object"]
+
+_ARGTYPES = [
+    ctypes.POINTER(ctypes.c_void_p),  # double **bufs
+    ctypes.POINTER(ctypes.c_int64),   # const int64_t *counts
+    ctypes.POINTER(ctypes.c_int64),   # const int64_t *geom
+    ctypes.POINTER(ctypes.c_double),  # const double *scalars
+    ctypes.c_int64,                   # int64_t nbatch
+    ctypes.POINTER(ctypes.c_int64),   # const int64_t *bstrides
+]
+
+
+class KernelHandle:
+    """One resolved kernel function of a loaded library."""
+
+    def __init__(self, cfunc) -> None:
+        self._fn = cfunc
+
+    def bind(
+        self,
+        nbufs: int,
+        counts: np.ndarray,
+        geom: np.ndarray,
+        scalars: np.ndarray,
+        bstrides: np.ndarray,
+    ) -> Callable[[Sequence[int], int], int]:
+        """A geometry-bound invocation closure:
+        ``call(buffer_ptrs, nbatch) -> return code``.
+
+        The NumPy arrays are captured by reference -- the caller may rewrite
+        ``scalars`` in place between calls (per-run symbol values) without
+        rebinding.  Buffer addresses are *per call* (``ndarray.ctypes.data``
+        of the current run's store arrays): the pointer block is reused and
+        re-pointed, so one geometry binding serves every run that shares the
+        same layout.  The caller guarantees the owning arrays are alive for
+        the duration of each call.
+        """
+        bufs = (ctypes.c_void_p * max(nbufs, 1))()
+        # Pre-cast once: handing ctypes an exact POINTER instance per call
+        # skips the per-argument conversion machinery.
+        c_bufs = ctypes.cast(bufs, ctypes.POINTER(ctypes.c_void_p))
+        c_counts = counts.ctypes.data_as(ctypes.POINTER(ctypes.c_int64))
+        c_geom = geom.ctypes.data_as(ctypes.POINTER(ctypes.c_int64))
+        c_scalars = scalars.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+        c_bstrides = bstrides.ctypes.data_as(ctypes.POINTER(ctypes.c_int64))
+        fn = self._fn
+        # Keep the geometry arrays alive for as long as the closure lives.
+        refs = (counts, geom, scalars, bstrides)
+        last: List[Optional[Sequence[int]]] = [None]
+
+        def call(buffer_ptrs: Sequence[int], nbatch: int, _refs=refs) -> int:
+            # Callers never mutate a pointer list in place, so identity
+            # means the block already holds these addresses (the common
+            # loop-iteration case re-passes the memoized list object).
+            if buffer_ptrs is not last[0]:
+                for i, ptr in enumerate(buffer_ptrs):
+                    bufs[i] = ptr
+                last[0] = buffer_ptrs
+            return fn(c_bufs, c_counts, c_geom, c_scalars, nbatch, c_bstrides)
+
+        return call
+
+
+class LoadedLibrary:
+    """A loaded kernel library with its resolved function handles."""
+
+    def __init__(self, lib, handles: Dict[str, KernelHandle]) -> None:
+        self._lib = lib
+        self._handles = handles
+
+    def get(self, fn_name: str) -> Optional[KernelHandle]:
+        return self._handles.get(fn_name)
+
+
+def load_shared_object(
+    so_bytes: bytes, fn_names: List[str]
+) -> LoadedLibrary:
+    """Load compiled kernel bytes and resolve the named functions.
+
+    The bytes are written to a private temporary file, ``dlopen``-ed, and
+    the file unlinked immediately (POSIX keeps the mapping alive), so
+    nothing persists outside the disk cache.  Raises ``OSError`` when the
+    object cannot be loaded or a function is missing -- callers treat any
+    failure as "no native tier" and fall back.
+    """
+    fd, path = tempfile.mkstemp(prefix="repro-native-", suffix=".so")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(so_bytes)
+        lib = ctypes.CDLL(path)
+    finally:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    handles: Dict[str, KernelHandle] = {}
+    for name in fn_names:
+        try:
+            cfunc = getattr(lib, name)
+        except AttributeError as exc:
+            raise OSError(f"kernel '{name}' missing from shared object") from exc
+        cfunc.restype = ctypes.c_int64
+        cfunc.argtypes = _ARGTYPES
+        handles[name] = KernelHandle(cfunc)
+    return LoadedLibrary(lib, handles)

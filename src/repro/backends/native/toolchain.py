@@ -1,0 +1,151 @@
+"""C toolchain detection and shared-object compilation for the native tier.
+
+The native backend only ever *optionally* has a compiler: detection resolves
+``cc``/``gcc``/``clang`` from ``PATH`` (or the single compiler named by the
+``REPRO_NATIVE_CC`` environment variable, which doubles as a force-disable
+switch when pointed at a nonexistent path) and probes it once per process.
+Everything downstream treats ``None`` as "no toolchain": the backend then
+runs bitwise identically on the pure-Python path.
+
+A :class:`Toolchain` carries the resolved compiler path, its ``--version``
+banner and the exact flag set; :meth:`Toolchain.fingerprint` is the identity
+persisted in disk-cache artifact stamps, so an artifact built by a different
+compiler (or different flags) is a cache miss, never a silently reused
+binary.
+
+The flag set is part of the bitwise-parity contract:
+
+* ``-ffp-contract=off`` forbids FMA contraction (a fused multiply-add rounds
+  once where NumPy rounds twice);
+* ``-fno-builtin`` stops the compiler from constant-folding libm calls with
+  its own (correctly-rounded) soft-float -- the generated code must call the
+  very same ``libm`` the interpreter's ``math`` module calls;
+* no ``-ffast-math`` ever: reassociation would change results.  ``-O3``
+  is safe under that constraint: auto-vectorizing *across* independent
+  elementwise lanes preserves each lane's operation order exactly, and the
+  compiler never vectorizes an in-order FP reduction (the WCR tail)
+  without ``-fassociative-math``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "CC_ENV",
+    "NATIVE_CFLAGS",
+    "NativeCompileError",
+    "Toolchain",
+    "detect_toolchain",
+    "compile_shared_object",
+]
+
+#: Environment variable naming the C compiler to use.  When set, it is the
+#: *only* candidate: pointing it at a nonexistent path disables the native
+#: tier entirely (the documented force-disable switch for tests and for
+#: machines whose system compiler should not be trusted).
+CC_ENV = "REPRO_NATIVE_CC"
+
+#: Compiler flags, in order.  Changing these changes results: they are part
+#: of the toolchain fingerprint stamped into disk artifacts.
+NATIVE_CFLAGS: Tuple[str, ...] = (
+    "-O3",
+    "-fPIC",
+    "-shared",
+    "-ffp-contract=off",
+    "-fno-builtin",
+)
+
+
+class NativeCompileError(Exception):
+    """The C compiler was present but failed to produce a shared object."""
+
+
+@dataclass(frozen=True)
+class Toolchain:
+    """A probed C compiler: path, version banner, and the flag set."""
+
+    cc: str
+    version: str
+    flags: Tuple[str, ...] = NATIVE_CFLAGS
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """JSON-safe identity for artifact stamps (path + version + flags)."""
+        return {"cc": self.cc, "version": self.version, "flags": list(self.flags)}
+
+
+#: Per-process detection cache, keyed by the ``REPRO_NATIVE_CC`` value so
+#: tests that repoint the variable re-probe instead of seeing a stale result.
+_DETECTED: Dict[str, Optional[Toolchain]] = {}
+
+
+def detect_toolchain() -> Optional[Toolchain]:
+    """The usable C toolchain, or ``None`` when no compiler answers."""
+    key = os.environ.get(CC_ENV, "")
+    if key not in _DETECTED:
+        _DETECTED[key] = _probe(key)
+    return _DETECTED[key]
+
+
+def _probe(override: str) -> Optional[Toolchain]:
+    candidates = [override] if override else ["cc", "gcc", "clang"]
+    for cand in candidates:
+        path = shutil.which(cand)
+        if path is None:
+            continue
+        try:
+            proc = subprocess.run(
+                [path, "--version"],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                timeout=30,
+                check=False,
+            )
+        except (OSError, subprocess.SubprocessError):
+            continue
+        if proc.returncode != 0:
+            continue
+        banner = proc.stdout.decode("utf-8", errors="replace").splitlines()
+        return Toolchain(cc=path, version=banner[0].strip() if banner else "")
+    return None
+
+
+def compile_shared_object(toolchain: Toolchain, c_source: str) -> bytes:
+    """Compile one C translation unit into a shared object, returned as bytes.
+
+    The build happens in a private temporary directory (concurrent workers
+    never race on paths); the caller persists the bytes (disk cache) and
+    loads them through :mod:`repro.backends.native.bridge`.  Raises
+    :class:`NativeCompileError` on any compiler failure.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-native-") as tmpdir:
+        src = os.path.join(tmpdir, "kernels.c")
+        out = os.path.join(tmpdir, "kernels.so")
+        with open(src, "w", encoding="utf-8") as f:
+            f.write(c_source)
+        cmd = [toolchain.cc, *toolchain.flags, "-o", out, src, "-lm"]
+        try:
+            proc = subprocess.run(
+                cmd,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                timeout=120,
+                check=False,
+            )
+        except (OSError, subprocess.SubprocessError) as exc:
+            raise NativeCompileError(f"compiler invocation failed: {exc}") from exc
+        if proc.returncode != 0:
+            stderr = proc.stderr.decode("utf-8", errors="replace")
+            raise NativeCompileError(
+                f"{toolchain.cc} exited with {proc.returncode}: {stderr[:2000]}"
+            )
+        try:
+            with open(out, "rb") as f:
+                return f.read()
+        except OSError as exc:
+            raise NativeCompileError(f"no shared object produced: {exc}") from exc

@@ -81,21 +81,30 @@ class ProgramDiskCache:
     def __init__(self, directory: str) -> None:
         self.directory = directory
 
-    def _path(self, content_hash: str, max_transitions: int) -> str:
+    def _path(
+        self, content_hash: str, max_transitions: int, variant: str = ""
+    ) -> str:
         return os.path.join(
-            self.directory, f"{content_hash}-{max_transitions}.json"
+            self.directory, f"{content_hash}-{max_transitions}{variant}.json"
         )
 
-    def load(self, content_hash: str, max_transitions: int) -> Optional[Dict[str, Any]]:
+    def load(
+        self, content_hash: str, max_transitions: int, variant: str = ""
+    ) -> Optional[Dict[str, Any]]:
         try:
-            with open(self._path(content_hash, max_transitions), "r", encoding="utf-8") as f:
+            path = self._path(content_hash, max_transitions, variant)
+            with open(path, "r", encoding="utf-8") as f:
                 artifact = json.load(f)
         except (OSError, ValueError):
             return None
         return artifact if isinstance(artifact, dict) else None
 
     def store(
-        self, content_hash: str, max_transitions: int, artifact: Dict[str, Any]
+        self,
+        content_hash: str,
+        max_transitions: int,
+        artifact: Dict[str, Any],
+        variant: str = "",
     ) -> None:
         try:
             os.makedirs(self.directory, exist_ok=True)
@@ -105,7 +114,7 @@ class ProgramDiskCache:
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as f:
                     json.dump(artifact, f)
-                os.replace(tmp, self._path(content_hash, max_transitions))
+                os.replace(tmp, self._path(content_hash, max_transitions, variant))
             except BaseException:
                 try:
                     os.unlink(tmp)
@@ -143,6 +152,12 @@ class VectorizedProgram(CompiledProgram):
     #: e.g. cross-backend workers sharing a cache directory with compiled
     #: siblings never parse artifacts they cannot use.
     persists_artifacts = False
+
+    #: Disk-cache filename suffix distinguishing artifact *variants*.  The
+    #: pure-Python backends share the empty variant (one artifact per
+    #: content hash); the native backend uses ``"-native"`` so its artifacts
+    #: (which embed a compiled shared object) live in separate entries.
+    artifact_variant = ""
 
     @classmethod
     def check_artifact(cls, artifact: Dict[str, Any]) -> bool:
@@ -220,9 +235,10 @@ class VectorizedBackend(ExecutionBackend):
         disk: Optional[ProgramDiskCache] = None
         artifact: Optional[Dict[str, Any]] = None
         directory = self.cache_dir if self.program_class.persists_artifacts else None
+        variant = self.program_class.artifact_variant
         if directory is not None:
             disk = ProgramDiskCache(directory)
-            artifact = disk.load(content_hash, max_transitions)
+            artifact = disk.load(content_hash, max_transitions, variant)
             if artifact is not None and not self.program_class.check_artifact(artifact):
                 artifact = None  # stale version / wrong class / corrupt
             if artifact is not None:
@@ -236,7 +252,7 @@ class VectorizedBackend(ExecutionBackend):
         if disk is not None and artifact is None:
             fresh = program.artifact()
             if fresh is not None:
-                disk.store(content_hash, max_transitions, fresh)
+                disk.store(content_hash, max_transitions, fresh, variant)
 
         self._cache[key] = program
         while len(self._cache) > self.cache_size:

@@ -57,8 +57,39 @@ class Data:
         return simplify(Mul.make(self.total_size(), Integer(self.dtype.bytes)))
 
     def concrete_shape(self, symbols: Mapping[str, int] | None = None) -> Tuple[int, ...]:
-        """Shape with all symbols substituted by concrete values."""
-        return tuple(int(sympify(s).evaluate(symbols)) for s in self.shape)
+        """Shape with all symbols substituted by concrete values.
+
+        Memoized per symbol valuation: shape evaluation sits on the per-run
+        hot path of every backend (transient allocation, argument shape
+        checks), and sympify/evaluate costs dwarf the dictionary probe.
+        The cache is keyed only by the values of the shape's own free
+        symbols, so it is a pure function of its key; ``set_shape``
+        invalidates it.
+        """
+        cached = self.__dict__.get("_shape_cache")
+        if cached is None:
+            exprs = tuple(sympify(s) for s in self.shape)
+            names: Tuple[str, ...] = tuple(
+                sorted(set().union(*(e.free_symbols for e in exprs)))
+            ) if exprs else ()
+            cached = (exprs, names, {})
+            self.__dict__["_shape_cache"] = cached
+        exprs, names, memo = cached
+        try:
+            key = (
+                tuple((symbols or {})[name] for name in names) if names else ()
+            )
+            hit = memo.get(key)
+        except (KeyError, TypeError):
+            # Missing or unhashable symbol values: the uncached evaluation
+            # raises (or handles) exactly as before.
+            return tuple(int(e.evaluate(symbols)) for e in exprs)
+        if hit is None:
+            hit = tuple(int(e.evaluate(symbols)) for e in exprs)
+            if len(memo) > 128:
+                memo.clear()
+            memo[key] = hit
+        return hit
 
     @property
     def free_symbols(self) -> set:
@@ -155,6 +186,7 @@ class Array(Data):
         if not shape:
             raise ValueError("Array shape must have at least one dimension")
         self._shape = tuple(sympify(s) for s in shape)
+        self.__dict__.pop("_shape_cache", None)
 
     def allocate(self, symbols: Mapping[str, int] | None = None) -> np.ndarray:
         shape = self.concrete_shape(symbols)

@@ -186,6 +186,50 @@ class TestInvalidation:
         assert program.control_mode == "structured"  # compile still worked
 
 
+class TestToolchainStamp:
+    """Every artifact stamp carries a ``toolchain`` field: ``None`` for the
+    pure-Python backends, a compiler fingerprint for the native backend's
+    variant.  A stale or *missing* field is a miss, and the entry is
+    rewritten with the current stamp."""
+
+    def prime(self, tmp_path):
+        blob = sdfg_to_json(build_loop_program())
+        CompiledBackend(cache_dir=str(tmp_path)).prepare(sdfg_from_json(blob))
+        (path,) = glob.glob(str(tmp_path / "*.json"))
+        return blob, path
+
+    def test_pure_python_artifacts_stamp_none(self, tmp_path):
+        _, path = self.prime(tmp_path)
+        doc = json.load(open(path))
+        assert "toolchain" in doc
+        assert doc["toolchain"] is None
+
+    def test_missing_toolchain_field_is_a_miss_and_rewritten(self, tmp_path):
+        """Entries predating the field must not match (``.get`` would have
+        equated absent with ``None``); the rewrite heals them."""
+        blob, path = self.prime(tmp_path)
+        doc = json.load(open(path))
+        del doc["toolchain"]
+        json.dump(doc, open(path, "w"))
+        backend = CompiledBackend(cache_dir=str(tmp_path))
+        program = backend.prepare(sdfg_from_json(blob))
+        assert (backend.disk_hits, backend.disk_misses) == (0, 1)
+        assert program.control_mode == "structured"
+        healed = json.load(open(path))
+        assert "toolchain" in healed and healed["toolchain"] is None
+
+    def test_stale_toolchain_value_is_a_miss(self, tmp_path):
+        blob, path = self.prime(tmp_path)
+        doc = json.load(open(path))
+        doc["toolchain"] = {"cc": "/usr/bin/ancient-cc", "version": "0.1",
+                            "flags": []}
+        json.dump(doc, open(path, "w"))
+        backend = CompiledBackend(cache_dir=str(tmp_path))
+        backend.prepare(sdfg_from_json(blob))
+        assert backend.disk_hits == 0
+        assert json.load(open(path))["toolchain"] is None
+
+
 class TestEnvironmentThreading:
     def test_env_var_activates_the_tier_dynamically(self, tmp_path, monkeypatch):
         """Backends constructed *before* the variable is set still honor it

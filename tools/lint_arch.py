@@ -15,7 +15,15 @@ package docstring for the analyze -> plan -> codegen -> execute pipeline):
    or relative forms (``from ..execute import ...``, ``from .. import
    execute``).  The execute layer consumes emitters, never the reverse;
    a back-edge would let runtime state leak into code generation and make
-   plans non-serializable.
+   plans non-serializable.  The native C emitter is codegen too: it
+   produces source *text*, nothing runnable.
+
+3. **Foreign-function containment** -- within ``src/repro/backends/``,
+   only the native runtime bridge (``repro/backends/native/bridge.py``)
+   may import :mod:`ctypes` (and with it load shared objects).  Every
+   ``dlopen`` and FFI detail stays behind that one auditable module; the
+   emitter and toolchain layers deal exclusively in source text and
+   object bytes.
 
 Exits non-zero listing every violation.  Wired into ``make lint-arch`` and
 ``make smoke``.
@@ -84,6 +92,31 @@ def _check_imports(path: Path) -> List[str]:
     return violations
 
 
+#: The sole backends module allowed to import ctypes / load shared objects.
+FFI_BRIDGE = BACKENDS / "native" / "bridge.py"
+
+
+def _check_ffi(path: Path) -> List[str]:
+    """Violations of the foreign-function containment rule in one module."""
+    violations: List[str] = []
+    rel = path.relative_to(ROOT)
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            names = [node.module or ""]
+        else:
+            continue
+        for name in names:
+            if name == "ctypes" or name.startswith("ctypes."):
+                violations.append(
+                    f"{rel}:{node.lineno}: only the native runtime bridge "
+                    f"may import ctypes / load shared objects"
+                )
+    return violations
+
+
 def main() -> int:
     failures: List[str] = []
     for path in sorted(BACKENDS.rglob("*.py")):
@@ -93,6 +126,8 @@ def main() -> int:
                 f"{path.relative_to(ROOT)}: {lines} lines exceeds the "
                 f"{MAX_LINES}-line backend-module cap"
             )
+        if path != FFI_BRIDGE:
+            failures.extend(_check_ffi(path))
     for path in sorted(CODEGEN.rglob("*.py")):
         failures.extend(_check_imports(path))
     if failures:
@@ -100,7 +135,10 @@ def main() -> int:
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print("Architecture lint OK (module sizes, codegen->execute layering).")
+    print(
+        "Architecture lint OK (module sizes, codegen->execute layering, "
+        "FFI containment)."
+    )
     return 0
 
 
