@@ -29,11 +29,18 @@ smoke:
 	$(MAKE) smoke-dist
 	$(PY) -m pytest -x -q
 
-# Loopback distributed sweep: a coordinator plus two worker subprocesses
-# (running *different* backends), journaled, diffed field-by-field against
-# the serial runner (modulo timing/host metadata).
+# Loopback distributed sweep, two scenarios:
+# 1. a one-shot coordinator plus two worker subprocesses (running
+#    *different* backends), journaled, diffed field-by-field against the
+#    serial runner (modulo timing/host metadata);
+# 2. the always-on verification service: two concurrent HTTP-submitted
+#    sweeps on one service with a state directory, hard-stopped and
+#    restored mid-run, served by elastic reconnecting workers -- both
+#    sweeps must match their serial references with isolated journals and
+#    zero re-runs across the restart.
 smoke-dist:
 	$(PY) -m repro.cluster.smoke --trials 2 --max-instances 1
+	$(PY) -m repro.cluster.smoke --two-sweeps --trials 2 --max-instances 1
 
 # The full injected-bug sweep at default scale.
 sweep:
@@ -49,8 +56,10 @@ bench-scaling:
 bench-quick:
 	cd benchmarks && PYTHONPATH=../src REPRO_BENCH_QUICK=1 $(PY) -m pytest bench_backend_throughput.py -q -s
 
-# Structural invariants of src/repro/backends/: module-size cap, the
-# codegen -> execute layering rule (emitters never import the runtime), and
-# FFI containment (only the native bridge imports ctypes).
+# Structural invariants of src/repro/backends/ and src/repro/cluster/:
+# module-size caps, the codegen -> execute layering rule (emitters never
+# import the runtime), FFI containment (only the native bridge imports
+# ctypes), and cluster transport containment (only the service module
+# imports asyncio; the scheduler core stays socket-free).
 lint-arch:
 	$(PY) tools/lint_arch.py

@@ -1,7 +1,8 @@
-"""Distributed sweep service: coordinator/worker orchestration + journal.
+"""Distributed sweep verification: scheduler, transports, journal, workers.
 
 ``repro.cluster`` turns the sweep pipeline (:mod:`repro.pipeline`) into a
-distributed, fault-tolerant, resumable service.  Three pieces compose:
+distributed, fault-tolerant, resumable *service*.  The pieces compose in
+layers:
 
 1. **Protocol** (:mod:`repro.cluster.protocol`) -- length-prefixed JSON
    messages over TCP; strictly worker-initiated request/response.
@@ -11,37 +12,66 @@ distributed, fault-tolerant, resumable service.  Three pieces compose:
    construction; any sweep (distributed or single-machine) journals its
    outcomes and can be killed and resumed, re-running only incomplete
    tasks.
-3. **Coordinator / worker** (:mod:`repro.cluster.coordinator`,
-   :mod:`repro.cluster.worker`) -- the coordinator shards the task list
-   over connected workers, requeues the in-flight shard of a lost worker
-   with bounded per-task retries, and reassembles outcomes into task order;
-   each worker drives a local process pool and may run a different
-   execution backend (a free cross-machine backend cross-check, since
-   backends are bitwise-equivalent).
+3. **Scheduler core** (:mod:`repro.cluster.scheduler`) -- the transport-free
+   service brain: a registry of concurrently active sweeps, each with its
+   own queue, journal, retry budget and lifecycle state
+   (``submitted -> running -> draining -> complete``), dispatched to
+   workers by weighted fair share with latency-adaptive shard sizing.
+4. **Transport** (:mod:`repro.cluster.service`) -- the asyncio
+   :class:`VerificationService`: the worker socket loop, an HTTP
+   submit/status API, shared-secret auth for non-loopback peers, and
+   optional in-process local executors.  State-dir persistence
+   (:mod:`repro.cluster.state`) makes the whole service
+   kill-and-restartable with every in-flight sweep restored.
+5. **Execution clients** -- elastic socket workers
+   (:mod:`repro.cluster.worker`) that join/leave mid-service and survive
+   service bounces (``--reconnect-seconds``), and the thin HTTP client
+   (:mod:`repro.cluster.client`) behind ``repro.pipeline --submit``.
+
+:class:`SweepCoordinator` (:mod:`repro.cluster.coordinator`) remains as the
+one-shot convenience facade: one sweep, served until complete, workers
+drained with ``done`` -- now a thin wrapper over scheduler + service.
 
 Entry points::
 
+    python -m repro.cluster.service --listen :8765 --http :8766 \\
+        --state-dir svc                  # the always-on service
+    python -m repro.pipeline --submit HOST:8766 ...   # thin submit client
     python -m repro.pipeline --serve :8765 --journal sweep.jsonl [--resume]
     python -m repro.cluster.worker --connect HOST:8765 --backend B --procs N
-    python -m repro.cluster.smoke        # loopback coordinator + 2 workers,
+    python -m repro.cluster.smoke        # loopback service + workers,
                                          # diffed against the serial runner
 
 The invariant everything here defends: a distributed, killed-and-resumed,
-heterogeneous-backend sweep aggregates to a :class:`SweepResult` whose
+heterogeneous-backend sweep -- even one of several running concurrently on
+a shared worker pool -- aggregates to a :class:`SweepResult` whose
 :meth:`~repro.pipeline.result.SweepResult.comparable_dict` is identical to
 a plain serial run's.
 """
 
 from repro.cluster.coordinator import SweepCoordinator
 from repro.cluster.journal import JournalError, ResultStore, sweep_identity
-from repro.cluster.protocol import ProtocolError, recv_message, send_message
+from repro.cluster.protocol import (
+    ProtocolError,
+    TOKEN_ENV,
+    recv_message,
+    send_message,
+)
+from repro.cluster.scheduler import SweepScheduler
+from repro.cluster.service import VerificationService
+from repro.cluster.state import ServiceState, restore_sweeps
 
 __all__ = [
     "SweepCoordinator",
+    "SweepScheduler",
+    "VerificationService",
+    "ServiceState",
+    "restore_sweeps",
     "ResultStore",
     "JournalError",
     "sweep_identity",
     "ProtocolError",
+    "TOKEN_ENV",
     "send_message",
     "recv_message",
     "run_worker",

@@ -1,0 +1,176 @@
+"""Thin HTTP client for the always-on verification service.
+
+Wraps the service's JSON API (``POST /sweeps``, ``GET /sweeps/<id>``,
+``GET /sweeps/<id>/result``, ``GET /status``) in plain functions built on
+:mod:`http.client` -- no third-party dependency, usable from scripts and
+from the pipeline CLI's ``--submit HOST:PORT`` mode.  Auth tokens (needed
+only when talking to a non-loopback service started with ``--auth-token``)
+travel in the ``X-Repro-Token`` header.
+
+All functions raise :class:`ServiceClientError` for transport failures and
+non-2xx replies, carrying the HTTP status and the service's JSON error
+document when one was returned.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.pipeline.result import SweepResult
+from repro.pipeline.tasks import SweepTask
+
+__all__ = [
+    "ServiceClientError",
+    "submit_sweep",
+    "sweep_status",
+    "service_status",
+    "fetch_result",
+    "wait_sweep",
+]
+
+
+class ServiceClientError(Exception):
+    """A failed service call: transport error or non-2xx HTTP reply."""
+
+    def __init__(self, message: str, status: Optional[int] = None,
+                 doc: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.doc = doc or {}
+
+
+def _request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[Dict[str, Any]] = None,
+    token: Optional[str] = None,
+    timeout: float = 30.0,
+) -> Dict[str, Any]:
+    headers = {"Content-Type": "application/json"}
+    if token is not None:
+        headers["X-Repro-Token"] = token
+    payload = json.dumps(body, separators=(",", ":")) if body is not None else None
+    try:
+        conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        try:
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+    except OSError as exc:
+        raise ServiceClientError(
+            f"cannot reach verification service at {host}:{port}: {exc}"
+        ) from exc
+    try:
+        doc = json.loads(raw.decode("utf-8")) if raw else {}
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceClientError(
+            f"service at {host}:{port} returned non-JSON "
+            f"({response.status} {method} {path})"
+        ) from exc
+    if response.status >= 300:
+        detail = doc.get("error") or repr(raw[:200])
+        raise ServiceClientError(
+            f"{method} {path} failed: HTTP {response.status}: {detail}",
+            status=response.status,
+            doc=doc,
+        )
+    return doc
+
+
+def submit_sweep(
+    host: str,
+    port: int,
+    tasks: Sequence[SweepTask],
+    *,
+    suite: Optional[str] = None,
+    buggy: Optional[bool] = None,
+    backend: Optional[str] = None,
+    priority: float = 1.0,
+    max_task_retries: Optional[int] = None,
+    token: Optional[str] = None,
+) -> Dict[str, Any]:
+    """``POST /sweeps``; returns the new sweep's status document.
+
+    The returned document's ``sweep_id`` is the handle for
+    :func:`sweep_status` / :func:`fetch_result` / :func:`wait_sweep`.
+    """
+    body: Dict[str, Any] = {
+        "tasks": [t.to_dict() for t in tasks],
+        "priority": priority,
+    }
+    if suite is not None:
+        body["suite"] = suite
+    if buggy is not None:
+        body["buggy"] = buggy
+    if backend is not None:
+        body["backend"] = backend
+    if max_task_retries is not None:
+        body["max_task_retries"] = max_task_retries
+    return _request(host, port, "POST", "/sweeps", body=body, token=token)
+
+
+def sweep_status(
+    host: str, port: int, sweep_id: str, *, token: Optional[str] = None
+) -> Dict[str, Any]:
+    """``GET /sweeps/<id>``: lifecycle state, progress counts, ETA."""
+    return _request(host, port, "GET", f"/sweeps/{sweep_id}", token=token)
+
+
+def service_status(
+    host: str, port: int, *, token: Optional[str] = None
+) -> Dict[str, Any]:
+    """``GET /status``: uptime, worker counts, every sweep's snapshot."""
+    return _request(host, port, "GET", "/status", token=token)
+
+
+def fetch_result(
+    host: str, port: int, sweep_id: str, *, token: Optional[str] = None
+) -> SweepResult:
+    """``GET /sweeps/<id>/result`` for a *complete* sweep.
+
+    Raises :class:`ServiceClientError` with ``status == 409`` while the
+    sweep is still running (poll :func:`sweep_status`, or use
+    :func:`wait_sweep`).
+    """
+    doc = _request(host, port, "GET", f"/sweeps/{sweep_id}/result", token=token)
+    return SweepResult.from_dict(doc)
+
+
+def wait_sweep(
+    host: str,
+    port: int,
+    sweep_id: str,
+    *,
+    token: Optional[str] = None,
+    timeout: Optional[float] = None,
+    poll_seconds: float = 1.0,
+    on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> SweepResult:
+    """Poll until ``sweep_id`` completes, then fetch its result.
+
+    ``on_progress`` (if given) receives each polled status document --
+    enough for a ``[done/total]`` progress line.  Raises
+    :class:`TimeoutError` if the deadline passes first.
+    """
+    deadline = None if timeout is None else time.monotonic() + timeout
+    last_done = -1
+    while True:
+        status = sweep_status(host, port, sweep_id, token=token)
+        if on_progress is not None and status["done"] != last_done:
+            last_done = status["done"]
+            on_progress(status)
+        if status["state"] == "complete":
+            return fetch_result(host, port, sweep_id, token=token)
+        if deadline is not None and time.monotonic() >= deadline:
+            raise TimeoutError(
+                f"Sweep {sweep_id} incomplete after {timeout} s "
+                f"({status['done']}/{status['total']} done)"
+            )
+        time.sleep(poll_seconds)

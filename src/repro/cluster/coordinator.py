@@ -1,51 +1,35 @@
-"""The sweep coordinator: shards tasks to socket workers, survives them.
+"""The one-shot sweep coordinator: a single-sweep facade over the service.
 
-One coordinator owns the full task list of a sweep.  Workers connect over
-TCP (:mod:`repro.cluster.protocol`), introduce themselves, and then pull
-*shards* -- batches of tasks leased to exactly one worker at a time --
-executing each task locally and streaming the outcome back.  The
-coordinator:
+Historically this module *was* the cluster: one thread-per-connection
+socket server owning one task list.  The always-on verification service
+generalized both halves -- task accounting moved into the transport-free
+:class:`~repro.cluster.scheduler.SweepScheduler` (multi-sweep, fair-share,
+latency-adaptive) and the socket loop into the asyncio
+:class:`~repro.cluster.service.VerificationService` (plus an HTTP submit
+API).  What remains here is the original convenience shape, unchanged for
+callers: *one* coordinator owns *one* sweep, serves it to workers, and
+:meth:`wait` returns when every task has an outcome.
 
-* **journals** every outcome the moment it arrives (when given a
-  :class:`~repro.cluster.journal.ResultStore`), so a killed sweep resumes
-  from its last completed task;
-* **requeues** the in-flight shard of a worker whose connection drops, with
-  bounded retries per task -- a task whose leases keep dying is recorded as
-  an infrastructure error (``UNTESTED`` + ``error``) instead of wedging the
-  sweep forever;
-* **deduplicates** by task ID: if a worker declared lost still delivers its
-  result (network flake rather than crash), the late duplicate of an
-  already-completed task is acknowledged and dropped, so progress counts
-  never drift and the journal stays last-wins-consistent;
-* **adapts shard sizes to the sweep tail**: a lease never exceeds
-  ``ceil(pending / (2 * active_workers))``, so early shards amortize
-  round-trips while late shards shrink toward single tasks -- one slow
-  worker can no longer strand a large final batch while its siblings idle;
-* **times out hung workers** (``worker_timeout``): workers ping between
-  tasks, and a connection silent for longer than the timeout is closed,
-  requeueing its in-flight shard exactly like a disconnect -- covering
-  workers that are wedged rather than dead;
-* **reassembles** outcomes into task-enumeration order, producing a
-  :class:`~repro.pipeline.result.SweepResult` identical (modulo timing and
-  per-outcome ``worker`` metadata) to a serial in-process run.
+All the one-shot invariants live on in the scheduler, now shared with the
+service: journaling on arrival, requeue-on-disconnect with bounded retries
+(exhaustion records an ``UNTESTED`` infrastructure error instead of
+wedging the sweep), dedup by task ID so late results from workers presumed
+lost are dropped, tail-leveled + latency-adaptive shard sizing, hung-worker
+reaping (``worker_timeout``), and ``comparable_dict()`` parity with a
+serial in-process run.
 
-Workers may run *different execution backends* (``--backend`` per worker):
-since backends are bitwise-equivalent by contract, a heterogeneous cluster
-doubles as a free cross-machine backend cross-check -- the aggregated
-verdict table must not depend on which worker ran which shard.
+The one behavioral difference from a persistent service: the coordinator
+runs its scheduler with ``done_when_idle=True``, so once the sweep
+completes workers are told ``done`` and drain, exactly as before.
 """
 
 from __future__ import annotations
 
-import socket
-import threading
-import time
-from collections import deque
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.journal import ResultStore
-from repro.cluster.protocol import ProtocolError, recv_message, send_message
-from repro.core.reporting import Verdict
+from repro.cluster.scheduler import SweepScheduler
+from repro.cluster.service import VerificationService
 from repro.pipeline.result import SweepResult
 from repro.pipeline.runner import ProgressCallback
 from repro.pipeline.tasks import SweepTask
@@ -54,7 +38,7 @@ __all__ = ["SweepCoordinator"]
 
 
 class SweepCoordinator:
-    """Serves a sweep's tasks to remote workers and aggregates the result.
+    """Serves one sweep's tasks to remote workers and aggregates the result.
 
     Typical use (the ``--serve`` path of the pipeline CLI)::
 
@@ -78,6 +62,10 @@ class SweepCoordinator:
         suite: Optional[str] = None,
         buggy: Optional[bool] = None,
         backend: Optional[str] = None,
+        auth_token: Optional[str] = None,
+        local_procs: int = 0,
+        http_host: Optional[str] = None,
+        http_port: Optional[int] = None,
     ) -> None:
         self.tasks = list(tasks)
         self.host = host
@@ -88,61 +76,45 @@ class SweepCoordinator:
         self.max_task_retries = max_task_retries
         #: Upper bound on tasks per shard; 0 lets the worker's requested
         #: ``max_tasks`` (its process count) decide (both further capped by
-        #: the adaptive tail-leveling bound).
+        #: the latency-adaptive and tail-leveling bounds).
         self.batch_size = batch_size
         #: Seconds of connection silence after which a worker is declared
         #: hung and its leases requeued; 0 disables.  Enable only when every
         #: worker sends heartbeat pings, or long tasks will be misdeclared.
         self.worker_timeout = worker_timeout
         self.progress_callback = progress_callback
-        self.suite = suite if suite is not None else (
-            self.tasks[0].suite if self.tasks else "npbench"
-        )
-        self.buggy = buggy if buggy is not None else any(
-            bool(t.transformation.kwargs.get("inject_bug")) for t in self.tasks
-        )
-        self.backend = backend if backend is not None else (
-            self.tasks[0].verifier_kwargs.get("backend", "interpreter")
-            if self.tasks
-            else "interpreter"
-        )
 
-        self._task_ids = [t.task_id for t in self.tasks]
-        self._index_of = {tid: i for i, tid in enumerate(self._task_ids)}
-        self._lock = threading.Lock()
-        self._outcomes: List[Optional[Dict[str, Any]]] = [None] * len(self.tasks)
-        self._pending: deque = deque()
-        self._lost_leases: Dict[int, int] = {}  # task index -> lost-lease count
-        self._done_count = 0
-        self._shard_counter = 0
-        self._worker_counter = 0
-        self._start_time: Optional[float] = None
-        self._done_event = threading.Event()
-        self._listener: Optional[socket.socket] = None
-        self._accept_thread: Optional[threading.Thread] = None
-        self._closing = False
-        #: Live connections and the monotonic time of their last message.
-        self._conns: Dict[socket.socket, float] = {}
-        #: Connections that completed the hello handshake (real workers);
-        #: the adaptive shard sizing divides by these, not raw connections,
-        #: so probes and not-yet-introduced peers cannot shrink shards.
-        self._active_workers = 0
-        #: Shard sizes issued, in lease order (observability + tests).
-        self.shard_sizes: List[int] = []
-
-        # Preload journaled outcomes (the resume path).
-        completed = completed if completed is not None else (
-            dict(store.completed) if store is not None else {}
+        self.scheduler = SweepScheduler(
+            max_task_retries=max_task_retries,
+            batch_size=batch_size,
+            done_when_idle=True,
         )
-        for index, tid in enumerate(self._task_ids):
-            outcome = completed.get(tid)
-            if outcome is not None:
-                self._outcomes[index] = outcome
-                self._done_count += 1
-            else:
-                self._pending.append(index)
-        if self._done_count == len(self.tasks):
-            self._done_event.set()
+        # Registered immediately (not at start()): .remaining and journal
+        # preloading work before the socket exists, as they always did.
+        self.sweep_id = self.scheduler.submit(
+            self.tasks,
+            suite=suite,
+            buggy=buggy,
+            backend=backend,
+            store=store,
+            completed=completed,
+            progress_callback=progress_callback,
+        )
+        entry = self.scheduler._entry(self.sweep_id)
+        self.suite = entry.suite
+        self.buggy = entry.buggy
+        self.backend = entry.backend
+        self._service = VerificationService(
+            host,
+            port,
+            scheduler=self.scheduler,
+            http_host=http_host,
+            http_port=http_port,
+            auth_token=auth_token,
+            worker_timeout=worker_timeout,
+            local_procs=local_procs,
+        )
+        self._started = False
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -150,27 +122,39 @@ class SweepCoordinator:
     @property
     def address(self) -> Tuple[str, int]:
         """The bound (host, port); concrete only after :meth:`start`."""
-        if self._listener is None:
-            return (self.host, self.port)
-        return self._listener.getsockname()[:2]
+        return self._service.address
+
+    @property
+    def http_address(self) -> Optional[Tuple[str, int]]:
+        """The HTTP status endpoint, when one was requested."""
+        return self._service.http_address
 
     @property
     def remaining(self) -> int:
-        with self._lock:
-            return len(self.tasks) - self._done_count
+        entry = self.scheduler._entry(self.sweep_id)
+        with self.scheduler._lock:
+            return entry.remaining
+
+    @property
+    def shard_sizes(self) -> List[int]:
+        """Shard sizes issued, in lease order (observability + tests)."""
+        entry = self.scheduler._entry(self.sweep_id)
+        with self.scheduler._lock:
+            return list(entry.shard_sizes)
+
+    @property
+    def shard_meta(self) -> List[Dict[str, Any]]:
+        """Per-shard metadata: size, worker, latency estimate at lease time."""
+        entry = self.scheduler._entry(self.sweep_id)
+        with self.scheduler._lock:
+            return [dict(m) for m in entry.shard_meta]
 
     def start(self) -> Tuple[str, int]:
         """Bind, listen and start accepting workers; returns the address."""
-        self._start_time = time.perf_counter()
-        self._listener = socket.create_server(
-            (self.host, self.port), reuse_port=False
-        )
-        self._listener.settimeout(0.2)
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="sweep-coordinator-accept", daemon=True
-        )
-        self._accept_thread.start()
-        return self.address
+        if not self._started:
+            self._started = True
+            self._service.start()
+        return self._service.address
 
     def wait(self, timeout: Optional[float] = None) -> SweepResult:
         """Block until every task has an outcome; returns the sweep result.
@@ -179,23 +163,11 @@ class SweepCoordinator:
         completed in time (the server keeps running; call again to keep
         waiting).
         """
-        if not self._done_event.wait(timeout):
-            raise TimeoutError(
-                f"Sweep incomplete after {timeout} s "
-                f"({self.remaining}/{len(self.tasks)} tasks outstanding)"
-            )
+        result = self.scheduler.wait(self.sweep_id, timeout)
         self._shutdown()
-        duration = (
-            time.perf_counter() - self._start_time if self._start_time else 0.0
-        )
-        return SweepResult(
-            suite=self.suite,
-            buggy=self.buggy,
-            workers=max(1, self._worker_counter),
-            backend=self.backend,
-            outcomes=list(self._outcomes),
-            duration_seconds=duration,
-        )
+        result.workers = max(1, self.scheduler.worker_count)
+        result.sweep_id = None  # a one-shot sweep has no service identity
+        return result
 
     def run(self, timeout: Optional[float] = None) -> SweepResult:
         """:meth:`start` + :meth:`wait` in one call."""
@@ -206,245 +178,6 @@ class SweepCoordinator:
             self._shutdown()
 
     def _shutdown(self) -> None:
-        self._closing = True
-        if self._listener is not None:
-            try:
-                self._listener.close()
-            except OSError:
-                pass
-        if self._accept_thread is not None and self._accept_thread.is_alive():
-            self._accept_thread.join(timeout=2.0)
-
-    # ------------------------------------------------------------------ #
-    # Accept / connection handling
-    # ------------------------------------------------------------------ #
-    def _accept_loop(self) -> None:
-        while not self._closing:
-            self._reap_hung_workers()
-            try:
-                conn, _addr = self._listener.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                return  # listener closed under us during shutdown
-            with self._lock:
-                self._worker_counter += 1
-                worker_number = self._worker_counter
-                self._conns[conn] = time.monotonic()
-            thread = threading.Thread(
-                target=self._serve_connection,
-                args=(conn, worker_number),
-                name=f"sweep-worker-{worker_number}",
-                daemon=True,
-            )
-            thread.start()
-
-    def _reap_hung_workers(self) -> None:
-        """Force-close connections silent for longer than ``worker_timeout``.
-
-        A *hung* worker (wedged process, dead-but-undetected TCP peer) holds
-        its leases forever without ever failing the socket; closing the
-        connection from this side makes its serve thread unwind through the
-        ordinary lost-worker path, requeueing the in-flight shard.  Healthy
-        workers never trip this: they ping between tasks.
-        """
-        if self.worker_timeout <= 0:
-            return
-        deadline = time.monotonic() - self.worker_timeout
-        with self._lock:
-            stale = [c for c, seen in self._conns.items() if seen < deadline]
-        for conn in stale:
-            try:
-                conn.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                conn.close()
-            except OSError:
-                pass
-
-    def _serve_connection(self, conn: socket.socket, worker_number: int) -> None:
-        """One worker's request/response loop; requeues its leases on loss."""
-        leases: List[int] = []  # task indices currently leased to this worker
-        worker_info: Dict[str, Any] = {"worker": worker_number}
-        introduced = False
-        try:
-            with conn:
-                while True:
-                    try:
-                        message = recv_message(conn)
-                    except ProtocolError:
-                        break  # died mid-frame: treat as a lost worker
-                    if message is None:
-                        break  # clean disconnect
-                    with self._lock:
-                        self._conns[conn] = time.monotonic()
-                    mtype = message.get("type")
-                    if mtype == "hello":
-                        if not introduced:
-                            introduced = True
-                            with self._lock:
-                                self._active_workers += 1
-                        worker_info = dict(message.get("worker") or {})
-                        worker_info["worker"] = worker_number
-                        send_message(conn, {
-                            "type": "welcome",
-                            "total": len(self.tasks),
-                            "suite": self.suite,
-                            "buggy": self.buggy,
-                            "backend": self.backend,
-                        })
-                    elif mtype == "request":
-                        send_message(
-                            conn,
-                            self._lease(leases, int(message.get("max_tasks", 1))),
-                        )
-                    elif mtype == "result":
-                        self._record_result(leases, worker_info, message)
-                        send_message(conn, {"type": "ack"})
-                    elif mtype == "ping":
-                        # Heartbeat: the last-seen update above is the point;
-                        # the reply keeps the strict request/response rhythm.
-                        send_message(conn, {"type": "pong"})
-                    else:
-                        send_message(conn, {
-                            "type": "error",
-                            "error": f"unknown message type {mtype!r}",
-                        })
-        except (OSError, ProtocolError):
-            pass  # connection-level failure: fall through to requeue
-        finally:
-            with self._lock:
-                self._conns.pop(conn, None)
-                if introduced:
-                    self._active_workers -= 1
-            self._requeue_lost(leases, worker_info)
-
-    # ------------------------------------------------------------------ #
-    # Task accounting (all under the lock)
-    # ------------------------------------------------------------------ #
-    def _lease(self, leases: List[int], max_tasks: int) -> Dict[str, Any]:
-        """Pop up to ``max_tasks`` pending tasks into a shard lease.
-
-        With several workers connected, the requested size (the worker's
-        process count) is additionally capped by
-        ``ceil(pending / (2 * active_workers))`` -- guided self-scheduling.
-        Early in the sweep the cap is far above any request and shards
-        amortize round-trips; near the tail it falls to one, so the last
-        tasks spread across all workers instead of stranding in one
-        straggler's final batch.  A lone worker is never capped: there is
-        nobody to level against, only round-trips to waste.
-        """
-        max_tasks = max(1, max_tasks)
-        if self.batch_size > 0:
-            max_tasks = min(max_tasks, self.batch_size)
-        with self._lock:
-            if self._done_count == len(self.tasks):
-                return {"type": "done"}
-            active = self._active_workers
-            if active > 1:
-                pending = len(self._pending)
-                adaptive = max(1, -(-pending // (2 * active)))  # ceil division
-                max_tasks = min(max_tasks, adaptive)
-            shard: List[Dict[str, Any]] = []
-            while self._pending and len(shard) < max_tasks:
-                index = self._pending.popleft()
-                if self._outcomes[index] is not None:
-                    # Requeued after a lost lease, but the "lost" worker's
-                    # result arrived anyway: already complete, don't re-run.
-                    continue
-                leases.append(index)
-                shard.append({
-                    "index": index,
-                    "task_id": self._task_ids[index],
-                    "task": self.tasks[index].to_dict(),
-                })
-            if not shard:
-                # Everything outstanding is leased elsewhere; the worker
-                # backs off briefly and asks again (its lease might yet be
-                # requeued if the other worker dies).
-                return {"type": "wait"}
-            self._shard_counter += 1
-            self.shard_sizes.append(len(shard))
-            return {"type": "tasks", "shard": self._shard_counter, "tasks": shard}
-
-    def _record_result(
-        self,
-        leases: List[int],
-        worker_info: Dict[str, Any],
-        message: Dict[str, Any],
-    ) -> None:
-        task_id = message.get("task_id")
-        index = self._index_of.get(task_id)
-        if index is None:
-            return  # result for a task of some other sweep; drop it
-        outcome = dict(message.get("outcome") or {})
-        outcome["task_id"] = task_id
-        outcome["worker"] = {**worker_info, "shard": message.get("shard")}
-        with self._lock:
-            if index in leases:
-                leases.remove(index)
-            if self._outcomes[index] is not None:
-                return  # late duplicate after a requeue: first result won
-            self._outcomes[index] = outcome
-            self._done_count += 1
-            done, total = self._done_count, len(self.tasks)
-            if self.store is not None:
-                self.store.record(task_id, index, outcome)
-            # Under the lock so concurrent workers cannot interleave
-            # progress lines with out-of-order completed counts.
-            if self.progress_callback is not None:
-                self.progress_callback(index, outcome, done, total)
-        if done == total:
-            self._done_event.set()
-
-    def _requeue_lost(
-        self, leases: List[int], worker_info: Dict[str, Any]
-    ) -> None:
-        """Return a lost worker's in-flight tasks to the queue.
-
-        Each lost lease counts against the task's retry budget; a task
-        exceeding it is completed with a synthetic infrastructure-error
-        outcome so the sweep terminates with the failure on record instead
-        of looping the same poisonous task forever.
-        """
-        with self._lock:
-            for index in leases:
-                if self._outcomes[index] is not None:
-                    continue  # its result arrived before the disconnect
-                self._lost_leases[index] = self._lost_leases.get(index, 0) + 1
-                if self._lost_leases[index] <= self.max_task_retries:
-                    # Requeue at the front: a resumed task is the oldest
-                    # outstanding work and should not starve behind the
-                    # whole remaining queue.
-                    self._pending.appendleft(index)
-                    continue
-                task = self.tasks[index]
-                outcome = {
-                    "suite": task.suite,
-                    "workload": task.workload,
-                    "transformation": task.transformation.name,
-                    "match_index": task.match_index,
-                    "task_id": self._task_ids[index],
-                    "worker": dict(worker_info),
-                    "verdict": Verdict.UNTESTED.value,
-                    "match_description": task.match_description,
-                    "error": (
-                        f"worker connection lost {self._lost_leases[index]} "
-                        f"time(s) while running this task "
-                        f"(retry budget: {self.max_task_retries})"
-                    ),
-                    "report": None,
-                }
-                self._outcomes[index] = outcome
-                self._done_count += 1
-                if self.store is not None:
-                    self.store.record(self._task_ids[index], index, outcome)
-                if self.progress_callback is not None:
-                    self.progress_callback(
-                        index, outcome, self._done_count, len(self.tasks)
-                    )
-            done, total = self._done_count, len(self.tasks)
-            leases.clear()
-        if done == total:
-            self._done_event.set()
+        if self._started:
+            self._started = False
+            self._service.stop()

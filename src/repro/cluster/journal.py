@@ -75,6 +75,7 @@ class ResultStore:
         buggy: bool,
         backend: str,
         resume: bool = False,
+        service_sweep_id: Optional[str] = None,
     ) -> "ResultStore":
         """Create (or, with ``resume=True``, reopen) a journal for ``tasks``.
 
@@ -84,6 +85,11 @@ class ResultStore:
         loaded; a missing (or empty -- a crash before the header flushed)
         file degrades to a fresh start so ``--resume`` is safe to pass
         unconditionally.
+
+        ``service_sweep_id`` labels a journal owned by the always-on
+        verification service with its *submission* id (``sweep-NNN``) --
+        distinct from the content-derived ``sweep_id`` identity hash, which
+        keeps guarding against resuming a journal of a different task set.
         """
         task_ids = [t.task_id for t in tasks]
         header = {
@@ -95,6 +101,8 @@ class ResultStore:
             "total_tasks": len(task_ids),
             "sweep_id": sweep_identity(task_ids),
         }
+        if service_sweep_id is not None:
+            header["service_sweep_id"] = service_sweep_id
         # A crash between creating the file and flushing the header leaves
         # an empty journal: zero outcomes were recorded, so "resuming" it is
         # just starting fresh.

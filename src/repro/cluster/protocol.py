@@ -10,18 +10,27 @@ The conversation is strictly request/response, always initiated by the
 worker:
 
 ========================  ===========================================
-worker sends              coordinator replies
+worker sends              service replies
 ========================  ===========================================
-``hello`` {worker: {...}} ``welcome`` {total, suite, buggy, backend}
-``request`` {max_tasks}   ``tasks`` {shard, tasks: [{index, task}]}
-                          | ``wait`` {} (nothing pending, sweep not done)
-                          | ``done`` {}
-``result`` {index,        ``ack`` {}
-  task_id, outcome}
+``hello`` {worker: {...}, ``welcome`` {total, sweeps, suite, buggy,
+  token?}                 backend} | ``error`` {error} on auth refusal
+``request`` {max_tasks}   ``tasks`` {shard, sweep, latency_ewma,
+                          tasks: [{index, task_id, task}]}
+                          | ``wait`` {} (nothing leasable right now)
+                          | ``done`` {} (one-shot mode, all sweeps done)
+``result`` {index, shard, ``ack`` {}
+  sweep?, task_id,
+  outcome}
 ``ping`` {}               ``pong`` {} (heartbeat; proves a busy worker is
-                          alive so a ``worker_timeout`` coordinator does
-                          not requeue its in-flight shard)
+                          alive so a ``worker_timeout`` service does not
+                          requeue its in-flight shard)
 ========================  ===========================================
+
+Multi-tenancy rides on two optional fields: leases carry the ``sweep``
+submission id and workers echo it back in results.  Pre-service workers
+that echo only ``task_id`` still route correctly -- the service resolves
+results through the connection's lease table first -- so old workers
+connect to the always-on service unchanged.
 
 A clean EOF between messages returns ``None`` from :func:`recv_message`
 (the peer hung up); an EOF *inside* a frame raises :class:`ProtocolError`
@@ -40,11 +49,18 @@ __all__ = [
     "send_message",
     "recv_message",
     "MAX_MESSAGE_BYTES",
+    "TOKEN_ENV",
 ]
 
 #: Frames above this size indicate a bug (or a stream desync), not a
 #: legitimate message: even a full npbench sweep outcome is a few KiB.
 MAX_MESSAGE_BYTES = 256 * 1024 * 1024
+
+#: Environment variable carrying the shared cluster secret.  A service
+#: started with an auth token requires it from *non-loopback* peers: in the
+#: ``hello`` message (``token`` field) on socket connections and in the
+#: ``X-Repro-Token`` header over HTTP.  Loopback peers stay tokenless.
+TOKEN_ENV = "REPRO_CLUSTER_TOKEN"
 
 _LENGTH = struct.Struct(">I")
 

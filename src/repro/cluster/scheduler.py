@@ -1,0 +1,616 @@
+"""The sweep scheduler core: multi-tenant task accounting, no transport.
+
+This module is the *service brain*: a registry of concurrently active
+sweeps, each with its own task queue, journal, retry budget and lifecycle
+state, plus weighted fair-share dispatch across them.  It deliberately
+knows nothing about sockets, HTTP or asyncio -- the transport layer
+(:mod:`repro.cluster.service`) translates wire messages into the three
+scheduler verbs and nothing else:
+
+* :meth:`SweepScheduler.lease` -- hand a connection a shard of tasks,
+  picked from the active sweep with the smallest priority-weighted share
+  of dispatched work (deficit fair-share: a sweep of priority 3 receives
+  ~3x the leases of a priority-1 sweep while both have pending work);
+* :meth:`SweepScheduler.record_result` -- route a finished outcome back to
+  its sweep (by the connection's lease table first, then the message's
+  explicit sweep id, then a global task-id search, so pre-multi-tenant
+  workers that never echo a sweep id still route correctly), journal it,
+  and fire the sweep's progress callback;
+* :meth:`SweepScheduler.release` -- return a lost connection's in-flight
+  leases to their queues with bounded per-task retries.
+
+Sweeps move through ``submitted -> running -> draining -> complete``:
+*submitted* until the first task is dispatched, *draining* once the queue
+is empty but leases are still in flight, *complete* when every task has an
+outcome (a per-sweep event wakes :meth:`wait`).
+
+Every invariant of the one-shot coordinator survives multi-tenancy:
+requeue-on-disconnect with bounded retries, dedup by task ID (late results
+from workers presumed lost are dropped), tail-leveled shard sizing, and
+bitwise ``comparable_dict()`` parity with a serial run -- now *per sweep*.
+
+Shard sizing is additionally **latency-adaptive**: the scheduler keeps a
+per-connection EWMA of observed per-task wall-clock (lease-to-result and
+result-to-result gaps) and caps each shard near
+``target_lease_seconds / ewma``, so slow workers take small shards (cheap
+to requeue, frequent journal progress) while fast ones amortize
+round-trips -- the pending-count tail cap ``ceil(pending / (2 * active))``
+still applies on top with several workers connected.  The chosen size and
+the latency estimate are recorded in each shard's metadata.
+
+Everything is guarded by one lock and calls only the standard threading /
+time modules, so the core is unit-testable with plain function calls (see
+``tests/test_service.py::TestScheduler``) -- no event loop required.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.reporting import Verdict
+from repro.pipeline.result import SweepResult
+from repro.pipeline.tasks import SweepTask
+
+__all__ = [
+    "SweepScheduler",
+    "SweepEntry",
+    "SUBMITTED",
+    "RUNNING",
+    "DRAINING",
+    "COMPLETE",
+    "SWEEP_STATES",
+]
+
+#: Sweep lifecycle states, in order.
+SUBMITTED = "submitted"
+RUNNING = "running"
+DRAINING = "draining"
+COMPLETE = "complete"
+SWEEP_STATES = (SUBMITTED, RUNNING, DRAINING, COMPLETE)
+
+#: Smoothing factor of the per-connection task-latency EWMA.
+_EWMA_ALPHA = 0.3
+
+
+class SweepEntry:
+    """One registered sweep: tasks, queue, outcomes, journal, lifecycle."""
+
+    def __init__(
+        self,
+        sweep_id: str,
+        tasks: Sequence[SweepTask],
+        *,
+        suite: str,
+        buggy: bool,
+        backend: str,
+        priority: float,
+        max_task_retries: int,
+        store: Optional[Any],
+        completed: Optional[Dict[str, Dict[str, Any]]],
+        progress_callback: Optional[Callable[..., None]],
+        owns_store: bool,
+        clock: Callable[[], float],
+    ) -> None:
+        self.sweep_id = sweep_id
+        self.tasks = list(tasks)
+        self.suite = suite
+        self.buggy = buggy
+        self.backend = backend
+        self.priority = max(priority, 1e-6)
+        self.max_task_retries = max_task_retries
+        self.store = store
+        self.owns_store = owns_store
+        self.progress_callback = progress_callback
+        self.task_ids = [t.task_id for t in self.tasks]
+        self.index_of = {tid: i for i, tid in enumerate(self.task_ids)}
+        self.outcomes: List[Optional[Dict[str, Any]]] = [None] * len(self.tasks)
+        self.pending: deque = deque()
+        self.lost_leases: Dict[int, int] = {}
+        self.done_count = 0
+        self.leased_total = 0  # tasks ever dispatched (fair-share deficit)
+        self.in_flight = 0
+        self.shard_sizes: List[int] = []
+        self.shard_meta: List[Dict[str, Any]] = []
+        self.state = SUBMITTED
+        self.done_event = threading.Event()
+        self.submitted_at = clock()
+        self.completed_at: Optional[float] = None
+        self.first_fresh_at: Optional[float] = None
+        self.fresh_count = 0  # outcomes executed this service life (not restored)
+
+        completed = completed if completed is not None else (
+            dict(store.completed) if store is not None else {}
+        )
+        for index, tid in enumerate(self.task_ids):
+            outcome = completed.get(tid)
+            if outcome is not None:
+                self.outcomes[index] = outcome
+                self.done_count += 1
+            else:
+                self.pending.append(index)
+        if self.done_count == len(self.tasks):
+            self._finish(clock)
+
+    # -- helpers (caller holds the scheduler lock) --------------------- #
+    @property
+    def total(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.done_count
+
+    def _finish(self, clock: Callable[[], float]) -> None:
+        self.state = COMPLETE
+        self.completed_at = clock()
+        self.done_event.set()
+        if self.store is not None and self.owns_store:
+            self.store.close()
+
+    def _refresh_state(self, clock: Callable[[], float]) -> None:
+        if self.done_count == self.total:
+            if self.state != COMPLETE:
+                self._finish(clock)
+        elif self.state != SUBMITTED:
+            # Draining: nothing queued, but leases still in flight.
+            self.state = DRAINING if not self.pending else RUNNING
+
+    def result(self) -> SweepResult:
+        duration = (self.completed_at or self.submitted_at) - self.submitted_at
+        return SweepResult(
+            suite=self.suite,
+            buggy=self.buggy,
+            backend=self.backend,
+            outcomes=list(self.outcomes),
+            duration_seconds=duration,
+            sweep_id=self.sweep_id,
+        )
+
+    def snapshot(self, clock: Callable[[], float]) -> Dict[str, Any]:
+        """Progress/ETA introspection document (JSON-safe)."""
+        now = clock()
+        rate = None
+        eta = None
+        if self.fresh_count > 1 and self.first_fresh_at is not None:
+            elapsed = now - self.first_fresh_at
+            if elapsed > 0:
+                # The anchoring outcome's latency was not observed.
+                rate = (self.fresh_count - 1) / elapsed
+                if rate > 0:
+                    eta = self.remaining / rate
+        return {
+            "sweep_id": self.sweep_id,
+            "state": self.state,
+            "suite": self.suite,
+            "buggy": self.buggy,
+            "backend": self.backend,
+            "priority": self.priority,
+            "total": self.total,
+            "done": self.done_count,
+            "pending": len(self.pending),
+            "in_flight": self.in_flight,
+            "shards": len(self.shard_sizes),
+            "shard_sizes": list(self.shard_sizes),
+            "tasks_per_second": rate,
+            "eta_seconds": eta,
+            "age_seconds": now - self.submitted_at,
+            "journal": getattr(self.store, "path", None),
+        }
+
+
+class _ConnState:
+    """Per-connection accounting: identity, lease table, latency EWMA."""
+
+    def __init__(self, number: int, clock_now: float) -> None:
+        self.number = number
+        self.info: Dict[str, Any] = {"worker": number}
+        self.introduced = False
+        #: Outstanding leases: (sweep_id, index, task_id) triples.
+        self.leases: List[Tuple[str, int, str]] = []
+        #: EWMA of observed per-task wall-clock seconds; None until observed.
+        self.latency_ewma: Optional[float] = None
+        #: Monotonic time of the last lease or result on this connection.
+        self.last_event = clock_now
+
+
+class SweepScheduler:
+    """Multi-sweep task scheduler behind the always-on service.
+
+    Transport-free: drive it with plain method calls (tests), from the
+    asyncio socket/HTTP service (:mod:`repro.cluster.service`), or from
+    in-process local executor threads -- all three concurrently.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_task_retries: int = 2,
+        batch_size: int = 0,
+        target_lease_seconds: float = 10.0,
+        done_when_idle: bool = False,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        #: Default re-lease budget per task (per sweep override on submit).
+        self.max_task_retries = max_task_retries
+        #: Global hard cap on tasks per shard; 0 defers to worker requests.
+        self.batch_size = batch_size
+        #: Latency-adaptive sizing target: a shard should take roughly this
+        #: long on the requesting worker (given its observed per-task EWMA).
+        self.target_lease_seconds = target_lease_seconds
+        #: With ``True``, an idle scheduler (every sweep complete) answers
+        #: leases with ``done`` so workers drain and exit -- the one-shot
+        #: coordinator mode.  A persistent service leaves this ``False``:
+        #: idle workers park on ``wait`` until the next sweep arrives.
+        self.done_when_idle = done_when_idle
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._sweeps: Dict[str, SweepEntry] = {}  # insertion-ordered
+        self._conns: Dict[Any, _ConnState] = {}
+        self._shard_counter = 0
+        self._worker_counter = 0
+        self._active_workers = 0
+        self._started_at = clock()
+
+    # ------------------------------------------------------------------ #
+    # Sweep registry
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        tasks: Sequence[SweepTask],
+        *,
+        sweep_id: Optional[str] = None,
+        suite: Optional[str] = None,
+        buggy: Optional[bool] = None,
+        backend: Optional[str] = None,
+        priority: float = 1.0,
+        max_task_retries: Optional[int] = None,
+        store: Optional[Any] = None,
+        completed: Optional[Dict[str, Dict[str, Any]]] = None,
+        progress_callback: Optional[Callable[..., None]] = None,
+        owns_store: bool = False,
+    ) -> str:
+        """Register a sweep; returns its id.  Safe while workers run."""
+        tasks = list(tasks)
+        if suite is None:
+            suite = tasks[0].suite if tasks else "npbench"
+        if buggy is None:
+            buggy = any(
+                bool(t.transformation.kwargs.get("inject_bug")) for t in tasks
+            )
+        if backend is None:
+            backend = (
+                tasks[0].verifier_kwargs.get("backend", "interpreter")
+                if tasks
+                else "interpreter"
+            )
+        with self._lock:
+            if sweep_id is None:
+                sweep_id = f"sweep-{len(self._sweeps) + 1:03d}"
+                while sweep_id in self._sweeps:
+                    sweep_id = f"{sweep_id}x"
+            elif sweep_id in self._sweeps:
+                raise ValueError(f"sweep id {sweep_id!r} already registered")
+            self._sweeps[sweep_id] = SweepEntry(
+                sweep_id,
+                tasks,
+                suite=suite,
+                buggy=buggy,
+                backend=backend,
+                priority=priority,
+                max_task_retries=(
+                    max_task_retries
+                    if max_task_retries is not None
+                    else self.max_task_retries
+                ),
+                store=store,
+                completed=completed,
+                progress_callback=progress_callback,
+                owns_store=owns_store,
+                clock=self._clock,
+            )
+        return sweep_id
+
+    def sweep_ids(self) -> List[str]:
+        with self._lock:
+            return list(self._sweeps)
+
+    def _entry(self, sweep_id: str) -> SweepEntry:
+        entry = self._sweeps.get(sweep_id)
+        if entry is None:
+            raise KeyError(f"unknown sweep {sweep_id!r}")
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Connection registry
+    # ------------------------------------------------------------------ #
+    def _conn(self, conn_key: Any) -> _ConnState:
+        conn = self._conns.get(conn_key)
+        if conn is None:
+            self._worker_counter += 1
+            conn = _ConnState(self._worker_counter, self._clock())
+            self._conns[conn_key] = conn
+        return conn
+
+    def worker_joined(self, conn_key: Any, info: Dict[str, Any]) -> Dict[str, Any]:
+        """Record a ``hello``; returns the welcome payload (JSON-safe)."""
+        with self._lock:
+            conn = self._conn(conn_key)
+            if not conn.introduced:
+                conn.introduced = True
+                self._active_workers += 1
+            conn.info = dict(info or {})
+            conn.info["worker"] = conn.number
+            active = [e for e in self._sweeps.values() if e.state != COMPLETE]
+            first = active[0] if active else None
+            return {
+                "type": "welcome",
+                "total": sum(e.total for e in active),
+                "sweeps": len(active),
+                "suite": first.suite if first else None,
+                "buggy": first.buggy if first else False,
+                "backend": first.backend if first else None,
+            }
+
+    def release(self, conn_key: Any) -> None:
+        """Forget a connection, requeueing its in-flight leases.
+
+        Each lost lease counts against the task's retry budget; exhaustion
+        completes the task with a synthetic infrastructure-error outcome so
+        a poisonous task cannot wedge its sweep forever.
+        """
+        with self._lock:
+            conn = self._conns.pop(conn_key, None)
+            if conn is None:
+                return
+            if conn.introduced:
+                self._active_workers -= 1
+            for sweep_id, index, task_id in conn.leases:
+                entry = self._sweeps.get(sweep_id)
+                if entry is None or entry.outcomes[index] is not None:
+                    continue  # sweep gone, or its result raced the loss
+                entry.in_flight -= 1
+                entry.lost_leases[index] = entry.lost_leases.get(index, 0) + 1
+                if entry.lost_leases[index] <= entry.max_task_retries:
+                    # Front of the queue: a requeued task is the oldest
+                    # outstanding work and must not starve behind the tail.
+                    entry.pending.appendleft(index)
+                    entry._refresh_state(self._clock)
+                    continue
+                task = entry.tasks[index]
+                outcome = {
+                    "suite": task.suite,
+                    "workload": task.workload,
+                    "transformation": task.transformation.name,
+                    "match_index": task.match_index,
+                    "task_id": task_id,
+                    "worker": dict(conn.info),
+                    "verdict": Verdict.UNTESTED.value,
+                    "match_description": task.match_description,
+                    "error": (
+                        f"worker connection lost {entry.lost_leases[index]} "
+                        f"time(s) while running this task "
+                        f"(retry budget: {entry.max_task_retries})"
+                    ),
+                    "report": None,
+                }
+                self._land(entry, index, task_id, outcome)
+            conn.leases.clear()
+
+    # ------------------------------------------------------------------ #
+    # Dispatch (fair share + adaptive sizing)
+    # ------------------------------------------------------------------ #
+    def _shard_cap(self, entry: SweepEntry, conn: _ConnState, max_tasks: int) -> int:
+        """Bound a shard by the worker request, the global batch cap, the
+        connection's latency estimate, and (with >1 active workers) the
+        pending-count tail leveler."""
+        max_tasks = max(1, max_tasks)
+        if self.batch_size > 0:
+            max_tasks = min(max_tasks, self.batch_size)
+        if conn.latency_ewma and conn.latency_ewma > 0:
+            latency_cap = max(
+                1, int(self.target_lease_seconds / conn.latency_ewma)
+            )
+            max_tasks = min(max_tasks, latency_cap)
+        if self._active_workers > 1:
+            pending = len(entry.pending)
+            tail_cap = max(1, -(-pending // (2 * self._active_workers)))
+            max_tasks = min(max_tasks, tail_cap)
+        return max_tasks
+
+    def _fair_order(self) -> List[SweepEntry]:
+        """Incomplete sweeps, smallest priority-weighted dispatch first."""
+        candidates = [
+            e for e in self._sweeps.values() if e.state != COMPLETE and e.pending
+        ]
+        return sorted(
+            candidates, key=lambda e: (e.leased_total / e.priority, e.submitted_at)
+        )
+
+    def lease(self, conn_key: Any, max_tasks: int) -> Dict[str, Any]:
+        """Serve a ``request``: a ``tasks`` shard, ``wait``, or ``done``."""
+        with self._lock:
+            conn = self._conn(conn_key)
+            for entry in self._fair_order():
+                cap = self._shard_cap(entry, conn, max_tasks)
+                shard: List[Dict[str, Any]] = []
+                while entry.pending and len(shard) < cap:
+                    index = entry.pending.popleft()
+                    if entry.outcomes[index] is not None:
+                        # Requeued after a lost lease, but the "lost"
+                        # worker's result landed anyway: don't re-run.
+                        continue
+                    conn.leases.append((entry.sweep_id, index, entry.task_ids[index]))
+                    shard.append({
+                        "index": index,
+                        "task_id": entry.task_ids[index],
+                        "task": entry.tasks[index].to_dict(),
+                    })
+                if not shard:
+                    continue  # only already-complete indices were queued
+                self._shard_counter += 1
+                entry.leased_total += len(shard)
+                entry.in_flight += len(shard)
+                entry.shard_sizes.append(len(shard))
+                entry.shard_meta.append({
+                    "shard": self._shard_counter,
+                    "size": len(shard),
+                    "worker": conn.number,
+                    "latency_ewma": conn.latency_ewma,
+                })
+                if entry.state == SUBMITTED:
+                    entry.state = RUNNING
+                entry._refresh_state(self._clock)
+                conn.last_event = self._clock()
+                return {
+                    "type": "tasks",
+                    "shard": self._shard_counter,
+                    "sweep": entry.sweep_id,
+                    "latency_ewma": conn.latency_ewma,
+                    "tasks": shard,
+                }
+            if self.done_when_idle and all(
+                e.state == COMPLETE for e in self._sweeps.values()
+            ):
+                return {"type": "done"}
+            # Outstanding work is leased elsewhere (or no sweep is active):
+            # the worker backs off briefly and asks again.
+            return {"type": "wait"}
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+    def _route(
+        self, conn: _ConnState, task_id: Any, sweep_hint: Optional[str]
+    ) -> Optional[Tuple[SweepEntry, int, bool]]:
+        """Find (sweep, index, was_leased_here) for an arriving result.
+
+        Priority: this connection's lease table (unambiguous even when two
+        concurrent sweeps contain an identical task), then the message's
+        explicit sweep id, then a global search -- preferring an incomplete
+        match so a late duplicate never shadows fresh work elsewhere.
+        """
+        for pos, (sweep_id, index, tid) in enumerate(conn.leases):
+            if tid == task_id:
+                entry = self._sweeps.get(sweep_id)
+                if entry is not None:
+                    del conn.leases[pos]
+                    return entry, index, True
+        if sweep_hint is not None:
+            entry = self._sweeps.get(sweep_hint)
+            if entry is not None and task_id in entry.index_of:
+                return entry, entry.index_of[task_id], False
+        fallback = None
+        for entry in self._sweeps.values():
+            index = entry.index_of.get(task_id)
+            if index is None:
+                continue
+            if entry.outcomes[index] is None:
+                return entry, index, False
+            fallback = fallback or (entry, index, False)
+        return fallback
+
+    def _land(
+        self, entry: SweepEntry, index: int, task_id: str, outcome: Dict[str, Any]
+    ) -> None:
+        """Record one completed outcome (journal + progress); lock held."""
+        entry.outcomes[index] = outcome
+        entry.done_count += 1
+        now = self._clock()
+        if entry.first_fresh_at is None:
+            entry.first_fresh_at = now
+        entry.fresh_count += 1
+        if entry.store is not None:
+            entry.store.record(task_id, index, outcome)
+        # Under the lock so concurrent deliveries cannot interleave
+        # progress lines with out-of-order completed counts.
+        if entry.progress_callback is not None:
+            entry.progress_callback(index, outcome, entry.done_count, entry.total)
+        entry._refresh_state(self._clock)
+
+    def record_result(self, conn_key: Any, message: Dict[str, Any]) -> None:
+        """Consume a ``result`` message (late duplicates are dropped)."""
+        task_id = message.get("task_id")
+        with self._lock:
+            conn = self._conn(conn_key)
+            # Latency observation: the gap since this connection's last
+            # lease or result approximates one task's wall-clock (it folds
+            # in a multi-process worker's internal parallelism as observed
+            # throughput, which is exactly what shard sizing wants).
+            now = self._clock()
+            elapsed = now - conn.last_event
+            conn.last_event = now
+            if elapsed > 0:
+                conn.latency_ewma = (
+                    elapsed
+                    if conn.latency_ewma is None
+                    else _EWMA_ALPHA * elapsed + (1 - _EWMA_ALPHA) * conn.latency_ewma
+                )
+            routed = self._route(conn, task_id, message.get("sweep"))
+            if routed is None:
+                return  # a task of some forgotten sweep; drop it
+            entry, index, was_leased = routed
+            if was_leased:
+                entry.in_flight -= 1
+            if entry.outcomes[index] is not None:
+                return  # late duplicate after a requeue: first result won
+            outcome = dict(message.get("outcome") or {})
+            outcome["task_id"] = task_id
+            outcome["worker"] = {**conn.info, "shard": message.get("shard")}
+            self._land(entry, index, task_id, outcome)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / completion
+    # ------------------------------------------------------------------ #
+    def wait(self, sweep_id: str, timeout: Optional[float] = None) -> SweepResult:
+        """Block until ``sweep_id`` completes; returns its result."""
+        with self._lock:
+            entry = self._entry(sweep_id)
+        if not entry.done_event.wait(timeout):
+            raise TimeoutError(
+                f"Sweep {sweep_id} incomplete after {timeout} s "
+                f"({entry.remaining}/{entry.total} tasks outstanding)"
+            )
+        with self._lock:
+            return entry.result()
+
+    def result(self, sweep_id: str) -> SweepResult:
+        with self._lock:
+            return self._entry(sweep_id).result()
+
+    def sweep_status(self, sweep_id: str) -> Dict[str, Any]:
+        with self._lock:
+            return self._entry(sweep_id).snapshot(self._clock)
+
+    def service_status(self) -> Dict[str, Any]:
+        with self._lock:
+            sweeps = {
+                sid: e.snapshot(self._clock) for sid, e in self._sweeps.items()
+            }
+            return {
+                "uptime_seconds": self._clock() - self._started_at,
+                "active_workers": self._active_workers,
+                "workers_seen": self._worker_counter,
+                "sweeps": sweeps,
+                "total_tasks": sum(e.total for e in self._sweeps.values()),
+                "done_tasks": sum(e.done_count for e in self._sweeps.values()),
+            }
+
+    @property
+    def worker_count(self) -> int:
+        with self._lock:
+            return self._worker_counter
+
+    @property
+    def active_workers(self) -> int:
+        with self._lock:
+            return self._active_workers
+
+    def close(self) -> None:
+        """Close every journal the scheduler owns (service shutdown)."""
+        with self._lock:
+            for entry in self._sweeps.values():
+                if entry.store is not None and entry.owns_store:
+                    entry.store.close()

@@ -1,8 +1,8 @@
-"""Loopback distributed-sweep smoke check (``make smoke-dist``).
+"""Loopback distributed-sweep smoke checks (``make smoke-dist``).
 
-Runs the npbench mini sweep twice -- once through the serial in-process
-runner, once through a loopback coordinator feeding two worker
-*subprocesses* -- and diffs the two reports field by field
+**Default scenario** -- runs the npbench mini sweep twice: once through
+the serial in-process runner, once through a loopback coordinator feeding
+two worker *subprocesses* -- and diffs the two reports field by field
 (:meth:`SweepResult.comparable_dict`, i.e. modulo timing and per-outcome
 worker metadata).  The two workers deliberately run *different* execution
 backends (interpreter and compiled), so the diff simultaneously checks:
@@ -13,17 +13,34 @@ backends (interpreter and compiled), so the diff simultaneously checks:
 
 The distributed run also journals to a temp file, and the journal is
 re-loaded and reassembled as a second independent cross-check of the
-store-backed path.  Exit status 0 on a clean diff; any mismatch prints the
-first differing outcome and exits 1.
+store-backed path.
+
+**Service scenario** (``--two-sweeps``) -- exercises the always-on
+verification service end to end: two *concurrent* sweeps over disjoint
+kernel subsets are submitted over HTTP to one service with a state
+directory, a shared pool of two reconnecting worker subprocesses pulls
+shards from both, and mid-run the service is hard-stopped and a fresh
+instance started on the same state directory and port.  Checks: both
+sweeps finish bitwise identical to their serial references, their journals
+are isolated (each holds exactly its own sweep's task ids, one outcome
+line per task -- i.e. the restart re-ran nothing already journaled), and
+the elastic workers survived the bounce.
+
+Exit status 0 on a clean run; any mismatch prints the first differing
+outcome and exits 1.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import shutil
+import socket as socket_module
 import subprocess
 import sys
 import tempfile
+import time
 from typing import Any, Dict, List, Optional
 
 import repro
@@ -63,6 +80,200 @@ def _first_difference(a: Dict[str, Any], b: Dict[str, Any], path: str = "") -> O
     return None
 
 
+def _worker_env() -> Dict[str, str]:
+    """Environment for worker subprocesses: make ``repro`` importable for
+    fresh interpreters no matter where the smoke check was launched from."""
+    env = dict(os.environ)
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_dir, env.get("PYTHONPATH")) if p
+    )
+    return env
+
+
+def _free_port() -> int:
+    """A currently-free loopback port the service can bind (twice: the
+    restarted instance must come back on the same address the workers
+    reconnect to)."""
+    probe = socket_module.socket()
+    try:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+    finally:
+        probe.close()
+
+
+def _enumerate(kernels: Optional[List[str]], args: argparse.Namespace):
+    return enumerate_sweep_tasks(
+        suite="npbench",
+        workloads=kernels,
+        buggy=args.buggy,
+        max_instances=args.max_instances,
+        verifier_kwargs=dict(
+            num_trials=args.trials,
+            seed=0,
+            size_max=10,
+            minimize_inputs=False,
+            backend="interpreter",
+        ),
+    )
+
+
+def _two_sweep_service_scenario(args: argparse.Namespace) -> int:
+    """Two concurrent HTTP-submitted sweeps, one shared elastic worker
+    pool, and a kill/restore of the service in the middle."""
+    from repro.cluster.client import submit_sweep, sweep_status, wait_sweep
+    from repro.cluster.service import VerificationService
+
+    subsets = (["gemm", "atax"], ["mvt", "bicg"])
+    task_sets = [_enumerate(subset, args) for subset in subsets]
+    print(
+        f"[smoke-svc] sweeps of {[len(t) for t in task_sets]} task(s) "
+        f"({' | '.join(','.join(s) for s in subsets)}); serial references ...",
+        flush=True,
+    )
+    serials = [SweepRunner(workers=1).run(tasks) for tasks in task_sets]
+
+    state_dir = tempfile.mkdtemp(prefix="smoke_svc_state_")
+    port = _free_port()
+    workers: List[subprocess.Popen] = []
+    service = VerificationService(
+        "127.0.0.1", port, http_port=0, state_dir=state_dir,
+    )
+    try:
+        service.start()
+        http_host, http_port = service.http_address
+        sweep_ids = [
+            submit_sweep(http_host, http_port, tasks)["sweep_id"]
+            for tasks in task_sets
+        ]
+        print(
+            f"[smoke-svc] service on 127.0.0.1:{port} "
+            f"(http {http_host}:{http_port}, state {state_dir}); "
+            f"submitted {sweep_ids}; spawning 2 reconnecting workers ...",
+            flush=True,
+        )
+        env = _worker_env()
+        workers = [
+            subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.cluster.worker",
+                    "--connect", f"127.0.0.1:{port}",
+                    "--backend", backend,
+                    "--reconnect-seconds", "120",
+                    "--quiet",
+                ],
+                env=env,
+            )
+            for backend in WORKER_BACKENDS
+        ]
+
+        # Let both sweeps make real progress, then bounce the service.
+        deadline = time.monotonic() + 300.0
+        while True:
+            done = [
+                sweep_status(http_host, http_port, sid)["done"]
+                for sid in sweep_ids
+            ]
+            if all(d >= 1 for d in done):
+                break
+            if time.monotonic() > deadline:
+                print(
+                    f"[smoke-svc] FAIL: no progress on both sweeps "
+                    f"(done counts {done})",
+                    file=sys.stderr,
+                )
+                return 1
+            time.sleep(0.2)
+        print(
+            f"[smoke-svc] progress {done}; hard-stopping the service "
+            f"mid-run ...",
+            flush=True,
+        )
+        service.stop()
+
+        # Fresh instance, same state dir and socket address: every sweep is
+        # restored from its journal, the workers reconnect on their own.
+        # done_when_idle lets the workers drain once everything completes.
+        service = VerificationService(
+            "127.0.0.1", port, http_port=0, state_dir=state_dir,
+            done_when_idle=True,
+        )
+        service.start()
+        http_host, http_port = service.http_address
+        restored = service.scheduler.sweep_ids()
+        if sorted(restored) != sorted(sweep_ids):
+            print(
+                f"[smoke-svc] FAIL: restart restored {restored}, "
+                f"expected {sweep_ids}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"[smoke-svc] restarted on the same address; restored "
+            f"{restored}; waiting for completion ...",
+            flush=True,
+        )
+        results = [
+            wait_sweep(http_host, http_port, sid, timeout=300.0, poll_seconds=0.2)
+            for sid in sweep_ids
+        ]
+    finally:
+        for proc in workers:
+            try:
+                proc.wait(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+        for proc in workers:
+            proc.wait(timeout=30.0)
+        service.stop()
+
+    failures = [p.returncode for p in workers if p.returncode != 0]
+    if failures:
+        print(
+            f"[smoke-svc] FAIL: worker exit codes {failures} (a reconnecting "
+            f"worker must survive the service bounce)",
+            file=sys.stderr,
+        )
+        return 1
+
+    for sid, serial, result, tasks in zip(sweep_ids, serials, results, task_sets):
+        diff = _first_difference(serial.comparable_dict(), result.comparable_dict())
+        if diff:
+            print(
+                f"[smoke-svc] FAIL: sweep {sid} differs from its serial "
+                f"reference at {diff}",
+                file=sys.stderr,
+            )
+            return 1
+        # Journal isolation + no re-runs across the restart: exactly one
+        # outcome line per task, all belonging to this sweep.
+        journal = os.path.join(state_dir, f"{sid}.jsonl")
+        with open(journal, "r", encoding="utf-8") as f:
+            records = [json.loads(line) for line in f if line.strip()]
+        outcome_ids = [r["task_id"] for r in records if r.get("kind") == "outcome"]
+        expected = {t.task_id for t in tasks}
+        if set(outcome_ids) != expected or len(outcome_ids) != len(tasks):
+            print(
+                f"[smoke-svc] FAIL: journal {journal} holds "
+                f"{len(outcome_ids)} outcome(s) over "
+                f"{len(set(outcome_ids))} task id(s); expected exactly "
+                f"{len(tasks)} of this sweep's tasks (isolation or re-run "
+                f"violation)",
+                file=sys.stderr,
+            )
+            return 1
+
+    shutil.rmtree(state_dir, ignore_errors=True)  # keep state only on failure
+    total = sum(len(t) for t in task_sets)
+    print(
+        f"[smoke-svc] OK: {total} task(s) across 2 concurrent sweeps "
+        f"identical to serial references, journals isolated, service "
+        f"kill/restore re-ran nothing, both workers survived the bounce"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cluster.smoke",
@@ -79,24 +290,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--buggy", action="store_true",
         help="sweep the injected-bug transformation variants",
     )
+    parser.add_argument(
+        "--two-sweeps", action="store_true",
+        help="run the always-on service scenario instead: two concurrent "
+        "HTTP-submitted sweeps on one service, kill/restore mid-run, "
+        "elastic reconnecting workers",
+    )
     args = parser.parse_args(argv)
+
+    if args.two_sweeps:
+        return _two_sweep_service_scenario(args)
 
     kernels = None
     if args.kernels:
         kernels = [k.strip() for k in args.kernels.split(",") if k.strip()]
-    tasks = enumerate_sweep_tasks(
-        suite="npbench",
-        workloads=kernels,
-        buggy=args.buggy,
-        max_instances=args.max_instances,
-        verifier_kwargs=dict(
-            num_trials=args.trials,
-            seed=0,
-            size_max=10,
-            minimize_inputs=False,
-            backend="interpreter",
-        ),
-    )
+    tasks = _enumerate(kernels, args)
     print(f"[smoke-dist] {len(tasks)} task(s); serial reference run ...", flush=True)
     serial = SweepRunner(workers=1).run(tasks)
 
@@ -114,13 +322,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{' + '.join(WORKER_BACKENDS)} ...",
         flush=True,
     )
-    # Workers run in fresh interpreters: make `repro` importable for them
-    # no matter where the smoke check itself was launched from.
-    env = dict(os.environ)
-    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
-    env["PYTHONPATH"] = os.pathsep.join(
-        p for p in (src_dir, env.get("PYTHONPATH")) if p
-    )
+    env = _worker_env()
     workers = [
         subprocess.Popen(
             [

@@ -1,4 +1,4 @@
-"""The sweep worker: pulls task shards from a coordinator, streams results.
+"""The sweep worker: pulls task shards from a service, streams results.
 
 Run one per machine (or several, they are independent)::
 
@@ -6,7 +6,7 @@ Run one per machine (or several, they are independent)::
 
 The worker connects, introduces itself, and loops: request a shard sized to
 its local process count, execute it, stream each outcome back the moment it
-lands, repeat until the coordinator says ``done``.  Execution reuses the
+lands, repeat until the service says ``done``.  Execution reuses the
 pipeline's :func:`~repro.pipeline.runner.execute_task` verbatim, so a
 distributed sweep computes bitwise the same outcome dicts as a local one.
 
@@ -22,17 +22,34 @@ distributed sweep computes bitwise the same outcome dicts as a local one.
   no matter which worker ran which shard (``make smoke-dist`` exploits
   exactly this).
 
-While executing tasks the worker keeps a *heartbeat* thread that pings the
-coordinator every ``--heartbeat-seconds`` (default 5; 0 disables).  All
-socket transactions -- requests, result deliveries, pings -- are serialized
-behind one lock, so the strict request/response protocol is preserved; the
-heartbeat lets a coordinator running with ``--worker-timeout`` distinguish
-a *hung* worker (silent, leases wedged forever) from a merely *busy* one.
+Workers are *elastic* against an always-on verification service
+(:mod:`repro.cluster.service`): they may join mid-sweep, are handed shards
+from whichever active sweep fair-share picks (echoing each lease's
+``sweep`` id back with its results), park on ``wait`` when every task is
+leased elsewhere, and may simply be killed -- the service requeues their
+in-flight shard.  With ``--reconnect-seconds T`` a worker also *survives a
+service bounce*: when the connection drops mid-service it retries the
+connection with exponential backoff for up to ``T`` seconds (fresh budget
+per drop) instead of treating the EOF as end-of-sweep.  The default 0
+keeps the one-shot behavior: a vanished coordinator means the sweep is
+over.
 
-If the coordinator is not up yet, the worker retries the connection for
-``--connect-retry-seconds`` before giving up, so workers may be launched
-first (or supervised and restarted freely -- a reconnecting worker simply
-requests the next shard; any shard it lost is requeued by the coordinator).
+Talking to a non-loopback service started with an auth token requires the
+shared secret (``--auth-token`` or ``REPRO_CLUSTER_TOKEN``), presented in
+the ``hello`` message.  A refusal is fatal and never retried: a wrong
+token cannot become right by reconnecting.
+
+While executing tasks the worker keeps a *heartbeat* thread that pings the
+service every ``--heartbeat-seconds`` (default 5; 0 disables).  All socket
+transactions -- requests, result deliveries, pings -- are serialized
+behind one lock, so the strict request/response protocol is preserved; the
+heartbeat lets a service running with ``--worker-timeout`` distinguish a
+*hung* worker (silent, leases wedged forever) from a merely *busy* one.
+
+If the service is not up yet, the worker retries the initial connection
+for ``--connect-retry-seconds`` before giving up, so workers may be
+launched first (or supervised and restarted freely -- a reconnecting
+worker simply requests the next shard; any shard it lost is requeued).
 """
 
 from __future__ import annotations
@@ -47,11 +64,25 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.backends import get_backend
 from repro.backends.vectorized import CACHE_DIR_ENV
-from repro.cluster.protocol import ProtocolError, recv_message, send_message
+from repro.cluster.protocol import (
+    ProtocolError,
+    TOKEN_ENV,
+    recv_message,
+    send_message,
+)
 from repro.pipeline.runner import _pool_context, execute_task
 from repro.pipeline.tasks import SweepTask
 
-__all__ = ["run_worker", "main", "parse_endpoint"]
+__all__ = ["run_worker", "main", "parse_endpoint", "ServiceRefused"]
+
+
+class ServiceRefused(ProtocolError):
+    """The service replied with an ``error`` frame (e.g. a bad auth token).
+
+    Fatal by design: unlike a dropped connection, a refusal is a policy
+    decision that reconnecting cannot change, so the reconnect loop never
+    retries it.
+    """
 
 
 def parse_endpoint(value: str) -> Tuple[str, int]:
@@ -96,8 +127,8 @@ def _rebuild_tasks(
     trial-batch overrides (both excluded from task identity, so overriding
     them never forks the sweep's accounting).
 
-    The coordinator-issued ``task_id`` travels with each task and is echoed
-    back verbatim in the result message: the coordinator keys its accounting
+    The service-issued ``task_id`` travels with each task and is echoed
+    back verbatim in the result message: the service keys its accounting
     on the IDs *it* issued, so the worker never recomputes them.
     """
     out = []
@@ -112,7 +143,7 @@ def _rebuild_tasks(
 
 
 class _Heartbeat:
-    """Pings the coordinator periodically from a background thread.
+    """Pings the service periodically from a background thread.
 
     All transactions on the shared socket (the main loop's requests and
     deliveries, and these pings) are serialized behind ``lock``, so every
@@ -163,11 +194,16 @@ def run_worker(
     procs: int = 1,
     connect_retry_seconds: float = 10.0,
     heartbeat_seconds: float = 5.0,
+    reconnect_seconds: float = 0.0,
+    auth_token: Optional[str] = None,
     quiet: bool = False,
 ) -> int:
-    """Serve one coordinator until it reports the sweep complete.
+    """Serve one service/coordinator until it reports the sweeps complete.
 
-    Returns the number of tasks this worker executed.
+    With ``reconnect_seconds > 0`` a dropped connection (service bounce,
+    network flake) is retried with exponential backoff for up to that many
+    seconds per drop; an auth refusal (:class:`ServiceRefused`) is always
+    fatal.  Returns the number of tasks this worker executed.
     """
     if backend is not None:
         get_backend(backend)  # fail fast on a typo, before connecting
@@ -177,72 +213,122 @@ def run_worker(
         if not quiet:
             print(f"[worker {os.getpid()}] {text}", flush=True)
 
-    sock = _connect(host, port, connect_retry_seconds)
-    sock_lock = threading.Lock()
-    heartbeat = _Heartbeat(sock, sock_lock, heartbeat_seconds)
     executed = 0
     pool = None
-    try:
-        with sock_lock:
-            send_message(
-                sock, {"type": "hello", "worker": _worker_metadata(backend, procs)}
-            )
-            welcome = recv_message(sock)
-        if welcome is None or welcome.get("type") != "welcome":
-            raise ProtocolError(f"Expected welcome, got {welcome!r}")
-        say(
-            f"connected to {host}:{port}: sweep of {welcome.get('total')} task(s), "
-            f"backend {backend or welcome.get('backend')!r}, {procs} proc(s)"
-        )
-        heartbeat.start()
-        if procs > 1:
-            pool = _pool_context().Pool(processes=procs)
 
-        def deliver(
-            shard: Any, index: int, task_id: str, outcome: Dict[str, Any]
-        ) -> None:
+    def session(sock: socket.socket) -> bool:
+        """One connection's request/execute/deliver loop.
+
+        Returns ``True`` when the service said ``done`` (drain and exit),
+        ``False`` on a clean EOF (the peer went away mid-service).
+        """
+        nonlocal executed
+        sock_lock = threading.Lock()
+        heartbeat = _Heartbeat(sock, sock_lock, heartbeat_seconds)
+        try:
+            hello: Dict[str, Any] = {
+                "type": "hello",
+                "worker": _worker_metadata(backend, procs),
+            }
+            if auth_token is not None:
+                hello["token"] = auth_token
             with sock_lock:
-                send_message(sock, {
+                send_message(sock, hello)
+                welcome = recv_message(sock)
+            if welcome is not None and welcome.get("type") == "error":
+                raise ServiceRefused(
+                    f"service refused this worker: {welcome.get('error')}"
+                )
+            if welcome is None or welcome.get("type") != "welcome":
+                raise ProtocolError(f"Expected welcome, got {welcome!r}")
+            say(
+                f"connected to {host}:{port}: "
+                f"{welcome.get('total')} task(s) across "
+                f"{welcome.get('sweeps', 1)} sweep(s), "
+                f"backend {backend or welcome.get('backend')!r}, {procs} proc(s)"
+            )
+            heartbeat.start()
+
+            def deliver(
+                shard: Any, sweep: Any, index: int, task_id: str,
+                outcome: Dict[str, Any],
+            ) -> None:
+                message = {
                     "type": "result",
                     "shard": shard,
                     "index": index,
                     "task_id": task_id,
                     "outcome": outcome,
-                })
-                ack = recv_message(sock)
-            if ack is None or ack.get("type") != "ack":
-                raise ProtocolError(f"Expected ack, got {ack!r}")
+                }
+                if sweep is not None:
+                    message["sweep"] = sweep
+                with sock_lock:
+                    send_message(sock, message)
+                    ack = recv_message(sock)
+                if ack is None or ack.get("type") != "ack":
+                    raise ProtocolError(f"Expected ack, got {ack!r}")
 
+            while True:
+                with sock_lock:
+                    send_message(sock, {"type": "request", "max_tasks": procs})
+                    reply = recv_message(sock)
+                if reply is None:
+                    return False  # peer hung up between messages
+                if reply.get("type") == "done":
+                    return True
+                if reply.get("type") == "wait":
+                    time.sleep(0.05)
+                    continue
+                if reply.get("type") == "error":
+                    raise ServiceRefused(
+                        f"service refused this worker: {reply.get('error')}"
+                    )
+                if reply.get("type") != "tasks":
+                    raise ProtocolError(f"Expected tasks/wait/done, got {reply!r}")
+                shard = reply.get("shard")
+                sweep = reply.get("sweep")
+                indexed = _rebuild_tasks(reply.get("tasks", []), backend, trial_batch)
+                if pool is not None:
+                    for index, task_id, outcome in pool.imap_unordered(
+                        _execute_indexed_entry, indexed
+                    ):
+                        deliver(shard, sweep, index, task_id, outcome)
+                        executed += 1
+                else:
+                    for index, task_id, task in indexed:
+                        deliver(shard, sweep, index, task_id, execute_task(task))
+                        executed += 1
+        finally:
+            heartbeat.stop()
+            sock.close()
+
+    try:
+        if procs > 1:
+            pool = _pool_context().Pool(processes=procs)
+        retry_budget = connect_retry_seconds
         while True:
-            with sock_lock:
-                send_message(sock, {"type": "request", "max_tasks": procs})
-                reply = recv_message(sock)
-            if reply is None or reply.get("type") == "done":
+            sock = _connect(host, port, retry_budget)
+            try:
+                done = session(sock)
+            except ServiceRefused:
+                raise
+            except (OSError, ProtocolError) as exc:
+                if reconnect_seconds <= 0:
+                    raise
+                say(f"connection lost ({exc}); reconnecting")
+                done = False
+            if done or reconnect_seconds <= 0:
                 break
-            if reply.get("type") == "wait":
-                time.sleep(0.05)
-                continue
-            if reply.get("type") != "tasks":
-                raise ProtocolError(f"Expected tasks/wait/done, got {reply!r}")
-            shard = reply.get("shard")
-            indexed = _rebuild_tasks(reply.get("tasks", []), backend, trial_batch)
-            if pool is not None:
-                for index, task_id, outcome in pool.imap_unordered(
-                    _execute_indexed_entry, indexed
-                ):
-                    deliver(shard, index, task_id, outcome)
-                    executed += 1
-            else:
-                for index, task_id, task in indexed:
-                    deliver(shard, index, task_id, execute_task(task))
-                    executed += 1
-        say(f"sweep complete; this worker executed {executed} task(s)")
+            # A clean EOF mid-service (or a caught drop): the service
+            # bounced.  Each drop gets a fresh backoff budget; a requeued
+            # shard is re-leased after we re-introduce ourselves.
+            retry_budget = reconnect_seconds
+            say(f"service went away; retrying for up to {reconnect_seconds:g} s")
+        say(f"sweeps complete; this worker executed {executed} task(s)")
     finally:
-        heartbeat.stop()
         if pool is not None:
             pool.terminate()
             pool.join()
-        sock.close()
     return executed
 
 
@@ -257,12 +343,13 @@ def _execute_indexed_entry(
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cluster.worker",
-        description="Sweep worker: pulls task shards from a coordinator "
-        "(repro.pipeline --serve) and streams outcomes back.",
+        description="Sweep worker: pulls task shards from a verification "
+        "service (repro.pipeline --serve / repro.cluster.service) and "
+        "streams outcomes back.",
     )
     parser.add_argument(
         "--connect", required=True, metavar="HOST:PORT",
-        help="coordinator endpoint to pull tasks from",
+        help="service endpoint to pull tasks from",
     )
     parser.add_argument(
         "--backend", default=None, metavar="BACKEND",
@@ -285,12 +372,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--connect-retry-seconds", type=float, default=10.0,
         help="keep retrying the initial connection this long (workers may "
-        "be launched before the coordinator is listening)",
+        "be launched before the service is listening)",
+    )
+    parser.add_argument(
+        "--reconnect-seconds", type=float, default=0.0,
+        help="survive a service bounce: when an established connection "
+        "drops, retry it with backoff for up to this many seconds per "
+        "drop instead of exiting; 0 (default) treats a vanished service "
+        "as end-of-sweep",
     )
     parser.add_argument(
         "--heartbeat-seconds", type=float, default=5.0,
-        help="ping the coordinator this often from a background thread so a "
-        "--worker-timeout coordinator can tell busy from hung; 0 disables",
+        help="ping the service this often from a background thread so a "
+        "--worker-timeout service can tell busy from hung; 0 disables",
+    )
+    parser.add_argument(
+        "--auth-token", default=os.environ.get(TOKEN_ENV),
+        help="shared secret presented in the hello message; required when "
+        "the service was started with --auth-token and this worker is "
+        f"not on its loopback (default: ${TOKEN_ENV})",
     )
     parser.add_argument(
         "--cache-dir", default=None, metavar="PATH",
@@ -326,6 +426,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             procs=args.procs,
             connect_retry_seconds=args.connect_retry_seconds,
             heartbeat_seconds=args.heartbeat_seconds,
+            reconnect_seconds=args.reconnect_seconds,
+            auth_token=args.auth_token,
             quiet=args.quiet,
         )
     except (OSError, ProtocolError) as exc:

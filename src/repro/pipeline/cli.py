@@ -15,7 +15,14 @@ Distributed / resumable operation (see :mod:`repro.cluster`):
 * ``--serve HOST:PORT`` serves the enumerated tasks to remote workers
   (``python -m repro.cluster.worker --connect HOST:PORT``) instead of
   running them locally, requeueing the in-flight shard of any worker that
-  disconnects;
+  disconnects; ``--local-procs N`` additionally executes tasks in-process
+  so the serve invocation makes progress with no external workers, and
+  ``--http HOST:PORT`` exposes a live status endpoint;
+* ``--submit HOST:PORT`` is the *thin client* of an always-on verification
+  service (``python -m repro.cluster.service``): the enumerated tasks are
+  POSTed to the service's HTTP endpoint, progress is polled, and the
+  completed result is fetched and rendered exactly like a local run
+  (``--detach`` returns immediately after printing the sweep id);
 * ``--connect HOST:PORT`` turns this invocation *into* a worker
   (``--procs`` drives a local pool; ``--backend`` overrides the sweep's
   backend for this worker only);
@@ -34,6 +41,7 @@ from typing import Any, Dict, List, Optional, TextIO
 
 from repro.backends import get_backend, list_backends
 from repro.backends.vectorized import CACHE_DIR_ENV
+from repro.cluster.protocol import TOKEN_ENV as _TOKEN_ENV
 from repro.pipeline.runner import SweepRunner
 from repro.pipeline.tasks import enumerate_sweep_tasks
 from repro.workloads import list_workload_suites
@@ -192,9 +200,43 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of executing locally; PORT 0 picks a free port",
     )
     cluster.add_argument(
+        "--submit", default=None, metavar="HOST:PORT",
+        help="submit the enumerated tasks to an always-on verification "
+        "service's HTTP endpoint (python -m repro.cluster.service --http), "
+        "poll progress, and fetch the completed result",
+    )
+    cluster.add_argument(
+        "--detach", action="store_true",
+        help="with --submit: return immediately after printing the sweep "
+        "id instead of waiting for completion",
+    )
+    cluster.add_argument(
+        "--priority", type=float, default=1.0,
+        help="with --submit: fair-share weight of this sweep relative to "
+        "others active on the service (default 1.0; a priority-3 sweep "
+        "receives ~3x the worker time of a priority-1 sweep)",
+    )
+    cluster.add_argument(
         "--connect", default=None, metavar="HOST:PORT",
         help="act as a worker for a coordinator at HOST:PORT (no local "
         "task enumeration; --procs sizes the local pool)",
+    )
+    cluster.add_argument(
+        "--local-procs", type=int, default=0, metavar="N",
+        help="with --serve: also execute tasks with N in-process executor "
+        "threads, so the serving invocation progresses with zero external "
+        "workers (default 0)",
+    )
+    cluster.add_argument(
+        "--http", default=None, metavar="HOST:PORT",
+        help="with --serve: expose the service's HTTP status endpoint "
+        "(GET /status, GET /sweeps/<id>) on this address",
+    )
+    cluster.add_argument(
+        "--auth-token", default=os.environ.get(_TOKEN_ENV),
+        help="shared cluster secret: with --serve, require it from "
+        "non-loopback workers/clients; with --submit or --connect, present "
+        f"it to the service (default: ${_TOKEN_ENV})",
     )
     cluster.add_argument(
         "--procs", type=int, default=1,
@@ -224,14 +266,57 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _render_result(result: Any, args: argparse.Namespace) -> int:
+    """Print/persist a completed sweep's report; returns the exit code.
+
+    Shared by every mode that ends up owning a full result -- local run,
+    ``--serve``, and a non-detached ``--submit``.
+    """
+    if not args.quiet:
+        print(result.render_text())
+        print(f"\nduration: {result.duration_seconds:.2f} s")
+        for err in result.errors():
+            print(
+                f"error: {err['workload']} / {err['transformation']} "
+                f"#{err['match_index']}: {err['error']}",
+                file=sys.stderr,
+            )
+        if args.buggy:
+            print("(buggy sweep: every failing row corresponds to a Table 2 entry)")
+        else:
+            print("(faithful sweep: all instances are expected to pass)")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            f.write(result.to_json())
+        if not args.quiet:
+            print(f"JSON report written to {args.json}")
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as f:
+            f.write(result.to_markdown())
+        if not args.quiet:
+            print(f"Markdown report written to {args.markdown}")
+    return 1 if result.errors() else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    if args.serve and args.connect:
-        parser.error("--serve and --connect are mutually exclusive")
+    modes = [flag for flag, v in (
+        ("--serve", args.serve), ("--connect", args.connect),
+        ("--submit", args.submit),
+    ) if v]
+    if len(modes) > 1:
+        parser.error(f"{' and '.join(modes)} are mutually exclusive")
     if args.resume and not args.journal:
         parser.error("--resume requires --journal PATH")
+    if args.submit and args.journal:
+        parser.error(
+            "--journal applies to the invocation executing the sweep; a "
+            "--submit client delegates execution (and journaling, via its "
+            "state directory) to the service"
+        )
 
     if args.cache_dir:
         # Through the environment so forked/spawned pool workers (and any
@@ -264,6 +349,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 port,
                 backend=args.backend,
                 procs=max(args.procs, args.workers),
+                auth_token=args.auth_token,
                 quiet=args.quiet,
             )
         except (OSError, ProtocolError, ValueError) as exc:
@@ -294,6 +380,65 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+
+    # ------------------------------------------------------------------ #
+    # Thin-client mode: hand the tasks to an always-on service over HTTP.
+    # ------------------------------------------------------------------ #
+    if args.submit:
+        from repro.cluster.client import (
+            ServiceClientError,
+            submit_sweep,
+            wait_sweep,
+        )
+        from repro.cluster.worker import parse_endpoint
+
+        try:
+            host, port = parse_endpoint(args.submit)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            status = submit_sweep(
+                host, port, tasks,
+                suite=args.suite,
+                buggy=args.buggy,
+                backend=backend,
+                priority=args.priority,
+                max_task_retries=args.max_task_retries,
+                token=args.auth_token,
+            )
+            sweep_id = status["sweep_id"]
+            if not args.quiet:
+                print(
+                    f"[pipeline] submitted {status['total']} task(s) as "
+                    f"sweep {sweep_id} to {host}:{port} "
+                    f"(priority {args.priority:g}); "
+                    f"status: curl http://{host}:{port}/sweeps/{sweep_id}",
+                    flush=True,
+                )
+            if args.detach:
+                return 0
+
+            def on_progress(doc: Dict[str, Any]) -> None:
+                if args.progress:
+                    eta = doc.get("eta_seconds")
+                    print(
+                        f"[{doc['done']}/{doc['total']}] sweep {sweep_id} "
+                        f"{doc['state']}"
+                        + (f", ETA {format_eta(eta)}" if eta else ""),
+                        flush=True,
+                    )
+
+            result = wait_sweep(
+                host, port, sweep_id,
+                token=args.auth_token,
+                poll_seconds=0.25,
+                on_progress=on_progress,
+            )
+        except (ServiceClientError, TimeoutError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return _render_result(result, args)
 
     store = None
     if args.journal:
@@ -328,6 +473,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
             try:
                 host, port = parse_endpoint(args.serve)
+                http_endpoint = parse_endpoint(args.http) if args.http else None
             except ValueError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
@@ -342,15 +488,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                 suite=args.suite,
                 buggy=args.buggy,
                 backend=backend,
+                auth_token=args.auth_token,
+                local_procs=args.local_procs,
+                http_host=http_endpoint[0] if http_endpoint else None,
+                http_port=http_endpoint[1] if http_endpoint else None,
             )
             bound_host, bound_port = coordinator.start()
             if not args.quiet:
+                extras = []
+                if args.local_procs:
+                    extras.append(f"{args.local_procs} local executor(s)")
+                if coordinator.http_address:
+                    hh, hp = coordinator.http_address
+                    extras.append(f"status on http://{hh}:{hp}/status")
                 print(
                     f"[pipeline] serving {coordinator.remaining}/{len(tasks)} "
                     f"task(s) on {bound_host}:{bound_port} "
                     f"(suite '{args.suite}', "
                     f"{'buggy' if args.buggy else 'faithful'}, "
-                    f"backend '{backend}'); waiting for workers: "
+                    f"backend '{backend}'"
+                    + (", " + ", ".join(extras) if extras else "")
+                    + f"); waiting for workers: "
                     f"python -m repro.cluster.worker "
                     f"--connect {bound_host}:{bound_port}",
                     flush=True,
@@ -378,31 +536,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if store is not None:
             store.close()
 
-    if not args.quiet:
-        print(result.render_text())
-        print(f"\nduration: {result.duration_seconds:.2f} s")
-        for err in result.errors():
-            print(
-                f"error: {err['workload']} / {err['transformation']} "
-                f"#{err['match_index']}: {err['error']}",
-                file=sys.stderr,
-            )
-        if args.buggy:
-            print("(buggy sweep: every failing row corresponds to a Table 2 entry)")
-        else:
-            print("(faithful sweep: all instances are expected to pass)")
-
-    if args.json:
-        with open(args.json, "w", encoding="utf-8") as f:
-            f.write(result.to_json())
-        if not args.quiet:
-            print(f"JSON report written to {args.json}")
-    if args.markdown:
-        with open(args.markdown, "w", encoding="utf-8") as f:
-            f.write(result.to_markdown())
-        if not args.quiet:
-            print(f"Markdown report written to {args.markdown}")
-    return 1 if result.errors() else 0
+    return _render_result(result, args)
 
 
 if __name__ == "__main__":

@@ -31,7 +31,13 @@ __all__ = ["SweepResult"]
 #: host/pid/shard/backend -- for outcomes produced by a remote worker;
 #: ``None`` for local runs).  v1-v3 documents load with both defaulted to
 #: ``None``; no aggregate field changed.
-SCHEMA_VERSION = 4
+#: Version 5 adds the top-level ``sweep_id`` field: the submission id a
+#: sweep was assigned by the always-on verification service
+#: (``sweep-NNN``); ``None`` for sweeps run outside the service.  v1-v4
+#: documents load with ``sweep_id=None``.  Like ``workers``, the field
+#: describes *how* the sweep ran, not what it computed, so
+#: :meth:`SweepResult.comparable_dict` strips it.
+SCHEMA_VERSION = 5
 
 #: Per-outcome keys introduced by schema version 4, with load-time defaults
 #: applied to documents written by older versions.
@@ -48,6 +54,9 @@ class SweepResult:
     backend: str = "interpreter"
     outcomes: List[Dict[str, Any]] = field(default_factory=list)
     duration_seconds: float = 0.0
+    #: Submission id assigned by the verification service (``sweep-NNN``);
+    #: ``None`` for sweeps run outside the service.
+    sweep_id: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     def verdict_table(self) -> Dict[str, Dict[str, Any]]:
@@ -89,6 +98,7 @@ class SweepResult:
             "buggy": self.buggy,
             "workers": self.workers,
             "backend": self.backend,
+            "sweep_id": self.sweep_id,
             "duration_seconds": self.duration_seconds,
             "verdict_table": self.verdict_table(),
             "totals": dict(zip(("instances", "failing"), self.totals())),
@@ -102,12 +112,13 @@ class SweepResult:
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "SweepResult":
-        """Load any schema version (1-4), filling defaulted fields.
+        """Load any schema version (1-5), filling defaulted fields.
 
         v1 documents predate backend selection and load as ``"interpreter"``
         (what every v1 sweep ran); v1-v3 outcomes gain the v4 ``task_id`` /
         ``worker`` keys with ``None`` defaults so downstream consumers see a
-        uniform shape.
+        uniform shape; v1-v4 documents predate the verification service and
+        load with ``sweep_id=None``.
         """
         outcomes = []
         for o in d.get("outcomes", []):
@@ -122,6 +133,7 @@ class SweepResult:
             backend=d.get("backend", "interpreter"),
             outcomes=outcomes,
             duration_seconds=d.get("duration_seconds", 0.0),
+            sweep_id=d.get("sweep_id"),
         )
 
     def comparable_dict(self) -> Dict[str, Any]:
@@ -131,11 +143,13 @@ class SweepResult:
         how they were executed -- serial, multiprocess, distributed across
         heterogeneous workers, or resumed from a journal.  Stripped fields:
         wall-clock durations (sweep, per-report, per-fuzzing-campaign),
-        worker counts, and per-outcome ``worker`` shard metadata.
+        worker counts, the service submission id, and per-outcome
+        ``worker`` shard metadata.
         """
         doc = copy.deepcopy(self.to_dict())
         doc.pop("duration_seconds", None)
         doc.pop("workers", None)
+        doc.pop("sweep_id", None)
         for outcome in doc.get("outcomes", []):
             outcome.pop("worker", None)
             report = outcome.get("report")

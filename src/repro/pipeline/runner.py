@@ -104,6 +104,7 @@ class SweepRunner:
         progress_callback: Optional[ProgressCallback] = None,
         store: Optional[Any] = None,
         completed: Optional[Mapping[str, Dict[str, Any]]] = None,
+        sweep_id: Optional[str] = None,
     ) -> SweepResult:
         """Execute all tasks and aggregate them into a :class:`SweepResult`.
 
@@ -121,6 +122,8 @@ class SweepRunner:
         without re-execution -- the resume path.  The progress callback only
         fires for freshly executed tasks, but its ``completed`` count
         includes the restored ones, so ``[k/total]`` lines stay truthful.
+        ``sweep_id`` labels the result with a verification-service
+        submission id (stripped by ``comparable_dict()``).
         """
         start = time.perf_counter()
         tasks = list(tasks)
@@ -178,4 +181,5 @@ class SweepRunner:
             backend=backend,
             outcomes=outcomes,
             duration_seconds=time.perf_counter() - start,
+            sweep_id=sweep_id,
         )

@@ -213,12 +213,14 @@ class TestSweepResult:
 
     def test_json_schema_fields(self):
         doc = json.loads(self._result().to_json())
-        assert doc["schema_version"] == 4
+        assert doc["schema_version"] == 5
         assert set(doc) >= {
-            "suite", "buggy", "workers", "backend", "duration_seconds",
-            "verdict_table", "totals", "outcomes",
+            "suite", "buggy", "workers", "backend", "sweep_id",
+            "duration_seconds", "verdict_table", "totals", "outcomes",
         }
         assert doc["backend"] == "interpreter"
+        # v5: the service submission id; None for sweeps run outside it.
+        assert doc["sweep_id"] is None
         for entry in doc["verdict_table"].values():
             assert set(entry) == {"instances", "failing", "verdicts"}
         # v4: every outcome carries its deterministic task identity plus
@@ -273,6 +275,21 @@ class TestSweepResult:
             o["task_id"] is None and o["worker"] is None for o in restored.outcomes
         )
 
+    def test_v4_document_loads_without_sweep_id(self):
+        """v4 documents predate the verification service: they lack the
+        top-level sweep_id and load with None, and comparable_dict()
+        strips the field so pre/post-service sweeps stay comparable."""
+        v4 = json.loads(self._result().to_json())
+        v4["schema_version"] = 4
+        v4.pop("sweep_id")
+        restored = SweepResult.from_dict(v4)
+        assert restored.sweep_id is None
+        assert restored.totals() == self._result().totals()
+        labeled = SweepResult.from_dict(json.loads(self._result().to_json()))
+        labeled.sweep_id = "sweep-042"
+        assert "sweep_id" not in labeled.comparable_dict()
+        assert labeled.comparable_dict() == restored.comparable_dict()
+
     def test_v4_journal_roundtrips_to_sweep_result(self, tmp_path):
         """The v4 path end to end: journal a sweep, reassemble a SweepResult
         from the journal alone, and compare its to_dict() (modulo timing)
@@ -286,7 +303,7 @@ class TestSweepResult:
         store.close()
 
         header, completed = ResultStore._load(path)
-        assert header["schema_version"] == 4
+        assert header["schema_version"] == 5
         assert header["total_tasks"] == len(tasks)
         reassembled = SweepResult(
             suite=header["suite"],

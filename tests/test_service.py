@@ -1,0 +1,630 @@
+"""Tests for the always-on verification service.
+
+Three layers, mirroring the architecture split:
+
+* ``TestScheduler`` drives the transport-free :class:`SweepScheduler` core
+  with plain method calls and an injected clock -- fair share, lifecycle,
+  dedup, retry budgets, latency-adaptive shard sizing, result routing.
+* ``TestServiceState`` covers the state directory: persistence before
+  registration, monotonic id allocation, journal-backed restore.
+* ``TestService`` runs the real asyncio service end to end: concurrent
+  sweeps over a shared elastic worker pool with per-sweep serial parity
+  and journal isolation, the HTTP submit/status/result API, auth refusals
+  on both transports, kill-and-restore without re-runs, and a worker
+  surviving a service bounce via reconnect-with-backoff.
+"""
+
+import json
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cluster import recv_message, send_message
+from repro.cluster.client import (
+    ServiceClientError,
+    _request,
+    fetch_result,
+    service_status,
+    submit_sweep,
+    sweep_status,
+    wait_sweep,
+)
+from repro.cluster.scheduler import (
+    COMPLETE,
+    DRAINING,
+    RUNNING,
+    SUBMITTED,
+    SweepScheduler,
+)
+from repro.cluster.service import VerificationService
+from repro.cluster.state import ServiceState, restore_sweeps
+from repro.cluster.worker import ServiceRefused, run_worker
+from repro.pipeline import (
+    SweepRunner,
+    SweepTask,
+    TransformationSpec,
+    enumerate_sweep_tasks,
+)
+from repro.pipeline.result import SweepResult
+from repro.pipeline.runner import execute_task
+
+#: Fast real-work task list used by the fidelity tests.
+VERIFIER_KWARGS = dict(
+    num_trials=2, seed=0, size_max=8, minimize_inputs=False, backend="interpreter"
+)
+
+
+def real_tasks(kernels, buggy=True):
+    return enumerate_sweep_tasks(
+        suite="npbench",
+        workloads=list(kernels),
+        buggy=buggy,
+        max_instances=1,
+        verifier_kwargs=VERIFIER_KWARGS,
+    )
+
+
+def cheap_tasks(n=4, tag="w"):
+    """Tasks that complete instantly (infrastructure-error path): ideal for
+    orchestration tests where the verdicts don't matter."""
+    return [
+        SweepTask(
+            suite="no_such_suite",
+            workload=f"{tag}{i}",
+            transformation=TransformationSpec("MapTiling", {"inject_bug": False}),
+            match_index=0,
+            match_description=f"cheap #{i}",
+            verifier_kwargs=dict(VERIFIER_KWARGS),
+        )
+        for i in range(n)
+    ]
+
+
+class FakeClock:
+    """Deterministic monotonic clock for scheduler unit tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _stub_outcome(marker="stub"):
+    return {"verdict": "untested", "error": "stub outcome", "marker": marker}
+
+
+def _record(scheduler, conn, reply, entry, outcome=None):
+    """Feed one leased task's result back through the scheduler verb."""
+    scheduler.record_result(conn, {
+        "type": "result",
+        "shard": reply["shard"],
+        "sweep": reply["sweep"],
+        "index": entry["index"],
+        "task_id": entry["task_id"],
+        "outcome": outcome if outcome is not None else _stub_outcome(),
+    })
+
+
+# Raw-socket helpers for driving the service's worker transport directly.
+def _hello(sock, token=None):
+    hello = {
+        "type": "hello",
+        "worker": {"host": "test", "pid": os.getpid(), "backend": None, "procs": 1},
+    }
+    if token is not None:
+        hello["token"] = token
+    send_message(sock, hello)
+    return recv_message(sock)
+
+
+def _lease(sock, max_tasks):
+    send_message(sock, {"type": "request", "max_tasks": max_tasks})
+    return recv_message(sock)
+
+
+def _deliver(sock, reply, entry):
+    outcome = execute_task(SweepTask.from_dict(entry["task"]))
+    message = {
+        "type": "result",
+        "shard": reply["shard"],
+        "sweep": reply.get("sweep"),
+        "index": entry["index"],
+        "task_id": entry["task_id"],
+        "outcome": outcome,
+    }
+    send_message(sock, message)
+    ack = recv_message(sock)
+    assert ack["type"] == "ack"
+
+
+def _free_port():
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def start_worker_thread(address, results=None, **kwargs):
+    def target():
+        executed = run_worker(*address, quiet=True, **kwargs)
+        if results is not None:
+            results.append(executed)
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    return thread
+
+
+def _wait_until(predicate, timeout=10.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() >= deadline:
+            raise AssertionError(f"timed out waiting for {message}")
+        time.sleep(0.02)
+
+
+# ---------------------------------------------------------------------- #
+# Scheduler core (no transport)
+# ---------------------------------------------------------------------- #
+class TestScheduler:
+    def test_lifecycle_submitted_running_draining_complete(self):
+        scheduler = SweepScheduler()
+        sid = scheduler.submit(cheap_tasks(2))
+        assert scheduler.sweep_status(sid)["state"] == SUBMITTED
+
+        first = scheduler.lease("c1", 1)
+        assert first["type"] == "tasks" and first["sweep"] == sid
+        assert scheduler.sweep_status(sid)["state"] == RUNNING
+
+        second = scheduler.lease("c1", 1)
+        assert second["type"] == "tasks"
+        assert scheduler.sweep_status(sid)["state"] == DRAINING  # queue empty
+
+        _record(scheduler, "c1", first, first["tasks"][0])
+        assert scheduler.sweep_status(sid)["state"] == DRAINING
+        _record(scheduler, "c1", second, second["tasks"][0])
+        assert scheduler.sweep_status(sid)["state"] == COMPLETE
+
+        result = scheduler.wait(sid, timeout=1.0)
+        assert result.sweep_id == sid
+        assert len(result.outcomes) == 2
+        with pytest.raises(TimeoutError):
+            incomplete = scheduler.submit(cheap_tasks(1))
+            scheduler.wait(incomplete, timeout=0.01)
+
+    def test_equal_priority_alternates(self):
+        clock = FakeClock()
+        scheduler = SweepScheduler(clock=clock)
+        a = scheduler.submit(cheap_tasks(4, tag="a"))
+        b = scheduler.submit(cheap_tasks(4, tag="b"))
+        order = [scheduler.lease("c", 1)["sweep"] for _ in range(4)]
+        assert order == [a, b, a, b]
+
+    def test_weighted_fair_share_honors_priority(self):
+        clock = FakeClock()
+        scheduler = SweepScheduler(clock=clock)
+        a = scheduler.submit(cheap_tasks(8, tag="a"), priority=3.0)
+        b = scheduler.submit(cheap_tasks(8, tag="b"), priority=1.0)
+        order = [scheduler.lease("c", 1)["sweep"] for _ in range(8)]
+        # Deficit fair share: sweep A (priority 3) receives 3x the leases.
+        assert order == [a, b, a, a, a, b, a, a]
+        assert order.count(a) == 6 and order.count(b) == 2
+
+    def test_late_duplicate_after_requeue_is_dropped(self):
+        scheduler = SweepScheduler()
+        sid = scheduler.submit(cheap_tasks(1))
+        lost = scheduler.lease("c1", 1)
+        scheduler.release("c1")  # worker presumed dead; task requeued
+        retry = scheduler.lease("c2", 1)
+        assert retry["tasks"][0]["task_id"] == lost["tasks"][0]["task_id"]
+        _record(scheduler, "c2", retry, retry["tasks"][0], _stub_outcome("fresh"))
+        # The "lost" worker's result arrives anyway: first result won.
+        _record(scheduler, "c1", lost, lost["tasks"][0], _stub_outcome("late"))
+        result = scheduler.result(sid)
+        assert result.outcomes[0]["marker"] == "fresh"
+        assert scheduler.sweep_status(sid)["done"] == 1
+
+    def test_retry_budget_exhaustion_lands_synthetic_outcome(self):
+        scheduler = SweepScheduler()
+        sid = scheduler.submit(cheap_tasks(1), max_task_retries=1)
+        scheduler.lease("c1", 1)
+        scheduler.release("c1")  # loss 1: within budget, requeued
+        assert scheduler.sweep_status(sid)["state"] != COMPLETE
+        scheduler.lease("c2", 1)
+        scheduler.release("c2")  # loss 2: budget exhausted
+        status = scheduler.sweep_status(sid)
+        assert status["state"] == COMPLETE
+        outcome = scheduler.result(sid).outcomes[0]
+        assert outcome["verdict"] == "untested"
+        assert "connection lost 2 time(s)" in outcome["error"]
+
+    def test_latency_ewma_caps_and_grows_shards(self):
+        clock = FakeClock()
+        scheduler = SweepScheduler(clock=clock, target_lease_seconds=10.0)
+        sid = scheduler.submit(cheap_tasks(40))
+
+        first = scheduler.lease("w", 1)
+        assert first["latency_ewma"] is None  # nothing observed yet
+        clock.advance(2.0)
+        _record(scheduler, "w", first, first["tasks"][0])
+
+        # 2 s/task observed -> a 10 s lease target means 5-task shards.
+        slow = scheduler.lease("w", 50)
+        assert len(slow["tasks"]) == 5
+        assert slow["latency_ewma"] == pytest.approx(2.0)
+        meta = scheduler._sweeps[sid].shard_meta[-1]
+        assert meta["size"] == 5
+        assert meta["latency_ewma"] == pytest.approx(2.0)
+
+        # The worker speeds up: the EWMA tracks it and shards grow.
+        for entry in slow["tasks"]:
+            clock.advance(0.1)
+            _record(scheduler, "w", slow, entry)
+        fast = scheduler.lease("w", 50)
+        assert fast["latency_ewma"] < 1.0
+        assert len(fast["tasks"]) == max(1, int(10.0 / fast["latency_ewma"]))
+        assert len(fast["tasks"]) > 5
+
+    def test_done_when_idle_controls_idle_reply(self):
+        persistent = SweepScheduler(done_when_idle=False)
+        sid = persistent.submit(cheap_tasks(1))
+        reply = persistent.lease("c", 1)
+        _record(persistent, "c", reply, reply["tasks"][0])
+        assert persistent.sweep_status(sid)["state"] == COMPLETE
+        # A persistent service parks idle workers; a draining one releases them.
+        assert persistent.lease("c", 1)["type"] == "wait"
+        assert SweepScheduler(done_when_idle=True).lease("c", 1)["type"] == "done"
+
+    def test_routing_prefers_connection_lease_table(self):
+        # Two concurrent sweeps over the *same* task list: task ids collide
+        # across sweeps, so only the per-connection lease table can route
+        # results unambiguously.
+        tasks = cheap_tasks(2)
+        scheduler = SweepScheduler()
+        a = scheduler.submit(tasks)
+        b = scheduler.submit(tasks)
+        lease_a = scheduler.lease("c1", 2)
+        lease_b = scheduler.lease("c2", 2)
+        assert lease_a["sweep"] == a and lease_b["sweep"] == b
+        # c2 reports first: a global incomplete-first search would misroute
+        # these into sweep A (registered earlier, also incomplete).
+        for entry in lease_b["tasks"]:
+            _record(scheduler, "c2", lease_b, entry, _stub_outcome("b"))
+        for entry in lease_a["tasks"]:
+            _record(scheduler, "c1", lease_a, entry, _stub_outcome("a"))
+        assert [o["marker"] for o in scheduler.result(a).outcomes] == ["a", "a"]
+        assert [o["marker"] for o in scheduler.result(b).outcomes] == ["b", "b"]
+
+    def test_routing_falls_back_to_explicit_sweep_hint(self):
+        tasks = cheap_tasks(1)
+        scheduler = SweepScheduler()
+        earlier = scheduler.submit(tasks)
+        later = scheduler.submit(tasks)
+        # No lease on this connection: the message's sweep id must route it
+        # past the earlier (also incomplete) sweep with the same task id.
+        scheduler.record_result("c", {
+            "type": "result",
+            "sweep": later,
+            "task_id": tasks[0].task_id,
+            "outcome": _stub_outcome(),
+        })
+        assert scheduler.sweep_status(later)["done"] == 1
+        assert scheduler.sweep_status(earlier)["done"] == 0
+
+    def test_welcome_totals_span_active_sweeps_only(self):
+        scheduler = SweepScheduler()
+        a = scheduler.submit(cheap_tasks(3, tag="a"))
+        scheduler.submit(cheap_tasks(2, tag="b"), suite="other_suite")
+        welcome = scheduler.worker_joined("c1", {})
+        assert welcome["total"] == 5 and welcome["sweeps"] == 2
+        reply = scheduler.lease("c1", 3)
+        for entry in reply["tasks"]:
+            _record(scheduler, "c1", reply, entry)
+        assert scheduler.sweep_status(a)["state"] == COMPLETE
+        welcome = scheduler.worker_joined("c2", {})
+        assert welcome["total"] == 2 and welcome["sweeps"] == 1
+        assert welcome["suite"] == "other_suite"
+
+    def test_service_status_aggregates(self):
+        scheduler = SweepScheduler()
+        scheduler.submit(cheap_tasks(3))
+        scheduler.worker_joined("c1", {})
+        status = scheduler.service_status()
+        assert status["total_tasks"] == 3 and status["done_tasks"] == 0
+        assert status["active_workers"] == 1
+        assert set(status["sweeps"]) == {"sweep-001"}
+        scheduler.release("c1")
+        assert scheduler.service_status()["active_workers"] == 0
+
+
+# ---------------------------------------------------------------------- #
+# State directory: persistence + restore
+# ---------------------------------------------------------------------- #
+class TestServiceState:
+    def test_sweep_id_allocation_is_monotonic(self, tmp_path):
+        state = ServiceState(str(tmp_path))
+        assert state.allocate_sweep_id() == "sweep-001"
+        state.persist("sweep-001", cheap_tasks(1), {"suite": "x"})
+        assert state.allocate_sweep_id() == "sweep-002"
+        state.persist("sweep-005", cheap_tasks(1), {"suite": "x"})
+        assert state.allocate_sweep_id() == "sweep-006"
+        assert state.list_sweeps() == ["sweep-001", "sweep-005"]
+
+    def test_restore_resumes_from_journal(self, tmp_path):
+        tasks = cheap_tasks(3)
+        state = ServiceState(str(tmp_path))
+        sid = state.allocate_sweep_id()
+        state.persist(sid, tasks, {
+            "suite": "no_such_suite", "buggy": False,
+            "backend": "interpreter", "priority": 2.0,
+        })
+        store = state.open_store(sid, tasks, "no_such_suite", False, "interpreter")
+        first = SweepScheduler()
+        first.submit(tasks, sweep_id=sid, priority=2.0, store=store, owns_store=True)
+        reply = first.lease("c", 2)
+        for entry in reply["tasks"]:
+            _record(first, "c", reply, entry)
+        first.close()
+
+        second = SweepScheduler()
+        assert restore_sweeps(second, state) == [sid]
+        status = second.sweep_status(sid)
+        assert status["done"] == 2 and status["priority"] == 2.0
+        # Only the un-journaled remainder is dispatched again.
+        reply = second.lease("c", 10)
+        assert [e["task_id"] for e in reply["tasks"]] == [tasks[2].task_id]
+        second.close()
+
+        # Idempotent: already-registered sweeps are skipped, so a service
+        # whose sweeps were submitted before start() never collides with
+        # its own state directory.
+        assert restore_sweeps(second, state) == []
+
+
+# ---------------------------------------------------------------------- #
+# The asyncio service end to end
+# ---------------------------------------------------------------------- #
+class TestService:
+    def test_two_concurrent_sweeps_match_serial_with_isolated_journals(
+        self, tmp_path
+    ):
+        tasks_a = real_tasks(("jacobi_1d",))
+        tasks_b = real_tasks(("axpy_pipeline", "scaled_diff"))
+        serial_a = SweepRunner(workers=1).run(tasks_a)
+        serial_b = SweepRunner(workers=1).run(tasks_b)
+
+        service = VerificationService(
+            state_dir=str(tmp_path / "svc"), done_when_idle=True
+        )
+        sid_a = service.submit(tasks_a)
+        sid_b = service.submit(tasks_b)
+        service.start()
+        try:
+            threads = [
+                start_worker_thread(service.address),
+                start_worker_thread(service.address),
+            ]
+            result_a = service.wait_sweep(sid_a, timeout=120.0)
+            result_b = service.wait_sweep(sid_b, timeout=120.0)
+            for thread in threads:
+                thread.join(timeout=10.0)
+                assert not thread.is_alive()
+        finally:
+            service.stop()
+
+        # Per-sweep bitwise parity with the serial runner.
+        assert result_a.comparable_dict() == serial_a.comparable_dict()
+        assert result_b.comparable_dict() == serial_b.comparable_dict()
+        assert result_a.sweep_id == sid_a and result_b.sweep_id == sid_b
+
+        # Journal isolation: each sweep's journal holds exactly its own
+        # task set, labeled with its service submission id.
+        for sid, tasks in ((sid_a, tasks_a), (sid_b, tasks_b)):
+            lines = [
+                json.loads(line)
+                for line in open(service.state.journal_path(sid))
+            ]
+            assert lines[0]["service_sweep_id"] == sid
+            recorded = {rec["task_id"] for rec in lines[1:]}
+            assert recorded == {t.task_id for t in tasks}
+            assert len(lines) - 1 == len(tasks)  # no cross-talk, no re-runs
+
+    def test_http_submit_status_result_round_trip(self, tmp_path):
+        service = VerificationService(
+            http_port=0, local_procs=2, state_dir=str(tmp_path / "svc")
+        )
+        service.start()
+        host, port = service.http_address
+        try:
+            tasks = cheap_tasks(4)
+            doc = submit_sweep(host, port, tasks, priority=2.0)
+            sid = doc["sweep_id"]
+            assert doc["total"] == 4 and doc["priority"] == 2.0
+
+            result = wait_sweep(host, port, sid, timeout=60.0, poll_seconds=0.05)
+            assert isinstance(result, SweepResult)
+            assert result.sweep_id == sid
+            assert [o["worker"]["host"] for o in result.outcomes] == (
+                ["in-process"] * 4
+            )
+
+            status = sweep_status(host, port, sid)
+            assert status["state"] == COMPLETE and status["done"] == 4
+            overview = service_status(host, port)
+            assert sid in overview["sweeps"]
+            assert overview["done_tasks"] == 4
+
+            with pytest.raises(ServiceClientError) as err:
+                sweep_status(host, port, "sweep-999")
+            assert err.value.status == 404
+        finally:
+            service.stop()
+
+    def test_http_result_conflict_and_bad_submission(self):
+        service = VerificationService(http_port=0)  # no workers at all
+        service.start()
+        host, port = service.http_address
+        try:
+            sid = submit_sweep(host, port, cheap_tasks(2))["sweep_id"]
+            with pytest.raises(ServiceClientError) as err:
+                fetch_result(host, port, sid)
+            assert err.value.status == 409
+            assert err.value.doc["done"] == 0 and err.value.doc["total"] == 2
+
+            with pytest.raises(ServiceClientError) as err:
+                _request(host, port, "POST", "/sweeps", body={"tasks": 5})
+            assert err.value.status == 400
+        finally:
+            service.stop()
+
+    def test_socket_auth_refusal_is_clean_and_token_admits(self):
+        service = VerificationService(
+            auth_token="sesame", auth_exempt_loopback=False, done_when_idle=True
+        )
+        sid = service.submit(cheap_tasks(2))
+        service.start()
+        host, port = service.address
+        try:
+            with pytest.raises(ServiceRefused, match="token"):
+                run_worker(host, port, quiet=True)  # tokenless
+            with pytest.raises(ServiceRefused, match="token"):
+                run_worker(host, port, auth_token="wrong", quiet=True)
+            # Refusals leased nothing and a reconnect budget never retries
+            # them; the right token drains the sweep.
+            assert service.scheduler.sweep_status(sid)["done"] == 0
+            assert run_worker(host, port, auth_token="sesame", quiet=True) == 2
+            assert service.wait_sweep(sid, timeout=10.0).sweep_id == sid
+        finally:
+            service.stop()
+
+    def test_loopback_peers_are_exempt_by_default(self):
+        service = VerificationService(auth_token="sesame", done_when_idle=True)
+        service.submit(cheap_tasks(1))
+        service.start()
+        try:
+            host, port = service.address
+            assert run_worker(host, port, quiet=True) == 1  # no token needed
+        finally:
+            service.stop()
+
+    def test_http_auth_requires_token(self):
+        service = VerificationService(
+            http_port=0, auth_token="sesame", auth_exempt_loopback=False
+        )
+        service.start()
+        host, port = service.http_address
+        try:
+            with pytest.raises(ServiceClientError) as err:
+                service_status(host, port)
+            assert err.value.status == 401
+            with pytest.raises(ServiceClientError) as err:
+                service_status(host, port, token="wrong")
+            assert err.value.status == 401
+            assert service_status(host, port, token="sesame")["total_tasks"] == 0
+        finally:
+            service.stop()
+
+    def test_kill_and_restore_reruns_nothing(self, tmp_path):
+        state_dir = str(tmp_path / "svc")
+        tasks = cheap_tasks(5)
+        serial = SweepRunner(workers=1).run(tasks)
+
+        first = VerificationService(state_dir=state_dir)
+        first.start()
+        sid = first.submit(tasks)
+        sock = socket.create_connection(first.address, timeout=30)
+        try:
+            assert _hello(sock)["type"] == "welcome"
+            reply = _lease(sock, 2)
+            for entry in reply["tasks"]:
+                _deliver(sock, reply, entry)
+        finally:
+            sock.close()
+        first.stop()  # hard stop: like a process kill, journals survive
+
+        second = VerificationService(state_dir=state_dir, done_when_idle=True)
+        second.start()
+        try:
+            assert second.scheduler.sweep_ids() == [sid]
+            assert second.scheduler.sweep_status(sid)["done"] == 2
+            # The restarted service dispatches only the unfinished tail.
+            executed = run_worker(*second.address, quiet=True)
+            assert executed == 3
+            result = second.wait_sweep(sid, timeout=30.0)
+        finally:
+            second.stop()
+        assert result.comparable_dict() == serial.comparable_dict()
+        lines = open(ServiceState(state_dir).journal_path(sid)).readlines()
+        assert len(lines) == 1 + 5  # header + one outcome per task, ever
+
+    def test_elastic_workers_join_and_leave_mid_sweep(self):
+        service = VerificationService()
+        sid = service.submit(cheap_tasks(6))
+        service.start()
+        scheduler = service.scheduler
+        try:
+            early = socket.create_connection(service.address, timeout=30)
+            assert _hello(early)["type"] == "welcome"
+            assert scheduler.active_workers == 1
+            reply = _lease(early, 2)
+            _deliver(early, reply, reply["tasks"][0])
+            early.close()  # leaves mid-sweep with one task still leased
+            _wait_until(
+                lambda: scheduler.active_workers == 0,
+                message="the departed worker's release",
+            )
+
+            late = socket.create_connection(service.address, timeout=30)
+            try:
+                assert _hello(late)["type"] == "welcome"
+                assert scheduler.active_workers == 1
+                seen = []
+                while scheduler.sweep_status(sid)["state"] != COMPLETE:
+                    reply = _lease(late, 2)
+                    assert reply["type"] in ("tasks", "wait")
+                    for entry in reply.get("tasks", []):
+                        seen.append(entry["task_id"])
+                        _deliver(late, reply, entry)
+            finally:
+                late.close()
+            # The departed worker's undelivered task was requeued to the
+            # late joiner exactly once (5 distinct = the requeued one plus
+            # the 4 never-leased tasks).
+            assert len(seen) == 5 and len(set(seen)) == 5
+            result = service.wait_sweep(sid, timeout=10.0)
+            assert sum(o is not None for o in result.outcomes) == 6
+        finally:
+            service.stop()
+
+    def test_worker_survives_service_bounce(self):
+        port = _free_port()
+        first = VerificationService("127.0.0.1", port)
+        sid1 = first.submit(cheap_tasks(2, tag="first"))
+        first.start()
+        executed = []
+        worker = start_worker_thread(
+            ("127.0.0.1", port), results=executed, reconnect_seconds=60.0
+        )
+        first.wait_sweep(sid1, timeout=60.0)
+        first.stop()  # bounce: the worker's connection is aborted
+
+        second = VerificationService("127.0.0.1", port, done_when_idle=True)
+        sid2 = second.submit(cheap_tasks(3, tag="second"))
+        second.start()
+        try:
+            result = second.wait_sweep(sid2, timeout=60.0)
+        finally:
+            worker.join(timeout=30.0)
+            second.stop()
+        assert not worker.is_alive()
+        # One worker process served both service generations.
+        assert executed == [5]
+        assert sum(o is not None for o in result.outcomes) == 3

@@ -25,6 +25,17 @@ package docstring for the analyze -> plan -> codegen -> execute pipeline):
    emitter and toolchain layers deal exclusively in source text and
    object bytes.
 
+4. **Transport containment** -- within ``src/repro/cluster/``, only the
+   transport module (``repro/cluster/service.py``) may import
+   :mod:`asyncio`, and the scheduler core (``scheduler.py``, ``state.py``,
+   ``coordinator.py``) must not import :mod:`socket` either: the service
+   brain stays transport-free and unit-testable with plain function
+   calls, and every socket/event-loop detail stays behind one auditable
+   module.  (The worker, protocol and smoke modules are *clients* and may
+   use blocking sockets.)  The 800-line module cap applies to
+   ``src/repro/cluster/`` too, so the service split cannot silently
+   regrow a monolith.
+
 Exits non-zero listing every violation.  Wired into ``make lint-arch`` and
 ``make smoke``.
 """
@@ -95,6 +106,44 @@ def _check_imports(path: Path) -> List[str]:
 #: The sole backends module allowed to import ctypes / load shared objects.
 FFI_BRIDGE = BACKENDS / "native" / "bridge.py"
 
+CLUSTER = ROOT / "src" / "repro" / "cluster"
+#: The sole cluster module allowed to import asyncio (the transport).
+TRANSPORT = CLUSTER / "service.py"
+#: Cluster modules that must stay transport-free entirely (no socket):
+#: the scheduler core and everything that merely composes it.
+TRANSPORT_FREE = ("scheduler.py", "state.py", "coordinator.py")
+
+
+def _imported_modules(path: Path):
+    """Yield (lineno, module) for every top-level-name import in a file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            yield node.lineno, node.module or ""
+
+
+def _check_transport(path: Path) -> List[str]:
+    """Violations of the cluster transport-containment rule in one module."""
+    violations: List[str] = []
+    rel = path.relative_to(ROOT)
+    core = path.name in TRANSPORT_FREE
+    for lineno, module in _imported_modules(path):
+        top = module.split(".", 1)[0]
+        if top == "asyncio" and path != TRANSPORT:
+            violations.append(
+                f"{rel}:{lineno}: only the transport module "
+                f"({TRANSPORT.relative_to(ROOT)}) may import asyncio"
+            )
+        elif top == "socket" and core:
+            violations.append(
+                f"{rel}:{lineno}: the scheduler core must stay "
+                f"transport-free (no socket imports)"
+            )
+    return violations
+
 
 def _check_ffi(path: Path) -> List[str]:
     """Violations of the foreign-function containment rule in one module."""
@@ -130,6 +179,14 @@ def main() -> int:
             failures.extend(_check_ffi(path))
     for path in sorted(CODEGEN.rglob("*.py")):
         failures.extend(_check_imports(path))
+    for path in sorted(CLUSTER.rglob("*.py")):
+        lines = path.read_text(encoding="utf-8").count("\n") + 1
+        if lines > MAX_LINES:
+            failures.append(
+                f"{path.relative_to(ROOT)}: {lines} lines exceeds the "
+                f"{MAX_LINES}-line module cap"
+            )
+        failures.extend(_check_transport(path))
     if failures:
         print("Architecture lint FAILED:", file=sys.stderr)
         for failure in failures:
@@ -137,7 +194,7 @@ def main() -> int:
         return 1
     print(
         "Architecture lint OK (module sizes, codegen->execute layering, "
-        "FFI containment)."
+        "FFI containment, cluster transport containment)."
     )
     return 0
 
