@@ -11,8 +11,9 @@ test:
 # Exercise the sweep pipeline end to end (2 workers, tiny budget) once per
 # execution backend -- the 'cross' pairs double as backend self-checks --
 # then a pooled sweep through the persistent compile cache (cold, then warm
-# from the populated cache), the distributed loopback check and the tier-1
-# test suite.
+# from the populated cache), a traced mini sweep whose JSONL is validated
+# against the trace-event schema, the distributed loopback check and the
+# tier-1 test suite.
 smoke:
 	$(MAKE) lint-arch
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend interpreter
@@ -26,6 +27,10 @@ smoke:
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend compiled --cache-dir .smoke-cache && \
 	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend compiled --cache-dir .smoke-cache && \
 	ls .smoke-cache/*.json > /dev/null && rm -rf .smoke-cache
+	rm -f .smoke-trace.jsonl && \
+	$(PY) -m repro.pipeline --suite npbench --workers 2 --trials 2 --max-instances 1 --backend compiled --trace .smoke-trace.jsonl && \
+	$(PY) -m repro.telemetry --validate .smoke-trace.jsonl && \
+	rm -f .smoke-trace.jsonl
 	$(MAKE) smoke-dist
 	$(PY) -m pytest -x -q
 
@@ -59,7 +64,8 @@ bench-quick:
 # Structural invariants of src/repro/backends/ and src/repro/cluster/:
 # module-size caps, the codegen -> execute layering rule (emitters never
 # import the runtime), FFI containment (only the native bridge imports
-# ctypes), and cluster transport containment (only the service module
-# imports asyncio; the scheduler core stays socket-free).
+# ctypes), cluster transport containment (only the service module imports
+# asyncio; the scheduler core stays socket-free), and clock containment
+# (only repro.telemetry touches time.monotonic/perf_counter).
 lint-arch:
 	$(PY) tools/lint_arch.py

@@ -30,7 +30,10 @@ Beyond raw kernel throughput the file also records:
   kernels vs. the compiled backend on the fused pipeline and the 2-D
   stencil (skipped cleanly when no C toolchain is present), plus a
   **native compile-cache series** (cold ``cc`` compile vs. a sibling
-  reloading the persisted shared object).
+  reloading the persisted shared object);
+* a **telemetry-overhead series**: fused_pipeline trial time untraced vs.
+  traced, plus the disabled null-span fast-path cost -- asserting the
+  disabled overhead stays under 2% and enabled tracing under 10%.
 
 The backends must agree bitwise on every measured run (the measurement
 doubles as an equivalence check), and five speedup floors are asserted:
@@ -93,6 +96,12 @@ REQUIRED_BATCHED_SPEEDUP = 5.0
 REQUIRED_NATIVE_SPEEDUP = 5.0
 #: Trials per batch in the batched-trials series.
 BATCH_TRIALS = 32
+#: Ceiling on the *disabled* telemetry fast path (null-span cost x spans
+#: per trial) as a fraction of fused_pipeline trial time.
+MAX_DISABLED_TELEMETRY_OVERHEAD = 0.02
+#: Ceiling on the *enabled* tracing slowdown (traced vs. untraced trial
+#: wall clock) on the same path.
+MAX_ENABLED_TELEMETRY_OVERHEAD = 0.10
 
 
 def quick_scale() -> bool:
@@ -278,6 +287,7 @@ def test_backend_throughput(report_lines):
     batched_trials = _measure_batched_trials(report_lines)
     native = _measure_native(report_lines)
     native_cache = _measure_native_cache(report_lines)
+    telemetry = _measure_telemetry_overhead(report_lines)
 
     jacobi_regression = _measure_jacobi_regression(report_lines)
 
@@ -301,6 +311,7 @@ def test_backend_throughput(report_lines):
                 batched_trials=batched_trials,
                 native=native,
                 native_cache=native_cache,
+                telemetry=telemetry,
                 jacobi_regression=jacobi_regression,
             ),
             f,
@@ -335,6 +346,16 @@ def test_backend_throughput(report_lines):
                 f"compiled backend on {kernel} "
                 f"(required: {REQUIRED_NATIVE_SPEEDUP}x)"
             )
+    assert telemetry["disabled_overhead"] <= MAX_DISABLED_TELEMETRY_OVERHEAD, (
+        f"disabled telemetry costs {telemetry['disabled_overhead'] * 100:.3f}% "
+        f"of fused_pipeline trial time (the null-span fast path must stay "
+        f"under {MAX_DISABLED_TELEMETRY_OVERHEAD * 100:.0f}%)"
+    )
+    assert telemetry["enabled_overhead"] <= MAX_ENABLED_TELEMETRY_OVERHEAD, (
+        f"enabled tracing slows fused_pipeline trials by "
+        f"{telemetry['enabled_overhead'] * 100:.1f}% "
+        f"(required: <= {MAX_ENABLED_TELEMETRY_OVERHEAD * 100:.0f}%)"
+    )
     assert jacobi_regression["compiled_over_vectorized"] >= 0.95, (
         "the jacobi_2d compiled-vs-vectorized regression is back: "
         f"compiled at {jacobi_regression['compiled_over_vectorized']:.2f}x "
@@ -426,6 +447,89 @@ def _measure_fuzz_trials(report_lines):
             f"  {backend_name:<14}{per_trial * 1e3:>10.2f} ms/trial"
         )
     return dict(kernel="fused_pipeline", trials=trials, backends=series)
+
+
+# ---------------------------------------------------------------------- #
+# Telemetry overhead: traced / untraced trial time
+# ---------------------------------------------------------------------- #
+def _measure_telemetry_overhead(report_lines):
+    """Cost of the observability layer on the fused_pipeline trial path.
+
+    Two numbers:
+
+    * **disabled** -- the null-span fast path.  Wall-clock differencing
+      cannot resolve sub-percent effects, so the overhead is computed as
+      (cost of one disabled ``TRACER.span()`` call, measured in a tight
+      loop) x (spans one traced trial actually emits) relative to the
+      untraced per-trial time.
+    * **enabled** -- per-trial wall clock with tracing to a temp file vs.
+      untraced, measured directly (best of 3 to shed scheduler noise).
+    """
+    from repro.telemetry import TRACER, configure_tracing
+
+    n_fp, t_fp = _fusion_scale()
+    trials = 8 if quick_scale() else 16
+    original = build_fused_pipeline()
+    transformed = original.clone()
+
+    def per_trial_seconds():
+        sampler = InputSampler(
+            original, ["A"], ["A"],
+            fixed_symbols={"N": n_fp, "T": t_fp}, vary_sizes=False, seed=0,
+        )
+        fuzzer = DifferentialFuzzer(
+            original, transformed, ["A"], sampler, backend="compiled"
+        )
+        fuzzer.run(num_trials=1)  # warm-up: plans + driver built here
+        best = None
+        runs = 0
+        for _ in range(3):
+            start = time.perf_counter()
+            report = fuzzer.run(num_trials=trials)
+            elapsed = time.perf_counter() - start
+            runs += report.trials_attempted
+            rate = elapsed / max(report.trials_attempted, 1)
+            best = rate if best is None else min(best, rate)
+        return best, runs + 1  # + the warm-up trial
+
+    assert not TRACER.enabled, "benchmarks must start untraced"
+    baseline, _ = per_trial_seconds()
+
+    reps = 200_000
+    start = time.perf_counter()
+    for _ in range(reps):
+        TRACER.span("bench", "execute")
+    null_span_seconds = (time.perf_counter() - start) / reps
+
+    trace_dir = tempfile.mkdtemp(prefix="bench_trace_")
+    try:
+        configure_tracing(os.path.join(trace_dir, "trace.jsonl"))
+        spans_before = TRACER.spans_started
+        traced, traced_trials = per_trial_seconds()
+        TRACER.flush()
+        spans_per_trial = (TRACER.spans_started - spans_before) / traced_trials
+    finally:
+        configure_tracing(None)
+        shutil.rmtree(trace_dir, ignore_errors=True)
+
+    disabled_overhead = null_span_seconds * spans_per_trial / baseline
+    enabled_overhead = max(0.0, traced / baseline - 1.0)
+    report_lines.append(
+        f"\ntelemetry overhead (fused_pipeline, compiled, {trials} trials): "
+        f"untraced {baseline * 1e3:.2f} ms/trial, traced {traced * 1e3:.2f} "
+        f"ms/trial ({enabled_overhead * 100:.1f}%); disabled fast path "
+        f"{null_span_seconds * 1e9:.0f} ns/span x {spans_per_trial:.0f} "
+        f"spans/trial = {disabled_overhead * 100:.3f}%"
+    )
+    return dict(
+        kernel="fused_pipeline", trials=trials,
+        untraced_seconds_per_trial=baseline,
+        traced_seconds_per_trial=traced,
+        null_span_seconds=null_span_seconds,
+        spans_per_trial=spans_per_trial,
+        disabled_overhead=disabled_overhead,
+        enabled_overhead=enabled_overhead,
+    )
 
 
 # ---------------------------------------------------------------------- #

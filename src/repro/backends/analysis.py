@@ -40,6 +40,7 @@ from repro.sdfg.memlet import Memlet
 from repro.sdfg.nodes import AccessNode, MapEntry, MapExit, Tasklet
 from repro.sdfg.sdfg import SDFG
 from repro.sdfg.state import SDFGState
+from repro.telemetry import TRACER, inc as _metric_inc, observe as _metric_observe
 
 __all__ = [
     "code_is_vectorizable",
@@ -466,25 +467,46 @@ def analyze_state(
     scopes: Dict[Any, Any],
     fuse: bool = True,
 ) -> StatePlan:
-    """Analyze one state: every map scope, then every fusable chain."""
-    plans: Dict[int, Optional[ScopePlan]] = {}
-    reasons: Dict[int, str] = {}
-    for node in order:
-        if not isinstance(node, MapEntry):
-            continue
-        children = [
-            n for n in order if scopes.get(n) is node and not isinstance(n, MapExit)
-        ]
-        plan, reason = analyze_scope(state, node, children)
-        plans[node.guid] = plan
-        if reason is not None:
-            reasons[node.guid] = reason
-    chains: List[ChainPlan] = []
-    if fuse:
-        for chain in elementwise_scope_chains(state, order, scopes):
-            chain_plan = analyze_chain(sdfg, state, chain, plans)
-            if chain_plan is not None:
-                chains.append(chain_plan)
+    """Analyze one state: every map scope, then every fusable chain.
+
+    Telemetry: lowering outcomes count into
+    ``repro_scope_lowering_total{outcome=...}``, rejections additionally
+    into ``repro_scope_fallback_total{reason=...}`` keyed by the same
+    reason slugs recorded in :attr:`StatePlan.fallback_reasons`, and
+    accepted fusion chains observe their member count into the
+    ``repro_fusion_chain_length`` histogram.
+    """
+    with TRACER.span("analyze", "prepare") as span:
+        span.set("state", state.label)
+        plans: Dict[int, Optional[ScopePlan]] = {}
+        reasons: Dict[int, str] = {}
+        for node in order:
+            if not isinstance(node, MapEntry):
+                continue
+            children = [
+                n for n in order if scopes.get(n) is node and not isinstance(n, MapExit)
+            ]
+            plan, reason = analyze_scope(state, node, children)
+            plans[node.guid] = plan
+            if reason is not None:
+                reasons[node.guid] = reason
+                _metric_inc(
+                    "repro_scope_lowering_total", labels={"outcome": "fallback"}
+                )
+                _metric_inc("repro_scope_fallback_total", labels={"reason": reason})
+            else:
+                _metric_inc(
+                    "repro_scope_lowering_total", labels={"outcome": "vectorized"}
+                )
+        chains: List[ChainPlan] = []
+        if fuse:
+            for chain in elementwise_scope_chains(state, order, scopes):
+                chain_plan = analyze_chain(sdfg, state, chain, plans)
+                if chain_plan is not None:
+                    chains.append(chain_plan)
+                    _metric_observe(
+                        "repro_fusion_chain_length", len(chain_plan.member_guids)
+                    )
     return StatePlan(
         state_label=state.label,
         scopes=plans,

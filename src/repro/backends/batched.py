@@ -48,6 +48,7 @@ from repro.backends.execute import _WriteGeom
 from repro.interpreter.coverage import CoverageMap
 from repro.interpreter.errors import ExecutionError
 from repro.interpreter.executor import ExecutionResult
+from repro.telemetry import TRACER as _TRACER, inc as _metric_inc
 
 __all__ = ["BatchedBackend", "BatchedProgram", "BatchedExecutor"]
 
@@ -434,9 +435,16 @@ class BatchedProgram(CompiledWholeProgram):
             and executor._batchable
         ):
             try:
-                return list(executor.run_batched(arguments_list, symbols))
+                with _TRACER.span("batch.round", "fuzz") as span:
+                    span.set("trials", len(arguments_list))
+                    results = list(executor.run_batched(arguments_list, symbols))
+                _metric_inc(
+                    "repro_batch_rounds_total", labels={"path": "batched"}
+                )
+                return results
             except Exception:  # noqa: BLE001 - any failure: rerun serially
                 pass
+        _metric_inc("repro_batch_rounds_total", labels={"path": "serial"})
         return super().run_batch(
             arguments_list, symbols, collect_coverage=collect_coverage
         )

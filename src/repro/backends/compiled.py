@@ -77,6 +77,7 @@ from repro.sdfg.analysis import access_node_is_transparent
 from repro.sdfg.nodes import AccessNode, MapEntry, MapExit, NestedSDFGNode, Tasklet
 from repro.sdfg.sdfg import SDFG
 from repro.sdfg.state import SDFGState
+from repro.telemetry import TRACER as _TRACER
 
 __all__ = [
     "CompiledBackend",
@@ -110,14 +111,20 @@ class CompiledExecutor(VectorizedExecutor):
         # Fused-chain members and no-op access nodes are dropped statically.
         self._state_ops: List[List[Callable[[Dict[str, Any]], None]]] = []
         self._state_ops_by_id: Dict[int, List[Callable[[Dict[str, Any]], None]]] = {}
-        for state in self._compiled_states:
-            ops = self._build_state_ops(state)
-            self._state_ops.append(ops)
-            self._state_ops_by_id[id(state)] = ops
+        # The bind/codegen phases of prepare: analyze spans (if any plan
+        # must be rebuilt) nest inside via _table_for -> analyze_state.
+        with _TRACER.span("codegen.bind", "prepare") as span:
+            span.set("emitter", self.EMITTER_NAME)
+            for state in self._compiled_states:
+                ops = self._build_state_ops(state)
+                self._state_ops.append(ops)
+                self._state_ops_by_id[id(state)] = ops
         info: Dict[str, Any] = {}
-        self.control_mode, self.driver_source, self._drive, self._driver_code = (
-            compile_driver(sdfg, state_index, artifact=artifact, info=info)
-        )
+        with _TRACER.span("codegen.driver", "prepare") as span:
+            span.set("seeded", artifact is not None)
+            self.control_mode, self.driver_source, self._drive, self._driver_code = (
+                compile_driver(sdfg, state_index, artifact=artifact, info=info)
+            )
         #: Loop-invariant symbol loads the driver hoisted (fresh compiles
         #: report them via ``info``; artifact-seeded drivers carry them in
         #: the persisted plan).

@@ -72,6 +72,7 @@ from repro.interpreter.executor import _EVAL_GLOBALS, ExecutionResult, SDFGExecu
 from repro.interpreter.tasklet_exec import _SAFE_BUILTINS
 from repro.sdfg.nodes import MapEntry, Tasklet
 from repro.sdfg.state import SDFGState
+from repro.telemetry import TRACER, inc as _metric_inc
 
 __all__ = ["VectorizedExecutor"]
 
@@ -209,6 +210,9 @@ class VectorizedExecutor(SDFGExecutor):
         #: Scope-execution counters (vectorized vs. interpreter fallback;
         #: ``fused`` counts whole-chain executions).
         self.stats: Dict[str, int] = {"vectorized": 0, "fallback": 0, "fused": 0}
+        #: Stats already flushed into the metrics registry (per-run deltas
+        #: flow out once per run, keeping the per-scope hot path unmetered).
+        self._stats_flushed: Dict[str, int] = {}
 
     def run(self, *args, **kwargs) -> ExecutionResult:
         try:
@@ -221,6 +225,13 @@ class VectorizedExecutor(SDFGExecutor):
             self._store = {}
             self._symbols = {}
             self._setup_cache = {}
+            for key, value in self.stats.items():
+                delta = value - self._stats_flushed.get(key, 0)
+                if delta:
+                    _metric_inc(
+                        "repro_scope_exec_total", delta, labels={"outcome": key}
+                    )
+                    self._stats_flushed[key] = value
 
     def _setup(self, arguments: Dict[str, Any], symbols: Dict[str, Any]) -> None:
         super()._setup(arguments, symbols)
@@ -261,12 +272,16 @@ class VectorizedExecutor(SDFGExecutor):
             # the same state execution.
             self._fused_done.discard(guid)
             return
-        table = self._table_for(state)
-        fused = table.heads.get(guid)
-        if fused is not None and self._try_fused(fused, bindings):
-            self._fused_done.update(fused.member_guids[1:])
-            return
-        self._run_single_scope(state, entry, table.plans.get(guid), bindings)
+        # The null span costs one call when tracing is off; enabled it
+        # records one per-scope execute span (nested under the state span).
+        with TRACER.span("execute.scope", "execute") as span:
+            span.set("scope", entry.label)
+            table = self._table_for(state)
+            fused = table.heads.get(guid)
+            if fused is not None and self._try_fused(fused, bindings):
+                self._fused_done.update(fused.member_guids[1:])
+                return
+            self._run_single_scope(state, entry, table.plans.get(guid), bindings)
 
     def _try_fused(self, fused: BoundChain, bindings: Dict[str, Any]) -> bool:
         """Execute a fused chain; ``False`` defers to per-scope execution."""

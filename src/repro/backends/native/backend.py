@@ -39,6 +39,9 @@ from repro.backends.plan import PLAN_FORMAT_VERSION
 from repro.interpreter.errors import TaskletExecutionError
 from repro.interpreter.executor import _EVAL_GLOBALS
 from repro.sdfg.nodes import MapEntry, MapExit
+from repro.telemetry import TRACER as _TRACER
+from repro.telemetry import observe as _metric_observe
+from repro.telemetry import perf_counter as _perf_counter
 
 __all__ = ["NativeBackend", "NativeProgram", "NativeExecutor"]
 
@@ -215,13 +218,21 @@ class NativeExecutor(BatchedExecutor):
                     so_bytes = None
         if so_bytes is None:
             try:
-                so_bytes = compile_shared_object(toolchain, source)
+                with _TRACER.span("native.compile", "native") as span:
+                    span.set("kernels", len(kernels))
+                    t0 = _perf_counter()
+                    so_bytes = compile_shared_object(toolchain, source)
+                    _metric_observe(
+                        "repro_native_compile_seconds", _perf_counter() - t0
+                    )
                 self.native_build["cache"] = "compiled"
             except NativeCompileError as exc:
                 self.native_build["error"] = f"compile: {exc}"
                 return
         try:
-            lib = load_shared_object(so_bytes, [k.fn_name for k in kernels])
+            with _TRACER.span("native.link", "native") as span:
+                span.set("kernels", len(kernels))
+                lib = load_shared_object(so_bytes, [k.fn_name for k in kernels])
         except OSError as exc:
             self.native_build["error"] = f"load: {exc}"
             self.native_build["cache"] = "none"

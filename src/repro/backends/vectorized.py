@@ -29,16 +29,25 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from collections import OrderedDict
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Set, Tuple
 
 from repro.backends.base import CompiledProgram, ExecutionBackend
 from repro.backends.execute import VectorizedExecutor
 from repro.interpreter.executor import ExecutionResult
 from repro.sdfg.sdfg import SDFG
 from repro.sdfg.serialize import sdfg_to_json
+from repro.telemetry import TRACER, inc as _metric_inc
+
+logger = logging.getLogger("repro.backends.cache")
+
+#: One warning per process the first time a *corrupt* (vs. merely stale)
+#: disk-cache entry is found and rewritten; after that, silence -- the
+#: rewrite is self-healing and per-entry counts live in the metrics.
+_CORRUPT_REWRITE_WARNED = False
 
 __all__ = [
     "VectorizedBackend",
@@ -73,13 +82,19 @@ class ProgramDiskCache:
 
     Entries are JSON documents written atomically (temp file + ``rename``),
     so concurrent workers may race freely: the loser of a race simply
-    overwrites the winner with identical content.  A corrupt, truncated or
-    stale-versioned entry is treated as a miss (and rewritten), never an
-    error -- the cache can always be rebuilt from source programs.
+    overwrites the winner with identical content.  A corrupt or truncated
+    entry degrades to a miss (and is rewritten, with one process-wide
+    warning) and a stale-versioned entry to a recompile, never an error --
+    the cache can always be rebuilt from source programs.  The two cases
+    are *distinguished* (``corrupt`` vs. ``stale``) because they mean
+    different things operationally: stale entries are expected after an
+    upgrade, corrupt ones indicate torn writes or disk trouble.
     """
 
     def __init__(self, directory: str) -> None:
         self.directory = directory
+        #: Entry paths whose last load was corrupt (for the rewrite warning).
+        self._corrupt_paths: Set[str] = set()
 
     def _path(
         self, content_hash: str, max_transitions: int, variant: str = ""
@@ -91,13 +106,33 @@ class ProgramDiskCache:
     def load(
         self, content_hash: str, max_transitions: int, variant: str = ""
     ) -> Optional[Dict[str, Any]]:
+        return self.load_classified(content_hash, max_transitions, variant)[0]
+
+    def load_classified(
+        self, content_hash: str, max_transitions: int, variant: str = ""
+    ) -> Tuple[Optional[Dict[str, Any]], str]:
+        """Load an entry, classifying the outcome: ``(artifact, status)``.
+
+        ``status`` is ``"hit"`` (a parseable artifact -- the caller may
+        still downgrade it to ``"stale"`` after ``check_artifact``),
+        ``"miss"`` (no entry / unreadable directory) or ``"corrupt"``
+        (an entry exists but is truncated, non-JSON or not an object).
+        """
+        path = self._path(content_hash, max_transitions, variant)
         try:
-            path = self._path(content_hash, max_transitions, variant)
             with open(path, "r", encoding="utf-8") as f:
                 artifact = json.load(f)
-        except (OSError, ValueError):
-            return None
-        return artifact if isinstance(artifact, dict) else None
+        except FileNotFoundError:
+            return None, "miss"
+        except OSError:
+            return None, "miss"  # unreadable dir/permissions: no entry seen
+        except ValueError:
+            self._corrupt_paths.add(path)
+            return None, "corrupt"
+        if not isinstance(artifact, dict):
+            self._corrupt_paths.add(path)
+            return None, "corrupt"
+        return artifact, "hit"
 
     def store(
         self,
@@ -106,6 +141,17 @@ class ProgramDiskCache:
         artifact: Dict[str, Any],
         variant: str = "",
     ) -> None:
+        global _CORRUPT_REWRITE_WARNED
+        path = self._path(content_hash, max_transitions, variant)
+        if path in self._corrupt_paths:
+            self._corrupt_paths.discard(path)
+            if not _CORRUPT_REWRITE_WARNED:
+                _CORRUPT_REWRITE_WARNED = True
+                logger.warning(
+                    "rewriting corrupt compile-cache entry %s (torn write or "
+                    "disk trouble; self-healing, warned once per process)",
+                    path,
+                )
         try:
             os.makedirs(self.directory, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
@@ -229,30 +275,54 @@ class VectorizedBackend(ExecutionBackend):
         if program is not None:
             self._cache.move_to_end(key)
             self.cache_hits += 1
+            _metric_inc(
+                "repro_prepare_cache_total",
+                labels={"tier": self.name, "level": "memory", "outcome": "hit"},
+            )
             return program
         self.cache_misses += 1
-
-        disk: Optional[ProgramDiskCache] = None
-        artifact: Optional[Dict[str, Any]] = None
-        directory = self.cache_dir if self.program_class.persists_artifacts else None
-        variant = self.program_class.artifact_variant
-        if directory is not None:
-            disk = ProgramDiskCache(directory)
-            artifact = disk.load(content_hash, max_transitions, variant)
-            if artifact is not None and not self.program_class.check_artifact(artifact):
-                artifact = None  # stale version / wrong class / corrupt
-            if artifact is not None:
-                self.disk_hits += 1
-            else:
-                self.disk_misses += 1
-
-        program = self.program_class(
-            sdfg, max_transitions=max_transitions, fuse=self.fuse, artifact=artifact
+        _metric_inc(
+            "repro_prepare_cache_total",
+            labels={"tier": self.name, "level": "memory", "outcome": "miss"},
         )
-        if disk is not None and artifact is None:
-            fresh = program.artifact()
-            if fresh is not None:
-                disk.store(content_hash, max_transitions, fresh, variant)
+
+        with TRACER.span("backend.prepare", "prepare") as span:
+            span.set("tier", self.name)
+            span.set("sdfg", sdfg.name)
+            disk: Optional[ProgramDiskCache] = None
+            artifact: Optional[Dict[str, Any]] = None
+            directory = (
+                self.cache_dir if self.program_class.persists_artifacts else None
+            )
+            variant = self.program_class.artifact_variant
+            if directory is not None:
+                disk = ProgramDiskCache(directory)
+                artifact, status = disk.load_classified(
+                    content_hash, max_transitions, variant
+                )
+                if artifact is not None and not self.program_class.check_artifact(
+                    artifact
+                ):
+                    artifact = None
+                    status = "stale"  # parseable, but wrong version/class
+                if artifact is not None:
+                    self.disk_hits += 1
+                else:
+                    self.disk_misses += 1
+                span.set("disk_cache", status)
+                _metric_inc(
+                    "repro_disk_cache_total",
+                    labels={"tier": self.name, "outcome": status},
+                )
+
+            program = self.program_class(
+                sdfg, max_transitions=max_transitions, fuse=self.fuse,
+                artifact=artifact,
+            )
+            if disk is not None and artifact is None:
+                fresh = program.artifact()
+                if fresh is not None:
+                    disk.store(content_hash, max_transitions, fresh, variant)
 
         self._cache[key] = program
         while len(self._cache) > self.cache_size:

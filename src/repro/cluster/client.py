@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.pipeline.result import SweepResult
 from repro.pipeline.tasks import SweepTask
+from repro.telemetry import monotonic as _monotonic
 
 __all__ = [
     "ServiceClientError",
@@ -159,7 +160,7 @@ def wait_sweep(
     enough for a ``[done/total]`` progress line.  Raises
     :class:`TimeoutError` if the deadline passes first.
     """
-    deadline = None if timeout is None else time.monotonic() + timeout
+    deadline = None if timeout is None else _monotonic() + timeout
     last_done = -1
     while True:
         status = sweep_status(host, port, sweep_id, token=token)
@@ -168,7 +169,7 @@ def wait_sweep(
             on_progress(status)
         if status["state"] == "complete":
             return fetch_result(host, port, sweep_id, token=token)
-        if deadline is not None and time.monotonic() >= deadline:
+        if deadline is not None and _monotonic() >= deadline:
             raise TimeoutError(
                 f"Sweep {sweep_id} incomplete after {timeout} s "
                 f"({status['done']}/{status['total']} done)"

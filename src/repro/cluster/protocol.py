@@ -20,7 +20,7 @@ worker sends              service replies
                           | ``done`` {} (one-shot mode, all sweeps done)
 ``result`` {index, shard, ``ack`` {}
   sweep?, task_id,
-  outcome}
+  outcome, metrics?}
 ``ping`` {}               ``pong`` {} (heartbeat; proves a busy worker is
                           alive so a ``worker_timeout`` service does not
                           requeue its in-flight shard)
@@ -31,6 +31,14 @@ submission id and workers echo it back in results.  Pre-service workers
 that echo only ``task_id`` still route correctly -- the service resolves
 results through the connection's lease table first -- so old workers
 connect to the always-on service unchanged.
+
+``result`` frames may additionally carry an optional ``metrics`` field:
+the task's telemetry delta snapshot (``{counters, gauges, histograms}``,
+see :class:`repro.telemetry.MetricsRegistry`), which the service merges
+into its fleet-wide and per-sweep registries for ``GET /metrics``.
+Metrics never touch the ``outcome`` dict itself, so journals and verdicts
+stay bitwise identical whether or not a worker reports them; a receiver
+that does not understand the field ignores it.
 
 A clean EOF between messages returns ``None`` from :func:`recv_message`
 (the peer hung up); an EOF *inside* a frame raises :class:`ProtocolError`

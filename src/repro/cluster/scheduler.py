@@ -46,13 +46,14 @@ time modules, so the core is unit-testable with plain function calls (see
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.reporting import Verdict
 from repro.pipeline.result import SweepResult
 from repro.pipeline.tasks import SweepTask
+from repro.telemetry import MetricsRegistry
+from repro.telemetry import monotonic as _monotonic
 
 __all__ = [
     "SweepScheduler",
@@ -120,6 +121,11 @@ class SweepEntry:
         self.completed_at: Optional[float] = None
         self.first_fresh_at: Optional[float] = None
         self.fresh_count = 0  # outcomes executed this service life (not restored)
+        #: Per-sweep metrics: deltas piggybacked on this sweep's result
+        #: frames, merged as they land (attached to the sweep's result).
+        self.metrics = MetricsRegistry()
+        #: Fuzzing trials attempted across this sweep's landed outcomes.
+        self.trials_attempted = 0
 
         completed = completed if completed is not None else (
             dict(store.completed) if store is not None else {}
@@ -167,6 +173,11 @@ class SweepEntry:
             outcomes=list(self.outcomes),
             duration_seconds=duration,
             sweep_id=self.sweep_id,
+            telemetry=(
+                None
+                if self.metrics.is_empty()
+                else {"metrics": self.metrics.snapshot()}
+            ),
         )
 
     def snapshot(self, clock: Callable[[], float]) -> Dict[str, Any]:
@@ -198,6 +209,11 @@ class SweepEntry:
             "eta_seconds": eta,
             "age_seconds": now - self.submitted_at,
             "journal": getattr(self.store, "path", None),
+            "counters": {
+                "tasks_done": self.done_count,
+                "tasks_fresh": self.fresh_count,
+                "trials_attempted": self.trials_attempted,
+            },
         }
 
 
@@ -231,7 +247,7 @@ class SweepScheduler:
         batch_size: int = 0,
         target_lease_seconds: float = 10.0,
         done_when_idle: bool = False,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Callable[[], float] = _monotonic,
     ) -> None:
         #: Default re-lease budget per task (per sweep override on submit).
         self.max_task_retries = max_task_retries
@@ -247,6 +263,9 @@ class SweepScheduler:
         self.done_when_idle = done_when_idle
         self._clock = clock
         self._lock = threading.Lock()
+        #: Fleet-wide metrics: every sweep's piggybacked worker deltas plus
+        #: the scheduler's own counters/gauges, rendered by ``GET /metrics``.
+        self.metrics = MetricsRegistry()
         self._sweeps: Dict[str, SweepEntry] = {}  # insertion-ordered
         self._conns: Dict[Any, _ConnState] = {}
         self._shard_counter = 0
@@ -513,7 +532,12 @@ class SweepScheduler:
         return fallback
 
     def _land(
-        self, entry: SweepEntry, index: int, task_id: str, outcome: Dict[str, Any]
+        self,
+        entry: SweepEntry,
+        index: int,
+        task_id: str,
+        outcome: Dict[str, Any],
+        metrics: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Record one completed outcome (journal + progress); lock held."""
         entry.outcomes[index] = outcome
@@ -522,6 +546,17 @@ class SweepScheduler:
         if entry.first_fresh_at is None:
             entry.first_fresh_at = now
         entry.fresh_count += 1
+        if metrics:
+            entry.metrics.merge(metrics)
+            self.metrics.merge(metrics)
+        labels = {"sweep": entry.sweep_id}
+        self.metrics.inc("repro_sweep_tasks_total", labels=labels)
+        report = outcome.get("report") or {}
+        fuzzing = report.get("fuzzing") or {}
+        trials = fuzzing.get("trials_attempted") or 0
+        if trials:
+            entry.trials_attempted += trials
+            self.metrics.inc("repro_sweep_trials_total", trials, labels=labels)
         if entry.store is not None:
             entry.store.record(task_id, index, outcome)
         # Under the lock so concurrent deliveries cannot interleave
@@ -548,6 +583,11 @@ class SweepScheduler:
                     if conn.latency_ewma is None
                     else _EWMA_ALPHA * elapsed + (1 - _EWMA_ALPHA) * conn.latency_ewma
                 )
+                self.metrics.set_gauge(
+                    "repro_worker_latency_ewma_seconds",
+                    conn.latency_ewma,
+                    labels={"worker": str(conn.number)},
+                )
             routed = self._route(conn, task_id, message.get("sweep"))
             if routed is None:
                 return  # a task of some forgotten sweep; drop it
@@ -559,7 +599,7 @@ class SweepScheduler:
             outcome = dict(message.get("outcome") or {})
             outcome["task_id"] = task_id
             outcome["worker"] = {**conn.info, "shard": message.get("shard")}
-            self._land(entry, index, task_id, outcome)
+            self._land(entry, index, task_id, outcome, message.get("metrics"))
 
     # ------------------------------------------------------------------ #
     # Introspection / completion

@@ -67,6 +67,7 @@ from repro.cluster.scheduler import COMPLETE, SweepScheduler
 from repro.cluster.state import ServiceState, restore_sweeps
 from repro.pipeline.result import SweepResult
 from repro.pipeline.tasks import SweepTask
+from repro.telemetry import monotonic as _monotonic
 
 __all__ = ["VerificationService", "main"]
 
@@ -288,7 +289,7 @@ class VerificationService:
         interval = max(0.05, min(self.worker_timeout / 4, 0.25))
         while True:
             await asyncio.sleep(interval)
-            deadline = time.monotonic() - self.worker_timeout
+            deadline = _monotonic() - self.worker_timeout
             for writer, meta in list(self._conn_meta.items()):
                 if meta["last"] < deadline:
                     try:
@@ -382,7 +383,7 @@ class VerificationService:
     ) -> None:
         conn_key = object()  # scheduler-side identity of this connection
         peer = writer.get_extra_info("peername")
-        meta = {"last": time.monotonic()}
+        meta = {"last": _monotonic()}
         self._conn_meta[writer] = meta
         must_auth = self._auth_required(peer)
         authed = not must_auth
@@ -394,7 +395,7 @@ class VerificationService:
                     break  # died mid-frame: treat as a lost worker
                 if message is None:
                     break  # clean disconnect
-                meta["last"] = time.monotonic()
+                meta["last"] = _monotonic()
                 mtype = message.get("type")
                 if mtype == "hello":
                     if must_auth and message.get("token") != self.auth_token:
@@ -477,10 +478,17 @@ class VerificationService:
         except (asyncio.IncompleteReadError, ConnectionError, OSError, ValueError):
             pass
         try:
-            payload = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+            if isinstance(doc, str):
+                # Plain-text endpoint (GET /metrics): Prometheus exposition
+                # format 0.0.4, hand-rolled like the rest of the server.
+                payload = doc.encode("utf-8")
+                ctype = "text/plain; version=0.0.4; charset=utf-8"
+            else:
+                payload = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+                ctype = "application/json"
             head = (
                 f"HTTP/1.1 {status} {_HTTP_REASONS.get(status, 'OK')}\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {ctype}\r\n"
                 f"Content-Length: {len(payload)}\r\n"
                 f"Connection: close\r\n\r\n"
             ).encode("latin-1")
@@ -501,7 +509,7 @@ class VerificationService:
         headers: Dict[str, str],
         body: bytes,
         peer: Optional[Tuple[Any, ...]],
-    ) -> Tuple[int, Dict[str, Any]]:
+    ) -> Tuple[int, Any]:  # doc: JSON-safe dict, or str for text/plain
         if self._auth_required(peer) and (
             headers.get("x-repro-token") != self.auth_token
         ):
@@ -513,6 +521,11 @@ class VerificationService:
             return self._http_submit(body)
         if method == "GET" and path == "/status":
             return 200, self.scheduler.service_status()
+        if method == "GET" and path == "/metrics":
+            # Fleet-wide aggregation: every worker's piggybacked metric
+            # deltas plus the scheduler's own per-sweep counters and
+            # latency gauges, as Prometheus text (no client library).
+            return 200, self.scheduler.metrics.render_prometheus()
         if method == "GET" and path.startswith("/sweeps/"):
             rest = path[len("/sweeps/"):]
             sweep_id, _, tail = rest.partition("/")
@@ -559,8 +572,13 @@ class VerificationService:
     # Local in-process executors
     # ------------------------------------------------------------------ #
     def _local_loop(self, n: int) -> None:
-        """One in-process execution client: lease, execute, record, repeat."""
-        from repro.pipeline.runner import execute_task
+        """One in-process execution client: lease, execute, record, repeat.
+
+        Each task runs under a telemetry capture scope (ContextVar-backed,
+        so concurrent executor threads never mix deltas) and piggybacks its
+        metric delta on the result message, exactly like a remote worker.
+        """
+        from repro.pipeline.runner import execute_task_with_metrics
 
         conn_key = f"local-{n}"
         self.scheduler.worker_joined(conn_key, {
@@ -578,15 +596,21 @@ class VerificationService:
                     self._local_stop.wait(0.05)
                     continue
                 for entry in reply["tasks"]:
-                    outcome = execute_task(SweepTask.from_dict(entry["task"]))
-                    self.scheduler.record_result(conn_key, {
+                    outcome, metrics = execute_task_with_metrics(
+                        SweepTask.from_dict(entry["task"])
+                    )
+                    message = {
                         "type": "result",
                         "shard": reply["shard"],
                         "sweep": reply["sweep"],
                         "index": entry["index"],
                         "task_id": entry["task_id"],
                         "outcome": outcome,
-                    })
+                    }
+                    if any(metrics.get(k) for k in
+                           ("counters", "gauges", "histograms")):
+                        message["metrics"] = metrics
+                    self.scheduler.record_result(conn_key, message)
         finally:
             self.scheduler.release(conn_key)
 

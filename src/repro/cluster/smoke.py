@@ -33,8 +33,10 @@ outcome and exits 1.
 from __future__ import annotations
 
 import argparse
+import http.client
 import json
 import os
+import re
 import shutil
 import socket as socket_module
 import subprocess
@@ -50,6 +52,7 @@ from repro.cluster.journal import ResultStore
 from repro.pipeline.result import SweepResult
 from repro.pipeline.runner import SweepRunner
 from repro.pipeline.tasks import enumerate_sweep_tasks
+from repro.telemetry import monotonic as _monotonic
 
 __all__ = ["main"]
 
@@ -119,6 +122,28 @@ def _enumerate(kernels: Optional[List[str]], args: argparse.Namespace):
     )
 
 
+#: One non-comment Prometheus text-exposition sample line:
+#: ``name{label="value",...} number`` (the label block optional).
+_EXPOSITION_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9a-zA-Z+.eE-]+$"
+)
+
+
+def _scrape_metrics(host: str, port: int) -> str:
+    """``GET /metrics`` (plain text, not JSON -- the service's one
+    non-JSON endpoint, so the JSON client wrapper does not apply)."""
+    conn = http.client.HTTPConnection(host, port, timeout=30.0)
+    try:
+        conn.request("GET", "/metrics")
+        response = conn.getresponse()
+        raw = response.read()
+    finally:
+        conn.close()
+    if response.status != 200:
+        raise RuntimeError(f"GET /metrics failed: HTTP {response.status}")
+    return raw.decode("utf-8")
+
+
 def _two_sweep_service_scenario(args: argparse.Namespace) -> int:
     """Two concurrent HTTP-submitted sweeps, one shared elastic worker
     pool, and a kill/restore of the service in the middle."""
@@ -169,7 +194,7 @@ def _two_sweep_service_scenario(args: argparse.Namespace) -> int:
         ]
 
         # Let both sweeps make real progress, then bounce the service.
-        deadline = time.monotonic() + 300.0
+        deadline = _monotonic() + 300.0
         while True:
             done = [
                 sweep_status(http_host, http_port, sid)["done"]
@@ -177,7 +202,7 @@ def _two_sweep_service_scenario(args: argparse.Namespace) -> int:
             ]
             if all(d >= 1 for d in done):
                 break
-            if time.monotonic() > deadline:
+            if _monotonic() > deadline:
                 print(
                     f"[smoke-svc] FAIL: no progress on both sweeps "
                     f"(done counts {done})",
@@ -185,6 +210,13 @@ def _two_sweep_service_scenario(args: argparse.Namespace) -> int:
                 )
                 return 1
             time.sleep(0.2)
+        # Fleet-wide observability: the workers piggyback metric deltas on
+        # their result frames, so with >= 1 result landed per sweep the
+        # first instance's /metrics must already expose aggregated
+        # counters for both sweeps.  (Scraped before the bounce: the
+        # restarted instance starts with fresh registries and may receive
+        # no fresh results at all if the sweeps finished early.)
+        exposition = _scrape_metrics(http_host, http_port)
         print(
             f"[smoke-svc] progress {done}; hard-stopping the service "
             f"mid-run ...",
@@ -264,12 +296,38 @@ def _two_sweep_service_scenario(args: argparse.Namespace) -> int:
             )
             return 1
 
+    bad = [
+        line
+        for line in exposition.splitlines()
+        if line and not line.startswith("#")
+        and not _EXPOSITION_LINE.match(line)
+    ]
+    if bad:
+        print(
+            f"[smoke-svc] FAIL: /metrics line(s) violate the Prometheus "
+            f"text exposition format: {bad[:3]!r}",
+            file=sys.stderr,
+        )
+        return 1
+    wanted = ["repro_worker_latency_ewma_seconds"] + [
+        f'repro_sweep_tasks_total{{sweep="{sid}"}}' for sid in sweep_ids
+    ]
+    for needle in wanted:
+        if needle not in exposition:
+            print(
+                f"[smoke-svc] FAIL: /metrics is missing {needle} "
+                f"(worker metric piggyback broken?)",
+                file=sys.stderr,
+            )
+            return 1
+
     shutil.rmtree(state_dir, ignore_errors=True)  # keep state only on failure
     total = sum(len(t) for t in task_sets)
     print(
         f"[smoke-svc] OK: {total} task(s) across 2 concurrent sweeps "
         f"identical to serial references, journals isolated, service "
-        f"kill/restore re-ran nothing, both workers survived the bounce"
+        f"kill/restore re-ran nothing, both workers survived the bounce, "
+        f"/metrics exposed fleet-wide counters"
     )
     return 0
 

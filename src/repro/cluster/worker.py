@@ -70,8 +70,9 @@ from repro.cluster.protocol import (
     recv_message,
     send_message,
 )
-from repro.pipeline.runner import _pool_context, execute_task
+from repro.pipeline.runner import _pool_context, execute_task_with_metrics
 from repro.pipeline.tasks import SweepTask
+from repro.telemetry import monotonic as _monotonic
 
 __all__ = ["run_worker", "main", "parse_endpoint", "ServiceRefused"]
 
@@ -97,13 +98,13 @@ def parse_endpoint(value: str) -> Tuple[str, int]:
 
 
 def _connect(host: str, port: int, retry_seconds: float) -> socket.socket:
-    deadline = time.monotonic() + retry_seconds
+    deadline = _monotonic() + retry_seconds
     delay = 0.05
     while True:
         try:
             return socket.create_connection((host, port), timeout=30.0)
         except OSError:
-            if time.monotonic() >= deadline:
+            if _monotonic() >= deadline:
                 raise
             time.sleep(delay)
             delay = min(delay * 2, 1.0)
@@ -252,6 +253,7 @@ def run_worker(
             def deliver(
                 shard: Any, sweep: Any, index: int, task_id: str,
                 outcome: Dict[str, Any],
+                metrics: Optional[Dict[str, Any]] = None,
             ) -> None:
                 message = {
                     "type": "result",
@@ -262,6 +264,11 @@ def run_worker(
                 }
                 if sweep is not None:
                     message["sweep"] = sweep
+                if metrics and any(
+                    metrics.get(k)
+                    for k in ("counters", "gauges", "histograms")
+                ):
+                    message["metrics"] = metrics
                 with sock_lock:
                     send_message(sock, message)
                     ack = recv_message(sock)
@@ -289,14 +296,15 @@ def run_worker(
                 sweep = reply.get("sweep")
                 indexed = _rebuild_tasks(reply.get("tasks", []), backend, trial_batch)
                 if pool is not None:
-                    for index, task_id, outcome in pool.imap_unordered(
+                    for index, task_id, outcome, metrics in pool.imap_unordered(
                         _execute_indexed_entry, indexed
                     ):
-                        deliver(shard, sweep, index, task_id, outcome)
+                        deliver(shard, sweep, index, task_id, outcome, metrics)
                         executed += 1
                 else:
                     for index, task_id, task in indexed:
-                        deliver(shard, sweep, index, task_id, execute_task(task))
+                        outcome, metrics = execute_task_with_metrics(task)
+                        deliver(shard, sweep, index, task_id, outcome, metrics)
                         executed += 1
         finally:
             heartbeat.stop()
@@ -334,9 +342,10 @@ def run_worker(
 
 def _execute_indexed_entry(
     item: Tuple[int, str, SweepTask]
-) -> Tuple[int, str, Dict[str, Any]]:
+) -> Tuple[int, str, Dict[str, Any], Dict[str, Any]]:
     index, task_id, task = item
-    return index, task_id, execute_task(task)
+    outcome, metrics = execute_task_with_metrics(task)
+    return index, task_id, outcome, metrics
 
 
 # ---------------------------------------------------------------------- #

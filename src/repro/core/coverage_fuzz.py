@@ -21,7 +21,6 @@ drifts away slowly.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -31,6 +30,7 @@ from repro.core.fuzzing import DifferentialFuzzer
 from repro.core.reporting import FuzzingReport, TrialResult, TrialStatus
 from repro.core.sampling import InputSample, InputSampler
 from repro.interpreter.coverage import CoverageMap
+from repro.telemetry import perf_counter as _perf_counter
 
 __all__ = ["CoverageGuidedFuzzer"]
 
@@ -85,7 +85,7 @@ class CoverageGuidedFuzzer:
     ) -> FuzzingReport:
         """Run the coverage-guided campaign."""
         report = FuzzingReport()
-        start = time.perf_counter()
+        start = _perf_counter()
         self._seed_corpus(max(1, num_seeds), default_symbols)
 
         trial_index = 0
@@ -123,5 +123,5 @@ class CoverageGuidedFuzzer:
             if trial.coverage is not None and self.global_coverage.has_new_coverage(trial.coverage):
                 self.global_coverage.merge(trial.coverage)
                 self.corpus.append(CorpusEntry(sample=sample, coverage=trial.coverage))
-        report.duration_seconds = time.perf_counter() - start
+        report.duration_seconds = _perf_counter() - start
         return report

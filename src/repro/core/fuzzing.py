@@ -11,7 +11,6 @@ matching the paper's footnote 1).
 
 from __future__ import annotations
 
-import time
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -22,6 +21,10 @@ from repro.core.sampling import InputSample, InputSampler
 from repro.interpreter import HangError
 from repro.interpreter.errors import ExecutionError
 from repro.sdfg.sdfg import SDFG
+from repro.telemetry import TRACER as _TRACER
+from repro.telemetry import inc as _metric_inc
+from repro.telemetry import observe as _metric_observe
+from repro.telemetry import perf_counter as _perf_counter
 
 __all__ = ["DifferentialFuzzer", "compare_system_states"]
 
@@ -152,23 +155,29 @@ class DifferentialFuzzer:
         trans_error: Optional[Exception] = None
         orig_result = None
         trans_result = None
-        try:
-            orig_result = self._orig_exec.run(
-                sample.copy_arguments(), sample.symbols,
-                collect_coverage=self.collect_coverage,
+        with _TRACER.span("trial", "fuzz") as span:
+            span.set("index", index)
+            t0 = _perf_counter()
+            try:
+                orig_result = self._orig_exec.run(
+                    sample.copy_arguments(), sample.symbols,
+                    collect_coverage=self.collect_coverage,
+                )
+            except ExecutionError as exc:
+                orig_error = exc
+            try:
+                trans_result = self._trans_exec.run(
+                    sample.copy_arguments(), sample.symbols,
+                    collect_coverage=False,
+                )
+            except ExecutionError as exc:
+                trans_error = exc
+            trial = self._classify(
+                sample, index, orig_result, orig_error, trans_result, trans_error
             )
-        except ExecutionError as exc:
-            orig_error = exc
-        try:
-            trans_result = self._trans_exec.run(
-                sample.copy_arguments(), sample.symbols,
-                collect_coverage=False,
-            )
-        except ExecutionError as exc:
-            trans_error = exc
-        return self._classify(
-            sample, index, orig_result, orig_error, trans_result, trans_error
-        )
+            span.set("status", trial.status.name)
+            _metric_observe("repro_trial_seconds", _perf_counter() - t0)
+        return trial
 
     def _classify(
         self,
@@ -251,7 +260,7 @@ class DifferentialFuzzer:
         if self.trial_batch > 1 and samples is None:
             return self._run_batched(num_trials, stop_on_failure, max_skip_retries)
         report = FuzzingReport()
-        start = time.perf_counter()
+        start = _perf_counter()
         stop = False
         for slot in range(num_trials):
             if stop:
@@ -266,10 +275,12 @@ class DifferentialFuzzer:
                 report.trials.append(trial)
                 report.trials_run += 1
                 report.trials_attempted += 1
+                _metric_inc("repro_trials_total", labels={"mode": "serial"})
                 if trial.status == TrialStatus.SKIPPED_BOTH_CRASH:
                     report.trials_skipped += 1
                     if retries < max_skip_retries:
                         retries += 1
+                        _metric_inc("repro_trial_retries_total")
                         continue
                     break
                 report.trials_effective += 1
@@ -284,7 +295,7 @@ class DifferentialFuzzer:
                     if stop_on_failure:
                         stop = True
                 break
-        report.duration_seconds = time.perf_counter() - start
+        report.duration_seconds = _perf_counter() - start
         return report
 
     # ------------------------------------------------------------------ #
@@ -322,7 +333,7 @@ class DifferentialFuzzer:
         single resample would gain nothing.
         """
         report = FuzzingReport()
-        start = time.perf_counter()
+        start = _perf_counter()
         stop = False
         slots_done = 0
         while slots_done < num_trials and not stop:
@@ -368,6 +379,7 @@ class DifferentialFuzzer:
                     report.trials.append(trial)
                     report.trials_run += 1
                     report.trials_attempted += 1
+                    _metric_inc("repro_trials_total", labels={"mode": "batched"})
                     if trial.status != TrialStatus.SKIPPED_BOTH_CRASH:
                         stop = self._note_effective(
                             report, trial, sample, stop_on_failure
@@ -377,11 +389,13 @@ class DifferentialFuzzer:
                     retries = 0
                     while retries < max_skip_retries:
                         retries += 1
+                        _metric_inc("repro_trial_retries_total")
                         retry_sample = self.sampler.sample()
                         trial = self.run_trial(retry_sample, index=len(report.trials))
                         report.trials.append(trial)
                         report.trials_run += 1
                         report.trials_attempted += 1
+                        _metric_inc("repro_trials_total", labels={"mode": "serial"})
                         if trial.status == TrialStatus.SKIPPED_BOTH_CRASH:
                             report.trials_skipped += 1
                             continue
@@ -389,5 +403,5 @@ class DifferentialFuzzer:
                             report, trial, retry_sample, stop_on_failure
                         )
                         break
-        report.duration_seconds = time.perf_counter() - start
+        report.duration_seconds = _perf_counter() - start
         return report

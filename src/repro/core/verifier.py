@@ -23,7 +23,6 @@ differential testing of the *entire* application instead of the cutout.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -42,6 +41,8 @@ from repro.core.sampling import InputSampler
 from repro.core.testcase import ReproducibleTestCase, save_test_case
 from repro.sdfg.sdfg import SDFG
 from repro.sdfg.validation import InvalidSDFGError, validate_sdfg
+from repro.telemetry import TRACER as _TRACER
+from repro.telemetry import perf_counter as _perf_counter
 from repro.transforms.base import Match, PatternTransformation, TransformationError
 
 __all__ = ["FuzzyFlowVerifier", "verify_transformation"]
@@ -103,7 +104,7 @@ class FuzzyFlowVerifier:
         custom_constraints: Optional[Mapping[str, Tuple[int, int]]] = None,
     ) -> TransformationTestReport:
         """Test one transformation instance on a program."""
-        start = time.perf_counter()
+        start = _perf_counter()
         symbol_values = dict(symbol_values or {})
 
         if match is None:
@@ -117,7 +118,7 @@ class FuzzyFlowVerifier:
                     transformation=transformation.name,
                     match_description="(no applicable match)",
                     verdict=Verdict.UNTESTED,
-                    duration_seconds=time.perf_counter() - start,
+                    duration_seconds=_perf_counter() - start,
                 )
             match = candidates[0]
 
@@ -129,27 +130,29 @@ class FuzzyFlowVerifier:
 
         # 1-2. Change isolation + cutout extraction.
         try:
-            cutout = extract_cutout(
-                sdfg,
-                transformation=transformation,
-                match=match,
-                use_black_box=self.use_black_box,
-                symbol_values=symbol_values,
-            )
+            with _TRACER.span("verify.cutout", "verify"):
+                cutout = extract_cutout(
+                    sdfg,
+                    transformation=transformation,
+                    match=match,
+                    use_black_box=self.use_black_box,
+                    symbol_values=symbol_values,
+                )
         except Exception as exc:  # noqa: BLE001 - reported as a verdict
             report.verdict = Verdict.INVALID_CODE
             report.error_message = f"cutout extraction failed: {exc}"
-            report.duration_seconds = time.perf_counter() - start
+            report.duration_seconds = _perf_counter() - start
             return report
 
         # 3. Input-configuration minimization (dataflow cutouts only).
         minimization: Optional[MinimizationResult] = None
         if self.minimize_inputs and cutout.kind == "dataflow":
             try:
-                original_state = sdfg.state_by_label(cutout.state_labels[0])
-                minimization = minimize_input_configuration(
-                    sdfg, original_state, cutout, symbol_values
-                )
+                with _TRACER.span("verify.minimize", "verify"):
+                    original_state = sdfg.state_by_label(cutout.state_labels[0])
+                    minimization = minimize_input_configuration(
+                        sdfg, original_state, cutout, symbol_values
+                    )
                 cutout = minimization.cutout
                 report.minimized = minimization.minimized
             except Exception as exc:  # noqa: BLE001 - minimization is best effort
@@ -175,12 +178,13 @@ class FuzzyFlowVerifier:
         # 4. Apply the transformation to the cutout.
         transformed = cutout.sdfg.clone(new_name=f"{cutout.sdfg.name}_transformed")
         try:
-            cutout_match = transfer_match(transformation, match, transformed)
-            transformation.apply(transformed, cutout_match)
+            with _TRACER.span("verify.apply", "verify"):
+                cutout_match = transfer_match(transformation, match, transformed)
+                transformation.apply(transformed, cutout_match)
         except Exception as exc:  # noqa: BLE001 - reported as a verdict
             report.verdict = Verdict.INVALID_CODE
             report.error_message = f"failed to apply transformation to the cutout: {exc}"
-            report.duration_seconds = time.perf_counter() - start
+            report.duration_seconds = _perf_counter() - start
             return report
 
         original_exec = self._executable(cutout, cutout.sdfg)
@@ -192,7 +196,7 @@ class FuzzyFlowVerifier:
         except InvalidSDFGError as exc:
             report.verdict = Verdict.INVALID_CODE
             report.error_message = f"transformed program is invalid: {exc}"
-            report.duration_seconds = time.perf_counter() - start
+            report.duration_seconds = _perf_counter() - start
             self._maybe_save_test_case(report, cutout, transformed, None, {}, symbol_values)
             return report
 
@@ -223,24 +227,26 @@ class FuzzyFlowVerifier:
             backend=self.backend,
             trial_batch=self.trial_batch,
         )
-        if self.use_coverage_guidance:
-            cg = CoverageGuidedFuzzer(fuzzer, sampler, seed=self.seed)
-            fuzzing_report = cg.run(
-                max_trials=self.num_trials,
-                default_symbols={
-                    k: int(v) for k, v in symbol_values.items()
-                    if k in original_exec.free_symbols
-                } or None,
-                stop_on_failure=self.stop_on_failure,
-            )
-        else:
-            fuzzing_report = fuzzer.run(
-                num_trials=self.num_trials, stop_on_failure=self.stop_on_failure
-            )
+        with _TRACER.span("verify.fuzz", "verify") as span:
+            span.set("trials", self.num_trials)
+            if self.use_coverage_guidance:
+                cg = CoverageGuidedFuzzer(fuzzer, sampler, seed=self.seed)
+                fuzzing_report = cg.run(
+                    max_trials=self.num_trials,
+                    default_symbols={
+                        k: int(v) for k, v in symbol_values.items()
+                        if k in original_exec.free_symbols
+                    } or None,
+                    stop_on_failure=self.stop_on_failure,
+                )
+            else:
+                fuzzing_report = fuzzer.run(
+                    num_trials=self.num_trials, stop_on_failure=self.stop_on_failure
+                )
 
         report.fuzzing = fuzzing_report
         report.verdict = fuzzing_report.verdict()
-        report.duration_seconds = time.perf_counter() - start
+        report.duration_seconds = _perf_counter() - start
 
         if report.verdict.is_failure:
             self._maybe_save_test_case(
@@ -371,7 +377,7 @@ class FuzzyFlowVerifier:
 
         This is the "traditional approach" the paper compares cutout-based
         testing against (e.g. the 528x headline of Sec. 6.1)."""
-        start = time.perf_counter()
+        start = _perf_counter()
         symbol_values = dict(symbol_values or {})
         if match is None:
             candidates = [
@@ -384,7 +390,7 @@ class FuzzyFlowVerifier:
                     transformation=transformation.name,
                     match_description="(no applicable match)",
                     verdict=Verdict.UNTESTED,
-                    duration_seconds=time.perf_counter() - start,
+                    duration_seconds=_perf_counter() - start,
                 )
             match = candidates[0]
 
@@ -401,12 +407,12 @@ class FuzzyFlowVerifier:
         except InvalidSDFGError as exc:
             report.verdict = Verdict.INVALID_CODE
             report.error_message = str(exc)
-            report.duration_seconds = time.perf_counter() - start
+            report.duration_seconds = _perf_counter() - start
             return report
         except Exception as exc:  # noqa: BLE001
             report.verdict = Verdict.INVALID_CODE
             report.error_message = f"failed to apply transformation: {exc}"
-            report.duration_seconds = time.perf_counter() - start
+            report.duration_seconds = _perf_counter() - start
             return report
 
         non_transient = [n for n, d in sdfg.arrays.items() if not d.transient]
@@ -444,7 +450,7 @@ class FuzzyFlowVerifier:
         )
         report.fuzzing = fuzzing_report
         report.verdict = fuzzing_report.verdict()
-        report.duration_seconds = time.perf_counter() - start
+        report.duration_seconds = _perf_counter() - start
         return report
 
 

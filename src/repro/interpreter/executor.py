@@ -48,6 +48,7 @@ from repro.sdfg.nodes import (
 )
 from repro.sdfg.sdfg import SDFG
 from repro.sdfg.state import SDFGState
+from repro.telemetry import TRACER as _TRACER
 
 __all__ = ["SDFGExecutor", "ExecutionResult", "execute_sdfg"]
 
@@ -289,13 +290,17 @@ class SDFGExecutor:
         return self._topo_cache[key]
 
     def _execute_state(self, state: SDFGState) -> None:
-        order = self._state_order(state)
-        scopes = self._scope_cache[id(state)]
-        bindings = dict(self._symbols)
-        for node in order:
-            if scopes.get(node) is not None:
-                continue  # handled by its enclosing map scope
-            self._execute_node(state, node, bindings)
+        # Null span (free) unless tracing is enabled; then one per-state
+        # execute span, with per-scope spans nesting inside it.
+        with _TRACER.span("execute.state", "execute") as span:
+            span.set("state", state.label)
+            order = self._state_order(state)
+            scopes = self._scope_cache[id(state)]
+            bindings = dict(self._symbols)
+            for node in order:
+                if scopes.get(node) is not None:
+                    continue  # handled by its enclosing map scope
+                self._execute_node(state, node, bindings)
 
     def _execute_node(self, state: SDFGState, node: Node, bindings: Dict[str, Any]) -> None:
         if isinstance(node, Tasklet):

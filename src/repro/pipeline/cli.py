@@ -36,7 +36,6 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import time
 from typing import Any, Dict, List, Optional, TextIO
 
 from repro.backends import get_backend, list_backends
@@ -44,6 +43,8 @@ from repro.backends.vectorized import CACHE_DIR_ENV
 from repro.cluster.protocol import TOKEN_ENV as _TOKEN_ENV
 from repro.pipeline.runner import SweepRunner
 from repro.pipeline.tasks import enumerate_sweep_tasks
+from repro.telemetry import TRACE_ENV, configure_tracing
+from repro.telemetry import perf_counter as _perf_counter
 from repro.workloads import list_workload_suites
 
 __all__ = ["main", "build_parser", "ProgressPrinter", "format_eta"]
@@ -97,7 +98,7 @@ class ProgressPrinter:
     def __init__(
         self,
         stream: Optional[TextIO] = None,
-        clock=time.perf_counter,
+        clock=_perf_counter,
         arm_on_first_outcome: bool = False,
     ) -> None:
         self._stream = stream if stream is not None else sys.stdout
@@ -186,6 +187,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="print each task's verdict as it completes, with tasks/s and ETA",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="append Chrome-compatible trace events (JSONL, one complete "
+        f"event per line) to PATH; sets {TRACE_ENV} so pool and cluster "
+        "worker processes trace into the same file (inspect with "
+        "python -m repro.telemetry --summary PATH)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="fuzzing seed")
     parser.add_argument("--size-max", type=int, default=10, help="maximum sampled size-symbol value")
     parser.add_argument("--json", default=None, metavar="PATH", help="write the JSON report here")
@@ -272,6 +280,13 @@ def _render_result(result: Any, args: argparse.Namespace) -> int:
     Shared by every mode that ends up owning a full result -- local run,
     ``--serve``, and a non-detached ``--submit``.
     """
+    if args.progress:
+        # The final --progress line: where lowering gave up, fleet-wide,
+        # sourced from the sweep's aggregated telemetry section.
+        reasons = getattr(result, "fallback_reasons", lambda: [])()
+        if reasons:
+            summary = ", ".join(f"{reason}={count}" for reason, count in reasons)
+            print(f"[pipeline] top fallback reasons: {summary}", flush=True)
     if not args.quiet:
         print(result.render_text())
         print(f"\nduration: {result.duration_seconds:.2f} s")
@@ -322,6 +337,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Through the environment so forked/spawned pool workers (and any
         # backend instance, whenever constructed) pick it up.
         os.environ[CACHE_DIR_ENV] = os.path.abspath(args.cache_dir)
+    if args.trace:
+        # Likewise environment-propagated: every process in the sweep
+        # (pool workers, cluster workers spawned from here) appends to the
+        # same JSONL file under an exclusive lock.
+        configure_tracing(args.trace)
 
     # ------------------------------------------------------------------ #
     # Worker mode: no enumeration, no report -- serve one coordinator.

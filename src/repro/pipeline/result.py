@@ -37,7 +37,14 @@ __all__ = ["SweepResult"]
 #: documents load with ``sweep_id=None``.  Like ``workers``, the field
 #: describes *how* the sweep ran, not what it computed, so
 #: :meth:`SweepResult.comparable_dict` strips it.
-SCHEMA_VERSION = 5
+#: Version 6 adds the optional top-level ``telemetry`` section: the
+#: aggregated metrics snapshot of the sweep (``{"metrics": {counters,
+#: gauges, histograms}}``, see :mod:`repro.telemetry.metrics`), or ``None``
+#: when telemetry recorded nothing.  v1-v5 documents load with
+#: ``telemetry=None``.  Telemetry describes how the sweep *ran* (cache
+#: luck, batching, timings), never what it computed, so
+#: :meth:`SweepResult.comparable_dict` strips it.
+SCHEMA_VERSION = 6
 
 #: Per-outcome keys introduced by schema version 4, with load-time defaults
 #: applied to documents written by older versions.
@@ -57,6 +64,10 @@ class SweepResult:
     #: Submission id assigned by the verification service (``sweep-NNN``);
     #: ``None`` for sweeps run outside the service.
     sweep_id: Optional[str] = None
+    #: Aggregated telemetry for the sweep (``{"metrics": snapshot}``), or
+    #: ``None`` when nothing was recorded.  Observability data only --
+    #: stripped by :meth:`comparable_dict`.
+    telemetry: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------ #
     def verdict_table(self) -> Dict[str, Dict[str, Any]]:
@@ -99,6 +110,7 @@ class SweepResult:
             "workers": self.workers,
             "backend": self.backend,
             "sweep_id": self.sweep_id,
+            "telemetry": copy.deepcopy(self.telemetry),
             "duration_seconds": self.duration_seconds,
             "verdict_table": self.verdict_table(),
             "totals": dict(zip(("instances", "failing"), self.totals())),
@@ -112,13 +124,14 @@ class SweepResult:
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "SweepResult":
-        """Load any schema version (1-5), filling defaulted fields.
+        """Load any schema version (1-6), filling defaulted fields.
 
         v1 documents predate backend selection and load as ``"interpreter"``
         (what every v1 sweep ran); v1-v3 outcomes gain the v4 ``task_id`` /
         ``worker`` keys with ``None`` defaults so downstream consumers see a
         uniform shape; v1-v4 documents predate the verification service and
-        load with ``sweep_id=None``.
+        load with ``sweep_id=None``; v1-v5 documents predate telemetry and
+        load with ``telemetry=None``.
         """
         outcomes = []
         for o in d.get("outcomes", []):
@@ -134,6 +147,7 @@ class SweepResult:
             outcomes=outcomes,
             duration_seconds=d.get("duration_seconds", 0.0),
             sweep_id=d.get("sweep_id"),
+            telemetry=d.get("telemetry"),
         )
 
     def comparable_dict(self) -> Dict[str, Any]:
@@ -143,13 +157,14 @@ class SweepResult:
         how they were executed -- serial, multiprocess, distributed across
         heterogeneous workers, or resumed from a journal.  Stripped fields:
         wall-clock durations (sweep, per-report, per-fuzzing-campaign),
-        worker counts, the service submission id, and per-outcome
-        ``worker`` shard metadata.
+        worker counts, the service submission id, the telemetry section,
+        and per-outcome ``worker`` shard metadata.
         """
         doc = copy.deepcopy(self.to_dict())
         doc.pop("duration_seconds", None)
         doc.pop("workers", None)
         doc.pop("sweep_id", None)
+        doc.pop("telemetry", None)
         for outcome in doc.get("outcomes", []):
             outcome.pop("worker", None)
             report = outcome.get("report")
@@ -183,7 +198,32 @@ class SweepResult:
             )
         total_i, total_f = self.totals()
         lines.append(f"| **TOTAL** | **{total_i}** | **{total_f}** | |")
+        reasons = self.fallback_reasons()
+        if reasons:
+            lines.extend(
+                [
+                    "",
+                    "## Fallback reasons (top 5)",
+                    "",
+                    "| Reason | Scopes |",
+                    "| --- | ---: |",
+                ]
+            )
+            lines.extend(
+                f"| {reason} | {count} |" for reason, count in reasons
+            )
         return "\n".join(lines) + "\n"
+
+    def fallback_reasons(self, top: int = 5) -> List[Tuple[str, int]]:
+        """The top scope-lowering fallback reasons recorded by telemetry.
+
+        Empty when the sweep ran without telemetry (schema <= 5 documents,
+        or interpreter-only sweeps that never attempt lowering)."""
+        from repro.telemetry import fallback_summary
+
+        if not self.telemetry:
+            return []
+        return fallback_summary(self.telemetry.get("metrics") or {}, top=top)
 
     def render_text(self) -> str:
         """The aligned plain-text table the serial sweep script used to print."""

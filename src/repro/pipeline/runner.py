@@ -21,15 +21,17 @@ re-runs only its unfinished tail.
 from __future__ import annotations
 
 import multiprocessing
-import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.reporting import Verdict
 from repro.core.verifier import FuzzyFlowVerifier
 from repro.pipeline.result import SweepResult
 from repro.pipeline.tasks import SweepTask
+from repro.telemetry import TRACER as _TRACER
+from repro.telemetry import MetricsRegistry, capture
+from repro.telemetry import perf_counter as _perf_counter
 
-__all__ = ["SweepRunner", "execute_task"]
+__all__ = ["SweepRunner", "execute_task", "execute_task_with_metrics"]
 
 #: Callback signature: (task index, outcome dict, completed count, total).
 ProgressCallback = Callable[[int, Dict[str, Any], int, int], None]
@@ -76,10 +78,34 @@ def execute_task(task: SweepTask) -> Dict[str, Any]:
     return base
 
 
-def _execute_indexed(item: Tuple[int, SweepTask]) -> Tuple[int, Dict[str, Any]]:
+def execute_task_with_metrics(
+    task: SweepTask,
+) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Run one sweep task, returning ``(outcome, metrics delta snapshot)``.
+
+    The outcome dict is *identical* to :func:`execute_task`'s (journals and
+    verdicts stay bitwise unaffected); the metrics delta rides alongside it
+    so pool workers, cluster workers and serial loops can all report
+    per-task telemetry without touching the journaled payload.  The trace
+    buffer is flushed after each task so pool workers never lose events to
+    an unclean process exit.
+    """
+    with capture() as sink:
+        with _TRACER.span("task", "sweep") as span:
+            span.set("task_id", task.task_id)
+            outcome = execute_task(task)
+            span.set("verdict", outcome.get("verdict"))
+    _TRACER.flush()
+    return outcome, sink.snapshot()
+
+
+def _execute_indexed(
+    item: Tuple[int, SweepTask],
+) -> Tuple[int, Dict[str, Any], Dict[str, Any]]:
     """Pool worker wrapper carrying the task index through imap_unordered."""
     index, task = item
-    return index, execute_task(task)
+    outcome, metrics = execute_task_with_metrics(task)
+    return index, outcome, metrics
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -125,7 +151,7 @@ class SweepRunner:
         ``sweep_id`` labels the result with a verification-service
         submission id (stripped by ``comparable_dict()``).
         """
-        start = time.perf_counter()
+        start = _perf_counter()
         tasks = list(tasks)
         total = len(tasks)
         if suite is None:
@@ -153,10 +179,18 @@ class SweepRunner:
             else:
                 pending.append((index, task))
 
-        def land(index: int, outcome: Dict[str, Any]) -> None:
+        agg = MetricsRegistry()
+
+        def land(
+            index: int,
+            outcome: Dict[str, Any],
+            metrics: Optional[Dict[str, Any]] = None,
+        ) -> None:
             nonlocal done
             outcomes[index] = outcome
             done += 1
+            if metrics:
+                agg.merge(metrics)
             if store is not None:
                 store.record(outcome["task_id"], index, outcome)
             if progress_callback is not None:
@@ -165,21 +199,25 @@ class SweepRunner:
         if self.workers == 1 or len(pending) <= 1:
             workers_used = 1
             for index, task in pending:
-                land(index, execute_task(task))
+                outcome, metrics = execute_task_with_metrics(task)
+                land(index, outcome, metrics)
         else:
             workers_used = min(self.workers, len(pending))
             ctx = _pool_context()
             with ctx.Pool(processes=workers_used) as pool:
-                for index, outcome in pool.imap_unordered(
+                for index, outcome, metrics in pool.imap_unordered(
                     _execute_indexed, pending, chunksize=self.chunksize
                 ):
-                    land(index, outcome)
+                    land(index, outcome, metrics)
         return SweepResult(
             suite=suite,
             buggy=buggy,
             workers=workers_used,
             backend=backend,
             outcomes=outcomes,
-            duration_seconds=time.perf_counter() - start,
+            duration_seconds=_perf_counter() - start,
             sweep_id=sweep_id,
+            telemetry=(
+                None if agg.is_empty() else {"metrics": agg.snapshot()}
+            ),
         )

@@ -1,0 +1,88 @@
+"""Trace-file utilities: ``python -m repro.telemetry``.
+
+* ``--validate PATH``  check a JSONL trace against the span schema
+  (exit 1 listing the first violations otherwise) -- what ``make smoke``
+  runs on the traced mini sweep;
+* ``--chrome OUT PATH``  wrap a JSONL trace into a Chrome trace-event
+  document loadable in ``chrome://tracing`` / https://ui.perfetto.dev;
+* ``--summary PATH``  per-span-name count / total-duration table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry.trace import export_chrome, read_events, validate_event
+
+
+def _validate(path: str, max_errors: int = 10) -> int:
+    count = 0
+    errors: List[str] = []
+    try:
+        for lineno, event in read_events(path):
+            count += 1
+            problem = validate_event(event)
+            if problem is not None:
+                errors.append(f"{path}:{lineno}: {problem}")
+                if len(errors) >= max_errors:
+                    break
+    except (OSError, ValueError) as exc:
+        print(f"trace validation FAILED: {exc}", file=sys.stderr)
+        return 1
+    if errors:
+        print("trace validation FAILED:", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    if count == 0:
+        print(f"trace validation FAILED: {path} holds no events", file=sys.stderr)
+        return 1
+    print(f"trace OK: {count} event(s) in {path} conform to the span schema")
+    return 0
+
+
+def _summary(path: str) -> int:
+    totals: Dict[str, Tuple[int, float]] = {}
+    for _, event in read_events(path):
+        n, dur = totals.get(event["name"], (0, 0.0))
+        totals[event["name"]] = (n + 1, dur + event.get("dur", 0.0))
+    print(f"{'span':<28}{'count':>10}{'total ms':>14}")
+    for name in sorted(totals, key=lambda k: -totals[k][1]):
+        n, dur = totals[name]
+        print(f"{name:<28}{n:>10}{dur / 1e3:>14.3f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Validate, convert or summarize JSONL span traces.",
+    )
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--validate", metavar="PATH",
+        help="check a JSONL trace against the span schema",
+    )
+    group.add_argument(
+        "--chrome", nargs=2, metavar=("OUT", "PATH"),
+        help="convert a JSONL trace to a Chrome trace-event file",
+    )
+    group.add_argument(
+        "--summary", metavar="PATH",
+        help="per-span-name count/duration table",
+    )
+    args = parser.parse_args(argv)
+    if args.validate:
+        return _validate(args.validate)
+    if args.chrome:
+        out, src = args.chrome
+        count = export_chrome(src, out)
+        print(f"wrote {count} event(s) to {out}")
+        return 0
+    return _summary(args.summary)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

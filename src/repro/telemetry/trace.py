@@ -1,0 +1,266 @@
+"""Span tracing with JSONL / Chrome trace-event export.
+
+Opt-in: the tracer is a process-wide singleton (:data:`TRACER`) that stays
+a no-op until a trace path is configured -- via the ``REPRO_TRACE``
+environment variable (read at import, so forked/spawned pool and cluster
+workers inherit the parent's choice) or :func:`configure_tracing` (what the
+pipeline CLI's ``--trace PATH`` calls).
+
+**Disabled fast path.**  ``TRACER.span(...)`` returns a shared immutable
+null span when disabled: no span object, no timestamp read, no argument
+dict -- nothing is allocated (asserted by tests via
+:attr:`Tracer.spans_started`, which counts real span allocations and must
+stay zero while disabled).  Hot paths may therefore call it unconditionally.
+
+**Event format.**  Each completed span is one JSON object that is *both* a
+JSONL record and a valid Chrome trace-event (``ph: "X"`` complete event):
+
+``{"name", "cat", "ph": "X", "ts", "dur", "pid", "tid", "args"}``
+
+with ``ts``/``dur`` in microseconds on the clock seam's ``perf_counter``
+(monotonic, machine-wide on Linux, so events from concurrent worker
+processes align).  The trace file is append-only JSONL; every process
+buffers locally and appends under an ``flock`` so concurrent writers never
+interleave mid-line.  ``python -m repro.telemetry --chrome OUT IN`` wraps a
+JSONL file into the ``{"traceEvents": [...]}`` document the Chrome /
+Perfetto trace viewers load directly.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.telemetry import clock as _clock
+
+__all__ = [
+    "TRACE_ENV",
+    "Tracer",
+    "TRACER",
+    "configure_tracing",
+    "validate_event",
+    "read_events",
+    "export_chrome",
+]
+
+#: Environment variable naming the JSONL trace output path.
+TRACE_ENV = "REPRO_TRACE"
+
+#: Buffered events are appended to the trace file beyond this many.
+_FLUSH_THRESHOLD = 4096
+
+
+class _NullSpan:
+    """The shared disabled-mode span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span; records itself on ``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str,
+                 args: Optional[Dict[str, Any]]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self._t0 = 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach one argument (lazily allocates the args dict)."""
+        if self.args is None:
+            self.args = {}
+        self.args[key] = value
+
+    def __enter__(self) -> "_Span":
+        self._t0 = self._tracer._perf()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        end = self._tracer._perf()
+        self._tracer._record(self, self._t0, end - self._t0)
+        return False
+
+
+class Tracer:
+    """A thread/process-safe span recorder writing append-only JSONL.
+
+    Thread safety: span objects are per-``with``-block locals; only the
+    shared buffer is guarded.  Process safety: each process buffers its own
+    events and appends whole lines under an exclusive ``flock``; a fork
+    handler drops any buffer inherited from the parent so events are never
+    written twice.
+    """
+
+    def __init__(self, perf: Optional[Any] = None) -> None:
+        self._perf = perf or _clock.perf_counter
+        self._lock = threading.Lock()
+        self._buffer: List[Dict[str, Any]] = []
+        self._path: Optional[str] = None
+        #: Fast-path gate, read without the lock on every ``span()`` call.
+        self.enabled = False
+        #: Real span allocations since process start.  Stays 0 while the
+        #: tracer is disabled -- the no-op-fast-path regression counter.
+        self.spans_started = 0
+
+    # ------------------------------------------------------------------ #
+    def configure(self, path: Optional[str]) -> None:
+        """Enable tracing to ``path`` (JSONL, appended); ``None`` disables."""
+        with self._lock:
+            if path is None and self._buffer and self._path:
+                self._flush_locked()
+            self._path = path
+            self.enabled = path is not None
+
+    def span(self, name: str, cat: str = "repro",
+             args: Optional[Dict[str, Any]] = None):
+        """A context-manager span; the shared null span when disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        self.spans_started += 1
+        return _Span(self, name, cat, args)
+
+    # ------------------------------------------------------------------ #
+    def _record(self, span: _Span, t0: float, dur: float) -> None:
+        event = {
+            "name": span.name,
+            "cat": span.cat,
+            "ph": "X",
+            "ts": t0 * 1e6,
+            "dur": dur * 1e6,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "args": span.args or {},
+        }
+        with self._lock:
+            self._buffer.append(event)
+            if len(self._buffer) >= _FLUSH_THRESHOLD:
+                self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        if not self._buffer or self._path is None:
+            return
+        payload = "".join(
+            json.dumps(event, separators=(",", ":"), default=str) + "\n"
+            for event in self._buffer
+        )
+        self._buffer = []
+        try:
+            with open(self._path, "a", encoding="utf-8") as f:
+                try:
+                    import fcntl
+
+                    fcntl.flock(f, fcntl.LOCK_EX)  # released by close()
+                except (ImportError, OSError):
+                    pass  # single-writer platforms still get whole-line appends
+                f.write(payload)
+        except OSError:
+            pass  # an unwritable trace path must never fail the sweep
+
+    def flush(self) -> None:
+        """Append all buffered events to the trace file."""
+        with self._lock:
+            self._flush_locked()
+
+    def _after_fork(self) -> None:
+        # The child inherits the parent's buffer; the parent will flush its
+        # own copy, so the child must drop it or events duplicate.
+        self._lock = threading.Lock()
+        self._buffer = []
+
+
+#: The process-wide tracer every instrumentation point uses.
+TRACER = Tracer()
+
+
+def configure_tracing(path: Optional[str]) -> None:
+    """Enable/disable the process tracer and export the choice to children.
+
+    Also sets/clears :data:`TRACE_ENV` so worker subprocesses (cluster
+    workers, spawned pools) started later trace to the same file.
+    """
+    if path is not None:
+        path = os.path.abspath(path)
+        os.environ[TRACE_ENV] = path
+    else:
+        os.environ.pop(TRACE_ENV, None)
+    TRACER.configure(path)
+
+
+TRACER.configure(os.environ.get(TRACE_ENV) or None)
+atexit.register(TRACER.flush)
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=TRACER._after_fork)
+
+
+# ---------------------------------------------------------------------- #
+# Trace-schema validation and Chrome export
+# ---------------------------------------------------------------------- #
+#: Required event fields and their types (the trace schema).
+_SCHEMA: Tuple[Tuple[str, Any], ...] = (
+    ("name", str),
+    ("cat", str),
+    ("ph", str),
+    ("ts", (int, float)),
+    ("dur", (int, float)),
+    ("pid", int),
+    ("tid", int),
+    ("args", dict),
+)
+
+
+def validate_event(event: Any) -> Optional[str]:
+    """``None`` if ``event`` conforms to the trace schema, else the error."""
+    if not isinstance(event, dict):
+        return f"event is {type(event).__name__}, expected object"
+    for field, types in _SCHEMA:
+        if field not in event:
+            return f"missing field {field!r}"
+        if not isinstance(event[field], types):
+            return f"field {field!r} has type {type(event[field]).__name__}"
+    if event["ph"] != "X":
+        return f"unexpected phase {event['ph']!r} (spans are complete events)"
+    if event["dur"] < 0:
+        return "negative duration"
+    return None
+
+
+def read_events(path: str) -> Iterator[Tuple[int, Any]]:
+    """Yield ``(line_number, parsed_event)`` from a JSONL trace file."""
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield lineno, json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+
+
+def export_chrome(jsonl_path: str, out_path: str) -> int:
+    """Wrap a JSONL trace into a Chrome trace-event document; returns the
+    event count.  The output loads directly in ``chrome://tracing`` and
+    https://ui.perfetto.dev."""
+    events = [event for _, event in read_events(jsonl_path)]
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, f)
+    return len(events)

@@ -213,9 +213,9 @@ class TestSweepResult:
 
     def test_json_schema_fields(self):
         doc = json.loads(self._result().to_json())
-        assert doc["schema_version"] == 5
+        assert doc["schema_version"] == 6
         assert set(doc) >= {
-            "suite", "buggy", "workers", "backend", "sweep_id",
+            "suite", "buggy", "workers", "backend", "sweep_id", "telemetry",
             "duration_seconds", "verdict_table", "totals", "outcomes",
         }
         assert doc["backend"] == "interpreter"
@@ -303,7 +303,7 @@ class TestSweepResult:
         store.close()
 
         header, completed = ResultStore._load(path)
-        assert header["schema_version"] == 5
+        assert header["schema_version"] == 6
         assert header["total_tasks"] == len(tasks)
         reassembled = SweepResult(
             suite=header["suite"],

@@ -36,6 +36,14 @@ package docstring for the analyze -> plan -> codegen -> execute pipeline):
    ``src/repro/cluster/`` too, so the service split cannot silently
    regrow a monolith.
 
+5. **Clock containment** -- within ``src/repro/``, only the telemetry
+   clock seam (``repro/telemetry/``) may call :func:`time.monotonic` or
+   :func:`time.perf_counter` (or import them from :mod:`time`).  Every
+   other module takes its clock from :mod:`repro.telemetry` --
+   ``monotonic()`` / ``perf_counter()`` -- so tests can inject a fake
+   clock and trace timestamps stay on one monotonic domain.  Benchmarks
+   (``benchmarks/``) sit outside ``src/`` and are exempt.
+
 Exits non-zero listing every violation.  Wired into ``make lint-arch`` and
 ``make smoke``.
 """
@@ -166,6 +174,41 @@ def _check_ffi(path: Path) -> List[str]:
     return violations
 
 
+SRC = ROOT / "src" / "repro"
+#: The sole package allowed to touch the raw monotonic clocks.
+CLOCK_HOME = SRC / "telemetry"
+_CLOCK_NAMES = ("monotonic", "perf_counter")
+
+
+def _check_clock(path: Path) -> List[str]:
+    """Violations of the clock-containment rule in one module."""
+    violations: List[str] = []
+    rel = path.relative_to(ROOT)
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "time"
+            and node.attr in _CLOCK_NAMES
+        ):
+            violations.append(
+                f"{rel}:{node.lineno}: time.{node.attr} outside "
+                f"repro.telemetry -- use the repro.telemetry clock seam"
+            )
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and (
+            node.module == "time"
+        ):
+            for alias in node.names:
+                if alias.name in _CLOCK_NAMES:
+                    violations.append(
+                        f"{rel}:{node.lineno}: 'from time import "
+                        f"{alias.name}' outside repro.telemetry -- use "
+                        f"the repro.telemetry clock seam"
+                    )
+    return violations
+
+
 def main() -> int:
     failures: List[str] = []
     for path in sorted(BACKENDS.rglob("*.py")):
@@ -187,6 +230,10 @@ def main() -> int:
                 f"{MAX_LINES}-line module cap"
             )
         failures.extend(_check_transport(path))
+    for path in sorted(SRC.rglob("*.py")):
+        if CLOCK_HOME in path.parents:
+            continue
+        failures.extend(_check_clock(path))
     if failures:
         print("Architecture lint FAILED:", file=sys.stderr)
         for failure in failures:
@@ -194,7 +241,7 @@ def main() -> int:
         return 1
     print(
         "Architecture lint OK (module sizes, codegen->execute layering, "
-        "FFI containment, cluster transport containment)."
+        "FFI containment, cluster transport containment, clock containment)."
     )
     return 0
 
