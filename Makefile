@@ -3,7 +3,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke smoke-dist sweep bench-scaling bench-quick lint-arch
+.PHONY: test smoke smoke-dist smoke-chaos sweep bench-scaling bench-quick lint-arch
 
 test:
 	$(PY) -m pytest -x -q
@@ -32,6 +32,7 @@ smoke:
 	$(PY) -m repro.telemetry --validate .smoke-trace.jsonl && \
 	rm -f .smoke-trace.jsonl
 	$(MAKE) smoke-dist
+	$(MAKE) smoke-chaos
 	$(PY) -m pytest -x -q
 
 # Loopback distributed sweep, two scenarios:
@@ -46,6 +47,17 @@ smoke:
 smoke-dist:
 	$(PY) -m repro.cluster.smoke --trials 2 --max-instances 1
 	$(PY) -m repro.cluster.smoke --two-sweeps --trials 2 --max-instances 1
+
+# The chaos kill-matrix (seeded fault injection, repro.faultinject):
+# scenario A runs one sweep through a worker SIGKILL mid-lease, garbled
+# frames in both directions, a deterministically garbled journal record, a
+# hard service bounce and a torn journal tail -- and must land bitwise
+# identical to the serial runner with faults disabled; scenario B poisons
+# two workloads (crash / hang) under --task-timeout supervised workers and
+# must complete with the poison quarantined, clean verdicts unchanged, and
+# the deadline/hung-task metrics exposed.
+smoke-chaos:
+	$(PY) -m repro.cluster.chaos --trials 2 --max-instances 1
 
 # The full injected-bug sweep at default scale.
 sweep:
@@ -65,7 +77,9 @@ bench-quick:
 # module-size caps, the codegen -> execute layering rule (emitters never
 # import the runtime), FFI containment (only the native bridge imports
 # ctypes), cluster transport containment (only the service module imports
-# asyncio; the scheduler core stays socket-free), and clock containment
-# (only repro.telemetry touches time.monotonic/perf_counter).
+# asyncio; the scheduler core stays socket-free), clock containment
+# (only repro.telemetry touches time.monotonic/perf_counter), and fault
+# containment (only repro.faultinject may hard-kill/signal a process;
+# fault helpers import from the package root only).
 lint-arch:
 	$(PY) tools/lint_arch.py

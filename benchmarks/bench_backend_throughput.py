@@ -33,7 +33,12 @@ Beyond raw kernel throughput the file also records:
   reloading the persisted shared object);
 * a **telemetry-overhead series**: fused_pipeline trial time untraced vs.
   traced, plus the disabled null-span fast-path cost -- asserting the
-  disabled overhead stays under 2% and enabled tracing under 10%.
+  disabled overhead stays under 2% and enabled tracing under 10%;
+* a **fault-injection-overhead series**: per-call cost of a disarmed
+  ``repro.faultinject.hit()`` pass-through and of an armed plan whose
+  clauses match *other* fault points, extrapolated to a generous
+  fault-point density per trial -- asserting the disabled layer stays
+  under 2% of fused_pipeline trial time.
 
 The backends must agree bitwise on every measured run (the measurement
 doubles as an equivalence check), and five speedup floors are asserted:
@@ -102,6 +107,14 @@ MAX_DISABLED_TELEMETRY_OVERHEAD = 0.02
 #: Ceiling on the *enabled* tracing slowdown (traced vs. untraced trial
 #: wall clock) on the same path.
 MAX_ENABLED_TELEMETRY_OVERHEAD = 0.10
+#: Ceiling on the disabled fault-injection layer (pass-through ``hit()``
+#: cost x fault-point calls per trial) as a fraction of trial time.
+MAX_DISABLED_FAULT_OVERHEAD = 0.02
+#: Generous ceiling on fault-point pass-throughs per trial: the wired
+#: points fire per *task* (task.execute, journal.record, protocol.send,
+#: scheduler.dispatch) or per native kernel call (native.call), far below
+#: this density.
+FAULT_HITS_PER_TRIAL = 64
 
 
 def quick_scale() -> bool:
@@ -288,6 +301,9 @@ def test_backend_throughput(report_lines):
     native = _measure_native(report_lines)
     native_cache = _measure_native_cache(report_lines)
     telemetry = _measure_telemetry_overhead(report_lines)
+    faults = _measure_fault_overhead(
+        report_lines, telemetry["untraced_seconds_per_trial"]
+    )
 
     jacobi_regression = _measure_jacobi_regression(report_lines)
 
@@ -312,6 +328,7 @@ def test_backend_throughput(report_lines):
                 native=native,
                 native_cache=native_cache,
                 telemetry=telemetry,
+                faults=faults,
                 jacobi_regression=jacobi_regression,
             ),
             f,
@@ -355,6 +372,12 @@ def test_backend_throughput(report_lines):
         f"enabled tracing slows fused_pipeline trials by "
         f"{telemetry['enabled_overhead'] * 100:.1f}% "
         f"(required: <= {MAX_ENABLED_TELEMETRY_OVERHEAD * 100:.0f}%)"
+    )
+    assert faults["disabled_overhead"] <= MAX_DISABLED_FAULT_OVERHEAD, (
+        f"the disarmed fault-injection layer costs "
+        f"{faults['disabled_overhead'] * 100:.3f}% of fused_pipeline trial "
+        f"time (the pass-through must stay under "
+        f"{MAX_DISABLED_FAULT_OVERHEAD * 100:.0f}%)"
     )
     assert jacobi_regression["compiled_over_vectorized"] >= 0.95, (
         "the jacobi_2d compiled-vs-vectorized regression is back: "
@@ -529,6 +552,59 @@ def _measure_telemetry_overhead(report_lines):
         spans_per_trial=spans_per_trial,
         disabled_overhead=disabled_overhead,
         enabled_overhead=enabled_overhead,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Fault-injection overhead: the disarmed / non-matching hit() pass-through
+# ---------------------------------------------------------------------- #
+def _measure_fault_overhead(report_lines, baseline):
+    """Cost of the fault-injection seam when it is *not* firing.
+
+    Wall-clock differencing cannot resolve the pass-through (it is a
+    single module-global check per fault point), so -- like the telemetry
+    series -- the overhead is computed as (cost of one ``hit()`` call,
+    measured in a tight loop) x a generous fault-point density per trial,
+    relative to the untraced per-trial baseline.  Two variants:
+
+    * **disarmed** -- no plan loaded: the common production case.
+    * **armed, non-matching** -- a plan is armed but its clauses target
+      other fault points, so every call scans the clause list and declines.
+    """
+    from repro import faultinject
+
+    assert not faultinject.active(), "benchmarks must start fault-free"
+    reps = 200_000
+    start = time.perf_counter()
+    for _ in range(reps):
+        faultinject.hit("bench.point", key="k")
+    disarmed_seconds = (time.perf_counter() - start) / reps
+
+    faultinject.configure("other.point=delay:0.01", seed=1, export=False)
+    try:
+        start = time.perf_counter()
+        for _ in range(reps):
+            faultinject.hit("bench.point", key="k")
+        armed_seconds = (time.perf_counter() - start) / reps
+    finally:
+        faultinject.configure(None, export=False)
+
+    disabled_overhead = disarmed_seconds * FAULT_HITS_PER_TRIAL / baseline
+    armed_overhead = armed_seconds * FAULT_HITS_PER_TRIAL / baseline
+    report_lines.append(
+        f"fault-injection pass-through: disarmed "
+        f"{disarmed_seconds * 1e9:.0f} ns/hit, armed non-matching "
+        f"{armed_seconds * 1e9:.0f} ns/hit; x {FAULT_HITS_PER_TRIAL} "
+        f"hits/trial = {disabled_overhead * 100:.3f}% / "
+        f"{armed_overhead * 100:.3f}% of fused_pipeline trial time"
+    )
+    return dict(
+        kernel="fused_pipeline",
+        hits_per_trial=FAULT_HITS_PER_TRIAL,
+        disarmed_hit_seconds=disarmed_seconds,
+        armed_nonmatching_hit_seconds=armed_seconds,
+        disabled_overhead=disabled_overhead,
+        armed_overhead=armed_overhead,
     )
 
 

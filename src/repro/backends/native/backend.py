@@ -26,10 +26,12 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import faultinject
 from repro.backends.batched import BatchedBackend, BatchedExecutor, BatchedProgram
 from repro.backends.codegen.native_c import EXACT_INT_LIMIT, NativeKernel
 from repro.backends.codegen.python_driver import _artifact_stamp
 from repro.backends.native.bridge import KernelHandle, load_shared_object
+from repro.backends.native.probe import probe_shared_object
 from repro.backends.native.toolchain import (
     NativeCompileError,
     compile_shared_object,
@@ -229,6 +231,21 @@ class NativeExecutor(BatchedExecutor):
             except NativeCompileError as exc:
                 self.native_build["error"] = f"compile: {exc}"
                 return
+        probe_failed: frozenset = frozenset()
+        if self.native_build["cache"] == "compiled":
+            # Freshly compiled bytes have never executed: first-call each
+            # kernel in a disposable subprocess so a segfaulting kernel
+            # kills the probe child, not this process.  Artifact reloads
+            # skip this -- they already survived real calls.
+            probe_failed = probe_shared_object(
+                so_bytes, [k.fn_name for k in kernels]
+            )
+            if probe_failed:
+                self.native_build["probe_failed"] = sorted(probe_failed)
+                if len(probe_failed) == len(kernels):
+                    self.native_build["error"] = "probe: all kernels failed"
+                    self.native_build["cache"] = "none"
+                    return
         try:
             with _TRACER.span("native.link", "native") as span:
                 span.set("kernels", len(kernels))
@@ -240,6 +257,8 @@ class NativeExecutor(BatchedExecutor):
         self.native_build["so"] = so_bytes
         self._native_lib = lib
         for key, kr in kmap.items():
+            if kr.fn_name in probe_failed:
+                continue  # its scope runs the Python path, bitwise identical
             handle = lib.get(kr.fn_name)
             if handle is not None:
                 self._native_kernels[key] = (kr, handle)
@@ -412,6 +431,10 @@ class NativeExecutor(BatchedExecutor):
                 scalars[i] = float(value)
             else:
                 return False
+        # Outside the retire-guard: an injected exception propagates as a
+        # task error (like any executor failure); crash faults act like a
+        # real in-kernel segfault.
+        faultinject.hit("native.call", key=kr.fn_name)
         try:
             rc = geom.call(ptrs, self._batch if batched else 1)
         except Exception:  # noqa: BLE001 - invocation-level failure: retire

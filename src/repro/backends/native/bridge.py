@@ -30,7 +30,12 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["KernelHandle", "LoadedLibrary", "load_shared_object"]
+__all__ = [
+    "KernelHandle",
+    "LoadedLibrary",
+    "load_shared_object",
+    "zero_trip_call",
+]
 
 _ARGTYPES = [
     ctypes.POINTER(ctypes.c_void_p),  # double **bufs
@@ -102,6 +107,35 @@ class LoadedLibrary:
 
     def get(self, fn_name: str) -> Optional[KernelHandle]:
         return self._handles.get(fn_name)
+
+
+def zero_trip_call(handle: KernelHandle) -> int:
+    """Invoke a kernel once with zero-trip geometry.
+
+    Every count is zero and ``nbatch`` is zero, so no loop body executes and
+    no buffer is ever dereferenced -- the call exercises only symbol
+    resolution, the calling convention, and the kernel prologue.  This is
+    the first-call probe the disposable probe subprocess runs against a
+    freshly compiled library: a miscompiled or mis-linked kernel that would
+    take the process down does so *there*, not in the sweep process.  The
+    scratch blocks are oversized (64 buffer slots, 32 counts, 256 geometry
+    words) so any generated kernel's prologue reads land in owned memory.
+    """
+    bufs = (ctypes.c_void_p * 64)()
+    counts = (ctypes.c_int64 * 32)()
+    geom = (ctypes.c_int64 * 256)()
+    scalars = (ctypes.c_double * 64)()
+    bstrides = (ctypes.c_int64 * 64)()
+    return int(
+        handle._fn(
+            ctypes.cast(bufs, ctypes.POINTER(ctypes.c_void_p)),
+            ctypes.cast(counts, ctypes.POINTER(ctypes.c_int64)),
+            ctypes.cast(geom, ctypes.POINTER(ctypes.c_int64)),
+            ctypes.cast(scalars, ctypes.POINTER(ctypes.c_double)),
+            0,
+            ctypes.cast(bstrides, ctypes.POINTER(ctypes.c_int64)),
+        )
+    )
 
 
 def load_shared_object(

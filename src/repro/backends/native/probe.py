@@ -1,0 +1,168 @@
+"""First-call crash containment for freshly compiled kernel libraries.
+
+A freshly compiled shared object has never executed: a toolchain bug, a
+mis-linked symbol, or a codegen defect can segfault on the very first call
+and take the whole sweep process down with it.  This module probes such a
+library in a **disposable subprocess** before the sweep process ever loads
+it: each kernel is invoked once with zero-trip geometry (see
+:func:`~repro.backends.native.bridge.zero_trip_call` -- no loop body runs,
+no buffer is dereferenced).  A kernel that crashes or hangs kills only the
+probe child; the parent marks it failed and the backend excludes it from
+the native tier, so its scope runs the bitwise-identical Python path.
+
+Protocol: the parent pipes the base64 shared object over stdin and passes
+kernel names on argv; the child prints ``loaded`` once the library is
+mapped, then ``ok <fn>`` per surviving kernel.  A child killed by a signal
+condemns the first un-acknowledged kernel -- the parent respawns a child
+for the remaining names, so one bad kernel never poisons its siblings.
+A child that fails *before* ``loaded`` for a non-signal reason (e.g. an
+import error in a stripped-down environment) makes the probe inconclusive:
+no kernel is condemned, matching the ``REPRO_NATIVE_PROBE=0`` opt-out.
+
+Libraries reloaded from the disk artifact cache skip probing -- they were
+probed (and survived real calls) when first compiled.  Results are memoized
+per library digest, so one process never probes the same bytes twice.
+
+The child hits the ``native.probe`` fault point per kernel, so chaos tests
+can deterministically crash the probe and assert the fallback engages.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import subprocess
+import sys
+from typing import Dict, FrozenSet, List, Sequence, Set
+
+__all__ = ["PROBE_ENV", "probe_shared_object"]
+
+#: Set to ``0`` to skip probing (trust every freshly compiled kernel).
+PROBE_ENV = "REPRO_NATIVE_PROBE"
+
+#: A probe child that outlives this is hung (e.g. a ``hang`` fault or a
+#: kernel spinning in its prologue): kill it, condemn the kernel.
+_TIMEOUT_SECONDS = 30.0
+
+#: sha256(so_bytes) -> failed kernel names; one probe per library per process.
+_memo: Dict[str, FrozenSet[str]] = {}
+
+
+def _child_env() -> Dict[str, str]:
+    env = dict(os.environ)
+    # The child must import repro regardless of how the parent found it
+    # (installed package vs. PYTHONPATH vs. sys.path manipulation).
+    pkg_root = os.path.dirname(  # .../src, four levels up from this file
+        os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    )
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        pkg_root if not existing else pkg_root + os.pathsep + existing
+    )
+    return env
+
+
+def probe_shared_object(
+    so_bytes: bytes, fn_names: Sequence[str]
+) -> FrozenSet[str]:
+    """Probe every kernel of a compiled library; return the failed names.
+
+    Failed means the zero-trip first call crashed the probe child (signal
+    death) or hung it past the probe deadline.  An empty result means every
+    kernel survived -- or probing is disabled (``REPRO_NATIVE_PROBE=0``) or
+    inconclusive (child could not start), both of which fall back to
+    trusting the library, exactly as every build did before probing existed.
+    """
+    if os.environ.get(PROBE_ENV, "").strip() == "0" or not fn_names:
+        return frozenset()
+    digest = hashlib.sha256(so_bytes).hexdigest()
+    cached = _memo.get(digest)
+    if cached is not None:
+        return cached
+    failed: Set[str] = set()
+    remaining: List[str] = list(fn_names)
+    encoded = base64.b64encode(so_bytes)
+    env = _child_env()
+    while remaining:
+        try:
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.backends.native.probe",
+                 *remaining],
+                input=encoded,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                timeout=_TIMEOUT_SECONDS,
+                env=env,
+            )
+        except subprocess.TimeoutExpired as exc:
+            # Condemn whichever kernel the hung child had not acknowledged.
+            out = exc.stdout or b""
+            ok = _acknowledged(out)
+            survivors = [n for n in remaining if n in ok]
+            culprit = next((n for n in remaining if n not in ok), None)
+            if culprit is not None:
+                failed.add(culprit)
+            remaining = [
+                n for n in remaining if n not in ok and n != culprit
+            ]
+            if not survivors and culprit is None:
+                break  # no progress possible
+            continue
+        except OSError:
+            break  # cannot spawn children at all: inconclusive
+        out = proc.stdout or b""
+        ok = _acknowledged(out)
+        if b"loaded" not in out.splitlines():
+            if proc.returncode and proc.returncode > 0:
+                break  # import/load error, not a kernel crash: inconclusive
+            # Signal death before the library even mapped: every kernel in
+            # this library is suspect.
+            failed.update(remaining)
+            break
+        if proc.returncode == 0:
+            failed.update(n for n in remaining if n not in ok)
+            break
+        # Signal death mid-probe: the first un-acknowledged kernel crashed;
+        # respawn for the ones after it.
+        culprit = next((n for n in remaining if n not in ok), None)
+        if culprit is None:
+            break
+        failed.add(culprit)
+        remaining = [n for n in remaining if n not in ok and n != culprit]
+    result = frozenset(failed)
+    _memo[digest] = result
+    return result
+
+
+def _acknowledged(stdout: bytes) -> Set[str]:
+    ok: Set[str] = set()
+    for line in stdout.splitlines():
+        if line.startswith(b"ok "):
+            ok.add(line[3:].decode("utf-8", "replace").strip())
+    return ok
+
+
+def _child_main(fn_names: List[str]) -> int:
+    """Probe-child body: load the piped library, zero-trip each kernel."""
+    from repro import faultinject
+    from repro.backends.native.bridge import load_shared_object, zero_trip_call
+
+    so_bytes = base64.b64decode(sys.stdin.buffer.read())
+    try:
+        lib = load_shared_object(so_bytes, list(fn_names))
+    except OSError:
+        return 1
+    print("loaded", flush=True)
+    for name in fn_names:
+        faultinject.hit("native.probe", key=name)
+        handle = lib.get(name)
+        if handle is None:
+            continue  # never acknowledged -> parent marks it failed
+        zero_trip_call(handle)  # the test is surviving the call at all
+        print(f"ok {name}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_child_main(sys.argv[1:]))

@@ -1,7 +1,8 @@
 """Thin HTTP client for the always-on verification service.
 
 Wraps the service's JSON API (``POST /sweeps``, ``GET /sweeps/<id>``,
-``GET /sweeps/<id>/result``, ``GET /status``) in plain functions built on
+``GET /sweeps/<id>/result``, ``DELETE /sweeps/<id>``, ``GET /status``) in
+plain functions built on
 :mod:`http.client` -- no third-party dependency, usable from scripts and
 from the pipeline CLI's ``--submit HOST:PORT`` mode.  Auth tokens (needed
 only when talking to a non-loopback service started with ``--auth-token``)
@@ -29,6 +30,7 @@ __all__ = [
     "sweep_status",
     "service_status",
     "fetch_result",
+    "cancel_sweep",
     "wait_sweep",
 ]
 
@@ -142,6 +144,20 @@ def fetch_result(
     """
     doc = _request(host, port, "GET", f"/sweeps/{sweep_id}/result", token=token)
     return SweepResult.from_dict(doc)
+
+
+def cancel_sweep(
+    host: str, port: int, sweep_id: str, *, token: Optional[str] = None
+) -> Dict[str, Any]:
+    """``DELETE /sweeps/<id>``: cancel a running sweep and evict its state.
+
+    Unfinished tasks land as synthetic UNTESTED outcomes and the sweep's
+    journal + meta files are removed.  Raises :class:`ServiceClientError`
+    with ``status == 409`` for a *complete* sweep (its result is immutable;
+    fetch it instead) and ``status == 404`` for an unknown id.  Returns
+    the sweep's final status snapshot.
+    """
+    return _request(host, port, "DELETE", f"/sweeps/{sweep_id}", token=token)
 
 
 def wait_sweep(

@@ -12,9 +12,15 @@ JSON-lines file:
 
 Append-only makes the journal crash-safe by construction: a hard kill can
 at worst truncate the final line, which the loader detects and drops (that
-task simply re-runs on resume).  Task IDs -- not list indices -- are the
-keys, so a resumed sweep re-matches journaled outcomes even though it
-re-enumerates its task list from scratch; the ``sweep_id`` check refuses to
+task simply re-runs on resume).  Every outcome record also carries a CRC-32
+of its outcome payload, so a record corrupted *in place* (bit rot, a
+``garble`` fault, a torn write that still parses) is skipped on load -- the
+task re-runs -- instead of poisoning the resumed sweep with altered
+verdicts.  Only the line-0 header stays strict: a file whose first line is
+not a valid journal header is rejected outright, because at that point
+there is no evidence the file is a journal at all.  Task IDs -- not list
+indices -- are the keys, so a resumed sweep re-matches journaled outcomes
+even though it re-enumerates its task list from scratch; the ``sweep_id`` check refuses to
 resume a journal written for a *different* task set (changed trial budget,
 different kernels, ...) instead of silently mixing two sweeps.  Duplicate
 records for one task (possible only across separate journaling runs -- the
@@ -27,10 +33,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import zlib
 from typing import Any, Dict, IO, List, Optional, Sequence, Tuple
 
+from repro import faultinject
 from repro.pipeline.result import SCHEMA_VERSION
 from repro.pipeline.tasks import SweepTask
+from repro.telemetry import metrics
 
 __all__ = ["ResultStore", "JournalError", "sweep_identity"]
 
@@ -43,6 +52,12 @@ def sweep_identity(task_ids: Sequence[str]) -> str:
     """Order-insensitive identity of a task set (for resume validation)."""
     digest = hashlib.sha256("\n".join(sorted(task_ids)).encode("utf-8"))
     return digest.hexdigest()[:16]
+
+
+def _outcome_crc(outcome: Dict[str, Any]) -> int:
+    """CRC-32 of an outcome payload in canonical (sorted-key) JSON form."""
+    canon = json.dumps(outcome, separators=(",", ":"), sort_keys=True)
+    return zlib.crc32(canon.encode("utf-8"))
 
 
 class ResultStore:
@@ -163,16 +178,16 @@ class ResultStore:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                # A hard kill mid-append leaves at most one partial
-                # trailing line; that task simply re-runs on resume.  A
-                # malformed line anywhere else means the file is not a
-                # journal at all.
-                if lineno == len(lines) - 1 and lineno > 0:
-                    break
-                raise JournalError(
-                    f"{path!r} line {lineno + 1} is not valid JSON; "
-                    f"not a sweep journal"
-                ) from None
+                if lineno == 0:
+                    raise JournalError(
+                        f"{path!r} line 1 is not valid JSON; "
+                        f"not a sweep journal"
+                    ) from None
+                # A crash-cut trailing line or a corrupted record: the
+                # header already proved this file is a journal, so skip
+                # just this record (the task re-runs on resume).
+                metrics.inc("repro_journal_records_skipped_total")
+                continue
             if lineno == 0:
                 if record.get("kind") != "header":
                     raise JournalError(
@@ -186,7 +201,17 @@ class ResultStore:
                     )
                 header = record
             elif record.get("kind") == "outcome":
-                completed[record["task_id"]] = record["outcome"]
+                task_id = record.get("task_id")
+                outcome = record.get("outcome")
+                crc = record.get("crc")  # absent in pre-checksum journals
+                if (
+                    not isinstance(task_id, str)
+                    or not isinstance(outcome, dict)
+                    or (crc is not None and crc != _outcome_crc(outcome))
+                ):
+                    metrics.inc("repro_journal_records_skipped_total")
+                    continue
+                completed[task_id] = outcome
         if header is None:
             raise JournalError(f"{path!r} is empty; not a sweep journal")
         return header, completed
@@ -200,9 +225,16 @@ class ResultStore:
     ) -> None:
         """Append one completed outcome (flushed immediately)."""
         line = json.dumps(
-            {"kind": "outcome", "task_id": task_id, "index": index, "outcome": outcome},
+            {
+                "kind": "outcome",
+                "task_id": task_id,
+                "index": index,
+                "outcome": outcome,
+                "crc": _outcome_crc(outcome),
+            },
             separators=(",", ":"),
         )
+        line = faultinject.garble_text("journal.record", line, key=task_id)
         self._handle.write(line + "\n")
         self._handle.flush()
         self.completed[task_id] = outcome

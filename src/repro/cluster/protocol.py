@@ -21,9 +21,11 @@ worker sends              service replies
 ``result`` {index, shard, ``ack`` {}
   sweep?, task_id,
   outcome, metrics?}
-``ping`` {}               ``pong`` {} (heartbeat; proves a busy worker is
+``ping`` {metrics?}       ``pong`` {} (heartbeat; proves a busy worker is
                           alive so a ``worker_timeout`` service does not
-                          requeue its in-flight shard)
+                          requeue its in-flight shard; ``metrics`` carries
+                          optional worker gauges, e.g. tasks in flight and
+                          oldest-task age, for hung-task visibility)
 ========================  ===========================================
 
 Multi-tenancy rides on two optional fields: leases carry the ``sweep``
@@ -51,6 +53,8 @@ import json
 import socket
 import struct
 from typing import Any, Dict, Optional
+
+from repro import faultinject
 
 __all__ = [
     "ProtocolError",
@@ -85,6 +89,15 @@ def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
             f"Refusing to send a {len(payload)}-byte frame "
             f"(limit {MAX_MESSAGE_BYTES})"
         )
+    try:
+        faultinject.hit("protocol.send", key=message.get("type"))
+    except faultinject.FaultInjected as exc:
+        raise ProtocolError(str(exc)) from exc
+    # A garbled payload keeps its length (framing stays synchronized) but
+    # can no longer decode as JSON: the receiver sees ProtocolError, drops
+    # the connection, and the requeue/retry machinery takes over.
+    payload = faultinject.garble_bytes("protocol.send", payload,
+                                       key=message.get("type"))
     sock.sendall(_LENGTH.pack(len(payload)) + payload)
 
 

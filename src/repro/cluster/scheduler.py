@@ -12,31 +12,27 @@ scheduler verbs and nothing else:
   of dispatched work (deficit fair-share: a sweep of priority 3 receives
   ~3x the leases of a priority-1 sweep while both have pending work);
 * :meth:`SweepScheduler.record_result` -- route a finished outcome back to
-  its sweep (by the connection's lease table first, then the message's
-  explicit sweep id, then a global task-id search, so pre-multi-tenant
-  workers that never echo a sweep id still route correctly), journal it,
-  and fire the sweep's progress callback;
+  its sweep (connection lease table, then explicit sweep id, then a global
+  task-id search, so pre-multi-tenant workers that never echo a sweep id
+  still route correctly), journal it, and fire the progress callback;
 * :meth:`SweepScheduler.release` -- return a lost connection's in-flight
   leases to their queues with bounded per-task retries.
 
-Sweeps move through ``submitted -> running -> draining -> complete``:
-*submitted* until the first task is dispatched, *draining* once the queue
-is empty but leases are still in flight, *complete* when every task has an
-outcome (a per-sweep event wakes :meth:`wait`).
+Sweeps move through ``submitted -> running -> draining -> complete``
+(*draining* once the queue is empty but leases are still in flight; a
+per-sweep event wakes :meth:`wait` on completion).  Every invariant of
+the one-shot coordinator survives multi-tenancy: requeue-on-disconnect
+with bounded retries and retry anti-affinity, dedup by task ID (late
+results from workers presumed lost are dropped), tail-leveled shard
+sizing, and bitwise ``comparable_dict()`` parity with a serial run --
+now *per sweep*.
 
-Every invariant of the one-shot coordinator survives multi-tenancy:
-requeue-on-disconnect with bounded retries, dedup by task ID (late results
-from workers presumed lost are dropped), tail-leveled shard sizing, and
-bitwise ``comparable_dict()`` parity with a serial run -- now *per sweep*.
-
-Shard sizing is additionally **latency-adaptive**: the scheduler keeps a
-per-connection EWMA of observed per-task wall-clock (lease-to-result and
-result-to-result gaps) and caps each shard near
-``target_lease_seconds / ewma``, so slow workers take small shards (cheap
-to requeue, frequent journal progress) while fast ones amortize
-round-trips -- the pending-count tail cap ``ceil(pending / (2 * active))``
-still applies on top with several workers connected.  The chosen size and
-the latency estimate are recorded in each shard's metadata.
+Shard sizing is additionally **latency-adaptive**: a per-connection EWMA
+of observed per-task wall-clock caps each shard near
+``target_lease_seconds / ewma`` (slow workers take small, cheap-to-requeue
+shards; fast ones amortize round-trips), with the pending-count tail cap
+``ceil(pending / (2 * active))`` still applied on top; the chosen size
+and latency estimate are recorded in each shard's metadata.
 
 Everything is guarded by one lock and calls only the standard threading /
 time modules, so the core is unit-testable with plain function calls (see
@@ -49,11 +45,13 @@ import threading
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import faultinject
 from repro.core.reporting import Verdict
 from repro.pipeline.result import SweepResult
 from repro.pipeline.tasks import SweepTask
 from repro.telemetry import MetricsRegistry
 from repro.telemetry import monotonic as _monotonic
+from repro.telemetry.metrics import parse_metric_key
 
 __all__ = [
     "SweepScheduler",
@@ -66,10 +64,8 @@ __all__ = [
 ]
 
 #: Sweep lifecycle states, in order.
-SUBMITTED = "submitted"
-RUNNING = "running"
-DRAINING = "draining"
-COMPLETE = "complete"
+SUBMITTED, RUNNING, DRAINING, COMPLETE = (
+    "submitted", "running", "draining", "complete")
 SWEEP_STATES = (SUBMITTED, RUNNING, DRAINING, COMPLETE)
 
 #: Smoothing factor of the per-connection task-latency EWMA.
@@ -110,6 +106,11 @@ class SweepEntry:
         self.outcomes: List[Optional[Dict[str, Any]]] = [None] * len(self.tasks)
         self.pending: deque = deque()
         self.lost_leases: Dict[int, int] = {}
+        #: index -> distinct worker numbers whose lease on it failed
+        #: (connection loss, contained crash, or deadline timeout).
+        self.failed_workers: Dict[int, set] = {}
+        #: Quarantined-task records, surfaced through ``/status``.
+        self.quarantined: List[Dict[str, Any]] = []
         self.done_count = 0
         self.leased_total = 0  # tasks ever dispatched (fair-share deficit)
         self.in_flight = 0
@@ -164,6 +165,24 @@ class SweepEntry:
             # Draining: nothing queued, but leases still in flight.
             self.state = DRAINING if not self.pending else RUNNING
 
+    def synthetic_outcome(
+        self, index: int, error: str, worker: Optional[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """A journal-shaped UNTESTED outcome for a task that never ran."""
+        task = self.tasks[index]
+        return {
+            "suite": task.suite,
+            "workload": task.workload,
+            "transformation": task.transformation.name,
+            "match_index": task.match_index,
+            "task_id": self.task_ids[index],
+            "worker": worker,
+            "verdict": Verdict.UNTESTED.value,
+            "match_description": task.match_description,
+            "error": error,
+            "report": None,
+        }
+
     def result(self) -> SweepResult:
         duration = (self.completed_at or self.submitted_at) - self.submitted_at
         return SweepResult(
@@ -208,6 +227,7 @@ class SweepEntry:
             "tasks_per_second": rate,
             "eta_seconds": eta,
             "age_seconds": now - self.submitted_at,
+            "quarantined": [dict(q) for q in self.quarantined],
             "journal": getattr(self.store, "path", None),
             "counters": {
                 "tasks_done": self.done_count,
@@ -247,19 +267,25 @@ class SweepScheduler:
         batch_size: int = 0,
         target_lease_seconds: float = 10.0,
         done_when_idle: bool = False,
+        quarantine_workers: int = 3,
         clock: Callable[[], float] = _monotonic,
     ) -> None:
         #: Default re-lease budget per task (per sweep override on submit).
         self.max_task_retries = max_task_retries
+        #: A task whose lease fails on this many *distinct* workers is
+        #: quarantined with a synthetic outcome even while retry budget
+        #: remains (a poison task must not burn its budget against every
+        #: worker in the fleet); 0 disables quarantine.
+        self.quarantine_workers = quarantine_workers
         #: Global hard cap on tasks per shard; 0 defers to worker requests.
         self.batch_size = batch_size
         #: Latency-adaptive sizing target: a shard should take roughly this
         #: long on the requesting worker (given its observed per-task EWMA).
         self.target_lease_seconds = target_lease_seconds
-        #: With ``True``, an idle scheduler (every sweep complete) answers
-        #: leases with ``done`` so workers drain and exit -- the one-shot
-        #: coordinator mode.  A persistent service leaves this ``False``:
-        #: idle workers park on ``wait`` until the next sweep arrives.
+        #: ``True``: an idle scheduler (every sweep complete) answers leases
+        #: with ``done`` so workers drain and exit (one-shot coordinator
+        #: mode); a persistent service leaves this ``False`` and idle
+        #: workers park on ``wait`` until the next sweep arrives.
         self.done_when_idle = done_when_idle
         self._clock = clock
         self._lock = threading.Lock()
@@ -391,32 +417,73 @@ class SweepScheduler:
                 if entry is None or entry.outcomes[index] is not None:
                     continue  # sweep gone, or its result raced the loss
                 entry.in_flight -= 1
-                entry.lost_leases[index] = entry.lost_leases.get(index, 0) + 1
-                if entry.lost_leases[index] <= entry.max_task_retries:
-                    # Front of the queue: a requeued task is the oldest
-                    # outstanding work and must not starve behind the tail.
-                    entry.pending.appendleft(index)
-                    entry._refresh_state(self._clock)
-                    continue
-                task = entry.tasks[index]
-                outcome = {
-                    "suite": task.suite,
-                    "workload": task.workload,
-                    "transformation": task.transformation.name,
-                    "match_index": task.match_index,
-                    "task_id": task_id,
-                    "worker": dict(conn.info),
-                    "verdict": Verdict.UNTESTED.value,
-                    "match_description": task.match_description,
-                    "error": (
-                        f"worker connection lost {entry.lost_leases[index]} "
-                        f"time(s) while running this task "
-                        f"(retry budget: {entry.max_task_retries})"
-                    ),
-                    "report": None,
-                }
-                self._land(entry, index, task_id, outcome)
+                self._fail_task(entry, index, task_id, conn, "connection lost")
             conn.leases.clear()
+
+    def _fail_task(
+        self,
+        entry: SweepEntry,
+        index: int,
+        task_id: str,
+        conn: "_ConnState",
+        kind: str,
+        worker_outcome: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Account one retryable failure of a leased task (lock held).
+
+        ``kind``: ``"connection lost"`` (worker vanished mid-lease) or
+        ``"timeout"`` / ``"crash"`` (a supervised worker contained it).
+        Requeues at the front unless the distinct-worker quarantine
+        threshold or retry budget is exhausted, in which case a synthetic
+        UNTESTED outcome lands (the worker's own ``worker_outcome`` when
+        one was reported) so a poisonous task can never wedge its sweep.
+        """
+        losses = entry.lost_leases[index] = entry.lost_leases.get(index, 0) + 1
+        workers = entry.failed_workers.setdefault(index, set())
+        workers.add(conn.number)
+        quarantined = (
+            self.quarantine_workers > 0
+            and len(workers) >= self.quarantine_workers
+        )
+        if not quarantined and losses <= entry.max_task_retries:
+            # Front of the queue: a requeued task is the oldest
+            # outstanding work and must not starve behind the tail.
+            entry.pending.appendleft(index)
+            entry._refresh_state(self._clock)
+            return
+        error: Optional[str]
+        if quarantined:
+            error = (
+                f"task quarantined: {kind} on {len(workers)} distinct "
+                f"worker(s) (quarantine threshold: {self.quarantine_workers})"
+            )
+            entry.quarantined.append({
+                "task_id": task_id,
+                "workload": entry.tasks[index].workload,
+                "reason": kind,
+                "workers": sorted(workers),
+            })
+            self.metrics.inc(
+                "repro_tasks_quarantined_total",
+                labels={"sweep": entry.sweep_id},
+            )
+        elif kind == "connection lost":
+            error = (
+                f"worker connection lost {losses} time(s) while running "
+                f"this task (retry budget: {entry.max_task_retries})"
+            )
+        elif worker_outcome is None:
+            error = (
+                f"task {kind} {losses} time(s) on supervised worker(s) "
+                f"(retry budget: {entry.max_task_retries})"
+            )
+        else:
+            error = None  # the worker's own contained-failure outcome lands
+        if error is None and worker_outcome is not None:
+            outcome = worker_outcome
+        else:
+            outcome = entry.synthetic_outcome(index, error, dict(conn.info))
+        self._land(entry, index, task_id, outcome)
 
     # ------------------------------------------------------------------ #
     # Dispatch (fair share + adaptive sizing)
@@ -450,16 +517,26 @@ class SweepScheduler:
 
     def lease(self, conn_key: Any, max_tasks: int) -> Dict[str, Any]:
         """Serve a ``request``: a ``tasks`` shard, ``wait``, or ``done``."""
+        faultinject.hit("scheduler.dispatch")
         with self._lock:
             conn = self._conn(conn_key)
             for entry in self._fair_order():
                 cap = self._shard_cap(entry, conn, max_tasks)
                 shard: List[Dict[str, Any]] = []
+                deferred: List[int] = []
                 while entry.pending and len(shard) < cap:
                     index = entry.pending.popleft()
                     if entry.outcomes[index] is not None:
                         # Requeued after a lost lease, but the "lost"
                         # worker's result landed anyway: don't re-run.
+                        continue
+                    if len(self._conns) > 1 and (
+                        conn.number in entry.failed_workers.get(index, ())
+                    ):
+                        # Retry anti-affinity: while other workers are
+                        # connected, steer a retry away from one that already
+                        # failed this task (no new quarantine evidence there).
+                        deferred.append(index)
                         continue
                     conn.leases.append((entry.sweep_id, index, entry.task_ids[index]))
                     shard.append({
@@ -467,8 +544,10 @@ class SweepScheduler:
                         "task_id": entry.task_ids[index],
                         "task": entry.tasks[index].to_dict(),
                     })
+                if deferred:  # back at the front, for the next worker
+                    entry.pending.extendleft(reversed(deferred))
                 if not shard:
-                    continue  # only already-complete indices were queued
+                    continue  # only complete/anti-affine indices were queued
                 self._shard_counter += 1
                 entry.leased_total += len(shard)
                 entry.in_flight += len(shard)
@@ -571,9 +650,8 @@ class SweepScheduler:
         with self._lock:
             conn = self._conn(conn_key)
             # Latency observation: the gap since this connection's last
-            # lease or result approximates one task's wall-clock (it folds
-            # in a multi-process worker's internal parallelism as observed
-            # throughput, which is exactly what shard sizing wants).
+            # lease or result approximates one task's wall-clock (folding a
+            # multi-process worker's parallelism into observed throughput).
             now = self._clock()
             elapsed = now - conn.last_event
             conn.last_event = now
@@ -599,7 +677,72 @@ class SweepScheduler:
             outcome = dict(message.get("outcome") or {})
             outcome["task_id"] = task_id
             outcome["worker"] = {**conn.info, "shard": message.get("shard")}
+            failure = outcome.get("failure")
+            if failure in ("timeout", "crash") and was_leased:
+                # A supervised worker contained this failure (deadline
+                # watchdog or dead pool member).  Account it like a lost
+                # lease -- retry elsewhere, quarantine on distinct workers,
+                # land the worker's synthetic outcome only on exhaustion.
+                if failure == "timeout":
+                    self.metrics.inc(
+                        "repro_task_timeouts_total",
+                        labels={"sweep": entry.sweep_id},
+                    )
+                self._fail_task(entry, index, task_id, conn, failure,
+                                worker_outcome=outcome)
+                return
             self._land(entry, index, task_id, outcome, message.get("metrics"))
+
+    def record_heartbeat(
+        self, conn_key: Any, snapshot: Optional[Dict[str, Any]]
+    ) -> None:
+        """Fold a worker ping's status gauges into the fleet registry.
+
+        Heartbeats carry only *gauges* of current worker state (in-flight
+        count, oldest in-flight task age) so a hung task shows in
+        ``GET /metrics`` before any result lands; counter/histogram deltas
+        keep riding result frames exclusively (no double-counting).
+        """
+        if not snapshot:
+            return
+        with self._lock:
+            conn = self._conn(conn_key)
+            for key, value in (snapshot.get("gauges") or {}).items():
+                name, labels = parse_metric_key(key)
+                labels["worker"] = str(conn.number)
+                self.metrics.set_gauge(name, value, labels)
+
+    def cancel(self, sweep_id: str) -> Dict[str, Any]:
+        """Cancel an incomplete sweep and forget it; returns a final
+        status snapshot.
+
+        Unfinished tasks get synthetic UNTESTED outcomes (not journaled:
+        the caller is about to evict the sweep's state), the queue clears,
+        outstanding leases drop (late results route nowhere), waiters wake.
+        Raises KeyError for an unknown sweep, ValueError when already
+        complete (the transport's 404/409).
+        """
+        with self._lock:
+            entry = self._entry(sweep_id)
+            if entry.state == COMPLETE:
+                raise ValueError(f"sweep {sweep_id!r} is already complete")
+            for index, outcome in enumerate(entry.outcomes):
+                if outcome is not None:
+                    continue
+                entry.outcomes[index] = entry.synthetic_outcome(
+                    index, "sweep cancelled", None
+                )
+                entry.done_count += 1
+            entry.pending.clear()
+            entry.in_flight = 0
+            for conn in self._conns.values():
+                conn.leases = [l for l in conn.leases if l[0] != sweep_id]
+            entry._finish(self._clock)
+            self.metrics.inc("repro_sweeps_cancelled_total")
+            snapshot = entry.snapshot(self._clock)
+            snapshot["cancelled"] = True
+            del self._sweeps[sweep_id]
+            return snapshot
 
     # ------------------------------------------------------------------ #
     # Introspection / completion

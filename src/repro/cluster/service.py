@@ -62,6 +62,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import faultinject
 from repro.cluster.protocol import MAX_MESSAGE_BYTES, ProtocolError, TOKEN_ENV
 from repro.cluster.scheduler import COMPLETE, SweepScheduler
 from repro.cluster.state import ServiceState, restore_sweeps
@@ -111,6 +112,11 @@ async def _read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
 
 def _write_frame(writer: asyncio.StreamWriter, message: Dict[str, Any]) -> None:
     payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    # Same fault point as the worker-side send_message: one garble clause
+    # corrupts frames in either direction (length is preserved, so framing
+    # survives and the receiver sees a clean ProtocolError).
+    payload = faultinject.garble_bytes("protocol.send", payload,
+                                       key=message.get("type"))
     writer.write(_LENGTH.pack(len(payload)) + payload)
 
 
@@ -149,6 +155,7 @@ class VerificationService:
         done_when_idle: bool = False,
         max_task_retries: int = 2,
         target_lease_seconds: float = 10.0,
+        quarantine_workers: int = 3,
     ) -> None:
         self.host = host
         self.port = port
@@ -159,6 +166,7 @@ class VerificationService:
             max_task_retries=max_task_retries,
             done_when_idle=done_when_idle,
             target_lease_seconds=target_lease_seconds,
+            quarantine_workers=quarantine_workers,
         )
         self.state = ServiceState(state_dir) if state_dir else None
         self.auth_token = auth_token
@@ -433,6 +441,9 @@ class VerificationService:
                     self.scheduler.record_result(conn_key, message)
                     _write_frame(writer, {"type": "ack"})
                 elif mtype == "ping":
+                    self.scheduler.record_heartbeat(
+                        conn_key, message.get("metrics")
+                    )
                     _write_frame(writer, {"type": "pong"})
                 else:
                     _write_frame(writer, {
@@ -545,7 +556,24 @@ class VerificationService:
                     }
                 return 200, self.scheduler.result(sweep_id).to_dict()
             return 404, {"error": f"unknown endpoint {path!r}"}
-        if method not in ("GET", "POST"):
+        if method == "DELETE" and path.startswith("/sweeps/"):
+            sweep_id = path[len("/sweeps/"):]
+            try:
+                doc = self.scheduler.cancel(sweep_id)
+            except KeyError:
+                return 404, {"error": f"unknown sweep {sweep_id!r}"}
+            except ValueError:
+                return 409, {
+                    "error": f"sweep {sweep_id} is already complete; its "
+                    f"result is immutable (GET /sweeps/{sweep_id}/result)"
+                }
+            if self.state is not None:
+                # The scheduler closed the journal when it finished the
+                # entry; dropping the state-dir pair makes the eviction
+                # durable -- the sweep will not resurrect on restart.
+                self.state.evict(sweep_id)
+            return 200, doc
+        if method not in ("GET", "POST", "DELETE"):
             return 405, {"error": f"method {method} not allowed"}
         return 404, {"error": f"unknown endpoint {path!r}"}
 
@@ -666,6 +694,21 @@ def build_parser() -> argparse.ArgumentParser:
         "one shard takes roughly this long on the requesting worker "
         "(default 10)",
     )
+    parser.add_argument(
+        "--quarantine-workers", type=int, default=3,
+        help="quarantine a task once it has failed on this many distinct "
+        "workers, even with retry budget left (default 3; 0 disables)",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="arm deterministic fault injection (exported to local "
+        f"executors via ${faultinject.FAULTS_ENV}); chaos testing only",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None, metavar="N",
+        help=f"fault-injection decision seed (default: ${faultinject.SEED_ENV} "
+        "or 0)",
+    )
     return parser
 
 
@@ -679,6 +722,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    try:
+        faultinject.configure(args.faults, seed=args.fault_seed)
+    except faultinject.FaultSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     service = VerificationService(
         host,
         port,
@@ -690,6 +738,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         local_procs=args.local_procs,
         max_task_retries=args.max_task_retries,
         target_lease_seconds=args.target_lease_seconds,
+        quarantine_workers=args.quarantine_workers,
     )
     service.start()
     shost, sport = service.address

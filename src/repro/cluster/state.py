@@ -100,6 +100,18 @@ class ServiceState:
             os.fsync(f.fileno())
         os.replace(tmp, path)
 
+    def evict(self, sweep_id: str) -> None:
+        """Delete a sweep's meta and journal files (cancellation/GC).
+
+        Tolerates files that never existed or are already gone -- eviction
+        must be idempotent so a cancel raced with a restart cannot fail.
+        """
+        for path in (self.meta_path(sweep_id), self.journal_path(sweep_id)):
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                pass
+
     def load_meta(self, sweep_id: str) -> Dict[str, Any]:
         with open(self.meta_path(sweep_id), "r", encoding="utf-8") as f:
             return json.load(f)

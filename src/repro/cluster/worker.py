@@ -29,10 +29,19 @@ from whichever active sweep fair-share picks (echoing each lease's
 leased elsewhere, and may simply be killed -- the service requeues their
 in-flight shard.  With ``--reconnect-seconds T`` a worker also *survives a
 service bounce*: when the connection drops mid-service it retries the
-connection with exponential backoff for up to ``T`` seconds (fresh budget
-per drop) instead of treating the EOF as end-of-sweep.  The default 0
-keeps the one-shot behavior: a vanished coordinator means the sweep is
-over.
+connection with *jittered* exponential backoff for up to ``T`` seconds
+(fresh budget per drop) instead of treating the EOF as end-of-sweep --
+the jitter de-correlates a fleet's reconnect stampede after a bounce.
+The default 0 keeps the one-shot behavior: a vanished coordinator means
+the sweep is over.
+
+With ``--task-timeout T`` tasks execute on *killable supervised
+processes* (:mod:`repro.cluster.supervise`): a task that hangs past its
+deadline, or whose process dies (segfault, OOM kill), is contained -- the
+member is killed and respawned, and the task reports a retryable
+``failure``-flagged UNTESTED outcome the scheduler can retry elsewhere or
+quarantine, instead of stalling the sweep or losing the worker's other
+in-flight work.
 
 Talking to a non-loopback service started with an auth token requires the
 shared secret (``--auth-token`` or ``REPRO_CLUSTER_TOKEN``), presented in
@@ -56,12 +65,14 @@ from __future__ import annotations
 
 import argparse
 import os
+import random
 import socket
 import sys
 import threading
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro import faultinject
 from repro.backends import get_backend
 from repro.backends.vectorized import CACHE_DIR_ENV
 from repro.cluster.protocol import (
@@ -70,6 +81,7 @@ from repro.cluster.protocol import (
     recv_message,
     send_message,
 )
+from repro.cluster.supervise import SupervisedExecutor
 from repro.pipeline.runner import _pool_context, execute_task_with_metrics
 from repro.pipeline.tasks import SweepTask
 from repro.telemetry import monotonic as _monotonic
@@ -97,17 +109,42 @@ def parse_endpoint(value: str) -> Tuple[str, int]:
         raise ValueError(f"Invalid endpoint {value!r}: expected HOST:PORT") from None
 
 
-def _connect(host: str, port: int, retry_seconds: float) -> socket.socket:
+def _backoff_delays(
+    rng: Optional[random.Random] = None,
+    base: float = 0.05,
+    cap: float = 2.0,
+) -> Iterator[float]:
+    """Jittered exponential backoff delays: 50-100% of an exponentially
+    growing ceiling (``base`` doubling up to ``cap``).
+
+    The jitter matters with a fleet: after a service bounce every worker
+    reconnects at once, and a fixed cadence keeps them synchronized --
+    each retry wave hammers the listener together.  Randomizing within
+    the window de-correlates the herd while keeping the same budget.
+    """
+    rng_random = (rng or random).random
+    attempt = 0
+    while True:
+        ceiling = min(cap, base * (2.0 ** attempt))
+        yield ceiling * (0.5 + rng_random() / 2.0)
+        attempt += 1
+
+
+def _connect(
+    host: str,
+    port: int,
+    retry_seconds: float,
+    rng: Optional[random.Random] = None,
+) -> socket.socket:
     deadline = _monotonic() + retry_seconds
-    delay = 0.05
+    delays = _backoff_delays(rng)
     while True:
         try:
             return socket.create_connection((host, port), timeout=30.0)
         except OSError:
             if _monotonic() >= deadline:
                 raise
-            time.sleep(delay)
-            delay = min(delay * 2, 1.0)
+            time.sleep(next(delays))
 
 
 def _worker_metadata(backend: Optional[str], procs: int) -> Dict[str, Any]:
@@ -151,12 +188,24 @@ class _Heartbeat:
     request still receives exactly its own response.  A failed ping stops
     the heartbeat silently: the main loop will hit the same broken socket
     and raise with full context.
+
+    Each ping piggybacks the worker's current status gauges (``status``
+    callable: in-flight task count, oldest in-flight task age) so a hung
+    or long-running task is visible in the service's ``/metrics`` before
+    its result frame lands.
     """
 
-    def __init__(self, sock: socket.socket, lock: threading.Lock, interval: float) -> None:
+    def __init__(
+        self,
+        sock: socket.socket,
+        lock: threading.Lock,
+        interval: float,
+        status: Optional[Callable[[], Dict[str, float]]] = None,
+    ) -> None:
         self._sock = sock
         self._lock = lock
         self._interval = interval
+        self._status = status
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
 
@@ -176,10 +225,14 @@ class _Heartbeat:
     def _run(self) -> None:
         while not self._stop.wait(self._interval):
             try:
+                ping: Dict[str, Any] = {"type": "ping"}
+                gauges = self._status() if self._status is not None else None
+                if gauges:
+                    ping["metrics"] = {"gauges": gauges}
                 with self._lock:
                     if self._stop.is_set():
                         return
-                    send_message(self._sock, {"type": "ping"})
+                    send_message(self._sock, ping)
                     reply = recv_message(self._sock)
                 if reply is None or reply.get("type") != "pong":
                     return
@@ -196,15 +249,20 @@ def run_worker(
     connect_retry_seconds: float = 10.0,
     heartbeat_seconds: float = 5.0,
     reconnect_seconds: float = 0.0,
+    task_timeout: float = 0.0,
     auth_token: Optional[str] = None,
     quiet: bool = False,
 ) -> int:
     """Serve one service/coordinator until it reports the sweeps complete.
 
     With ``reconnect_seconds > 0`` a dropped connection (service bounce,
-    network flake) is retried with exponential backoff for up to that many
-    seconds per drop; an auth refusal (:class:`ServiceRefused`) is always
-    fatal.  Returns the number of tasks this worker executed.
+    network flake) is retried with jittered exponential backoff for up to
+    that many seconds per drop; an auth refusal (:class:`ServiceRefused`)
+    is always fatal.  With ``task_timeout > 0`` tasks run on killable
+    supervised processes (:class:`~repro.cluster.supervise.
+    SupervisedExecutor`): a hung or crashed task yields a retryable
+    ``failure``-flagged outcome instead of stalling or killing the worker.
+    Returns the number of tasks this worker executed.
     """
     if backend is not None:
         get_backend(backend)  # fail fast on a typo, before connecting
@@ -216,6 +274,21 @@ def run_worker(
 
     executed = 0
     pool = None
+    supervisor: Optional[SupervisedExecutor] = None
+
+    # In-flight task starts, keyed by task_id -- feeds the heartbeat's
+    # status gauges so the service can see a hung task's age.
+    in_flight: Dict[str, float] = {}
+    in_flight_lock = threading.Lock()
+
+    def status_gauges() -> Dict[str, float]:
+        with in_flight_lock:
+            gauges = {"repro_worker_tasks_inflight": float(len(in_flight))}
+            if in_flight:
+                gauges["repro_worker_oldest_task_age_seconds"] = (
+                    _monotonic() - min(in_flight.values())
+                )
+            return gauges
 
     def session(sock: socket.socket) -> bool:
         """One connection's request/execute/deliver loop.
@@ -225,7 +298,9 @@ def run_worker(
         """
         nonlocal executed
         sock_lock = threading.Lock()
-        heartbeat = _Heartbeat(sock, sock_lock, heartbeat_seconds)
+        heartbeat = _Heartbeat(
+            sock, sock_lock, heartbeat_seconds, status=status_gauges
+        )
         try:
             hello: Dict[str, Any] = {
                 "type": "hello",
@@ -272,6 +347,8 @@ def run_worker(
                 with sock_lock:
                     send_message(sock, message)
                     ack = recv_message(sock)
+                with in_flight_lock:
+                    in_flight.pop(task_id, None)
                 if ack is None or ack.get("type") != "ack":
                     raise ProtocolError(f"Expected ack, got {ack!r}")
 
@@ -295,7 +372,17 @@ def run_worker(
                 shard = reply.get("shard")
                 sweep = reply.get("sweep")
                 indexed = _rebuild_tasks(reply.get("tasks", []), backend, trial_batch)
-                if pool is not None:
+                now = _monotonic()
+                with in_flight_lock:
+                    for _, task_id, _ in indexed:
+                        in_flight[task_id] = now
+                if supervisor is not None:
+                    for index, task_id, outcome, metrics in (
+                        supervisor.run_shard(indexed)
+                    ):
+                        deliver(shard, sweep, index, task_id, outcome, metrics)
+                        executed += 1
+                elif pool is not None:
                     for index, task_id, outcome, metrics in pool.imap_unordered(
                         _execute_indexed_entry, indexed
                     ):
@@ -309,9 +396,13 @@ def run_worker(
         finally:
             heartbeat.stop()
             sock.close()
+            with in_flight_lock:
+                in_flight.clear()
 
     try:
-        if procs > 1:
+        if task_timeout > 0:
+            supervisor = SupervisedExecutor(procs, task_timeout)
+        elif procs > 1:
             pool = _pool_context().Pool(processes=procs)
         retry_budget = connect_retry_seconds
         while True:
@@ -334,6 +425,8 @@ def run_worker(
             say(f"service went away; retrying for up to {reconnect_seconds:g} s")
         say(f"sweeps complete; this worker executed {executed} task(s)")
     finally:
+        if supervisor is not None:
+            supervisor.close()
         if pool is not None:
             pool.terminate()
             pool.join()
@@ -393,7 +486,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--heartbeat-seconds", type=float, default=5.0,
         help="ping the service this often from a background thread so a "
-        "--worker-timeout service can tell busy from hung; 0 disables",
+        "--worker-timeout service can tell busy from hung; 0 disables "
+        "(pings piggyback in-flight status gauges for /metrics)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=0.0, metavar="SECONDS",
+        help="per-task wall-clock deadline: tasks run on killable "
+        "supervised processes, and a hung or crashed task yields a "
+        "retryable UNTESTED outcome instead of stalling or killing this "
+        "worker; 0 (default) disables supervision",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="arm deterministic fault injection (see repro.faultinject; "
+        f"exported as {faultinject.FAULTS_ENV} so task processes inherit it)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, metavar="N",
+        help="seed for probabilistic fault decisions (default 0)",
     )
     parser.add_argument(
         "--auth-token", default=os.environ.get(TOKEN_ENV),
@@ -426,6 +536,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
     if args.cache_dir:
         os.environ[CACHE_DIR_ENV] = os.path.abspath(args.cache_dir)
+    if args.faults:
+        try:
+            faultinject.configure(args.faults, seed=args.fault_seed)
+        except faultinject.FaultSpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
         run_worker(
             host,
@@ -436,6 +552,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             connect_retry_seconds=args.connect_retry_seconds,
             heartbeat_seconds=args.heartbeat_seconds,
             reconnect_seconds=args.reconnect_seconds,
+            task_timeout=args.task_timeout,
             auth_token=args.auth_token,
             quiet=args.quiet,
         )

@@ -38,8 +38,11 @@ import os
 import sys
 from typing import Any, Dict, List, Optional, TextIO
 
+from repro import faultinject
 from repro.backends import get_backend, list_backends
 from repro.backends.vectorized import CACHE_DIR_ENV
+from repro.faultinject import FAULTS_ENV as _FAULTS_ENV
+from repro.faultinject import SEED_ENV as _FAULT_SEED_ENV
 from repro.cluster.protocol import TOKEN_ENV as _TOKEN_ENV
 from repro.pipeline.runner import SweepRunner
 from repro.pipeline.tasks import enumerate_sweep_tasks
@@ -186,6 +189,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--progress", action="store_true",
         help="print each task's verdict as it completes, with tasks/s and ETA",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="arm deterministic fault injection, e.g. "
+        "'task.execute=crash:0.1;journal.record=garble:0.2@3+' (sets "
+        f"{_FAULTS_ENV} so pool and cluster worker processes inherit the "
+        "plan); chaos testing only -- leave unset for real sweeps",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None, metavar="N",
+        help="seed for fault-injection decisions (default: "
+        f"${_FAULT_SEED_ENV} or 0); same seed + spec => same faults",
     )
     parser.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -342,6 +357,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         # (pool workers, cluster workers spawned from here) appends to the
         # same JSONL file under an exclusive lock.
         configure_tracing(args.trace)
+    if args.faults or args.fault_seed is not None:
+        # Exported to the environment so pool members replay the same
+        # seeded plan (per-process hit counters reset at fork).
+        try:
+            faultinject.configure(args.faults, seed=args.fault_seed)
+        except faultinject.FaultSpecError as exc:
+            parser.error(str(exc))
 
     # ------------------------------------------------------------------ #
     # Worker mode: no enumeration, no report -- serve one coordinator.

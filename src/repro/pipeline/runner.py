@@ -23,6 +23,7 @@ from __future__ import annotations
 import multiprocessing
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import faultinject
 from repro.core.reporting import Verdict
 from repro.core.verifier import FuzzyFlowVerifier
 from repro.pipeline.result import SweepResult
@@ -54,6 +55,11 @@ def execute_task(task: SweepTask) -> Dict[str, Any]:
         "error": None,
     }
     try:
+        # Inside the try block: an `exception` fault becomes a journaled
+        # UNTESTED outcome (like any infrastructure error) while `crash` /
+        # `hang` faults take down or stall this process, exactly like a
+        # real segfault or livelock in the verifier.
+        faultinject.hit("task.execute", key=task.workload)
         sdfg = task.build_sdfg()
         xform = task.transformation.instantiate()
         verifier = FuzzyFlowVerifier(**task.verifier_kwargs)

@@ -1,0 +1,242 @@
+"""Fault-injection plans: parsing, determinism, disabled-mode no-op."""
+
+import json
+import os
+
+import pytest
+
+from repro import faultinject
+from repro.faultinject import (
+    FaultInjected,
+    FaultSpecError,
+    FAULTS_ENV,
+    SEED_ENV,
+    parse_plan,
+)
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    """Every test starts and ends with fault injection disabled."""
+    faultinject.configure(None, export=True)
+    yield
+    faultinject.configure(None, export=True)
+
+
+class TestParsing:
+    def test_single_clause(self):
+        plan = parse_plan("task.execute=crash")
+        assert len(plan._clauses) == 1
+        clause = plan._clauses[0]
+        assert clause.point == "task.execute"
+        assert clause.key is None
+        assert clause.kind == "crash"
+        assert clause.arg is None
+        assert clause.first == 1 and not clause.once
+
+    def test_key_scope_arg_and_hitspec(self):
+        plan = parse_plan("task.execute[gemm]=delay:0.25@3+")
+        clause = plan._clauses[0]
+        assert clause.key == "gemm"
+        assert clause.kind == "delay"
+        assert clause.arg == 0.25
+        assert clause.first == 3 and not clause.once
+
+    def test_exact_hitspec(self):
+        clause = parse_plan("p=exception@2")._clauses[0]
+        assert clause.first == 2 and clause.once
+        assert clause.hits(2) and not clause.hits(1) and not clause.hits(3)
+
+    def test_multiple_clauses_both_separators(self):
+        plan = parse_plan("a=crash, b=hang:5; c=garble:0.5")
+        assert [c.point for c in plan._clauses] == ["a", "b", "c"]
+        assert plan._clauses[1].arg == 5.0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "noequals",
+            "p=frobnicate",
+            "p=crash:2.0",          # probability out of range
+            "p=delay:-1",           # negative seconds
+            "p=crash@0",            # hit indices are 1-based
+            "p=crash@x",
+            "p[=crash",
+            "p[]=crash",
+            "bad point=crash",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_plan(bad)
+
+
+class TestDisabled:
+    def test_noop_without_env(self):
+        assert FAULTS_ENV not in os.environ
+        assert not faultinject.active()
+        for _ in range(10):
+            faultinject.hit("task.execute", key="gemm")
+        payload = b'{"type": "ping"}'
+        assert faultinject.garble_bytes("protocol.send", payload) is payload
+        text = '{"kind": "outcome"}'
+        assert faultinject.garble_text("journal.record", text) is text
+        assert faultinject.hit_counts() == {}
+
+
+class TestActions:
+    def test_exception_on_exact_hit_only(self):
+        faultinject.configure("p=exception@2", export=False)
+        faultinject.hit("p")
+        with pytest.raises(FaultInjected):
+            faultinject.hit("p")
+        faultinject.hit("p")  # @2 is one-shot
+
+    def test_exception_from_hit_onward(self):
+        faultinject.configure("p=exception@2+", export=False)
+        faultinject.hit("p")
+        for _ in range(3):
+            with pytest.raises(FaultInjected):
+                faultinject.hit("p")
+
+    def test_key_scoping(self):
+        faultinject.configure("task.execute[gemm]=exception", export=False)
+        faultinject.hit("task.execute", key="jacobi")
+        faultinject.hit("task.execute")
+        with pytest.raises(FaultInjected):
+            faultinject.hit("task.execute", key="gemm")
+
+    def test_keyed_clause_counts_per_key(self):
+        faultinject.configure("p[a]=exception@2", export=False)
+        faultinject.hit("p", key="b")
+        faultinject.hit("p", key="b")
+        faultinject.hit("p", key="a")   # hit 1 for key a: no fire
+        with pytest.raises(FaultInjected):
+            faultinject.hit("p", key="a")
+
+    def test_hit_counts_and_delay(self):
+        faultinject.configure("p=delay:0.001", export=False)
+        faultinject.hit("p", key="k")
+        faultinject.hit("p")
+        counts = faultinject.hit_counts()
+        assert counts[("p", "")] == 2
+        assert counts[("p", "k")] == 1
+
+
+class TestDeterminism:
+    @staticmethod
+    def _pattern(seed, n=200):
+        plan = parse_plan("p=exception:0.3", seed=seed)
+        fired = []
+        for i in range(n):
+            try:
+                plan.hit("p", None)
+            except FaultInjected:
+                fired.append(i)
+        return fired
+
+    def test_same_seed_same_pattern(self):
+        assert self._pattern(7) == self._pattern(7)
+
+    def test_probability_roughly_respected(self):
+        fired = self._pattern(7)
+        assert 30 <= len(fired) <= 90  # ~0.3 of 200, generous bounds
+
+    def test_different_seed_different_pattern(self):
+        assert self._pattern(7) != self._pattern(8)
+
+    def test_garble_offset_deterministic(self):
+        payload = b"x" * 64
+        first = parse_plan("g=garble", seed=3).garble("g", None, len(payload))
+        second = parse_plan("g=garble", seed=3).garble("g", None, len(payload))
+        assert first == second >= 0
+
+    def test_garble_bytes_inserts_nul(self):
+        faultinject.configure("g=garble", export=False)
+        payload = b'{"type": "result", "value": 12345}'
+        garbled = faultinject.garble_bytes("g", payload)
+        assert garbled != payload and len(garbled) == len(payload)
+        assert b"\x00" in garbled
+        with pytest.raises(ValueError):
+            json.loads(garbled)
+
+    def test_garble_text_stays_one_printable_line(self):
+        faultinject.configure("g=garble", export=False)
+        line = json.dumps({"kind": "outcome", "task_id": "t1"})
+        garbled = faultinject.garble_text("g", line)
+        assert garbled != line and len(garbled) == len(line)
+        assert "\n" not in garbled and garbled.isprintable()
+
+
+class TestEnvArming:
+    def test_configure_exports_env(self):
+        faultinject.configure("p=exception", seed=5, export=True)
+        assert os.environ[FAULTS_ENV] == "p=exception"
+        assert os.environ[SEED_ENV] == "5"
+        faultinject.configure(None, export=True)
+        assert FAULTS_ENV not in os.environ and SEED_ENV not in os.environ
+
+    def test_lazy_load_from_env(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "p=exception")
+        faultinject.reload()
+        assert faultinject.active()
+        with pytest.raises(FaultInjected):
+            faultinject.hit("p")
+
+    def test_bad_env_spec_raises_on_reload(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "p=frobnicate")
+        with pytest.raises(FaultSpecError):
+            faultinject.reload()
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="requires fork")
+class TestForkDeterminism:
+    def test_children_replay_fresh_counters(self):
+        """Forked children reset hit counters: each replays the plan from
+        hit 1, so two children running the same sequence agree with each
+        other *and* with a fresh in-process plan."""
+        faultinject.configure("p=exception:0.4", seed=9, export=False)
+        for _ in range(7):  # advance parent counters past the origin
+            try:
+                faultinject.hit("p")
+            except FaultInjected:
+                pass
+
+        def run_child():
+            read_fd, write_fd = os.pipe()
+            pid = os.fork()
+            if pid == 0:
+                try:
+                    os.close(read_fd)
+                    fired = []
+                    for i in range(40):
+                        try:
+                            faultinject.hit("p")
+                        except FaultInjected:
+                            fired.append(i)
+                    os.write(write_fd, json.dumps(fired).encode())
+                finally:
+                    os._exit(0)
+            os.close(write_fd)
+            chunks = []
+            while True:
+                chunk = os.read(read_fd, 4096)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            os.close(read_fd)
+            assert os.waitpid(pid, 0)[1] == 0
+            return json.loads(b"".join(chunks))
+
+        first, second = run_child(), run_child()
+        assert first == second
+
+        fresh = parse_plan("p=exception:0.4", seed=9)
+        expected = []
+        for i in range(40):
+            try:
+                fresh.hit("p", None)
+            except FaultInjected:
+                expected.append(i)
+        assert first == expected and expected  # reset, and something fired

@@ -14,8 +14,10 @@ Three layers, mirroring the architecture split:
   surviving a service bounce via reconnect-with-backoff.
 """
 
+import itertools
 import json
 import os
+import random
 import socket
 import threading
 import time
@@ -26,12 +28,14 @@ from repro.cluster import recv_message, send_message
 from repro.cluster.client import (
     ServiceClientError,
     _request,
+    cancel_sweep,
     fetch_result,
     service_status,
     submit_sweep,
     sweep_status,
     wait_sweep,
 )
+from repro.cluster.journal import ResultStore
 from repro.cluster.scheduler import (
     COMPLETE,
     DRAINING,
@@ -41,7 +45,8 @@ from repro.cluster.scheduler import (
 )
 from repro.cluster.service import VerificationService
 from repro.cluster.state import ServiceState, restore_sweeps
-from repro.cluster.worker import ServiceRefused, run_worker
+from repro.cluster.worker import ServiceRefused, _backoff_delays, run_worker
+from repro.telemetry.metrics import metric_key
 from repro.pipeline import (
     SweepRunner,
     SweepTask,
@@ -628,3 +633,256 @@ class TestService:
         # One worker process served both service generations.
         assert executed == [5]
         assert sum(o is not None for o in result.outcomes) == 3
+
+
+# ---------------------------------------------------------------------- #
+# Failure domains: quarantine, contained deadlines, journal checksums
+# ---------------------------------------------------------------------- #
+class TestFailureDomains:
+    def test_quarantine_on_distinct_workers_short_circuits_budget(self):
+        scheduler = SweepScheduler(quarantine_workers=2)
+        sid = scheduler.submit(cheap_tasks(1), max_task_retries=10)
+        scheduler.lease("c1", 1)
+        scheduler.release("c1")  # failure on distinct worker 1: requeued
+        assert scheduler.sweep_status(sid)["state"] != COMPLETE
+        scheduler.lease("c2", 1)
+        scheduler.release("c2")  # distinct worker 2: quarantine trips
+        status = scheduler.sweep_status(sid)
+        assert status["state"] == COMPLETE
+        assert len(status["quarantined"]) == 1
+        record = status["quarantined"][0]
+        assert record["reason"] == "connection lost"
+        assert len(record["workers"]) == 2
+        outcome = scheduler.result(sid).outcomes[0]
+        assert outcome["verdict"] == "untested"
+        assert "quarantined" in outcome["error"]
+        counters = scheduler.metrics.snapshot()["counters"]
+        assert counters[metric_key(
+            "repro_tasks_quarantined_total", {"sweep": sid}
+        )] == 1
+
+    def test_repeat_failures_on_one_worker_use_the_retry_budget(self):
+        # The same worker failing over and over is indistinguishable from a
+        # task-independent flake: it consumes retry budget but never trips
+        # the distinct-worker quarantine.
+        scheduler = SweepScheduler(quarantine_workers=2)
+        sid = scheduler.submit(cheap_tasks(1), max_task_retries=2)
+        timeout_outcome = {
+            "verdict": "untested",
+            "error": "task exceeded its 2 s deadline; the stuck worker "
+            "process was killed and respawned",
+            "failure": "timeout",
+        }
+        for _ in range(3):  # budget 2 -> third failure lands
+            reply = scheduler.lease("c1", 1)
+            _record(scheduler, "c1", reply, reply["tasks"][0],
+                    dict(timeout_outcome))
+        status = scheduler.sweep_status(sid)
+        assert status["state"] == COMPLETE
+        assert status["quarantined"] == []
+        outcome = scheduler.result(sid).outcomes[0]
+        # Budget exhaustion lands the worker's own contained outcome.
+        assert outcome["failure"] == "timeout"
+        assert "deadline" in outcome["error"]
+
+    def test_contained_timeout_outcome_is_retried_not_landed(self):
+        scheduler = SweepScheduler(quarantine_workers=0)
+        sid = scheduler.submit(cheap_tasks(1), max_task_retries=1)
+        reply = scheduler.lease("c1", 1)
+        entry = reply["tasks"][0]
+        _record(scheduler, "c1", reply, entry, {
+            "verdict": "untested",
+            "error": "task exceeded its 2 s deadline",
+            "failure": "timeout",
+        })
+        # Retryable: nothing landed, the task is requeued at the front.
+        assert scheduler.sweep_status(sid)["done"] == 0
+        retry = scheduler.lease("c1", 1)
+        assert retry["tasks"][0]["task_id"] == entry["task_id"]
+        _record(scheduler, "c1", retry, retry["tasks"][0],
+                _stub_outcome("recovered"))
+        assert scheduler.sweep_status(sid)["state"] == COMPLETE
+        assert scheduler.result(sid).outcomes[0]["marker"] == "recovered"
+        counters = scheduler.metrics.snapshot()["counters"]
+        assert counters[metric_key(
+            "repro_task_timeouts_total", {"sweep": sid}
+        )] == 1
+
+    def test_garbled_journal_record_is_skipped_and_rerun_on_resume(
+        self, tmp_path
+    ):
+        tasks = cheap_tasks(3)
+        path = str(tmp_path / "journal.jsonl")
+        store = ResultStore.open(path, tasks, "s", False, "interpreter")
+        for i, task in enumerate(tasks):
+            store.record(task.task_id, i, _stub_outcome(f"m{i}"))
+        store.close()
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        # Corrupt the payload of the middle record (line 0 is the header):
+        # its embedded CRC no longer matches the outcome.
+        assert "m1" in lines[2]
+        lines[2] = lines[2].replace("m1", "mX")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("\n".join(lines) + "\n")
+
+        _, completed = ResultStore._load(path)
+        assert set(completed) == {tasks[0].task_id, tasks[2].task_id}
+
+        # Resume parity: the skipped task is simply incomplete -- it re-runs
+        # and its fresh record wins; the intact records are untouched.
+        store = ResultStore.open(
+            path, tasks, "s", False, "interpreter", resume=True
+        )
+        assert tasks[1].task_id not in store.completed
+        store.record(tasks[1].task_id, 1, _stub_outcome("fresh"))
+        store.close()
+        _, completed = ResultStore._load(path)
+        assert completed[tasks[1].task_id]["marker"] == "fresh"
+        assert completed[tasks[0].task_id]["marker"] == "m0"
+        assert completed[tasks[2].task_id]["marker"] == "m2"
+
+    def test_heartbeat_gauges_land_in_metrics_with_worker_label(self):
+        scheduler = SweepScheduler()
+        scheduler.worker_joined("c1", {"host": "h"})
+        scheduler.record_heartbeat("c1", {"gauges": {
+            "repro_worker_tasks_inflight": 3.0,
+            "repro_worker_oldest_task_age_seconds": 12.5,
+        }})
+        scheduler.record_heartbeat("c1", None)  # plain ping: a no-op
+        gauges = scheduler.metrics.snapshot()["gauges"]
+        assert gauges[metric_key(
+            "repro_worker_tasks_inflight", {"worker": "1"}
+        )] == 3.0
+        assert gauges[metric_key(
+            "repro_worker_oldest_task_age_seconds", {"worker": "1"}
+        )] == 12.5
+
+
+# ---------------------------------------------------------------------- #
+# Sweep cancellation (DELETE /sweeps/<id>)
+# ---------------------------------------------------------------------- #
+class TestSweepCancellation:
+    def test_delete_cancels_and_evicts_a_running_sweep(self, tmp_path):
+        service = VerificationService(
+            "127.0.0.1", 0, http_port=0, state_dir=str(tmp_path)
+        )
+        service.start()
+        try:
+            host, port = service.http_address
+            sid = submit_sweep(host, port, cheap_tasks(3))["sweep_id"]
+            assert (tmp_path / f"{sid}.meta.json").exists()
+            assert (tmp_path / f"{sid}.jsonl").exists()
+
+            doc = cancel_sweep(host, port, sid)
+            assert doc["cancelled"] is True
+            assert doc["done"] == doc["total"] == 3
+
+            # Gone from the registry and the state dir: a restart on this
+            # directory cannot resurrect it.
+            with pytest.raises(ServiceClientError) as err:
+                sweep_status(host, port, sid)
+            assert err.value.status == 404
+            assert not (tmp_path / f"{sid}.meta.json").exists()
+            assert not (tmp_path / f"{sid}.jsonl").exists()
+        finally:
+            service.stop()
+
+    def test_delete_unknown_404_and_complete_409(self):
+        service = VerificationService("127.0.0.1", 0, http_port=0)
+        service.start()
+        try:
+            host, port = service.http_address
+            with pytest.raises(ServiceClientError) as err:
+                cancel_sweep(host, port, "sweep-999")
+            assert err.value.status == 404
+
+            sid = submit_sweep(host, port, cheap_tasks(1))["sweep_id"]
+            reply = service.scheduler.lease("t", 1)
+            _record(service.scheduler, "t", reply, reply["tasks"][0])
+            assert sweep_status(host, port, sid)["state"] == COMPLETE
+            with pytest.raises(ServiceClientError) as err:
+                cancel_sweep(host, port, sid)
+            assert err.value.status == 409
+            # A complete sweep's result stays immutable and queryable.
+            assert fetch_result(host, port, sid).outcomes[0] is not None
+        finally:
+            service.stop()
+
+    def test_cancel_drops_outstanding_leases(self):
+        scheduler = SweepScheduler()
+        sid = scheduler.submit(cheap_tasks(2))
+        reply = scheduler.lease("c1", 1)
+        doc = scheduler.cancel(sid)
+        assert doc["cancelled"] is True
+        # The late result routes nowhere and must not raise.
+        _record(scheduler, "c1", reply, reply["tasks"][0])
+        assert scheduler.sweep_ids() == []
+
+
+# ---------------------------------------------------------------------- #
+# Reconnect backoff + fatal refusals
+# ---------------------------------------------------------------------- #
+class TestReconnectBackoff:
+    def test_backoff_delays_grow_jittered_and_cap(self):
+        delays = list(itertools.islice(
+            _backoff_delays(random.Random(42)), 12
+        ))
+        for attempt, delay in enumerate(delays):
+            ceiling = min(2.0, 0.05 * 2.0 ** attempt)
+            assert ceiling / 2.0 <= delay <= ceiling + 1e-9
+        # The tail saturates at the cap window rather than growing forever.
+        assert all(1.0 <= d <= 2.0 for d in delays[7:])
+
+    def test_backoff_jitter_decorrelates_workers(self):
+        a = list(itertools.islice(_backoff_delays(random.Random(1)), 6))
+        b = list(itertools.islice(_backoff_delays(random.Random(2)), 6))
+        assert a != b  # two workers never retry in lockstep
+
+    def test_auth_refusal_is_fatal_despite_reconnect_budget(self):
+        service = VerificationService(
+            auth_token="sesame", auth_exempt_loopback=False
+        )
+        service.start()
+        try:
+            started = time.monotonic()
+            with pytest.raises(ServiceRefused, match="token"):
+                run_worker(
+                    *service.address, quiet=True, reconnect_seconds=60.0
+                )
+            # A refusal is a configuration error: it must surface at once,
+            # not burn the reconnect budget retrying a hopeless hello.
+            assert time.monotonic() - started < 10.0
+        finally:
+            service.stop()
+
+
+class TestRetryAntiAffinity:
+    def test_retry_is_steered_to_a_different_worker(self):
+        scheduler = SweepScheduler(quarantine_workers=0)
+        sid = scheduler.submit(cheap_tasks(1), max_task_retries=10)
+        reply = scheduler.lease("c1", 1)
+        entry = reply["tasks"][0]
+        scheduler.lease("c2", 1)  # c2 connects (gets "wait")
+        _record(scheduler, "c1", reply, entry, {
+            "verdict": "untested", "error": "deadline", "failure": "timeout",
+        })
+        # c1 already failed this task and c2 is connected: c1 must not get
+        # it back -- a re-failure there gathers no quarantine evidence.
+        assert scheduler.lease("c1", 1)["type"] == "wait"
+        retry = scheduler.lease("c2", 1)
+        assert retry["type"] == "tasks"
+        assert retry["tasks"][0]["task_id"] == entry["task_id"]
+        _record(scheduler, "c2", retry, retry["tasks"][0],
+                _stub_outcome("elsewhere"))
+        assert scheduler.result(sid).outcomes[0]["marker"] == "elsewhere"
+
+    def test_sole_surviving_worker_still_gets_the_retry(self):
+        scheduler = SweepScheduler(quarantine_workers=0)
+        scheduler.submit(cheap_tasks(1), max_task_retries=10)
+        reply = scheduler.lease("c1", 1)
+        _record(scheduler, "c1", reply, reply["tasks"][0], {
+            "verdict": "untested", "error": "deadline", "failure": "timeout",
+        })
+        # No other worker connected: anti-affinity must not starve the task.
+        assert scheduler.lease("c1", 1)["type"] == "tasks"

@@ -44,6 +44,16 @@ package docstring for the analyze -> plan -> codegen -> execute pipeline):
    clock and trace timestamps stay on one monotonic domain.  Benchmarks
    (``benchmarks/``) sit outside ``src/`` and are exempt.
 
+6. **Fault containment** -- within ``src/repro/``, only the fault
+   injection seam (``repro/faultinject/``) may hard-kill or signal a
+   process (``os._exit``, ``os.kill``, ``os.abort``,
+   ``signal.raise_signal``): ad-hoc process faults scattered through the
+   harness would be invisible to chaos replay and impossible to disarm.
+   Every production module injects failures exclusively through the
+   :mod:`repro.faultinject` package root (``hit`` / ``garble_bytes`` /
+   ``garble_text``), which is also the only sanctioned import path --
+   reaching into the package's internals from elsewhere is a violation.
+
 Exits non-zero listing every violation.  Wired into ``make lint-arch`` and
 ``make smoke``.
 """
@@ -209,6 +219,44 @@ def _check_clock(path: Path) -> List[str]:
     return violations
 
 
+#: The sole package allowed to hard-kill or signal a process.
+FAULT_HOME = SRC / "faultinject"
+#: ``(module, attribute)`` call forms that inject a raw process fault.
+_FAULT_CALLS = {
+    ("os", "_exit"),
+    ("os", "kill"),
+    ("os", "abort"),
+    ("signal", "raise_signal"),
+}
+
+
+def _check_faults(path: Path) -> List[str]:
+    """Violations of the fault-containment rule in one module."""
+    violations: List[str] = []
+    rel = path.relative_to(ROOT)
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and (node.func.value.id, node.func.attr) in _FAULT_CALLS
+        ):
+            violations.append(
+                f"{rel}:{node.lineno}: {node.func.value.id}."
+                f"{node.func.attr}() outside repro.faultinject -- inject "
+                f"process faults through the faultinject seam"
+            )
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and (
+            node.module or ""
+        ).startswith("repro.faultinject."):
+            violations.append(
+                f"{rel}:{node.lineno}: import fault helpers from the "
+                f"repro.faultinject package root, not its internals"
+            )
+    return violations
+
+
 def main() -> int:
     failures: List[str] = []
     for path in sorted(BACKENDS.rglob("*.py")):
@@ -231,9 +279,10 @@ def main() -> int:
             )
         failures.extend(_check_transport(path))
     for path in sorted(SRC.rglob("*.py")):
-        if CLOCK_HOME in path.parents:
-            continue
-        failures.extend(_check_clock(path))
+        if CLOCK_HOME not in path.parents:
+            failures.extend(_check_clock(path))
+        if FAULT_HOME not in path.parents:
+            failures.extend(_check_faults(path))
     if failures:
         print("Architecture lint FAILED:", file=sys.stderr)
         for failure in failures:
@@ -241,7 +290,8 @@ def main() -> int:
         return 1
     print(
         "Architecture lint OK (module sizes, codegen->execute layering, "
-        "FFI containment, cluster transport containment, clock containment)."
+        "FFI containment, cluster transport containment, clock "
+        "containment, fault containment)."
     )
     return 0
 
